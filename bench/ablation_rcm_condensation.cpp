@@ -1,0 +1,59 @@
+/// Ablation: the two design choices behind the paper's fast direct solves —
+/// RCM bandwidth reduction and boundary-first ordering / static condensation
+/// (Figure 10).  Prints system size, half-bandwidth, factor and per-solve
+/// flop counts for (a) natural ordering, (b) RCM, (c) RCM + static
+/// condensation, on the bluff-body mesh.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "mesh/generators.hpp"
+#include "nektar/helmholtz.hpp"
+#include "nektar/static_condensation.hpp"
+
+namespace {
+
+double factor_flops(std::size_t n, std::size_t kd) {
+    // Banded Cholesky ~ n * kd^2 flops.
+    return static_cast<double>(n) * static_cast<double>(kd) * static_cast<double>(kd);
+}
+double solve_flops(std::size_t n, std::size_t kd) { return 4.0 * static_cast<double>(n * (kd + 1)); }
+
+} // namespace
+
+int main() {
+    mesh::BluffBodyParams p;
+    p.n_upstream = 5;
+    p.n_wake = 8;
+    p.n_body = 2;
+    p.n_side = 3;
+    const auto base = std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p));
+
+    std::printf("Ablation: orderings and static condensation for the banded direct "
+                "solver (Figure 10's design space)\n\n");
+    benchutil::Table table({"order P", "variant", "dofs", "halfband", "factor Mflop",
+                            "solve Mflop"},
+                           14);
+    table.print_header();
+    for (std::size_t order : {4u, 6u, 8u}) {
+        const auto natural = std::make_shared<nektar::Discretization>(base, order, false);
+        const auto rcm = std::make_shared<nektar::Discretization>(base, order, true);
+        const nektar::HelmholtzBC bc{.dirichlet = {mesh::BoundaryTag::Inflow,
+                                                   mesh::BoundaryTag::Body}};
+        nektar::CondensedHelmholtz cond(rcm, 1.0, bc);
+
+        const auto row = [&](const char* name, std::size_t n, std::size_t kd) {
+            table.print_row({std::to_string(order), name, std::to_string(n),
+                             std::to_string(kd), benchutil::fmt(factor_flops(n, kd) / 1e6),
+                             benchutil::fmt(solve_flops(n, kd) / 1e6, "%.3f")});
+        };
+        row("natural", natural->dofmap().num_global(), natural->dofmap().bandwidth());
+        row("RCM", rcm->dofmap().num_global(), rcm->dofmap().bandwidth());
+        row("RCM+condensed", cond.boundary_dofs(), cond.bandwidth());
+    }
+    std::printf("\nRCM cuts the half-bandwidth; condensation then removes every\n"
+                "interior mode from the global system — together they are why the\n"
+                "paper's 'direct solver, utilising the symmetric and banded nature\n"
+                "of the matrix' carries 60%% of each DNS step so cheaply.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+/// \file bench_util.hpp
+/// Shared helpers for the paper-reproduction benchmark binaries: simple
+/// aligned-column table printing and a repeat-until-stable host timer.
+namespace benchutil {
+
+/// Prints a header followed by rows of fixed-width columns.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers, int width = 12)
+        : headers_(std::move(headers)), width_(width) {}
+
+    void print_header() const {
+        for (const auto& h : headers_) std::printf("%*s", width_, h.c_str());
+        std::printf("\n");
+        for (std::size_t i = 0; i < headers_.size(); ++i)
+            std::printf("%*s", width_, "--------");
+        std::printf("\n");
+    }
+
+    void print_row(const std::vector<std::string>& cells) const {
+        for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+        std::printf("\n");
+    }
+
+private:
+    std::vector<std::string> headers_;
+    int width_;
+};
+
+[[nodiscard]] inline std::string fmt(double v, const char* spec = "%.1f") {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return buf;
+}
+
+/// Times `fn` by repeating it until at least `min_seconds` has elapsed;
+/// returns seconds per call.
+[[nodiscard]] inline double time_per_call(const std::function<void()>& fn,
+                                          double min_seconds = 0.02) {
+    using clock = std::chrono::steady_clock;
+    fn(); // warm the caches, as the paper's in-cache methodology requires
+    std::size_t reps = 1;
+    for (;;) {
+        const auto t0 = clock::now();
+        for (std::size_t i = 0; i < reps; ++i) fn();
+        const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+        if (dt >= min_seconds) return dt / static_cast<double>(reps);
+        reps = dt > 0.0 ? static_cast<std::size_t>(static_cast<double>(reps) *
+                                                   (1.2 * min_seconds / dt)) + 1
+                        : reps * 8;
+    }
+}
+
+} // namespace benchutil

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "blaslite/blas.hpp"
+#include "machine/machine_model.hpp"
+
+/// \file blas_sweep.hpp
+/// Shared driver for the Figure 1-6 kernel benches.
+///
+/// Each figure plots one BLAS kernel against array size for two machine
+/// groups (left: SP2-Thin2, SP2-Silver, Muses, AP3000, Onyx2; right: T3E,
+/// SP2-P2SC, Muses — the paper's layout).  The per-machine series are the
+/// analytic model of src/machine; an extra "host(meas.)" column reports the
+/// same kernel actually executed by src/blaslite on this machine, tying the
+/// models to real code.
+namespace blas_sweep {
+
+/// The machines of the left and right plots, in the paper's legend order.
+inline const std::vector<std::string> kMachines = {"SP2-Thin2", "SP2-Silver", "Muses",
+                                                   "AP3000",   "Onyx2",      "T3E",
+                                                   "P2SC"};
+
+struct Kernel {
+    const char* figure;        ///< e.g. "Figure 1"
+    const char* name;          ///< e.g. "dcopy"
+    const char* unit;          ///< "MB/sec" or "Mflop/sec"
+    bool size_is_matrix_dim;   ///< dgemv/dgemm sweep the matrix dimension
+    machine::KernelShape (*shape)(std::size_t n);
+    /// Runs the real kernel once at size n and returns (flops, bytes) moved.
+    double (*host_rate)(std::size_t n); ///< measured rate in the figure's unit
+};
+
+inline double host_rate_dcopy(std::size_t n) {
+    std::vector<double> x(n, 1.0), y(n);
+    const double t = benchutil::time_per_call([&] { blaslite::dcopy(x, y); });
+    return 2.0 * static_cast<double>(n) * sizeof(double) / t / 1e6;
+}
+
+inline double host_rate_daxpy(std::size_t n) {
+    std::vector<double> x(n, 1.0), y(n, 0.5);
+    const double t = benchutil::time_per_call([&] { blaslite::daxpy(1.0001, x, y); });
+    return 2.0 * static_cast<double>(n) / t / 1e6;
+}
+
+inline double host_rate_ddot(std::size_t n) {
+    std::vector<double> x(n, 1.0), y(n, 0.5);
+    volatile double sink = 0.0;
+    const double t = benchutil::time_per_call([&] { sink = blaslite::ddot(x, y); });
+    (void)sink;
+    return 2.0 * static_cast<double>(n) / t / 1e6;
+}
+
+inline double host_rate_dgemv(std::size_t n) {
+    std::vector<double> a(n * n, 0.5), x(n, 1.0), y(n, 0.0);
+    const double t = benchutil::time_per_call(
+        [&] { blaslite::dgemv(1.0, a.data(), n, n, n, x.data(), 0.0, y.data()); });
+    return 2.0 * static_cast<double>(n) * static_cast<double>(n) / t / 1e6;
+}
+
+inline double host_rate_dgemm(std::size_t n) {
+    std::vector<double> a(n * n, 0.5), b(n * n, 0.25), c(n * n, 0.0);
+    const double t = benchutil::time_per_call(
+        [&] { blaslite::dgemm_square(1.0, a.data(), b.data(), 0.0, c.data(), n); });
+    return 2.0 * std::pow(static_cast<double>(n), 3.0) / t / 1e6;
+}
+
+/// Rate in the figure's unit from the model.
+inline double model_rate(const machine::MachineModel& m, const Kernel& k, std::size_t n) {
+    const machine::KernelShape shape = k.shape(n);
+    return k.unit[1] == 'B' ? machine::predict_mbps(m, shape)
+                            : machine::predict_mflops(m, shape);
+}
+
+inline void run(const Kernel& k, const std::vector<std::size_t>& sizes) {
+    std::printf("%s: speed of %s in %s against array size (paper's axes).\n", k.figure, k.name,
+                k.unit);
+    std::printf("Series are the calibrated 1999-machine models; host(meas.) is the\n"
+                "blaslite kernel measured on this machine for reference.\n\n");
+    std::vector<std::string> headers = {k.size_is_matrix_dim ? "n" : "bytes"};
+    for (const auto& m : kMachines) headers.push_back(m);
+    headers.push_back("host(meas.)");
+    benchutil::Table table(headers);
+    table.print_header();
+    for (std::size_t n : sizes) {
+        std::vector<std::string> row;
+        row.push_back(std::to_string(k.size_is_matrix_dim ? n : n * sizeof(double)));
+        for (const auto& name : kMachines)
+            row.push_back(benchutil::fmt(model_rate(machine::by_name(name), k, n)));
+        row.push_back(benchutil::fmt(k.host_rate(n)));
+        table.print_row(row);
+    }
+    std::printf("\n");
+}
+
+/// Level-1 sweep sizes: 100 bytes to 1 MB, geometric (the paper's x-range).
+inline std::vector<std::size_t> level1_sizes() {
+    std::vector<std::size_t> s;
+    for (std::size_t n = 16; n * sizeof(double) <= (1u << 20); n = n * 2) s.push_back(n);
+    return s;
+}
+
+} // namespace blas_sweep

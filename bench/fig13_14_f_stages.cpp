@@ -1,0 +1,97 @@
+/// Figures 13-14: NekTar-F stage percentages (CPU and wall-clock) within a
+/// time step on 4 processors, for NCSA, IBM SP2 "Silver", RoadRunner
+/// ethernet and RoadRunner myrinet.  Shape to reproduce: "the main
+/// computational cost occurs at the non-linear step 2 ... MPI_Alltoall ...
+/// creates a bottleneck in communications, which is apparent in the PC
+/// clusters, where step 2 takes as much as 60% of the time" (ethernet), and
+/// nearly identical CPU/wall pies on the polling networks.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "app_model.hpp"
+#include "bench_util.hpp"
+#include "mesh/generators.hpp"
+#include "nektar/ns_fourier.hpp"
+
+int main() {
+    const int nprocs = 4;
+    mesh::BluffBodyParams p;
+    p.n_upstream = 4;
+    p.n_wake = 6;
+    p.n_body = 2;
+    p.n_side = 3;
+    const auto base_mesh = std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p));
+    netsim::NetworkModel probe;
+    probe.name = "probe";
+    probe.latency_us = 10.0;
+    probe.bandwidth_mbps = 100.0;
+
+    perf::StageBreakdown bd;
+    simmpi::CommLog log;
+    std::size_t field_bytes = 0, solver_bytes = 0;
+    simmpi::World world(nprocs, probe);
+    const int bootstrap = 1, steady = 2;
+    const auto reports = world.run([&](simmpi::Comm& c) {
+        const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
+        nektar::FourierNsOptions opts;
+        opts.dt = 2e-3;
+        opts.nu = 0.01;
+        opts.num_modes = static_cast<std::size_t>(nprocs);
+        opts.u_bc = [](double x, double y, double) {
+            const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
+            return body ? 0.0 : 1.0;
+        };
+        nektar::FourierNS ns(disc, opts, &c);
+        ns.set_initial([](double, double, double z) { return 1.0 + 0.05 * std::sin(z); },
+                       [](double, double, double) { return 0.0; },
+                       [](double, double, double z) { return 0.05 * std::cos(z); });
+        for (int s = 0; s < bootstrap; ++s) ns.step();
+        ns.breakdown() = {};
+        for (int s = 0; s < steady; ++s) ns.step();
+        if (c.rank() == 0) {
+            bd = ns.breakdown();
+            field_bytes = 2 * disc->quad_size() * sizeof(double);
+            solver_bytes = disc->dofmap().num_global() * (disc->dofmap().bandwidth() + 1) *
+                           sizeof(double);
+        }
+    });
+    log = reports[0].log;
+    const double comm_groups = static_cast<double>(1 + bootstrap + steady);
+    const auto shapes = app_model::solver_shapes(field_bytes, solver_bytes);
+
+    const std::vector<app_model::Platform> plats = {
+        {"NCSA", "NCSA", "NCSA"},
+        {"IBM SP2 Silver", "SP2-Silver", "SP2-Silver internode"},
+        {"RoadRunner eth.", "RoadRunner", "RoadRunner eth."},
+        {"RoadRunner myr.", "RoadRunner", "RoadRunner myr."},
+    };
+    std::printf("Figures 13-14: NekTar-F stage percentages, %d-processor run.\n", nprocs);
+    std::printf("Paper stage-2 shares: NCSA 41%%, SP2-Silver 53%%, RR-eth 69/71%%, "
+                "RR-myr 55%%.\n\n");
+    for (const auto& pl : plats) {
+        const auto& m = machine::by_name(pl.machine);
+        const auto& net = netsim::by_name(pl.network);
+        const auto comp = app_model::compute_stage_seconds(bd, m, shapes);
+        const auto comm = app_model::comm_stage_seconds(log, net, nprocs);
+        double cpu_total = 0.0, wall_total = 0.0;
+        std::array<double, perf::kNumStages + 1> cpu{}, wall{};
+        for (std::size_t s = 1; s <= perf::kNumStages; ++s) {
+            const double per_step_comm =
+                comm[s] / comm_groups * (static_cast<double>(bd.steps));
+            cpu[s] = comp[s] + per_step_comm * net.cpu_poll_fraction;
+            wall[s] = comp[s] + per_step_comm;
+            cpu_total += cpu[s];
+            wall_total += wall[s];
+        }
+        std::printf("%s\n", pl.label.c_str());
+        benchutil::Table table({"stage", "CPU %", "wall %"}, 12);
+        table.print_header();
+        for (std::size_t s = 1; s <= perf::kNumStages; ++s)
+            table.print_row({std::to_string(s),
+                             benchutil::fmt(100.0 * cpu[s] / cpu_total, "%.0f"),
+                             benchutil::fmt(100.0 * wall[s] / wall_total, "%.0f")});
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/// Figures 15-16: NekTar-ALE stage percentages within a time step for the
+/// flapping-wing run at 16 and 64 processors, grouped as the paper does:
+///   a = steps 1-4 and 6 (transforms, nonlinear + mesh update, RHS setups)
+///   b = step 5 (pressure PCG)
+///   c = step 7 (viscous + mesh-velocity Helmholtz PCG)
+/// Shape to reproduce: a ~6-9%, b ~40-42%, c ~50-55%, and CPU/wall pies
+/// nearly identical (the GS library's pairwise/tree exchanges are cheap next
+/// to the solves).
+#include <cmath>
+#include <cstdio>
+
+#include "app_model.hpp"
+#include "bench_util.hpp"
+#include "mesh/generators.hpp"
+#include "nektar/ns_ale.hpp"
+#include "partition/partition.hpp"
+
+int main() {
+    const auto m = mesh::flapping_body_mesh(3);
+    partition::Graph g;
+    m.dual_graph(g.xadj, g.adjncy);
+
+    netsim::NetworkModel probe;
+    probe.name = "probe";
+    probe.latency_us = 10.0;
+    probe.bandwidth_mbps = 100.0;
+
+    std::printf("Figures 15-16: NekTar-ALE stage percentages (a / b / c).\n");
+    std::printf("Paper: 16 procs NCSA 9/41/50, RR-myr 6/42/53;  64 procs NCSA 8/40/52, "
+                "RR-myr 3/42/55.\n\n");
+
+    for (int nprocs : {4, 16}) {
+        const auto part = partition::partition_graph(g, nprocs);
+        perf::StageBreakdown bd;
+        simmpi::CommLog log;
+        std::size_t field_bytes = 0, solver_bytes = 0;
+        simmpi::World world(nprocs, probe);
+        const auto reports = world.run([&](simmpi::Comm& c) {
+            nektar::AleOptions opts;
+            opts.dt = 2e-3;
+            opts.nu = 0.01;
+            opts.cg.tolerance = 1e-8;
+            opts.body_velocity = [](double t) { return 0.3 * std::sin(4.0 * t); };
+            opts.u_bc = [](double x, double y, double) {
+                const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
+                return body ? 0.0 : 1.0;
+            };
+            opts.v_bc = [&opts](double x, double y, double t) {
+                const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
+                return body ? opts.body_velocity(t) : 0.0;
+            };
+            nektar::AleNS2d ns(m, 4, opts, &c, &part);
+            ns.set_initial([](double, double) { return 1.0; },
+                           [](double, double) { return 0.0; });
+            ns.step();
+            ns.breakdown() = {};
+            ns.step();
+            ns.step();
+            if (c.rank() == 0) {
+                bd = ns.breakdown();
+                field_bytes = ns.disc().quad_size() * sizeof(double);
+                std::size_t mat_bytes = 0;
+                for (std::size_t e = 0; e < ns.disc().num_elements(); ++e) {
+                    const std::size_t nm = ns.disc().ops(e).num_modes();
+                    mat_bytes += 2 * nm * nm * sizeof(double);
+                }
+                solver_bytes = mat_bytes;
+            }
+        });
+        log = reports[0].log;
+        const auto shapes = app_model::solver_shapes(field_bytes, solver_bytes);
+
+        for (const auto& pl : std::vector<app_model::Platform>{
+                 {"NCSA", "NCSA", "NCSA"},
+                 {"RoadRunner myr.", "RoadRunner", "RoadRunner myr."}}) {
+            const auto& mm = machine::by_name(pl.machine);
+            const auto& net = netsim::by_name(pl.network);
+            const auto comp = app_model::compute_stage_seconds(bd, mm, shapes);
+            const auto comm = app_model::comm_stage_seconds(log, net, nprocs);
+            double a_cpu = 0.0, b_cpu = 0.0, c_cpu = 0.0;
+            double a_wall = 0.0, b_wall = 0.0, c_wall = 0.0;
+            for (std::size_t s : {1u, 2u, 3u, 4u, 6u}) {
+                a_cpu += comp[s] + comm[s] * net.cpu_poll_fraction;
+                a_wall += comp[s] + comm[s];
+            }
+            b_cpu = comp[5] + comm[5] * net.cpu_poll_fraction;
+            b_wall = comp[5] + comm[5];
+            c_cpu = comp[7] + comm[7] * net.cpu_poll_fraction;
+            c_wall = comp[7] + comm[7];
+            const double tc = a_cpu + b_cpu + c_cpu;
+            const double tw = a_wall + b_wall + c_wall;
+            std::printf("P = %d, %s:  CPU  a %.0f%%  b %.0f%%  c %.0f%%   |   "
+                        "wall  a %.0f%%  b %.0f%%  c %.0f%%\n",
+                        nprocs, pl.label.c_str(), 100.0 * a_cpu / tc, 100.0 * b_cpu / tc,
+                        100.0 * c_cpu / tc, 100.0 * a_wall / tw, 100.0 * b_wall / tw,
+                        100.0 * c_wall / tw);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,9 @@
+/// Figure 1: speed of dcopy in MB/s against array size, PC vs supercomputers.
+#include "blas_sweep.hpp"
+
+int main() {
+    const blas_sweep::Kernel k{"Figure 1", "dcopy", "MB/sec", false, machine::shape_dcopy,
+                               blas_sweep::host_rate_dcopy};
+    blas_sweep::run(k, blas_sweep::level1_sizes());
+    return 0;
+}

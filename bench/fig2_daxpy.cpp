@@ -1,0 +1,9 @@
+/// Figure 2: speed of daxpy in MFlop/s against array size.
+#include "blas_sweep.hpp"
+
+int main() {
+    const blas_sweep::Kernel k{"Figure 2", "daxpy", "Mflop/sec", false, machine::shape_daxpy,
+                               blas_sweep::host_rate_daxpy};
+    blas_sweep::run(k, blas_sweep::level1_sizes());
+    return 0;
+}

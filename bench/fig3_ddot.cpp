@@ -1,0 +1,9 @@
+/// Figure 3: speed of ddot in MFlop/s against array size.
+#include "blas_sweep.hpp"
+
+int main() {
+    const blas_sweep::Kernel k{"Figure 3", "ddot", "Mflop/sec", false, machine::shape_ddot,
+                               blas_sweep::host_rate_ddot};
+    blas_sweep::run(k, blas_sweep::level1_sizes());
+    return 0;
+}

@@ -1,0 +1,10 @@
+/// Figure 4: speed of dgemv in MFlop/s against matrix size (n <= 150, the
+/// paper sweeps row sizes up to ~1200 bytes).
+#include "blas_sweep.hpp"
+
+int main() {
+    const blas_sweep::Kernel k{"Figure 4", "dgemv", "Mflop/sec", true, machine::shape_dgemv,
+                               blas_sweep::host_rate_dgemv};
+    blas_sweep::run(k, {4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 150});
+    return 0;
+}

@@ -1,0 +1,9 @@
+/// Figure 5: speed of dgemm in MFlop/s against matrix size (up to ~600).
+#include "blas_sweep.hpp"
+
+int main() {
+    const blas_sweep::Kernel k{"Figure 5", "dgemm", "Mflop/sec", true, machine::shape_dgemm,
+                               blas_sweep::host_rate_dgemm};
+    blas_sweep::run(k, {8, 16, 32, 64, 96, 128, 192, 256, 384, 512});
+    return 0;
+}

@@ -1,0 +1,12 @@
+/// Figure 6: speed of dgemm in MFlop/s for the small matrices (n = 2..20)
+/// that dominate NekTar's elemental operations.
+#include "blas_sweep.hpp"
+
+int main() {
+    std::vector<std::size_t> sizes;
+    for (std::size_t n = 2; n <= 20; ++n) sizes.push_back(n);
+    const blas_sweep::Kernel k{"Figure 6", "dgemm", "Mflop/sec", true, machine::shape_dgemm,
+                               blas_sweep::host_rate_dgemm};
+    blas_sweep::run(k, sizes);
+    return 0;
+}

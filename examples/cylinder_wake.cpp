@@ -1,0 +1,76 @@
+/// Bluff-body wake DNS (serial): the paper's §4.1 workload on the graded
+/// channel mesh of Figure 11.  Runs the second-order splitting scheme,
+/// monitors the wake velocity deficit and prints the Figure 12 stage
+/// breakdown measured on this host.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "mesh/generators.hpp"
+#include "nektar/forces.hpp"
+#include "nektar/ns_serial.hpp"
+
+int main() {
+    mesh::BluffBodyParams p;
+    p.n_upstream = 5;
+    p.n_wake = 8;
+    p.n_body = 2;
+    p.n_side = 3;
+    const auto disc = std::make_shared<nektar::Discretization>(
+        std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p)), 5);
+    std::printf("Bluff-body DNS: %s, order %zu, %zu global dof\n\n",
+                disc->mesh().summary().c_str(), disc->order(), disc->dofmap().num_global());
+
+    nektar::NsOptions opts;
+    opts.dt = 4e-3;
+    opts.nu = 1.0 / 100.0; // Re = 100 on the body scale
+    opts.u_bc = [](double x, double y, double) {
+        const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
+        return body ? 0.0 : 1.0; // laminar inflow of 1 (paper's setup)
+    };
+    nektar::SerialNS2d ns(disc, opts);
+    ns.set_initial([](double, double) { return 1.0; }, [](double, double) { return 0.0; });
+
+    // Probe the wake centreline velocity at x = 2 (u < 1 marks the deficit).
+    const auto probe_wake = [&] {
+        double best = 1e30, val = 1.0;
+        for (std::size_t e = 0; e < disc->num_elements(); ++e) {
+            const auto& g = disc->ops(e).geometry();
+            for (std::size_t q = 0; q < disc->ops(e).num_quad(); ++q) {
+                const double d = std::abs(g.x[q] - 2.0) + std::abs(g.y[q]);
+                if (d < best) {
+                    best = d;
+                    val = ns.u_quad()[disc->quad_offset(e) + q];
+                }
+            }
+        }
+        return val;
+    };
+
+    std::printf("%8s %10s %14s %12s %12s %12s\n", "step", "time", "wake u(2,0)", "drag",
+                "lift", "||div u||");
+    for (int s = 1; s <= 40; ++s) {
+        ns.step();
+        if (s % 8 == 0) {
+            // Traction integral over the body surface (drag/lift).
+            std::vector<double> um(disc->modal_size()), vm(disc->modal_size());
+            disc->project(ns.u_quad(), um);
+            disc->project(ns.v_quad(), vm);
+            const auto f = nektar::body_force(*disc, um, vm, ns.p_modal(), opts.nu,
+                                              mesh::BoundaryTag::Body);
+            std::printf("%8d %10.3f %14.4f %12.4f %12.4f %12.3e\n", s, ns.time(),
+                        probe_wake(), f.fx, f.fy, ns.divergence_norm());
+        }
+    }
+
+    std::printf("\nStage breakdown on this host (paper Figure 12 layout):\n");
+    const auto& bd = ns.breakdown();
+    const double total = bd.total_host_seconds();
+    for (std::size_t s = 1; s <= perf::kNumStages; ++s)
+        std::printf("  stage %zu  %-32s %5.1f%%\n", s, perf::stage_name(s).c_str(),
+                    100.0 * bd.host_seconds[s] / total);
+    std::printf("\nThe wake deficit (u < 1 behind the body) shows the bluff-body "
+                "recirculation developing.\n");
+    return 0;
+}

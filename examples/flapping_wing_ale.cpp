@@ -1,0 +1,58 @@
+/// NekTar-ALE: moving-geometry DNS (paper §4.2.2).  A bluff body heaves
+/// sinusoidally in a channel; the mesh deforms with it (arbitrary
+/// Lagrangian-Eulerian formulation), the mesh velocity comes from the extra
+/// Helmholtz solve, and all systems are solved by diagonally preconditioned
+/// conjugate gradients — serial here, with the same code path the
+/// domain-decomposed parallel runs use.
+#include <cmath>
+#include <cstdio>
+
+#include "mesh/generators.hpp"
+#include "nektar/ns_ale.hpp"
+
+int main() {
+    const auto m = mesh::flapping_body_mesh(2);
+    std::printf("Flapping-body ALE DNS: %s, order 4\n\n", m.summary().c_str());
+
+    nektar::AleOptions opts;
+    opts.dt = 4e-3;
+    opts.nu = 0.01;
+    // Heave amplitude stays below the near-body cell size so the deforming
+    // mesh never inverts.
+    const double amp = 0.05, omega = 4.0;
+    opts.body_velocity = [=](double t) { return amp * omega * std::cos(omega * t); };
+    opts.u_bc = [](double x, double y, double) {
+        const bool body = std::abs(x) <= 0.6 && std::abs(y) <= 1.0;
+        return body ? 0.0 : 1.0;
+    };
+    opts.v_bc = [&opts](double x, double y, double t) {
+        const bool body = std::abs(x) <= 0.6 && std::abs(y) <= 1.0;
+        return body ? opts.body_velocity(t) : 0.0; // no-slip on the moving body
+    };
+    nektar::AleNS2d ns(m, 4, opts);
+    ns.set_initial([](double, double) { return 1.0; }, [](double, double) { return 0.0; });
+
+    std::printf("%8s %10s %14s %16s %12s\n", "step", "time", "body y-vel", "max mesh vel",
+                "p-iters");
+    for (int s = 1; s <= 24; ++s) {
+        ns.step();
+        if (s % 4 == 0) {
+            double wmax = 0.0;
+            for (double w : ns.mesh_velocity_quad()) wmax = std::max(wmax, std::abs(w));
+            std::printf("%8d %10.3f %14.4f %16.4f %12zu\n", s, ns.time(),
+                        opts.body_velocity(ns.time()), wmax, ns.last_pressure_iterations());
+        }
+    }
+
+    std::printf("\nStage split (paper Figures 15-16 grouping, host time):\n");
+    const auto& bd = ns.breakdown();
+    double a = 0, b = 0, c = 0;
+    for (std::size_t s : {1u, 2u, 3u, 4u, 6u}) a += bd.host_seconds[s];
+    b = bd.host_seconds[5];
+    c = bd.host_seconds[7];
+    const double tot = a + b + c;
+    std::printf("  a (explicit steps + mesh update) %5.1f%%\n", 100.0 * a / tot);
+    std::printf("  b (pressure PCG)                 %5.1f%%\n", 100.0 * b / tot);
+    std::printf("  c (Helmholtz + mesh-velocity)    %5.1f%%\n", 100.0 * c / tot);
+    return 0;
+}

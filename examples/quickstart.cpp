@@ -1,0 +1,68 @@
+/// Quickstart: solve a Helmholtz problem with the spectral/hp element
+/// library and watch p-convergence — the property the paper highlights:
+/// "convergence of the discretization ... can be obtained without remeshing
+/// (h-refinement)".
+///
+///   -lap u + u = f   on [0,1]^2,  u = sin(pi x) sin(pi y) manufactured,
+/// homogeneous Dirichlet boundary, hybrid triangle/quad mesh.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "nektar/helmholtz.hpp"
+
+int main() {
+    std::printf("spectral/hp element quickstart: -lap u + u = f on a hybrid mesh\n\n");
+    std::printf("%6s %12s %14s %10s\n", "order", "dof", "L2 error", "bandwidth");
+
+    for (std::size_t order = 2; order <= 9; ++order) {
+        // Hybrid mesh: left half quads, right half triangles.
+        auto mq = mesh::rectangle_quads(2, 4, 0.0, 0.5, 0.0, 1.0);
+        auto mt = mesh::rectangle_tris(2, 4, 0.5, 1.0, 0.0, 1.0);
+        // Merge the two generators' outputs into one mesh.
+        std::vector<mesh::Vertex> verts;
+        std::vector<mesh::Element> elems;
+        std::map<std::pair<long, long>, int> vid; // dedupe on a fine grid key
+        const auto add_vertex = [&](const mesh::Vertex& v) {
+            const std::pair<long, long> key{std::lround(v.x * 1e9), std::lround(v.y * 1e9)};
+            auto [it, inserted] = vid.try_emplace(key, static_cast<int>(verts.size()));
+            if (inserted) verts.push_back(v);
+            return it->second;
+        };
+        for (const mesh::Mesh* part : {&mq, &mt}) {
+            for (std::size_t e = 0; e < part->num_elements(); ++e) {
+                mesh::Element el = part->element(e);
+                for (int k = 0; k < el.num_vertices(); ++k)
+                    el.v[static_cast<std::size_t>(k)] = add_vertex(
+                        part->vertex(static_cast<std::size_t>(el.v[static_cast<std::size_t>(k)])));
+                elems.push_back(el);
+            }
+        }
+        auto m = mesh::Mesh(std::move(verts), std::move(elems));
+        m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+
+        const auto disc = std::make_shared<nektar::Discretization>(
+            std::make_shared<mesh::Mesh>(std::move(m)), order);
+        nektar::HelmholtzDirect solver(disc, 1.0, {.dirichlet = {mesh::BoundaryTag::Wall}});
+
+        const auto exact = [](double x, double y) {
+            return std::sin(std::numbers::pi * x) * std::sin(std::numbers::pi * y);
+        };
+        std::vector<double> f(disc->quad_size());
+        disc->eval_at_quad(
+            [&](double x, double y) {
+                return (2.0 * std::numbers::pi * std::numbers::pi + 1.0) * exact(x, y);
+            },
+            f);
+        const auto sol = solver.solve(f);
+        std::vector<double> uq(disc->quad_size());
+        disc->to_quad(sol, uq);
+        std::printf("%6zu %12zu %14.3e %10zu\n", order, disc->dofmap().num_global(),
+                    disc->l2_error(uq, exact), solver.bandwidth());
+    }
+    std::printf("\nExponential (p) convergence on an unchanging mesh — no remeshing.\n");
+    return 0;
+}

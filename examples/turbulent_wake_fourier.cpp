@@ -1,0 +1,61 @@
+/// NekTar-F in parallel: the Fourier-spectral/hp bluff-body wake of the
+/// paper's §4.2.1 running on a simulated 4-node PC cluster (Muses, LAM over
+/// Fast Ethernet).  Each rank owns one Fourier mode (two spectral/hp
+/// planes); the nonlinear step couples them through MPI_Alltoall.  Prints
+/// per-mode energies and the virtual-cluster timing the paper's Table 2
+/// reports.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "mesh/generators.hpp"
+#include "nektar/ns_fourier.hpp"
+#include "simmpi/simmpi.hpp"
+
+int main() {
+    const int nprocs = 4;
+    mesh::BluffBodyParams p;
+    p.n_upstream = 4;
+    p.n_wake = 6;
+    p.n_body = 2;
+    p.n_side = 3;
+    const auto base_mesh = std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p));
+
+    simmpi::World world(nprocs, netsim::by_name("Muses, LAM"));
+    std::printf("NekTar-F on a simulated %d-PC cluster (%s)\n\n", nprocs,
+                world.network().name.c_str());
+
+    const auto reports = world.run([&](simmpi::Comm& c) {
+        const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
+        nektar::FourierNsOptions opts;
+        opts.dt = 4e-3;
+        opts.nu = 0.01;
+        opts.num_modes = static_cast<std::size_t>(nprocs); // one mode per rank
+        opts.u_bc = [](double x, double y, double) {
+            const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
+            return body ? 0.0 : 1.0;
+        };
+        nektar::FourierNS ns(disc, opts, &c);
+        // Slightly z-perturbed inflow seeds three-dimensionality.
+        ns.set_initial([](double, double, double z) { return 1.0 + 0.02 * std::sin(z); },
+                       [](double, double, double) { return 0.0; },
+                       [](double, double, double z) { return 0.02 * std::cos(z); });
+        for (int s = 0; s < 10; ++s) ns.step();
+
+        // Per-mode kinetic energy of the u component on this rank (the
+        // z-spectrum diagnostic of turbulence runs).
+        for (std::size_t m = 0; m < ns.local_modes(); ++m)
+            std::printf("  rank %d, Fourier mode k=%zu: |u_k|^2 = %.6e\n", c.rank(),
+                        static_cast<std::size_t>(c.rank()) * ns.local_modes() + m,
+                        ns.mode_energy(0, m));
+    });
+
+    std::printf("\nVirtual-cluster timing per rank (CPU vs wall, paper's Table 2 "
+                "methodology):\n");
+    for (const auto& r : reports)
+        std::printf("  rank %d: cpu %.3f s, wall %.3f s, idle %.3f s\n", r.rank,
+                    r.cpu_seconds, r.wall_seconds, r.wall_seconds - r.cpu_seconds);
+    std::printf("\nThe wall-clock excess over CPU time is the Fast-Ethernet Alltoall "
+                "cost the paper identifies as the PC-cluster bottleneck.\n");
+    return 0;
+}

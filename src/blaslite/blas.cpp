@@ -1,0 +1,173 @@
+#include "blaslite/blas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace blaslite {
+
+namespace {
+constexpr std::size_t kDouble = sizeof(double);
+} // namespace
+
+OpCounts& thread_counts() noexcept {
+    thread_local OpCounts counts;
+    return counts;
+}
+
+void reset_thread_counts() noexcept { thread_counts() = OpCounts{}; }
+
+void dcopy(std::span<const double> x, std::span<double> y) noexcept {
+    assert(x.size() == y.size());
+    std::copy(x.begin(), x.end(), y.begin());
+    detail::charge(0, x.size() * kDouble, x.size() * kDouble);
+}
+
+void daxpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+    assert(x.size() == y.size());
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+    detail::charge(2 * n, 2 * n * kDouble, n * kDouble);
+}
+
+double ddot(std::span<const double> x, std::span<const double> y) noexcept {
+    assert(x.size() == y.size());
+    const std::size_t n = x.size();
+    // Four partial sums break the additive dependence chain so the loop is
+    // limited by load bandwidth rather than FP-add latency.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    for (; i < n; ++i) s0 += x[i] * y[i];
+    detail::charge(2 * n, 2 * n * kDouble, 0);
+    return (s0 + s1) + (s2 + s3);
+}
+
+void dscal(double alpha, std::span<double> x) noexcept {
+    for (double& v : x) v *= alpha;
+    detail::charge(x.size(), x.size() * kDouble, x.size() * kDouble);
+}
+
+void dvmul(std::span<const double> x, std::span<const double> y, std::span<double> z) noexcept {
+    assert(x.size() == y.size() && x.size() == z.size());
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
+    detail::charge(n, 2 * n * kDouble, n * kDouble);
+}
+
+void dvvtvp(std::span<const double> x, std::span<const double> y, std::span<double> z) noexcept {
+    assert(x.size() == y.size() && x.size() == z.size());
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) z[i] += x[i] * y[i];
+    detail::charge(2 * n, 3 * n * kDouble, n * kDouble);
+}
+
+void dgemv(double alpha, const double* a, std::size_t lda, std::size_t m, std::size_t n,
+           const double* x, double beta, double* y) noexcept {
+    for (std::size_t i = 0; i < m; ++i) {
+        const double* row = a + i * lda;
+        double s0 = 0.0, s1 = 0.0;
+        std::size_t j = 0;
+        for (; j + 2 <= n; j += 2) {
+            s0 += row[j] * x[j];
+            s1 += row[j + 1] * x[j + 1];
+        }
+        if (j < n) s0 += row[j] * x[j];
+        y[i] = alpha * (s0 + s1) + beta * y[i];
+    }
+    detail::charge(2 * m * n + 3 * m, (m * n + n + m) * kDouble, m * kDouble);
+}
+
+void dgemv_t(double alpha, const double* a, std::size_t lda, std::size_t m, std::size_t n,
+             const double* x, double beta, double* y) noexcept {
+    if (beta == 0.0) {
+        std::fill(y, y + n, 0.0);
+    } else if (beta != 1.0) {
+        for (std::size_t j = 0; j < n; ++j) y[j] *= beta;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        const double* row = a + i * lda;
+        const double xi = alpha * x[i];
+        for (std::size_t j = 0; j < n; ++j) y[j] += xi * row[j];
+    }
+    detail::charge(2 * m * n + m, (m * n + m + n) * kDouble, n * kDouble);
+}
+
+namespace {
+
+/// Unblocked triple loop in ikj order: streams B and C rows, keeps a[i][p] in
+/// a register.  Optimal for the tiny matrices (n <= 20) that dominate
+/// spectral/hp elemental operations (paper, Figure 6).
+void dgemm_small(double alpha, const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double beta, double* c, std::size_t ldc, std::size_t m,
+                 std::size_t n, std::size_t k) noexcept {
+    for (std::size_t i = 0; i < m; ++i) {
+        double* crow = c + i * ldc;
+        if (beta == 0.0) {
+            std::fill(crow, crow + n, 0.0);
+        } else if (beta != 1.0) {
+            for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
+        const double* arow = a + i * lda;
+        for (std::size_t p = 0; p < k; ++p) {
+            const double aip = alpha * arow[p];
+            const double* brow = b + p * ldb;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+    }
+}
+
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 64;
+constexpr std::size_t kBlockK = 64;
+
+} // namespace
+
+void dgemm(double alpha, const double* a, std::size_t lda, const double* b, std::size_t ldb,
+           double beta, double* c, std::size_t ldc, std::size_t m, std::size_t n,
+           std::size_t k) noexcept {
+    detail::charge(2 * m * n * k + m * n, (m * k + k * n + m * n) * kDouble, m * n * kDouble);
+    if (m <= kBlockM && n <= kBlockN && k <= kBlockK) {
+        dgemm_small(alpha, a, lda, b, ldb, beta, c, ldc, m, n, k);
+        return;
+    }
+    // Blocked path: apply beta once up front, then accumulate block products.
+    for (std::size_t i = 0; i < m; ++i) {
+        double* crow = c + i * ldc;
+        if (beta == 0.0) {
+            std::fill(crow, crow + n, 0.0);
+        } else if (beta != 1.0) {
+            for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+        }
+    }
+    for (std::size_t ii = 0; ii < m; ii += kBlockM) {
+        const std::size_t mb = std::min(kBlockM, m - ii);
+        for (std::size_t pp = 0; pp < k; pp += kBlockK) {
+            const std::size_t kb = std::min(kBlockK, k - pp);
+            for (std::size_t jj = 0; jj < n; jj += kBlockN) {
+                const std::size_t nb = std::min(kBlockN, n - jj);
+                dgemm_small(alpha, a + ii * lda + pp, lda, b + pp * ldb + jj, ldb, 1.0,
+                            c + ii * ldc + jj, ldc, mb, nb, kb);
+            }
+        }
+    }
+}
+
+void dgemm_square(double alpha, const double* a, const double* b, double beta, double* c,
+                  std::size_t n) noexcept {
+    dgemm(alpha, a, n, b, n, beta, c, n, n, n, n);
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) noexcept {
+    assert(x.size() == y.size());
+    double m = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i] - y[i]));
+    return m;
+}
+
+} // namespace blaslite

@@ -1,0 +1,174 @@
+#include "fft/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "blaslite/counters.hpp"
+
+namespace fft {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t m = 1;
+    while (m < n) m <<= 1;
+    return m;
+}
+
+std::vector<std::size_t> bit_reversal(std::size_t n) {
+    std::vector<std::size_t> rev(n, 0);
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < n) ++bits;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = 0;
+        for (std::size_t b = 0; b < bits; ++b)
+            if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+        rev[i] = r;
+    }
+    return rev;
+}
+
+std::vector<cplx> make_twiddles(std::size_t n) {
+    // twiddle[n/2 .. n-1] style table: for each stage length len, entries at
+    // [len/2, len) hold exp(-2 pi i k / len).
+    std::vector<cplx> tw(n, cplx{1.0, 0.0});
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+        for (std::size_t k = 0; k < len / 2; ++k)
+            tw[len / 2 + k] = std::polar(1.0, ang * static_cast<double>(k));
+    }
+    return tw;
+}
+
+void radix2_core(std::span<cplx> x, bool inv, std::span<const cplx> tw,
+                 std::span<const std::size_t> rev) {
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        if (i < rev[i]) std::swap(x[i], x[rev[i]]);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len / 2;
+        for (std::size_t base = 0; base < n; base += len) {
+            for (std::size_t k = 0; k < half; ++k) {
+                cplx w = tw[half + k];
+                if (inv) w = std::conj(w);
+                const cplx u = x[base + k];
+                const cplx v = x[base + half + k] * w;
+                x[base + k] = u + v;
+                x[base + half + k] = u - v;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::size_t fft_flops(std::size_t n) noexcept {
+    if (n < 2) return 0;
+    const double l = std::log2(static_cast<double>(n));
+    return static_cast<std::size_t>(5.0 * static_cast<double>(n) * l);
+}
+
+Plan::Plan(std::size_t n) : n_(n), pow2_(is_pow2(n)) {
+    assert(n >= 1);
+    if (pow2_) {
+        twiddle_ = make_twiddles(n_);
+        rev_ = bit_reversal(n_);
+        return;
+    }
+    // Bluestein setup.
+    m_ = next_pow2(2 * n_ - 1);
+    mtwiddle_ = make_twiddles(m_);
+    mrev_ = bit_reversal(m_);
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        // k^2 mod 2n keeps the argument bounded for large k.
+        const std::size_t k2 = (k * k) % (2 * n_);
+        chirp_[k] = std::polar(1.0, -std::numbers::pi * static_cast<double>(k2) /
+                                        static_cast<double>(n_));
+    }
+    bfilter_fft_.assign(m_, cplx{0.0, 0.0});
+    bfilter_fft_[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+        bfilter_fft_[k] = std::conj(chirp_[k]);
+        bfilter_fft_[m_ - k] = std::conj(chirp_[k]);
+    }
+    radix2_core(bfilter_fft_, false, mtwiddle_, mrev_);
+}
+
+void Plan::radix2(std::span<cplx> x, bool inv) const { radix2_core(x, inv, twiddle_, rev_); }
+
+void Plan::radix2_m(std::span<cplx> x, bool inv) const { radix2_core(x, inv, mtwiddle_, mrev_); }
+
+void Plan::bluestein(std::span<cplx> x, bool inv) const {
+    if (inv) {
+        // DFT^{-1}(x) = conj(DFT(conj(x))) / n; the caller applies the 1/n.
+        for (auto& v : x) v = std::conj(v);
+        bluestein(x, false);
+        for (auto& v : x) v = std::conj(v);
+        return;
+    }
+    std::vector<cplx> a(m_, cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < n_; ++k) a[k] = x[k] * chirp_[k];
+    radix2_m(a, false);
+    for (std::size_t k = 0; k < m_; ++k) a[k] *= bfilter_fft_[k];
+    radix2_m(a, true);
+    // radix2_core(inv=true) omits the 1/m normalisation; apply it here.
+    const double invm = 1.0 / static_cast<double>(m_);
+    for (std::size_t k = 0; k < n_; ++k) x[k] = a[k] * chirp_[k] * invm;
+}
+
+void Plan::forward(std::span<cplx> x) const {
+    assert(x.size() == n_);
+    if (n_ == 1) return;
+    if (pow2_) {
+        radix2(x, false);
+    } else {
+        bluestein(x, false);
+    }
+    blaslite::detail::charge(fft_flops(n_), n_ * sizeof(cplx), n_ * sizeof(cplx));
+}
+
+void Plan::inverse(std::span<cplx> x) const {
+    assert(x.size() == n_);
+    if (n_ == 1) return;
+    if (pow2_) {
+        radix2(x, true);
+        const double inv = 1.0 / static_cast<double>(n_);
+        for (auto& v : x) v *= inv;
+    } else {
+        bluestein(x, true);
+        const double inv = 1.0 / static_cast<double>(n_);
+        for (auto& v : x) v *= inv;
+    }
+    blaslite::detail::charge(fft_flops(n_), n_ * sizeof(cplx), n_ * sizeof(cplx));
+}
+
+void forward(std::span<cplx> x) { Plan(x.size()).forward(x); }
+void inverse(std::span<cplx> x) { Plan(x.size()).inverse(x); }
+
+std::vector<cplx> rfft(const Plan& plan, std::span<const double> x) {
+    const std::size_t n = plan.size();
+    assert(x.size() == n && n % 2 == 0);
+    std::vector<cplx> buf(n);
+    for (std::size_t i = 0; i < n; ++i) buf[i] = cplx{x[i], 0.0};
+    plan.forward(buf);
+    buf.resize(n / 2 + 1);
+    return buf;
+}
+
+std::vector<double> irfft(const Plan& plan, std::span<const cplx> spec) {
+    const std::size_t n = plan.size();
+    assert(spec.size() == n / 2 + 1 && n % 2 == 0);
+    std::vector<cplx> buf(n);
+    for (std::size_t k = 0; k <= n / 2; ++k) buf[k] = spec[k];
+    for (std::size_t k = n / 2 + 1; k < n; ++k) buf[k] = std::conj(spec[n - k]);
+    plan.inverse(buf);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = buf[i].real();
+    return out;
+}
+
+} // namespace fft

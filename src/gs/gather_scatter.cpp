@@ -1,0 +1,99 @@
+#include "gs/gather_scatter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace gs {
+
+GatherScatter::GatherScatter(simmpi::Comm& comm, std::span<const std::int64_t> global_ids,
+                             Strategy strategy) {
+    const int p = comm.size();
+    const int me = comm.rank();
+
+    // Exchange everybody's id list (padded to a common length; ids fit
+    // exactly in doubles below 2^53).
+    const double maxlen_d =
+        comm.allreduce_max(static_cast<double>(global_ids.size()));
+    const std::size_t maxlen = static_cast<std::size_t>(maxlen_d);
+    std::vector<double> mine(maxlen, -1.0);
+    for (std::size_t i = 0; i < global_ids.size(); ++i) {
+        if (global_ids[i] < 0) throw std::invalid_argument("gs: negative global id");
+        mine[i] = static_cast<double>(global_ids[i]);
+    }
+    std::vector<double> all;
+    comm.gather(mine, all, 0);
+    all.resize(static_cast<std::size_t>(p) * maxlen);
+    comm.bcast(all, 0);
+
+    // gid -> sorted list of holding ranks.
+    std::map<std::int64_t, std::vector<int>> holders;
+    for (int r = 0; r < p; ++r) {
+        for (std::size_t i = 0; i < maxlen; ++i) {
+            const double v = all[static_cast<std::size_t>(r) * maxlen + i];
+            if (v < 0.0) continue;
+            holders[static_cast<std::int64_t>(v)].push_back(r);
+        }
+    }
+
+    // Slots of the packed tree vector: identical on all ranks because it is
+    // derived from the same gathered data.
+    std::map<std::int64_t, std::size_t> tree_slot_of;
+    const std::size_t pairwise_limit = strategy == Strategy::TreeOnly ? 1 : 2;
+    for (const auto& [gid, ranks] : holders) {
+        if (ranks.size() > pairwise_limit) tree_slot_of.emplace(gid, tree_slot_of.size());
+    }
+    tree_size_ = tree_slot_of.size();
+
+    // Local index of each of my gids.
+    std::map<std::int64_t, std::size_t> local_of;
+    for (std::size_t i = 0; i < global_ids.size(); ++i) local_of[global_ids[i]] = i;
+
+    std::map<int, std::vector<std::pair<std::int64_t, std::size_t>>> by_partner;
+    for (const auto& [gid, ranks] : holders) {
+        if (std::find(ranks.begin(), ranks.end(), me) == ranks.end()) continue;
+        const auto lit = local_of.find(gid);
+        if (lit == local_of.end()) continue;
+        if (ranks.size() == 2 && pairwise_limit == 2) {
+            const int other = ranks[0] == me ? ranks[1] : ranks[0];
+            by_partner[other].emplace_back(gid, lit->second);
+        } else if (ranks.size() > pairwise_limit) {
+            tree_local_.push_back(lit->second);
+            tree_slot_.push_back(tree_slot_of.at(gid));
+        }
+    }
+    for (auto& [rank, list] : by_partner) {
+        std::sort(list.begin(), list.end()); // by gid: both sides align
+        Partner pt;
+        pt.rank = rank;
+        for (const auto& [gid, idx] : list) {
+            (void)gid;
+            pt.indices.push_back(idx);
+        }
+        n_pairwise_ += pt.indices.size();
+        partners_.push_back(std::move(pt));
+    }
+}
+
+void GatherScatter::sum(simmpi::Comm& comm, std::span<double> values) const {
+    // Pairwise stage.
+    std::vector<double> sendbuf, recvbuf;
+    for (const Partner& pt : partners_) {
+        sendbuf.resize(pt.indices.size());
+        recvbuf.resize(pt.indices.size());
+        for (std::size_t i = 0; i < pt.indices.size(); ++i) sendbuf[i] = values[pt.indices[i]];
+        comm.sendrecv(pt.rank, /*tag=*/917, sendbuf, recvbuf);
+        for (std::size_t i = 0; i < pt.indices.size(); ++i) values[pt.indices[i]] += recvbuf[i];
+    }
+    // Tree stage: packed allreduce over the widely shared dofs.
+    if (tree_size_ > 0) {
+        std::vector<double> packed(tree_size_, 0.0);
+        for (std::size_t i = 0; i < tree_local_.size(); ++i)
+            packed[tree_slot_[i]] = values[tree_local_[i]];
+        comm.allreduce_sum(packed);
+        for (std::size_t i = 0; i < tree_local_.size(); ++i)
+            values[tree_local_[i]] = packed[tree_slot_[i]];
+    }
+}
+
+} // namespace gs

@@ -1,0 +1,108 @@
+#include "la/banded.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "blaslite/counters.hpp"
+
+namespace la {
+
+void SymBandedMatrix::add(std::size_t i, std::size_t j, double v) noexcept {
+    if (i < j) std::swap(i, j);
+    const std::size_t d = i - j;
+    assert(d <= kd_);
+    band(d, j) += v;
+}
+
+double SymBandedMatrix::at(std::size_t i, std::size_t j) const noexcept {
+    if (i < j) std::swap(i, j);
+    const std::size_t d = i - j;
+    if (d > kd_) return 0.0;
+    return band(d, j);
+}
+
+void SymBandedMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+    assert(x.size() == n_ && y.size() == n_);
+    for (std::size_t i = 0; i < n_; ++i) y[i] = band(0, i) * x[i];
+    std::size_t flops = n_;
+    for (std::size_t d = 1; d <= kd_; ++d) {
+        for (std::size_t j = 0; j + d < n_; ++j) {
+            const double v = band(d, j);
+            y[j + d] += v * x[j];
+            y[j] += v * x[j + d];
+            flops += 4;
+        }
+    }
+    blaslite::detail::charge(flops, (kd_ + 2) * n_ * sizeof(double), n_ * sizeof(double));
+}
+
+DenseMatrix SymBandedMatrix::to_dense() const {
+    DenseMatrix a(n_, n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+        for (std::size_t d = 0; d <= kd_ && j + d < n_; ++d) {
+            a(j + d, j) = band(d, j);
+            a(j, j + d) = band(d, j);
+        }
+    }
+    return a;
+}
+
+bool BandedCholesky::factor(const SymBandedMatrix& a) {
+    n_ = a.size();
+    kd_ = a.bandwidth();
+    band_.assign((kd_ + 1) * n_, 0.0);
+    for (std::size_t d = 0; d <= kd_; ++d)
+        for (std::size_t j = 0; j + d < n_; ++j) lband(d, j) = a.band(d, j);
+
+    // Relative pivot threshold: a numerically singular matrix (e.g. an
+    // all-Neumann Laplacian) must fail loudly rather than factor with a
+    // roundoff-sized pivot.
+    double scale = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) scale = std::max(scale, lband(0, j));
+    const double pivot_floor = 1e-12 * scale;
+
+    std::size_t flops = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+        double d = lband(0, j);
+        if (d <= pivot_floor || !std::isfinite(d)) { n_ = 0; return false; }
+        const double ljj = std::sqrt(d);
+        lband(0, j) = ljj;
+        const double inv = 1.0 / ljj;
+        const std::size_t imax = std::min(kd_, n_ - 1 - j);
+        for (std::size_t di = 1; di <= imax; ++di) lband(di, j) *= inv;
+        flops += imax + 2;
+        // Rank-1 update of the trailing band: A(j+di, j+dk) -= L(j+di,j)*L(j+dk,j).
+        for (std::size_t dk = 1; dk <= imax; ++dk) {
+            const double ljk = lband(dk, j);
+            for (std::size_t di = dk; di <= imax; ++di) {
+                lband(di - dk, j + dk) -= lband(di, j) * ljk;
+            }
+            flops += 2 * (imax - dk + 1);
+        }
+    }
+    blaslite::detail::charge(flops, band_.size() * sizeof(double),
+                             band_.size() * sizeof(double));
+    return true;
+}
+
+void BandedCholesky::solve(std::span<double> b) const {
+    assert(factored() && b.size() == n_);
+    // Forward: L y = b.
+    for (std::size_t j = 0; j < n_; ++j) {
+        const double yj = b[j] / lband(0, j);
+        b[j] = yj;
+        const std::size_t imax = std::min(kd_, n_ - 1 - j);
+        for (std::size_t d = 1; d <= imax; ++d) b[j + d] -= lband(d, j) * yj;
+    }
+    // Backward: L^T x = y.
+    for (std::size_t jj = n_; jj-- > 0;) {
+        double s = b[jj];
+        const std::size_t imax = std::min(kd_, n_ - 1 - jj);
+        for (std::size_t d = 1; d <= imax; ++d) s -= lband(d, jj) * b[jj + d];
+        b[jj] = s / lband(0, jj);
+    }
+    blaslite::detail::charge(solve_flops(), (kd_ + 1) * n_ * sizeof(double) * 2,
+                             2 * n_ * sizeof(double));
+}
+
+} // namespace la

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+
+/// \file banded.hpp
+/// Symmetric banded storage and Cholesky solver.
+///
+/// The paper's serial and Fourier solvers spend ~60% of each time step in
+/// "matrix inversions ... a direct solver (LAPACK), utilising the symmetric
+/// and banded nature of the matrix" (stages 5 and 7, Figure 12).  This is the
+/// from-scratch equivalent of LAPACK's dpbtrf/dpbtrs pair.
+namespace la {
+
+/// Symmetric positive-definite banded matrix, lower-band storage:
+/// band(d, j) holds A(j + d, j) for diagonal offset d in [0, bandwidth].
+class SymBandedMatrix {
+public:
+    SymBandedMatrix() = default;
+    SymBandedMatrix(std::size_t n, std::size_t bandwidth)
+        : n_(n), kd_(bandwidth), band_((bandwidth + 1) * n, 0.0) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    [[nodiscard]] std::size_t bandwidth() const noexcept { return kd_; }
+
+    /// Entry accessor in banded coordinates: offset d below the diagonal.
+    double& band(std::size_t d, std::size_t j) noexcept { return band_[d * n_ + j]; }
+    double band(std::size_t d, std::size_t j) const noexcept { return band_[d * n_ + j]; }
+
+    /// Adds v to A(i, j) (and implicitly A(j, i)); |i - j| must be <= bandwidth.
+    void add(std::size_t i, std::size_t j, double v) noexcept;
+
+    /// Full A(i, j) (zero outside the band).
+    [[nodiscard]] double at(std::size_t i, std::size_t j) const noexcept;
+
+    /// y = A x using symmetric banded storage.
+    void matvec(std::span<const double> x, std::span<double> y) const;
+
+    /// Dense copy (tests / structure plots).
+    [[nodiscard]] DenseMatrix to_dense() const;
+
+private:
+    std::size_t n_ = 0;
+    std::size_t kd_ = 0;
+    std::vector<double> band_;
+};
+
+/// Banded Cholesky factorization A = L L^T kept in banded storage, plus the
+/// solve.  Factorization costs O(n * kd^2); each solve costs O(n * kd).
+class BandedCholesky {
+public:
+    BandedCholesky() = default;
+
+    /// Factors `a`; returns false if the matrix is not positive definite.
+    bool factor(const SymBandedMatrix& a);
+
+    /// Solves A x = b; b is overwritten with x.
+    void solve(std::span<double> b) const;
+
+    [[nodiscard]] bool factored() const noexcept { return n_ > 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    [[nodiscard]] std::size_t bandwidth() const noexcept { return kd_; }
+
+    /// Flop count of one solve (forward + back substitution); used by the
+    /// per-machine performance predictors.
+    [[nodiscard]] std::size_t solve_flops() const noexcept {
+        return 2 * (2 * n_ * (kd_ + 1));
+    }
+
+private:
+    std::size_t n_ = 0;
+    std::size_t kd_ = 0;
+    std::vector<double> band_; // L in the same lower-band layout
+    double lband(std::size_t d, std::size_t j) const noexcept { return band_[d * n_ + j]; }
+    double& lband(std::size_t d, std::size_t j) noexcept { return band_[d * n_ + j]; }
+};
+
+} // namespace la

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file machine_model.hpp
+/// Analytic single-CPU performance models for the ten 1999-era machines of
+/// the paper's Section 2.
+///
+/// None of this hardware exists any more, so the kernel-level comparison
+/// (Figures 1-6) is reproduced from first principles: each machine is
+/// described by its clock, peak floating-point issue rate and a small cache
+/// hierarchy (level size + sustainable bandwidth), all taken from the paper's
+/// hardware descriptions and vendor documentation of the period.  A BLAS
+/// kernel is then characterised by its arithmetic intensity and working set,
+/// and the achievable rate is the roofline minimum of the compute ceiling
+/// and the bandwidth ceiling of the cache level the working set lives in.
+namespace machine {
+
+/// One level of the memory hierarchy.
+struct CacheLevel {
+    std::size_t size_bytes = 0;  ///< capacity (0 = main memory, unbounded)
+    double bandwidth_mbps = 0.0; ///< sustainable load bandwidth, MB/s
+};
+
+/// A single-CPU machine description.
+struct MachineModel {
+    std::string name;
+    double clock_mhz = 0.0;
+    double peak_mflops = 0.0;      ///< hardware never-to-exceed rate
+    double fp_efficiency = 1.0;    ///< fraction of peak reachable by tuned dgemm
+    std::vector<CacheLevel> levels; ///< ordered L1, L2, ..., memory(size 0)
+    double call_overhead_cycles = 0.0; ///< per-call cost (timing loop + BLAS entry)
+    /// Sustainable bandwidth for dependency-chained (non-prefetchable)
+    /// access such as banded back-substitution.  Streaming hardware (the
+    /// T3E's STREAMS, the P2SC's wide buses) helps dcopy but not this, which
+    /// is why the paper's Table 1 shows the T3E merely *tying* the PC whose
+    /// low-latency SDRAM shines here.
+    double latency_bound_mbps = 0.0;
+
+    /// Bandwidth (MB/s) of the innermost level whose capacity holds
+    /// `working_set` bytes; falls through to main memory.
+    [[nodiscard]] double bandwidth_for(std::size_t working_set_bytes) const noexcept;
+};
+
+/// Characterisation of one kernel invocation at a given problem size.
+struct KernelShape {
+    double flops = 0.0;            ///< floating point ops per call
+    double bytes = 0.0;            ///< bytes moved to/from the data's cache level
+    std::size_t working_set = 0;   ///< resident bytes that must fit in cache
+    double compute_efficiency = 1.0; ///< kernel-specific fraction of fp peak
+    /// Dependency-chained access pattern (pointer-chase/back-substitution):
+    /// capped by MachineModel::latency_bound_mbps instead of streaming rate.
+    bool latency_bound = false;
+};
+
+/// Predicted execution time of one call, in seconds.
+[[nodiscard]] double predict_seconds(const MachineModel& m, const KernelShape& k) noexcept;
+
+/// Predicted rate in MFlop/s (flops / predicted time).
+[[nodiscard]] double predict_mflops(const MachineModel& m, const KernelShape& k) noexcept;
+
+/// Predicted data rate in MB/s (bytes / predicted time) — the dcopy metric.
+[[nodiscard]] double predict_mbps(const MachineModel& m, const KernelShape& k) noexcept;
+
+/// KernelShape builders for the five kernels of Figures 1-6.
+/// `n` is the vector length (level 1), matrix dimension (dgemv/dgemm).
+[[nodiscard]] KernelShape shape_dcopy(std::size_t n) noexcept;
+[[nodiscard]] KernelShape shape_daxpy(std::size_t n) noexcept;
+[[nodiscard]] KernelShape shape_ddot(std::size_t n) noexcept;
+[[nodiscard]] KernelShape shape_dgemv(std::size_t n) noexcept;
+[[nodiscard]] KernelShape shape_dgemm(std::size_t n) noexcept;
+
+/// The machine roster of Section 2, in the paper's order.
+/// Models appearing in the BLAS figures: SP2-Thin2, SP2-Silver, Muses,
+/// AP3000, Onyx2 (left plots) and T3E, P2SC, Muses (right plots).
+[[nodiscard]] const std::vector<MachineModel>& roster();
+
+/// Finds a roster machine by name; throws std::out_of_range if unknown.
+[[nodiscard]] const MachineModel& by_name(const std::string& name);
+
+} // namespace machine

@@ -1,0 +1,181 @@
+#include "mesh/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mesh {
+
+namespace {
+
+std::vector<double> linspace(double a, double b, std::size_t n_intervals) {
+    std::vector<double> x(n_intervals + 1);
+    for (std::size_t i = 0; i <= n_intervals; ++i)
+        x[i] = a + (b - a) * static_cast<double>(i) / static_cast<double>(n_intervals);
+    return x;
+}
+
+/// Concatenates coordinate lines, dropping duplicated junction points.
+std::vector<double> concat(std::initializer_list<std::vector<double>> parts) {
+    std::vector<double> out;
+    for (const auto& p : parts) {
+        if (out.empty()) {
+            out = p;
+        } else {
+            assert(std::abs(out.back() - p.front()) < 1e-12);
+            out.insert(out.end(), p.begin() + 1, p.end());
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<double> graded_line(double a, double b, std::size_t n, double ratio) {
+    if (n == 0) throw std::invalid_argument("graded_line: n must be positive");
+    std::vector<double> x(n + 1);
+    double total = 0.0, step = 1.0;
+    std::vector<double> sizes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sizes[i] = step;
+        total += step;
+        step *= ratio;
+    }
+    x[0] = a;
+    for (std::size_t i = 0; i < n; ++i) x[i + 1] = x[i] + (b - a) * sizes[i] / total;
+    x[n] = b; // exact endpoint despite rounding
+    return x;
+}
+
+Mesh tensor_quads(const std::vector<double>& xs, const std::vector<double>& ys) {
+    const std::size_t nx = xs.size() - 1;
+    const std::size_t ny = ys.size() - 1;
+    std::vector<Vertex> verts;
+    verts.reserve((nx + 1) * (ny + 1));
+    for (std::size_t j = 0; j <= ny; ++j)
+        for (std::size_t i = 0; i <= nx; ++i) verts.push_back({xs[i], ys[j]});
+    const auto vid = [&](std::size_t i, std::size_t j) {
+        return static_cast<int>(j * (nx + 1) + i);
+    };
+    std::vector<Element> elems;
+    elems.reserve(nx * ny);
+    for (std::size_t j = 0; j < ny; ++j)
+        for (std::size_t i = 0; i < nx; ++i)
+            elems.push_back({spectral::Shape::Quad,
+                             {vid(i, j), vid(i + 1, j), vid(i + 1, j + 1), vid(i, j + 1)}});
+    return Mesh(std::move(verts), std::move(elems));
+}
+
+Mesh rectangle_quads(std::size_t nx, std::size_t ny, double x0, double x1, double y0,
+                     double y1) {
+    return tensor_quads(linspace(x0, x1, nx), linspace(y0, y1, ny));
+}
+
+Mesh rectangle_tris(std::size_t nx, std::size_t ny, double x0, double x1, double y0,
+                    double y1) {
+    const auto xs = linspace(x0, x1, nx);
+    const auto ys = linspace(y0, y1, ny);
+    std::vector<Vertex> verts;
+    for (std::size_t j = 0; j <= ny; ++j)
+        for (std::size_t i = 0; i <= nx; ++i) verts.push_back({xs[i], ys[j]});
+    const auto vid = [&](std::size_t i, std::size_t j) {
+        return static_cast<int>(j * (nx + 1) + i);
+    };
+    std::vector<Element> elems;
+    for (std::size_t j = 0; j < ny; ++j) {
+        for (std::size_t i = 0; i < nx; ++i) {
+            // Alternate the diagonal for a symmetric union-jack-like pattern.
+            if ((i + j) % 2 == 0) {
+                elems.push_back({spectral::Shape::Triangle,
+                                 {vid(i, j), vid(i + 1, j), vid(i + 1, j + 1), -1}});
+                elems.push_back({spectral::Shape::Triangle,
+                                 {vid(i, j), vid(i + 1, j + 1), vid(i, j + 1), -1}});
+            } else {
+                elems.push_back({spectral::Shape::Triangle,
+                                 {vid(i, j), vid(i + 1, j), vid(i, j + 1), -1}});
+                elems.push_back({spectral::Shape::Triangle,
+                                 {vid(i + 1, j), vid(i + 1, j + 1), vid(i, j + 1), -1}});
+            }
+        }
+    }
+    return Mesh(std::move(verts), std::move(elems));
+}
+
+namespace {
+
+/// Tensor mesh with the cells inside [hx0,hx1] x [hy0,hy1] removed.
+Mesh punched_tensor(const std::vector<double>& xs, const std::vector<double>& ys, double hx0,
+                    double hx1, double hy0, double hy1) {
+    const std::size_t nx = xs.size() - 1;
+    const std::size_t ny = ys.size() - 1;
+    std::vector<Vertex> verts;
+    std::vector<int> vmap((nx + 1) * (ny + 1), -1);
+    std::vector<Element> elems;
+    const auto grid = [&](std::size_t i, std::size_t j) { return j * (nx + 1) + i; };
+    const auto inside_hole = [&](std::size_t i, std::size_t j) {
+        const double cx = 0.5 * (xs[i] + xs[i + 1]);
+        const double cy = 0.5 * (ys[j] + ys[j + 1]);
+        return cx > hx0 && cx < hx1 && cy > hy0 && cy < hy1;
+    };
+    const auto use_vertex = [&](std::size_t i, std::size_t j) {
+        int& id = vmap[grid(i, j)];
+        if (id < 0) {
+            id = static_cast<int>(verts.size());
+            verts.push_back({xs[i], ys[j]});
+        }
+        return id;
+    };
+    for (std::size_t j = 0; j < ny; ++j) {
+        for (std::size_t i = 0; i < nx; ++i) {
+            if (inside_hole(i, j)) continue;
+            elems.push_back({spectral::Shape::Quad,
+                             {use_vertex(i, j), use_vertex(i + 1, j), use_vertex(i + 1, j + 1),
+                              use_vertex(i, j + 1)}});
+        }
+    }
+    return Mesh(std::move(verts), std::move(elems));
+}
+
+} // namespace
+
+Mesh bluff_body_mesh(const BluffBodyParams& p) {
+    const double h = p.body_half;
+    // Coordinate lines hit the body corners exactly so the hole boundary is a
+    // union of edges.
+    const auto xs = concat({graded_line(p.x_min, -h, p.n_upstream, 1.0 / p.grading),
+                            linspace(-h, h, p.n_body),
+                            graded_line(h, p.x_max, p.n_wake, p.grading)});
+    const auto ys = concat({graded_line(p.y_min, -h, p.n_side, 1.0 / p.grading),
+                            linspace(-h, h, p.n_body),
+                            graded_line(h, p.y_max, p.n_side, p.grading)});
+    Mesh m = punched_tensor(xs, ys, -h, h, -h, h);
+    const double eps = 1e-9;
+    m.tag_boundary(BoundaryTag::Inflow,
+                   [&](double x, double) { return std::abs(x - p.x_min) < eps; });
+    m.tag_boundary(BoundaryTag::Outflow,
+                   [&](double x, double) { return std::abs(x - p.x_max) < eps; });
+    m.tag_boundary(BoundaryTag::Side, [&](double, double y) {
+        return std::abs(y - p.y_min) < eps || std::abs(y - p.y_max) < eps;
+    });
+    m.tag_boundary(BoundaryTag::Body, [&](double x, double y) {
+        return x > -h - eps && x < h + eps && y > -h - eps && y < h + eps;
+    });
+    return m;
+}
+
+Mesh flapping_body_mesh(std::size_t refine) {
+    BluffBodyParams p;
+    p.x_min = -5.0;
+    p.x_max = 5.0;
+    p.y_min = -2.5;
+    p.y_max = 2.5;
+    p.n_upstream = 3 * refine;
+    p.n_wake = 4 * refine;
+    p.n_side = 3 * refine;
+    p.n_body = 2 * refine;
+    p.grading = 1.3;
+    return bluff_body_mesh(p);
+}
+
+} // namespace mesh

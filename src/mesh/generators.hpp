@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+/// \file generators.hpp
+/// Mesh generators for the reproduction's flow problems.
+///
+/// The paper's bluff-body mesh (Figure 11, left: 902 elements on
+/// [-15, 25] x [-5, 5] around a cylinder) is replaced by a graded
+/// quadrilateral mesh around a unit *square* cylinder: straight-sided
+/// elements represent it exactly, and square-cylinder wakes exercise the
+/// identical code path (see DESIGN.md substitution table).
+namespace mesh {
+
+/// Structured rectangle mesh of nx-by-ny quads on [x0,x1] x [y0,y1].
+[[nodiscard]] Mesh rectangle_quads(std::size_t nx, std::size_t ny, double x0, double x1,
+                                   double y0, double y1);
+
+/// Same grid split into 2 nx ny triangles.
+[[nodiscard]] Mesh rectangle_tris(std::size_t nx, std::size_t ny, double x0, double x1,
+                                  double y0, double y1);
+
+/// Tensor mesh from explicit coordinate lines (graded meshes).
+[[nodiscard]] Mesh tensor_quads(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// One-dimensional geometric grading: n intervals from a to b whose sizes
+/// grow by `ratio` per step (ratio < 1 clusters toward a... toward b? sizes
+/// multiply by ratio as x grows, so ratio > 1 clusters toward a).
+[[nodiscard]] std::vector<double> graded_line(double a, double b, std::size_t n, double ratio);
+
+/// Parameters of the bluff-body domain (defaults follow the paper's
+/// Figure 11: x in [-15, 25], y in [-5, 5], unit body at the origin).
+struct BluffBodyParams {
+    double x_min = -15.0, x_max = 25.0;
+    double y_min = -5.0, y_max = 5.0;
+    double body_half = 0.5;    ///< body occupies [-h, h]^2
+    std::size_t n_upstream = 8;
+    std::size_t n_body = 4;    ///< cells along one body side
+    std::size_t n_wake = 14;   ///< downstream resolution
+    std::size_t n_side = 6;    ///< cells from body to each side wall
+    double grading = 1.35;     ///< geometric growth away from the body
+};
+
+/// Quadrilateral mesh of the channel with the square bluff body removed.
+/// Boundary tags: Inflow (x = x_min), Outflow (x = x_max), Side (y = +/-),
+/// Body (hole boundary).
+[[nodiscard]] Mesh bluff_body_mesh(const BluffBodyParams& params = {});
+
+/// Domain for the ALE flapping-body runs: a shorter channel with the square
+/// body; same tags.  The body boundary will be moved by the ALE solver.
+[[nodiscard]] Mesh flapping_body_mesh(std::size_t refine = 1);
+
+} // namespace mesh

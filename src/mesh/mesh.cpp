@@ -1,0 +1,106 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace mesh {
+
+namespace {
+
+/// Local edges as (a, b) local-vertex pairs, matching
+/// spectral::Expansion::edge_vertices.
+std::array<std::array<int, 2>, 4> local_edges(spectral::Shape s) {
+    if (s == spectral::Shape::Quad) return {{{0, 1}, {1, 2}, {3, 2}, {0, 3}}};
+    return {{{0, 1}, {1, 2}, {0, 2}, {-1, -1}}};
+}
+
+} // namespace
+
+Mesh::Mesh(std::vector<Vertex> vertices, std::vector<Element> elements)
+    : vertices_(std::move(vertices)), elements_(std::move(elements)) {
+    build_edges();
+}
+
+void Mesh::build_edges() {
+    elem_edges_.assign(elements_.size(), {-1, -1, -1, -1});
+    std::map<std::pair<int, int>, int> index;
+    for (std::size_t e = 0; e < elements_.size(); ++e) {
+        const Element& el = elements_[e];
+        const auto le = local_edges(el.shape);
+        const int ne = el.num_vertices();
+        for (int k = 0; k < ne; ++k) {
+            const int a = el.v[static_cast<std::size_t>(le[static_cast<std::size_t>(k)][0])];
+            const int b = el.v[static_cast<std::size_t>(le[static_cast<std::size_t>(k)][1])];
+            if (a < 0 || b < 0 || a == b) throw std::invalid_argument("mesh: bad element");
+            const std::pair<int, int> key{std::min(a, b), std::max(a, b)};
+            auto [it, inserted] = index.try_emplace(key, static_cast<int>(edges_.size()));
+            if (inserted) {
+                Edge ed;
+                ed.v0 = key.first;
+                ed.v1 = key.second;
+                ed.elem[0] = static_cast<int>(e);
+                ed.local[0] = k;
+                edges_.push_back(ed);
+            } else {
+                Edge& ed = edges_[static_cast<std::size_t>(it->second)];
+                if (ed.elem[1] >= 0) throw std::invalid_argument("mesh: non-manifold edge");
+                ed.elem[1] = static_cast<int>(e);
+                ed.local[1] = k;
+            }
+            elem_edges_[e][static_cast<std::size_t>(k)] = it->second;
+        }
+    }
+}
+
+void Mesh::dual_graph(std::vector<int>& xadj, std::vector<int>& adjncy) const {
+    const std::size_t n = elements_.size();
+    std::vector<std::vector<int>> adj(n);
+    for (const Edge& ed : edges_) {
+        if (ed.is_boundary()) continue;
+        adj[static_cast<std::size_t>(ed.elem[0])].push_back(ed.elem[1]);
+        adj[static_cast<std::size_t>(ed.elem[1])].push_back(ed.elem[0]);
+    }
+    xadj.assign(n + 1, 0);
+    adjncy.clear();
+    for (std::size_t e = 0; e < n; ++e) {
+        std::sort(adj[e].begin(), adj[e].end());
+        for (int nb : adj[e]) adjncy.push_back(nb);
+        xadj[e + 1] = static_cast<int>(adjncy.size());
+    }
+}
+
+double Mesh::element_area(std::size_t e) const {
+    const Element& el = elements_[e];
+    const int n = el.num_vertices();
+    double a = 0.0;
+    for (int k = 0; k < n; ++k) {
+        const Vertex& p = elem_vertex(e, static_cast<std::size_t>(k));
+        const Vertex& q = elem_vertex(e, static_cast<std::size_t>((k + 1) % n));
+        a += p.x * q.y - q.x * p.y;
+    }
+    return 0.5 * a;
+}
+
+double Mesh::total_area() const {
+    double a = 0.0;
+    for (std::size_t e = 0; e < elements_.size(); ++e) a += element_area(e);
+    return a;
+}
+
+std::string Mesh::summary() const {
+    std::size_t quads = 0, tris = 0, bnd = 0;
+    for (const Element& el : elements_)
+        (el.shape == spectral::Shape::Quad ? quads : tris) += 1;
+    for (const Edge& ed : edges_)
+        if (ed.is_boundary()) ++bnd;
+    std::ostringstream os;
+    os << elements_.size() << " elements (" << quads << " quad, " << tris << " tri), "
+       << vertices_.size() << " vertices, " << edges_.size() << " edges (" << bnd
+       << " boundary)";
+    return os.str();
+}
+
+} // namespace mesh

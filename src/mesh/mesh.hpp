@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "spectral/expansion.hpp"
+
+/// \file mesh.hpp
+/// 2-D unstructured hybrid (triangle/quadrilateral) meshes.
+///
+/// NekTar "uses meshes similar to standard finite element and finite volume
+/// meshes, consisting of structured or unstructured grids or a combination of
+/// both" (paper §1.3).  This module provides the mesh container, the edge
+/// connectivity the C0 assembly needs, and boundary tagging for the flow
+/// problems' inflow/outflow/wall conditions.
+namespace mesh {
+
+struct Vertex {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/// Straight-sided element: 3 (triangle) or 4 (quad) vertex ids, CCW.
+struct Element {
+    spectral::Shape shape = spectral::Shape::Quad;
+    std::array<int, 4> v = {-1, -1, -1, -1};
+    [[nodiscard]] int num_vertices() const noexcept {
+        return shape == spectral::Shape::Quad ? 4 : 3;
+    }
+};
+
+/// Boundary condition tag attached to boundary edges.
+enum class BoundaryTag : int {
+    None = 0,   ///< interior edge
+    Inflow,     ///< Dirichlet velocity (laminar inflow of 1 in the paper)
+    Outflow,    ///< Neumann (zero flux)
+    Side,       ///< Neumann sides of the domain (paper's bluff-body setup)
+    Wall,       ///< no-slip wall
+    Body,       ///< bluff body surface (no-slip; moving in the ALE case)
+};
+
+/// A unique mesh edge and the one or two elements sharing it.
+struct Edge {
+    int v0 = -1;                ///< global endpoint, v0 < v1
+    int v1 = -1;
+    int elem[2] = {-1, -1};     ///< adjacent elements (second -1 on boundary)
+    int local[2] = {-1, -1};    ///< local edge index within each element
+    BoundaryTag tag = BoundaryTag::None;
+    [[nodiscard]] bool is_boundary() const noexcept { return elem[1] < 0; }
+};
+
+class Mesh {
+public:
+    Mesh() = default;
+    Mesh(std::vector<Vertex> vertices, std::vector<Element> elements);
+
+    [[nodiscard]] std::size_t num_vertices() const noexcept { return vertices_.size(); }
+    [[nodiscard]] std::size_t num_elements() const noexcept { return elements_.size(); }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+    [[nodiscard]] const Vertex& vertex(std::size_t i) const noexcept { return vertices_[i]; }
+    /// Moves a vertex (ALE mesh motion); connectivity is unchanged.
+    void set_vertex(std::size_t i, const Vertex& v) noexcept { vertices_[i] = v; }
+    [[nodiscard]] const Element& element(std::size_t e) const noexcept { return elements_[e]; }
+    [[nodiscard]] const Edge& edge(std::size_t i) const noexcept { return edges_[i]; }
+    [[nodiscard]] const std::vector<Element>& elements() const noexcept { return elements_; }
+    [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+    /// Edge id of local edge `le` of element `e`.
+    [[nodiscard]] int element_edge(std::size_t e, std::size_t le) const noexcept {
+        return elem_edges_[e][le];
+    }
+
+    /// Physical coordinates of element e's local vertex lv.
+    [[nodiscard]] const Vertex& elem_vertex(std::size_t e, std::size_t lv) const noexcept {
+        return vertices_[static_cast<std::size_t>(elements_[e].v[lv])];
+    }
+
+    /// Tags every boundary edge whose midpoint satisfies `pred`.
+    template <typename Pred>
+    void tag_boundary(BoundaryTag tag, Pred&& pred) {
+        for (Edge& ed : edges_) {
+            if (!ed.is_boundary()) continue;
+            const Vertex& a = vertices_[static_cast<std::size_t>(ed.v0)];
+            const Vertex& b = vertices_[static_cast<std::size_t>(ed.v1)];
+            if (pred(0.5 * (a.x + b.x), 0.5 * (a.y + b.y))) ed.tag = tag;
+        }
+    }
+
+    /// Element adjacency graph (across shared edges) in CSR form; this is the
+    /// dual graph handed to the METIS-style partitioner.
+    void dual_graph(std::vector<int>& xadj, std::vector<int>& adjncy) const;
+
+    /// Total element area (sum over linear-geometry elements); sanity checks.
+    [[nodiscard]] double total_area() const;
+
+    /// Area of a single element.
+    [[nodiscard]] double element_area(std::size_t e) const;
+
+    /// One-line summary ("902 elements, 961 vertices, ...") for the examples.
+    [[nodiscard]] std::string summary() const;
+
+private:
+    void build_edges();
+
+    std::vector<Vertex> vertices_;
+    std::vector<Element> elements_;
+    std::vector<Edge> edges_;
+    std::vector<std::array<int, 4>> elem_edges_;
+};
+
+} // namespace mesh

@@ -1,0 +1,94 @@
+#include "nektar/discretization.hpp"
+
+#include <cmath>
+
+namespace nektar {
+
+Discretization::Discretization(std::shared_ptr<const mesh::Mesh> m, std::size_t order,
+                               bool renumber)
+    : mesh_(std::move(m)), order_(order), dofmap_(*mesh_, order, renumber) {
+    const std::size_t ne = mesh_->num_elements();
+    ops_.reserve(ne);
+    modal_off_.resize(ne);
+    quad_off_.resize(ne);
+    for (std::size_t e = 0; e < ne; ++e) {
+        ops_.emplace_back(*mesh_, e, order);
+        modal_off_[e] = modal_size_;
+        quad_off_[e] = quad_size_;
+        modal_size_ += ops_[e].num_modes();
+        quad_size_ += ops_[e].num_quad();
+    }
+}
+
+void Discretization::to_quad(std::span<const double> modal, std::span<double> quad) const {
+    for (std::size_t e = 0; e < ops_.size(); ++e)
+        ops_[e].interp_to_quad(modal_block(modal, e), quad_block(quad, e));
+}
+
+void Discretization::project(std::span<const double> quad, std::span<double> modal) const {
+    for (std::size_t e = 0; e < ops_.size(); ++e)
+        ops_[e].project(quad_block(quad, e), modal_block(modal, e));
+}
+
+void Discretization::eval_at_quad(const std::function<double(double, double)>& f,
+                                  std::span<double> quad) const {
+    for (std::size_t e = 0; e < ops_.size(); ++e) {
+        const ElemGeometry& g = ops_[e].geometry();
+        auto block = quad_block(quad, e);
+        for (std::size_t q = 0; q < block.size(); ++q) block[q] = f(g.x[q], g.y[q]);
+    }
+}
+
+void Discretization::scatter(std::span<const double> global, std::span<double> modal) const {
+    for (std::size_t e = 0; e < ops_.size(); ++e) {
+        auto block = modal_block(modal, e);
+        const auto& map = dofmap_.element_map(e);
+        for (std::size_t i = 0; i < block.size(); ++i)
+            block[i] = map[i].sign * global[static_cast<std::size_t>(map[i].global)];
+    }
+}
+
+void Discretization::gather_add(std::span<const double> modal, std::span<double> global) const {
+    for (std::size_t e = 0; e < ops_.size(); ++e) {
+        auto block = modal_block(modal, e);
+        const auto& map = dofmap_.element_map(e);
+        for (std::size_t i = 0; i < block.size(); ++i)
+            global[static_cast<std::size_t>(map[i].global)] += map[i].sign * block[i];
+    }
+}
+
+double Discretization::integrate(std::span<const double> quad) const {
+    double s = 0.0;
+    for (std::size_t e = 0; e < ops_.size(); ++e) {
+        const auto& wj = ops_[e].geometry().wj;
+        auto block = quad_block(quad, e);
+        for (std::size_t q = 0; q < block.size(); ++q) s += wj[q] * block[q];
+    }
+    return s;
+}
+
+double Discretization::l2_norm(std::span<const double> quad) const {
+    double s = 0.0;
+    for (std::size_t e = 0; e < ops_.size(); ++e) {
+        const auto& wj = ops_[e].geometry().wj;
+        auto block = quad_block(quad, e);
+        for (std::size_t q = 0; q < block.size(); ++q) s += wj[q] * block[q] * block[q];
+    }
+    return std::sqrt(s);
+}
+
+double Discretization::l2_error(std::span<const double> quad,
+                                const std::function<double(double, double)>& exact) const {
+    double s = 0.0;
+    for (std::size_t e = 0; e < ops_.size(); ++e) {
+        const ElemGeometry& g = ops_[e].geometry();
+        auto block = quad_block(quad, e);
+        for (std::size_t q = 0; q < block.size(); ++q) {
+            const double d = block[q] - exact(g.x[q], g.y[q]);
+            s += g.wj[q] * d * d;
+        }
+    }
+    return std::sqrt(s);
+}
+
+} // namespace nektar

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "nektar/dofmap.hpp"
+#include "nektar/element_ops.hpp"
+
+/// \file discretization.hpp
+/// A mesh + expansion order + all per-element operators + the global dof map:
+/// the shared state every solver (Helmholtz, Navier-Stokes serial/Fourier/ALE)
+/// builds on.  Fields are flat arrays of per-element blocks in either modal
+/// (coefficient) or quadrature (physical) space.
+namespace nektar {
+
+class Discretization {
+public:
+    Discretization(std::shared_ptr<const mesh::Mesh> m, std::size_t order,
+                   bool renumber = true);
+
+    [[nodiscard]] const mesh::Mesh& mesh() const noexcept { return *mesh_; }
+    [[nodiscard]] std::size_t order() const noexcept { return order_; }
+    [[nodiscard]] std::size_t num_elements() const noexcept { return ops_.size(); }
+    [[nodiscard]] const ElementOps& ops(std::size_t e) const noexcept { return ops_[e]; }
+    [[nodiscard]] const DofMap& dofmap() const noexcept { return dofmap_; }
+
+    /// Flat field sizes and per-element offsets.
+    [[nodiscard]] std::size_t modal_size() const noexcept { return modal_size_; }
+    [[nodiscard]] std::size_t quad_size() const noexcept { return quad_size_; }
+    [[nodiscard]] std::size_t modal_offset(std::size_t e) const noexcept {
+        return modal_off_[e];
+    }
+    [[nodiscard]] std::size_t quad_offset(std::size_t e) const noexcept { return quad_off_[e]; }
+    [[nodiscard]] std::span<double> modal_block(std::span<double> f, std::size_t e) const {
+        return f.subspan(modal_off_[e], ops_[e].num_modes());
+    }
+    [[nodiscard]] std::span<const double> modal_block(std::span<const double> f,
+                                                      std::size_t e) const {
+        return f.subspan(modal_off_[e], ops_[e].num_modes());
+    }
+    [[nodiscard]] std::span<double> quad_block(std::span<double> f, std::size_t e) const {
+        return f.subspan(quad_off_[e], ops_[e].num_quad());
+    }
+    [[nodiscard]] std::span<const double> quad_block(std::span<const double> f,
+                                                     std::size_t e) const {
+        return f.subspan(quad_off_[e], ops_[e].num_quad());
+    }
+
+    /// Whole-field transforms.
+    void to_quad(std::span<const double> modal, std::span<double> quad) const;
+    void project(std::span<const double> quad, std::span<double> modal) const;
+
+    /// Evaluates a function at every quadrature point.
+    void eval_at_quad(const std::function<double(double, double)>& f,
+                      std::span<double> quad) const;
+
+    /// Scatter a global dof vector into local (per-element, signed) modal form.
+    void scatter(std::span<const double> global, std::span<double> modal) const;
+    /// Direct-stiffness gather: global[g] += sign * local (used by weak RHS).
+    void gather_add(std::span<const double> modal, std::span<double> global) const;
+
+    /// Quadrature of a physical-space field over the domain.
+    [[nodiscard]] double integrate(std::span<const double> quad) const;
+    /// L2 norm of a physical-space field.
+    [[nodiscard]] double l2_norm(std::span<const double> quad) const;
+    /// L2 error of a physical-space field against an exact solution.
+    [[nodiscard]] double l2_error(std::span<const double> quad,
+                                  const std::function<double(double, double)>& exact) const;
+
+private:
+    std::shared_ptr<const mesh::Mesh> mesh_;
+    std::size_t order_;
+    std::vector<ElementOps> ops_;
+    DofMap dofmap_;
+    std::vector<std::size_t> modal_off_, quad_off_;
+    std::size_t modal_size_ = 0, quad_size_ = 0;
+};
+
+} // namespace nektar

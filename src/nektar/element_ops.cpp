@@ -1,0 +1,225 @@
+#include "nektar/element_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "blaslite/blas.hpp"
+#include "spectral/jacobi.hpp"
+
+namespace nektar {
+
+namespace {
+
+/// Barycentric Lagrange differentiation matrix on the given nodes.
+la::DenseMatrix diff_matrix(const std::vector<double>& x) {
+    const std::size_t n = x.size();
+    std::vector<double> w(n, 1.0);
+    for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t k = 0; k < n; ++k)
+            if (k != j) w[j] *= (x[j] - x[k]);
+    for (auto& v : w) v = 1.0 / v;
+    la::DenseMatrix d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double diag = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            d(i, j) = (w[j] / w[i]) / (x[i] - x[j]);
+            diag -= d(i, j);
+        }
+        d(i, i) = diag;
+    }
+    return d;
+}
+
+} // namespace
+
+ElementOps::ElementOps(const mesh::Mesh& m, std::size_t e, std::size_t order)
+    : exp_(spectral::make_expansion(m.element(e).shape, order)) {
+    const mesh::Element& el = m.element(e);
+    const std::size_t nq = exp_->num_quad();
+    const std::size_t nm = exp_->num_modes();
+    geom_.wj.resize(nq);
+    geom_.rx.resize(nq);
+    geom_.ry.resize(nq);
+    geom_.sx.resize(nq);
+    geom_.sy.resize(nq);
+    geom_.x.resize(nq);
+    geom_.y.resize(nq);
+
+    for (int v = 0; v < el.num_vertices(); ++v)
+        verts_[static_cast<std::size_t>(v)] = m.elem_vertex(e, static_cast<std::size_t>(v));
+
+    const auto w = exp_->quad_weights();
+    for (std::size_t q = 0; q < nq; ++q) {
+        const PointMap pm = map_at(exp_->xi1(q), exp_->xi2(q));
+        if (pm.det <= 0.0) throw std::runtime_error("ElementOps: inverted element");
+        geom_.x[q] = pm.x;
+        geom_.y[q] = pm.y;
+        geom_.wj[q] = w[q] * pm.det;
+        geom_.rx[q] = pm.rx;
+        geom_.ry[q] = pm.ry;
+        geom_.sx[q] = pm.sx;
+        geom_.sy[q] = pm.sy;
+    }
+
+    // Elemental matrices by quadrature.
+    const la::DenseMatrix& B = exp_->basis();
+    const la::DenseMatrix& D1 = exp_->dbasis_dxi1();
+    const la::DenseMatrix& D2 = exp_->dbasis_dxi2();
+    mass_ = la::DenseMatrix(nm, nm);
+    lap_ = la::DenseMatrix(nm, nm);
+    // Physical derivatives of every mode at every point, then one dgemm each.
+    la::DenseMatrix dx(nq, nm), dy(nq, nm), bw(nq, nm), dxw(nq, nm), dyw(nq, nm);
+    for (std::size_t q = 0; q < nq; ++q) {
+        for (std::size_t mI = 0; mI < nm; ++mI) {
+            dx(q, mI) = geom_.rx[q] * D1(q, mI) + geom_.sx[q] * D2(q, mI);
+            dy(q, mI) = geom_.ry[q] * D1(q, mI) + geom_.sy[q] * D2(q, mI);
+            bw(q, mI) = geom_.wj[q] * B(q, mI);
+            dxw(q, mI) = geom_.wj[q] * dx(q, mI);
+            dyw(q, mI) = geom_.wj[q] * dy(q, mI);
+        }
+    }
+    for (std::size_t i = 0; i < nm; ++i) {
+        for (std::size_t j = 0; j < nm; ++j) {
+            double mij = 0.0, lij = 0.0;
+            for (std::size_t q = 0; q < nq; ++q) {
+                mij += bw(q, i) * B(q, j);
+                lij += dxw(q, i) * dx(q, j) + dyw(q, i) * dy(q, j);
+            }
+            mass_(i, j) = mij;
+            lap_(i, j) = lij;
+        }
+    }
+
+    mass_chol_ = mass_;
+    if (!la::cholesky_factor(mass_chol_))
+        throw std::runtime_error("ElementOps: mass matrix not SPD");
+
+    if (el.shape == spectral::Shape::Quad) {
+        nq1d_ = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(nq))));
+        assert(nq1d_ * nq1d_ == nq);
+        const spectral::QuadratureRule rule = spectral::gauss_lobatto(nq1d_);
+        d1d_ = diff_matrix(rule.points);
+    }
+}
+
+PointMap ElementOps::map_at(double x1, double x2) const {
+    double xx, yy, dxd1, dxd2, dyd1, dyd2;
+    if (exp_->shape() == spectral::Shape::Triangle) {
+        const mesh::Vertex& a = verts_[0];
+        const mesh::Vertex& b = verts_[1];
+        const mesh::Vertex& c = verts_[2];
+        // Affine map from {(-1,-1),(1,-1),(-1,1)}.
+        xx = -0.5 * (x1 + x2) * a.x + 0.5 * (1.0 + x1) * b.x + 0.5 * (1.0 + x2) * c.x;
+        yy = -0.5 * (x1 + x2) * a.y + 0.5 * (1.0 + x1) * b.y + 0.5 * (1.0 + x2) * c.y;
+        dxd1 = 0.5 * (b.x - a.x);
+        dxd2 = 0.5 * (c.x - a.x);
+        dyd1 = 0.5 * (b.y - a.y);
+        dyd2 = 0.5 * (c.y - a.y);
+    } else {
+        const mesh::Vertex& v0 = verts_[0];
+        const mesh::Vertex& v1 = verts_[1];
+        const mesh::Vertex& v2 = verts_[2];
+        const mesh::Vertex& v3 = verts_[3];
+        const double n0 = 0.25 * (1 - x1) * (1 - x2), n1 = 0.25 * (1 + x1) * (1 - x2);
+        const double n2 = 0.25 * (1 + x1) * (1 + x2), n3 = 0.25 * (1 - x1) * (1 + x2);
+        xx = n0 * v0.x + n1 * v1.x + n2 * v2.x + n3 * v3.x;
+        yy = n0 * v0.y + n1 * v1.y + n2 * v2.y + n3 * v3.y;
+        dxd1 = 0.25 * (-(1 - x2) * v0.x + (1 - x2) * v1.x + (1 + x2) * v2.x - (1 + x2) * v3.x);
+        dxd2 = 0.25 * (-(1 - x1) * v0.x - (1 + x1) * v1.x + (1 + x1) * v2.x + (1 - x1) * v3.x);
+        dyd1 = 0.25 * (-(1 - x2) * v0.y + (1 - x2) * v1.y + (1 + x2) * v2.y - (1 + x2) * v3.y);
+        dyd2 = 0.25 * (-(1 - x1) * v0.y - (1 + x1) * v1.y + (1 + x1) * v2.y + (1 - x1) * v3.y);
+    }
+    PointMap pm;
+    pm.x = xx;
+    pm.y = yy;
+    pm.det = dxd1 * dyd2 - dxd2 * dyd1;
+    pm.rx = dyd2 / pm.det;
+    pm.ry = -dxd2 / pm.det;
+    pm.sx = -dyd1 / pm.det;
+    pm.sy = dxd1 / pm.det;
+    return pm;
+}
+
+double ElementOps::eval_modal(std::span<const double> modal, double x1, double x2) const {
+    double s = 0.0;
+    for (std::size_t m = 0; m < num_modes(); ++m) s += modal[m] * exp_->eval_mode(m, x1, x2);
+    return s;
+}
+
+void ElementOps::eval_modal_grad(std::span<const double> modal, double x1, double x2,
+                                 double& dudx, double& dudy) const {
+    const PointMap pm = map_at(x1, x2);
+    double d1 = 0.0, d2 = 0.0;
+    for (std::size_t m = 0; m < num_modes(); ++m) {
+        const auto d = exp_->eval_mode_deriv(m, x1, x2);
+        d1 += modal[m] * d[0];
+        d2 += modal[m] * d[1];
+    }
+    dudx = pm.rx * d1 + pm.sx * d2;
+    dudy = pm.ry * d1 + pm.sy * d2;
+}
+
+void ElementOps::interp_to_quad(std::span<const double> modal, std::span<double> quad) const {
+    assert(modal.size() == num_modes() && quad.size() == num_quad());
+    const la::DenseMatrix& B = exp_->basis();
+    blaslite::dgemv(1.0, B.data(), B.cols(), B.rows(), B.cols(), modal.data(), 0.0,
+                    quad.data());
+}
+
+void ElementOps::weak_inner(std::span<const double> quad, std::span<double> rhs) const {
+    assert(quad.size() == num_quad() && rhs.size() == num_modes());
+    const la::DenseMatrix& B = exp_->basis();
+    std::vector<double> wq(num_quad());
+    for (std::size_t q = 0; q < num_quad(); ++q) wq[q] = geom_.wj[q] * quad[q];
+    blaslite::dgemv_t(1.0, B.data(), B.cols(), B.rows(), B.cols(), wq.data(), 1.0, rhs.data());
+}
+
+void ElementOps::grad_from_modal(std::span<const double> modal, std::span<double> dudx,
+                                 std::span<double> dudy) const {
+    const la::DenseMatrix& D1 = exp_->dbasis_dxi1();
+    const la::DenseMatrix& D2 = exp_->dbasis_dxi2();
+    const std::size_t nq = num_quad();
+    std::vector<double> d1(nq), d2(nq);
+    blaslite::dgemv(1.0, D1.data(), D1.cols(), D1.rows(), D1.cols(), modal.data(), 0.0,
+                    d1.data());
+    blaslite::dgemv(1.0, D2.data(), D2.cols(), D2.rows(), D2.cols(), modal.data(), 0.0,
+                    d2.data());
+    for (std::size_t q = 0; q < nq; ++q) {
+        dudx[q] = geom_.rx[q] * d1[q] + geom_.sx[q] * d2[q];
+        dudy[q] = geom_.ry[q] * d1[q] + geom_.sy[q] * d2[q];
+    }
+}
+
+void ElementOps::grad_collocation(std::span<const double> quad, std::span<double> dudx,
+                                  std::span<double> dudy) const {
+    if (nq1d_ == 0)
+        throw std::logic_error("grad_collocation: quad elements only");
+    const std::size_t n = nq1d_;
+    std::vector<double> d1(n * n), d2(n * n);
+    // d/dxi1: differentiate along rows (xi1 is the fast index).
+    for (std::size_t j = 0; j < n; ++j)
+        blaslite::dgemv(1.0, d1d_.data(), n, n, n, quad.data() + j * n, 0.0, d1.data() + j * n);
+    // d/dxi2: differentiate along columns.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < n; ++k) s += d1d_(j, k) * quad[k * n + i];
+            d2[j * n + i] = s;
+        }
+    }
+    blaslite::detail::charge(2 * n * n * n, 2 * n * n * sizeof(double), n * n * sizeof(double));
+    for (std::size_t q = 0; q < n * n; ++q) {
+        dudx[q] = geom_.rx[q] * d1[q] + geom_.sx[q] * d2[q];
+        dudy[q] = geom_.ry[q] * d1[q] + geom_.sy[q] * d2[q];
+    }
+}
+
+void ElementOps::project(std::span<const double> quad, std::span<double> modal) const {
+    std::fill(modal.begin(), modal.end(), 0.0);
+    weak_inner(quad, modal);
+    la::cholesky_solve(mass_chol_, modal);
+}
+
+} // namespace nektar

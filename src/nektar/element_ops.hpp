@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "mesh/mesh.hpp"
+#include "spectral/expansion.hpp"
+
+/// \file element_ops.hpp
+/// Per-element operators: geometry mapping, elemental mass/Laplacian
+/// matrices, modal<->quadrature transforms and collocation derivatives.
+///
+/// These are the kernels behind the paper's stage breakdown (Figure 12):
+/// stage 1 is interp_to_quad, stages 2-4/6 are quadrature-space vector
+/// algebra plus weak_inner, stages 5/7 are the banded solves assembled from
+/// the elemental matrices built here.
+namespace nektar {
+
+/// Geometry factors at each quadrature point of one straight-sided element.
+struct ElemGeometry {
+    std::vector<double> wj;   ///< quadrature weight * |J|
+    std::vector<double> rx;   ///< d(xi1)/dx
+    std::vector<double> ry;   ///< d(xi1)/dy
+    std::vector<double> sx;   ///< d(xi2)/dx
+    std::vector<double> sy;   ///< d(xi2)/dy
+    std::vector<double> x;    ///< physical coordinates of quadrature points
+    std::vector<double> y;
+};
+
+/// Geometry mapping evaluated at one reference point.
+struct PointMap {
+    double x = 0.0, y = 0.0;   ///< physical coordinates
+    double rx = 0.0, ry = 0.0; ///< d(xi1)/dx, d(xi1)/dy
+    double sx = 0.0, sy = 0.0; ///< d(xi2)/dx, d(xi2)/dy
+    double det = 0.0;          ///< Jacobian determinant
+};
+
+class ElementOps {
+public:
+    /// Builds the operators for element `e` of `m` at expansion order `order`.
+    ElementOps(const mesh::Mesh& m, std::size_t e, std::size_t order);
+
+    [[nodiscard]] const spectral::Expansion& expansion() const noexcept { return *exp_; }
+    [[nodiscard]] const ElemGeometry& geometry() const noexcept { return geom_; }
+    [[nodiscard]] std::size_t num_modes() const noexcept { return exp_->num_modes(); }
+    [[nodiscard]] std::size_t num_quad() const noexcept { return exp_->num_quad(); }
+
+    /// Elemental mass matrix (phi_i, phi_j).
+    [[nodiscard]] const la::DenseMatrix& mass() const noexcept { return mass_; }
+    /// Elemental stiffness (grad phi_i, grad phi_j) — the Figure 10 matrix.
+    [[nodiscard]] const la::DenseMatrix& laplacian() const noexcept { return lap_; }
+
+    /// u_quad = B u_modal (paper stage 1).
+    void interp_to_quad(std::span<const double> modal, std::span<double> quad) const;
+
+    /// rhs_i += (f, phi_i): weak inner product of quadrature values.
+    void weak_inner(std::span<const double> quad, std::span<double> rhs) const;
+
+    /// Physical-space gradient of a modal field, evaluated at quad points.
+    void grad_from_modal(std::span<const double> modal, std::span<double> dudx,
+                         std::span<double> dudy) const;
+
+    /// Collocation derivative of quadrature-point values (quad elements only;
+    /// used by the nonlinear advection stage where fields live at the
+    /// quadrature points).
+    void grad_collocation(std::span<const double> quad, std::span<double> dudx,
+                          std::span<double> dudy) const;
+
+    /// L2 projection of quadrature values onto the modal basis
+    /// (solves M u = B^T W f with the factored elemental mass matrix).
+    void project(std::span<const double> quad, std::span<double> modal) const;
+
+    /// Geometry mapping at an arbitrary reference point (boundary traces,
+    /// probes, force integrals).
+    [[nodiscard]] PointMap map_at(double xi1, double xi2) const;
+
+    /// Field value / physical gradient of a modal field at a reference point.
+    [[nodiscard]] double eval_modal(std::span<const double> modal, double xi1,
+                                    double xi2) const;
+    void eval_modal_grad(std::span<const double> modal, double xi1, double xi2, double& dudx,
+                         double& dudy) const;
+
+private:
+    std::shared_ptr<const spectral::Expansion> exp_;
+    ElemGeometry geom_;
+    la::DenseMatrix mass_, lap_;
+    la::DenseMatrix mass_chol_;        ///< Cholesky factor of mass_
+    // Collocation machinery (quads): 1-D GLL differentiation matrix.
+    la::DenseMatrix d1d_;
+    std::size_t nq1d_ = 0;
+    std::array<mesh::Vertex, 4> verts_{}; ///< element corners for map_at
+};
+
+} // namespace nektar

@@ -1,0 +1,90 @@
+#include "nektar/forces.hpp"
+
+#include <cmath>
+
+#include "spectral/jacobi.hpp"
+
+namespace nektar {
+
+namespace {
+
+/// Reference coordinates of local edge `le` at edge parameter t in [-1, 1]
+/// (t increases from edge_vertices(le)[0] to [1]).
+std::pair<double, double> edge_ref_point(spectral::Shape shape, std::size_t le, double t) {
+    if (shape == spectral::Shape::Quad) {
+        switch (le) {
+            case 0: return {t, -1.0};   // v0 -> v1
+            case 1: return {1.0, t};    // v1 -> v2
+            case 2: return {t, 1.0};    // v3 -> v2
+            default: return {-1.0, t};  // v0 -> v3
+        }
+    }
+    switch (le) {
+        case 0: return {t, -1.0};   // v0 -> v1
+        case 1: return {-t, t};     // v1 (1,-1) -> v2 (-1,1)
+        default: return {-1.0, t};  // v0 -> v2
+    }
+}
+
+/// True when the local a->b edge direction opposes the element's CCW
+/// boundary traversal (affects the outward-normal sign).
+bool reversed_wrt_ccw(spectral::Shape shape, std::size_t le) {
+    if (shape == spectral::Shape::Quad) return le == 2 || le == 3;
+    return le == 2;
+}
+
+} // namespace
+
+BodyForce body_force(const Discretization& disc, std::span<const double> u_modal,
+                     std::span<const double> v_modal, std::span<const double> p_modal,
+                     double nu, mesh::BoundaryTag tag) {
+    const mesh::Mesh& m = disc.mesh();
+    const spectral::QuadratureRule rule = spectral::gauss_legendre(disc.order() + 3);
+    BodyForce force;
+
+    for (const mesh::Edge& edge : m.edges()) {
+        if (!edge.is_boundary() || edge.tag != tag) continue;
+        const auto e = static_cast<std::size_t>(edge.elem[0]);
+        const auto le = static_cast<std::size_t>(edge.local[0]);
+        const ElementOps& ops = disc.ops(e);
+        const spectral::Shape shape = ops.expansion().shape();
+
+        // Physical endpoints in the local a->b direction.
+        const auto [a, b] = ops.expansion().edge_vertices(le);
+        const mesh::Vertex& pa = m.elem_vertex(e, a);
+        const mesh::Vertex& pb = m.elem_vertex(e, b);
+        double dx = 0.5 * (pb.x - pa.x); // d(position)/dt on the straight edge
+        double dy = 0.5 * (pb.y - pa.y);
+        if (reversed_wrt_ccw(shape, le)) {
+            dx = -dx;
+            dy = -dy;
+        }
+        const double ds = std::hypot(dx, dy); // |dposition/dt|
+        // Outward normal of the fluid element (right of the CCW direction).
+        const double nx = dy / ds;
+        const double ny = -dx / ds;
+
+        const auto um = disc.modal_block(u_modal, e);
+        const auto vm = disc.modal_block(v_modal, e);
+        const auto pm = disc.modal_block(p_modal, e);
+        for (std::size_t q = 0; q < rule.size(); ++q) {
+            const auto [x1, x2] = edge_ref_point(shape, le, rule.points[q]);
+            const double p = ops.eval_modal(pm, x1, x2);
+            double ux, uy, vx, vy;
+            ops.eval_modal_grad(um, x1, x2, ux, uy);
+            ops.eval_modal_grad(vm, x1, x2, vx, vy);
+            // Traction on the *body*: the body's outward normal is -n.
+            const double bnx = -nx, bny = -ny;
+            const double tx = -p * bnx + nu * (2.0 * ux * bnx + (uy + vx) * bny);
+            const double ty = -p * bny + nu * ((uy + vx) * bnx + 2.0 * vy * bny);
+            // Force ON the body FROM the fluid = -sigma_fluid . n_body ...
+            // with sigma evaluated in the fluid and n_body pointing into the
+            // fluid, the fluid-on-body traction is +sigma . n_body.
+            force.fx += rule.weights[q] * ds * tx;
+            force.fy += rule.weights[q] * ds * ty;
+        }
+    }
+    return force;
+}
+
+} // namespace nektar

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+
+#include "nektar/discretization.hpp"
+
+/// \file forces.hpp
+/// Aerodynamic force (drag/lift) on a tagged boundary by integrating the
+/// fluid traction sigma . n over the surface:
+///   sigma_ij = -p delta_ij + nu (du_i/dx_j + du_j/dx_i).
+/// This is the physical observable behind the paper's bluff-body and
+/// flapping-wing workloads.
+namespace nektar {
+
+struct BodyForce {
+    double fx = 0.0; ///< drag direction (+x)
+    double fy = 0.0; ///< lift direction (+y)
+};
+
+/// Integrates the traction the *fluid exerts on the boundary* over every
+/// boundary edge carrying `tag`.  Fields are per-element modal coefficients;
+/// `nu` is the kinematic viscosity (density 1, as in the solvers).
+[[nodiscard]] BodyForce body_force(const Discretization& disc,
+                                   std::span<const double> u_modal,
+                                   std::span<const double> v_modal,
+                                   std::span<const double> p_modal, double nu,
+                                   mesh::BoundaryTag tag);
+
+} // namespace nektar

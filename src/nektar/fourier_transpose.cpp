@@ -1,0 +1,75 @@
+#include "nektar/fourier_transpose.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nektar {
+
+FourierTranspose::FourierTranspose(simmpi::Comm* comm, std::size_t nq, std::size_t nplanes)
+    : nq_(nq),
+      nplanes_(nplanes),
+      nranks_(comm ? static_cast<std::size_t>(comm->size()) : 1),
+      chunk_((nq + nranks_ - 1) / nranks_) {}
+
+void FourierTranspose::to_lines(simmpi::Comm* comm, std::span<const double> planes,
+                                std::span<double> lines) const {
+    assert(planes.size() == planes_buffer_size());
+    assert(lines.size() == lines_buffer_size());
+    const std::size_t tp = total_planes();
+    if (nranks_ == 1) {
+        for (std::size_t i = 0; i < chunk_; ++i)
+            for (std::size_t lp = 0; lp < nplanes_; ++lp)
+                lines[i * tp + lp] = i < nq_ ? planes[lp * nq_ + i] : 0.0;
+        return;
+    }
+    const std::size_t block = nplanes_ * chunk_;
+    std::vector<double> send(block * nranks_, 0.0), recv(block * nranks_);
+    for (std::size_t s = 0; s < nranks_; ++s) {
+        for (std::size_t lp = 0; lp < nplanes_; ++lp) {
+            for (std::size_t c = 0; c < chunk_; ++c) {
+                const std::size_t i = s * chunk_ + c;
+                send[s * block + lp * chunk_ + c] = i < nq_ ? planes[lp * nq_ + i] : 0.0;
+            }
+        }
+    }
+    comm->alltoall(send, recv, block);
+    const std::size_t me = static_cast<std::size_t>(comm->rank());
+    (void)me;
+    for (std::size_t r = 0; r < nranks_; ++r) {
+        for (std::size_t lp = 0; lp < nplanes_; ++lp) {
+            const std::size_t gp = r * nplanes_ + lp;
+            for (std::size_t c = 0; c < chunk_; ++c)
+                lines[c * tp + gp] = recv[r * block + lp * chunk_ + c];
+        }
+    }
+}
+
+void FourierTranspose::to_planes(simmpi::Comm* comm, std::span<const double> lines,
+                                 std::span<double> planes) const {
+    assert(planes.size() == planes_buffer_size());
+    assert(lines.size() == lines_buffer_size());
+    const std::size_t tp = total_planes();
+    if (nranks_ == 1) {
+        for (std::size_t lp = 0; lp < nplanes_; ++lp)
+            for (std::size_t i = 0; i < nq_; ++i) planes[lp * nq_ + i] = lines[i * tp + lp];
+        return;
+    }
+    const std::size_t block = nplanes_ * chunk_;
+    std::vector<double> send(block * nranks_), recv(block * nranks_);
+    // Send to rank r the planes r owns, for my chunk of points.
+    for (std::size_t r = 0; r < nranks_; ++r)
+        for (std::size_t lp = 0; lp < nplanes_; ++lp)
+            for (std::size_t c = 0; c < chunk_; ++c)
+                send[r * block + lp * chunk_ + c] = lines[c * tp + r * nplanes_ + lp];
+    comm->alltoall(send, recv, block);
+    for (std::size_t s = 0; s < nranks_; ++s) {
+        for (std::size_t lp = 0; lp < nplanes_; ++lp) {
+            for (std::size_t c = 0; c < chunk_; ++c) {
+                const std::size_t i = s * chunk_ + c;
+                if (i < nq_) planes[lp * nq_ + i] = recv[s * block + lp * chunk_ + c];
+            }
+        }
+    }
+}
+
+} // namespace nektar

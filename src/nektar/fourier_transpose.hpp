@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+/// \file fourier_transpose.hpp
+/// The distributed matrix transposition at the heart of NekTar-F.
+///
+/// Each rank owns `nplanes` Fourier planes (two spectral/hp planes per
+/// complex mode) holding all Nq quadrature points of the x-y mesh.  The
+/// nonlinear step needs the opposite layout — every rank holding *all*
+/// planes for a chunk of the points, so z-lines can be inverse-FFTed and
+/// multiplied pointwise.  "This type of algorithm relies heavily on Global
+/// Exchange MPI_Alltoall ... it supports the transposition of a distributed
+/// matrix" (paper §4.2.1).  Message size per peer is (Nq/P) * (Nplanes/P)
+/// values, matching the paper's Gamma/P x Nz/P formula.
+namespace nektar {
+
+class FourierTranspose {
+public:
+    /// `comm` may be null for the serial (1-rank) case.  `nq` is the number
+    /// of quadrature points per plane; `nplanes` the planes owned per rank
+    /// (equal on all ranks).
+    FourierTranspose(simmpi::Comm* comm, std::size_t nq, std::size_t nplanes);
+
+    [[nodiscard]] std::size_t num_ranks() const noexcept { return nranks_; }
+    /// Points this rank owns in line layout (last rank may see padding).
+    [[nodiscard]] std::size_t chunk() const noexcept { return chunk_; }
+    /// Global plane count (nplanes * ranks).
+    [[nodiscard]] std::size_t total_planes() const noexcept { return nplanes_ * nranks_; }
+
+    /// planes layout: planes[lp * nq + i], lp in [0, nplanes).
+    /// lines layout: lines[i_local * total_planes + gp], i_local in [0, chunk).
+    /// Points beyond nq (padding) produce zero lines.
+    void to_lines(simmpi::Comm* comm, std::span<const double> planes,
+                  std::span<double> lines) const;
+
+    /// Inverse of to_lines.
+    void to_planes(simmpi::Comm* comm, std::span<const double> lines,
+                   std::span<double> planes) const;
+
+    /// Physical point index of local line i (may be >= nq for padding).
+    [[nodiscard]] std::size_t global_point(std::size_t i, int rank) const noexcept {
+        return static_cast<std::size_t>(rank) * chunk_ + i;
+    }
+
+    [[nodiscard]] std::size_t planes_buffer_size() const noexcept { return nplanes_ * nq_; }
+    [[nodiscard]] std::size_t lines_buffer_size() const noexcept {
+        return chunk_ * total_planes();
+    }
+
+private:
+    std::size_t nq_;
+    std::size_t nplanes_;
+    std::size_t nranks_;
+    std::size_t chunk_;
+};
+
+} // namespace nektar

@@ -1,0 +1,200 @@
+#include "nektar/helmholtz.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "blaslite/blas.hpp"
+
+namespace nektar {
+
+namespace {
+
+std::vector<char> dirichlet_mask(const Discretization& disc, const HelmholtzBC& bc,
+                                 std::vector<int>* dofs_out) {
+    std::vector<int> dofs = disc.dofmap().boundary_dofs(
+        [&](mesh::BoundaryTag t) { return bc.is_dirichlet(t); });
+    if (bc.pin_first_dof && dofs.empty()) {
+        // Pin a *vertex* dof: the Neumann Laplacian's null space (constants)
+        // has nonzero components only on vertex dofs, so pinning a bubble or
+        // edge dof would leave the matrix singular.
+        const auto& map0 = disc.dofmap().element_map(0);
+        dofs.push_back(map0[disc.ops(0).expansion().vertex_mode(0)].global);
+    }
+    std::vector<char> mask(disc.dofmap().num_global(), 0);
+    for (int d : dofs) mask[static_cast<std::size_t>(d)] = 1;
+    if (dofs_out) *dofs_out = std::move(dofs);
+    return mask;
+}
+
+} // namespace
+
+HelmholtzDirect::HelmholtzDirect(std::shared_ptr<const Discretization> disc, double lambda,
+                                 HelmholtzBC bc)
+    : disc_(std::move(disc)), lambda_(lambda), bc_(std::move(bc)) {
+    const DofMap& dm = disc_->dofmap();
+    is_dirichlet_ = dirichlet_mask(*disc_, bc_, &dirichlet_dofs_);
+
+    la::SymBandedMatrix h(dm.num_global(), dm.bandwidth());
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        const ElementOps& ops = disc_->ops(e);
+        const auto& map = dm.element_map(e);
+        const std::size_t nm = ops.num_modes();
+        for (std::size_t i = 0; i < nm; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) {
+                const double v = map[i].sign * map[j].sign *
+                                 (ops.laplacian()(i, j) + lambda_ * ops.mass()(i, j));
+                h.add(static_cast<std::size_t>(map[i].global),
+                      static_cast<std::size_t>(map[j].global),
+                      (map[i].global == map[j].global && i != j) ? 2.0 * v : v);
+            }
+        }
+    }
+
+    // Record Dirichlet columns for RHS lifting, then reduce the system to the
+    // identity on constrained dofs.
+    const std::size_t n = dm.num_global();
+    const std::size_t kd = dm.bandwidth();
+    for (int d : dirichlet_dofs_) {
+        const auto du = static_cast<std::size_t>(d);
+        const std::size_t lo = du > kd ? du - kd : 0;
+        const std::size_t hi = std::min(n - 1, du + kd);
+        for (std::size_t r = lo; r <= hi; ++r) {
+            if (is_dirichlet_[r]) continue;
+            const double v = h.at(r, du);
+            if (v != 0.0) lift_.emplace_back(static_cast<int>(r), d, v);
+        }
+    }
+    for (int d : dirichlet_dofs_) {
+        const auto du = static_cast<std::size_t>(d);
+        const std::size_t lo = du > kd ? du - kd : 0;
+        const std::size_t hi = std::min(n - 1, du + kd);
+        for (std::size_t r = lo; r <= hi; ++r) {
+            if (r == du) continue;
+            const double v = h.at(r, du);
+            if (v != 0.0) h.add(r, du, -v);
+        }
+        h.band(0, du) = 1.0;
+    }
+
+    if (!chol_.factor(h))
+        throw std::runtime_error("HelmholtzDirect: matrix not positive definite "
+                                 "(all-Neumann Poisson needs pin_first_dof)");
+}
+
+std::vector<double> HelmholtzDirect::dirichlet_vector(
+    const std::function<double(double, double)>& g) const {
+    std::vector<double> bvals(disc_->dofmap().num_global(), 0.0);
+    if (g) {
+        const auto vals = disc_->dofmap().dirichlet_values(
+            [&](mesh::BoundaryTag t) { return bc_.is_dirichlet(t); }, g);
+        for (const auto& [dof, v] : vals) bvals[static_cast<std::size_t>(dof)] = v;
+    }
+    return bvals;
+}
+
+std::vector<double> HelmholtzDirect::solve_global(std::vector<double> rhs,
+                                                  std::span<const double> dirichlet) const {
+    // Lift the known boundary values, then impose them.
+    for (const auto& [r, d, v] : lift_)
+        rhs[static_cast<std::size_t>(r)] -= v * dirichlet[static_cast<std::size_t>(d)];
+    for (int d : dirichlet_dofs_)
+        rhs[static_cast<std::size_t>(d)] = dirichlet[static_cast<std::size_t>(d)];
+    chol_.solve(rhs);
+
+    std::vector<double> modal(disc_->modal_size());
+    disc_->scatter(rhs, modal);
+    return modal;
+}
+
+std::vector<double> HelmholtzDirect::solve(std::span<const double> f_quad,
+                                           const std::function<double(double, double)>& g) const {
+    std::vector<double> rhs(disc_->dofmap().num_global(), 0.0);
+    std::vector<double> local(disc_->modal_size(), 0.0);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).weak_inner(disc_->quad_block(f_quad, e),
+                                 disc_->modal_block(std::span<double>(local), e));
+    disc_->gather_add(local, rhs);
+    return solve_global(std::move(rhs), dirichlet_vector(g));
+}
+
+// ---------------------------------------------------------------------------
+// PCG path
+// ---------------------------------------------------------------------------
+
+HelmholtzPCG::HelmholtzPCG(std::shared_ptr<const Discretization> disc, double lambda,
+                           HelmholtzBC bc, la::CgOptions opts)
+    : disc_(std::move(disc)), lambda_(lambda), bc_(std::move(bc)), opts_(opts) {
+    is_dirichlet_ = dirichlet_mask(*disc_, bc_, nullptr);
+    // Assembled diagonal for the Jacobi preconditioner.
+    const DofMap& dm = disc_->dofmap();
+    std::vector<double> diag(dm.num_global(), 0.0);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        const ElementOps& ops = disc_->ops(e);
+        const auto& map = dm.element_map(e);
+        for (std::size_t i = 0; i < ops.num_modes(); ++i)
+            diag[static_cast<std::size_t>(map[i].global)] +=
+                ops.laplacian()(i, i) + lambda_ * ops.mass()(i, i);
+    }
+    inv_diag_.resize(diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i)
+        inv_diag_[i] = is_dirichlet_[i] ? 1.0 : 1.0 / diag[i];
+}
+
+void HelmholtzPCG::apply(std::span<const double> x, std::span<double> y) const {
+    std::fill(y.begin(), y.end(), 0.0);
+    std::vector<double> xl(disc_->modal_size()), yl(disc_->modal_size());
+    disc_->scatter(x, xl);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        const ElementOps& ops = disc_->ops(e);
+        const std::size_t nm = ops.num_modes();
+        auto xe = disc_->modal_block(std::span<const double>(xl), e);
+        auto ye = disc_->modal_block(std::span<double>(yl), e);
+        blaslite::dgemv(1.0, ops.laplacian().data(), nm, nm, nm, xe.data(), 0.0, ye.data());
+        blaslite::dgemv(lambda_, ops.mass().data(), nm, nm, nm, xe.data(), 1.0, ye.data());
+    }
+    disc_->gather_add(yl, y);
+}
+
+std::vector<double> HelmholtzPCG::solve(std::span<const double> f_quad,
+                                        const std::function<double(double, double)>& g) const {
+    const std::size_t n = disc_->dofmap().num_global();
+    std::vector<double> rhs(n, 0.0), local(disc_->modal_size(), 0.0);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).weak_inner(disc_->quad_block(f_quad, e),
+                                 disc_->modal_block(std::span<double>(local), e));
+    disc_->gather_add(local, rhs);
+
+    std::vector<double> x(n, 0.0);
+    if (g) {
+        const auto vals = disc_->dofmap().dirichlet_values(
+            [&](mesh::BoundaryTag t) { return bc_.is_dirichlet(t); }, g);
+        for (const auto& [dof, v] : vals) x[static_cast<std::size_t>(dof)] = v;
+    }
+    // Lift: rhs <- rhs - H x0 on free dofs, then solve for the correction
+    // with homogeneous constraints.
+    std::vector<double> hx(n);
+    apply(x, hx);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = is_dirichlet_[i] ? 0.0 : rhs[i] - hx[i];
+
+    const auto masked_apply = [&](std::span<const double> in, std::span<double> out) {
+        std::vector<double> tmp(in.begin(), in.end());
+        for (std::size_t i = 0; i < n; ++i)
+            if (is_dirichlet_[i]) tmp[i] = 0.0;
+        apply(tmp, out);
+        for (std::size_t i = 0; i < n; ++i)
+            if (is_dirichlet_[i]) out[i] = in[i];
+    };
+    std::vector<double> dx(n, 0.0);
+    const la::CgResult res = la::pcg(masked_apply, inv_diag_, rhs, dx, opts_);
+    last_iters_ = res.iterations;
+    if (!res.converged && res.residual_norm > 1e-6)
+        throw std::runtime_error("HelmholtzPCG: CG failed to converge");
+    blaslite::daxpy(1.0, dx, x);
+
+    std::vector<double> modal(disc_->modal_size());
+    disc_->scatter(x, modal);
+    return modal;
+}
+
+} // namespace nektar

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "la/banded.hpp"
+#include "la/cg.hpp"
+#include "nektar/discretization.hpp"
+
+/// \file helmholtz.hpp
+/// Global Helmholtz/Poisson solvers:  (grad u, grad v) + lambda (u, v) = (f, v).
+///
+/// Two paths, exactly as in the paper:
+///  * HelmholtzDirect — assembled symmetric *banded* matrix factored once by
+///    Cholesky (the LAPACK dpbtrf/dpbtrs path of stages 5/7, Figure 12; also
+///    the per-Fourier-mode solver of NekTar-F).
+///  * HelmholtzPCG — matrix-free diagonally preconditioned conjugate
+///    gradient over the elemental matrices (the NekTar-ALE path, which also
+///    runs distributed with gather-scatter assembly).
+namespace nektar {
+
+/// Which boundary tags get Dirichlet treatment; everything else is natural
+/// (zero Neumann).  `pin_first_dof` regularises the all-Neumann Poisson
+/// problem (pure periodic/enclosed domains).
+struct HelmholtzBC {
+    std::set<mesh::BoundaryTag> dirichlet;
+    bool pin_first_dof = false;
+    [[nodiscard]] bool is_dirichlet(mesh::BoundaryTag t) const {
+        return dirichlet.count(t) > 0;
+    }
+};
+
+class HelmholtzDirect {
+public:
+    HelmholtzDirect(std::shared_ptr<const Discretization> disc, double lambda,
+                    HelmholtzBC bc);
+
+    /// Solves with forcing given at quadrature points and Dirichlet data g.
+    /// Returns the solution in per-element modal form (disc->modal_size()).
+    /// Pass g = nullptr for homogeneous Dirichlet data.
+    [[nodiscard]] std::vector<double> solve(
+        std::span<const double> f_quad,
+        const std::function<double(double, double)>& g = {}) const;
+
+    /// Variant with the weak RHS already assembled into global dofs
+    /// (the Navier-Stokes stepper builds these itself); `rhs` is consumed.
+    [[nodiscard]] std::vector<double> solve_global(std::vector<double> rhs,
+                                                   std::span<const double> dirichlet) const;
+
+    [[nodiscard]] const Discretization& disc() const noexcept { return *disc_; }
+    [[nodiscard]] double lambda() const noexcept { return lambda_; }
+    [[nodiscard]] std::size_t bandwidth() const noexcept { return chol_.bandwidth(); }
+    [[nodiscard]] const std::vector<int>& dirichlet_dofs() const noexcept {
+        return dirichlet_dofs_;
+    }
+    /// Fills a global-length vector with Dirichlet values from g (zeros
+    /// elsewhere); convenience for solve_global callers.
+    [[nodiscard]] std::vector<double> dirichlet_vector(
+        const std::function<double(double, double)>& g) const;
+
+private:
+    std::shared_ptr<const Discretization> disc_;
+    double lambda_;
+    HelmholtzBC bc_;
+    std::vector<int> dirichlet_dofs_;
+    std::vector<char> is_dirichlet_;
+    la::BandedCholesky chol_;
+    /// Original matrix columns of Dirichlet dofs (for RHS lifting):
+    /// (row, dirichlet dof, value).
+    std::vector<std::tuple<int, int, double>> lift_;
+};
+
+class HelmholtzPCG {
+public:
+    HelmholtzPCG(std::shared_ptr<const Discretization> disc, double lambda, HelmholtzBC bc,
+                 la::CgOptions opts = {.max_iterations = 2000, .tolerance = 1e-10});
+
+    /// Same contract as HelmholtzDirect::solve.
+    [[nodiscard]] std::vector<double> solve(
+        std::span<const double> f_quad,
+        const std::function<double(double, double)>& g = {}) const;
+
+    /// Number of CG iterations of the most recent solve.
+    [[nodiscard]] std::size_t last_iterations() const noexcept { return last_iters_; }
+
+    /// Global matrix-vector product y = H x (assembled through the dof map);
+    /// exposed for the distributed ALE solver and tests.
+    void apply(std::span<const double> x, std::span<double> y) const;
+
+private:
+    std::shared_ptr<const Discretization> disc_;
+    double lambda_;
+    HelmholtzBC bc_;
+    std::vector<char> is_dirichlet_;
+    std::vector<double> inv_diag_;
+    la::CgOptions opts_;
+    mutable std::size_t last_iters_ = 0;
+};
+
+} // namespace nektar

@@ -1,0 +1,428 @@
+#include "nektar/ns_ale.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+#include "blaslite/blas.hpp"
+
+namespace nektar {
+
+namespace {
+
+/// Local element selection and vertex renumbering for one rank's sub-mesh.
+/// The vertex renumbering is monotone in the original ids so that edge
+/// directions (smaller id first) are preserved, keeping edge-mode signs
+/// identical between the full and local dof maps.
+struct SubMesh {
+    std::vector<std::size_t> elements;          ///< original element ids
+    std::vector<int> vertex_of_original;        ///< orig vid -> local vid (-1)
+    std::shared_ptr<mesh::Mesh> mesh;
+};
+
+SubMesh build_submesh(const mesh::Mesh& full, const std::vector<int>& part, int rank) {
+    SubMesh sub;
+    sub.vertex_of_original.assign(full.num_vertices(), -1);
+    std::vector<int> used;
+    for (std::size_t e = 0; e < full.num_elements(); ++e) {
+        if (part[e] != rank) continue;
+        sub.elements.push_back(e);
+        const auto& el = full.element(e);
+        for (int k = 0; k < el.num_vertices(); ++k) used.push_back(el.v[static_cast<std::size_t>(k)]);
+    }
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    std::vector<mesh::Vertex> verts;
+    verts.reserve(used.size());
+    for (std::size_t i = 0; i < used.size(); ++i) {
+        sub.vertex_of_original[static_cast<std::size_t>(used[i])] = static_cast<int>(i);
+        verts.push_back(full.vertex(static_cast<std::size_t>(used[i])));
+    }
+    std::vector<mesh::Element> elems;
+    for (std::size_t e : sub.elements) {
+        mesh::Element el = full.element(e);
+        for (int k = 0; k < el.num_vertices(); ++k)
+            el.v[static_cast<std::size_t>(k)] =
+                sub.vertex_of_original[static_cast<std::size_t>(el.v[static_cast<std::size_t>(k)])];
+        elems.push_back(el);
+    }
+    sub.mesh = std::make_shared<mesh::Mesh>(std::move(verts), std::move(elems));
+    // Transfer boundary tags by original vertex pair.
+    std::map<std::pair<int, int>, mesh::BoundaryTag> tags;
+    for (const auto& ed : full.edges())
+        if (ed.tag != mesh::BoundaryTag::None) tags[{ed.v0, ed.v1}] = ed.tag;
+    auto& m = *sub.mesh;
+    // Edges of the sub-mesh reference local vids; map back through `used`.
+    for (std::size_t i = 0; i < m.num_edges(); ++i) {
+        const auto& ed = m.edge(i);
+        const int o0 = used[static_cast<std::size_t>(ed.v0)];
+        const int o1 = used[static_cast<std::size_t>(ed.v1)];
+        const auto it = tags.find({std::min(o0, o1), std::max(o0, o1)});
+        if (it != tags.end()) {
+            const auto& a = m.vertex(static_cast<std::size_t>(ed.v0));
+            const auto& b = m.vertex(static_cast<std::size_t>(ed.v1));
+            const double mx = 0.5 * (a.x + b.x), my = 0.5 * (a.y + b.y);
+            const auto tag = it->second;
+            m.tag_boundary(tag, [&](double x, double y) {
+                return std::abs(x - mx) < 1e-12 && std::abs(y - my) < 1e-12;
+            });
+        }
+    }
+    return sub;
+}
+
+} // namespace
+
+AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts,
+                 simmpi::Comm* comm, const std::vector<int>* elem_part)
+    : opts_(std::move(opts)), comm_(comm), order_(order) {
+    const int rank = comm_ ? comm_->rank() : 0;
+    std::vector<int> part(full_mesh.num_elements(), 0);
+    if (comm_ && comm_->size() > 1) {
+        if (!elem_part) throw std::invalid_argument("AleNS2d: parallel run needs a partition");
+        part = *elem_part;
+    }
+    SubMesh sub = build_submesh(full_mesh, part, rank);
+    if (sub.elements.empty()) throw std::invalid_argument("AleNS2d: rank owns no elements");
+    local_mesh_ = sub.mesh;
+    disc_ = std::make_shared<Discretization>(local_mesh_, order_, /*renumber=*/false);
+
+    // Global dof ids for gather-scatter: derived from a dof map of the full
+    // mesh (identical on every rank).
+    if (comm_ && comm_->size() > 1) {
+        const DofMap full_dm(full_mesh, order_, /*renumber=*/false);
+        std::vector<std::int64_t> gids(disc_->dofmap().num_global(), -1);
+        for (std::size_t le = 0; le < sub.elements.size(); ++le) {
+            const auto& fmap = full_dm.element_map(sub.elements[le]);
+            const auto& lmap = disc_->dofmap().element_map(le);
+            for (std::size_t i = 0; i < fmap.size(); ++i) {
+                gids[static_cast<std::size_t>(lmap[i].global)] = fmap[i].global;
+                assert(fmap[i].sign == lmap[i].sign && "orientation must be preserved");
+            }
+        }
+        gs_ = std::make_unique<gs::GatherScatter>(*comm_, gids);
+    }
+
+    // Dot-product weights: 1 / multiplicity so shared dofs count once.
+    dot_weights_.assign(disc_->dofmap().num_global(), 1.0);
+    if (gs_) {
+        std::vector<double> mult(dot_weights_.size(), 1.0);
+        gs_->sum(*comm_, mult);
+        for (std::size_t i = 0; i < mult.size(); ++i) dot_weights_[i] = 1.0 / mult[i];
+    }
+
+    const auto mask_for = [&](const HelmholtzBC& bc) {
+        std::vector<char> mask(disc_->dofmap().num_global(), 0);
+        for (int d : disc_->dofmap().boundary_dofs(
+                 [&](mesh::BoundaryTag t) { return bc.is_dirichlet(t); }))
+            mask[static_cast<std::size_t>(d)] = 1;
+        return mask;
+    };
+    vel_dirichlet_ = mask_for(opts_.velocity_bc);
+    p_dirichlet_ = mask_for(opts_.pressure_bc);
+    HelmholtzBC mesh_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Outflow,
+                                      mesh::BoundaryTag::Side, mesh::BoundaryTag::Wall,
+                                      mesh::BoundaryTag::Body}};
+    mesh_dirichlet_ = mask_for(mesh_bc);
+
+    const std::size_t nm = disc_->modal_size();
+    const std::size_t nq = disc_->quad_size();
+    u_modal_.assign(nm, 0.0);
+    v_modal_.assign(nm, 0.0);
+    p_modal_.assign(nm, 0.0);
+    uq_.assign(nq, 0.0);
+    vq_.assign(nq, 0.0);
+    wq_.assign(nq, 0.0);
+    uq_prev_.assign(nq, 0.0);
+    vq_prev_.assign(nq, 0.0);
+    for (auto* h : {&nu_hist_[0], &nu_hist_[1], &nv_hist_[0], &nv_hist_[1]}) h->assign(nq, 0.0);
+}
+
+void AleNS2d::rebuild_discretization() {
+    disc_ = std::make_shared<Discretization>(local_mesh_, order_, /*renumber=*/false);
+}
+
+void AleNS2d::gs_assemble(std::span<double> global) const {
+    if (gs_) gs_->sum(*comm_, global);
+}
+
+double AleNS2d::global_dot(std::span<const double> a, std::span<const double> b) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += dot_weights_[i] * a[i] * b[i];
+    blaslite::detail::charge(3 * a.size(), 3 * a.size() * sizeof(double), 0);
+    return comm_ ? comm_->allreduce_sum(s) : s;
+}
+
+void AleNS2d::apply_operator(double lambda, std::span<const double> x,
+                             std::span<double> y) const {
+    std::fill(y.begin(), y.end(), 0.0);
+    std::vector<double> xl(disc_->modal_size()), yl(disc_->modal_size());
+    disc_->scatter(x, xl);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        const ElementOps& ops = disc_->ops(e);
+        const std::size_t nm = ops.num_modes();
+        auto xe = disc_->modal_block(std::span<const double>(xl), e);
+        auto ye = disc_->modal_block(std::span<double>(yl), e);
+        blaslite::dgemv(1.0, ops.laplacian().data(), nm, nm, nm, xe.data(), 0.0, ye.data());
+        if (lambda != 0.0)
+            blaslite::dgemv(lambda, ops.mass().data(), nm, nm, nm, xe.data(), 1.0, ye.data());
+    }
+    disc_->gather_add(yl, y);
+    // Interface dofs accumulate the neighbour ranks' element contributions.
+    gs_assemble(std::span<double>(y.data(), y.size()));
+}
+
+std::vector<double> AleNS2d::weak_rhs(std::span<const double> quad) const {
+    std::vector<double> local(disc_->modal_size(), 0.0);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).weak_inner(disc_->quad_block(quad, e),
+                                 disc_->modal_block(std::span<double>(local), e));
+    std::vector<double> rhs(disc_->dofmap().num_global(), 0.0);
+    disc_->gather_add(local, rhs);
+    gs_assemble(rhs);
+    return rhs;
+}
+
+std::vector<double> AleNS2d::dirichlet_x(const HelmholtzBC& bc,
+                                         const std::function<double(double, double)>& g) const {
+    std::vector<double> x(disc_->dofmap().num_global(), 0.0);
+    const auto vals = disc_->dofmap().dirichlet_values(
+        [&](mesh::BoundaryTag t) { return bc.is_dirichlet(t); }, g);
+    for (const auto& [dof, v] : vals) x[static_cast<std::size_t>(dof)] = v;
+    return x;
+}
+
+std::size_t AleNS2d::pcg_solve(double lambda, const std::vector<char>& dirichlet,
+                               std::span<const double> rhs, std::span<double> x) const {
+    const std::size_t n = x.size();
+    // Assembled diagonal for the Jacobi preconditioner.
+    std::vector<double> diag(n, 0.0);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        const ElementOps& ops = disc_->ops(e);
+        const auto& map = disc_->dofmap().element_map(e);
+        for (std::size_t i = 0; i < ops.num_modes(); ++i)
+            diag[static_cast<std::size_t>(map[i].global)] +=
+                ops.laplacian()(i, i) + lambda * ops.mass()(i, i);
+    }
+    gs_assemble(diag);
+    std::vector<double> inv_diag(n);
+    for (std::size_t i = 0; i < n; ++i) inv_diag[i] = dirichlet[i] ? 1.0 : 1.0 / diag[i];
+
+    std::vector<double> hx(n);
+    apply_operator(lambda, x, hx);
+    std::vector<double> r(n);
+    for (std::size_t i = 0; i < n; ++i) r[i] = dirichlet[i] ? 0.0 : rhs[i] - hx[i];
+
+    const auto masked_apply = [&](std::span<const double> in, std::span<double> out) {
+        std::vector<double> tmp(in.begin(), in.end());
+        for (std::size_t i = 0; i < n; ++i)
+            if (dirichlet[i]) tmp[i] = 0.0;
+        apply_operator(lambda, tmp, out);
+        for (std::size_t i = 0; i < n; ++i)
+            if (dirichlet[i]) out[i] = in[i];
+    };
+    const auto dot = [&](std::span<const double> a, std::span<const double> b) {
+        return global_dot(a, b);
+    };
+    std::vector<double> dx(n, 0.0);
+    const la::CgResult res = la::pcg(masked_apply, inv_diag, r, dx, opts_.cg, dot);
+    if (!res.converged && res.residual_norm > 1e-5)
+        throw std::runtime_error("AleNS2d: PCG failed to converge");
+    blaslite::daxpy(1.0, dx, x);
+    return res.iterations;
+}
+
+void AleNS2d::set_initial(const std::function<double(double, double)>& u0,
+                          const std::function<double(double, double)>& v0) {
+    disc_->eval_at_quad(u0, uq_);
+    disc_->eval_at_quad(v0, vq_);
+    disc_->project(uq_, u_modal_);
+    disc_->project(vq_, v_modal_);
+    disc_->to_quad(u_modal_, uq_);
+    disc_->to_quad(v_modal_, vq_);
+    uq_prev_ = uq_;
+    vq_prev_ = vq_;
+    time_ = 0.0;
+    steps_taken_ = 0;
+    for (auto* h : {&nu_hist_[0], &nu_hist_[1], &nv_hist_[0], &nv_hist_[1]})
+        std::fill(h->begin(), h->end(), 0.0);
+}
+
+void AleNS2d::step() {
+    const std::size_t nq = disc_->quad_size();
+    const double dt = opts_.dt;
+    const bool second_order = steps_taken_ >= 1;
+    const double g0 = second_order ? 1.5 : 1.0;
+    breakdown_.steps += 1;
+
+    // --- Extra Helmholtz solve of step 7: the mesh velocity (Laplacian
+    // smoothing of the prescribed boundary motion).
+    std::vector<double> wglob(disc_->dofmap().num_global(), 0.0);
+    {
+        perf::StageScope scope(breakdown_, 7);
+        const double vb = opts_.body_velocity(time_);
+        // Body edges move at vb; the outer boundary stays put.  The L2 edge
+        // projection of the constant vb puts vb on the vertex dofs and zero
+        // on the edge bubbles.
+        std::vector<double> x(disc_->dofmap().num_global(), 0.0);
+        const auto vals = disc_->dofmap().dirichlet_values(
+            [&](mesh::BoundaryTag t) { return t == mesh::BoundaryTag::Body; },
+            [&](double, double) { return vb; });
+        for (const auto& [dof, v] : vals) x[static_cast<std::size_t>(dof)] = v;
+        std::vector<double> zero_rhs(disc_->dofmap().num_global(), 0.0);
+        pcg_solve(0.0, mesh_dirichlet_, zero_rhs, x);
+        wglob = std::move(x);
+    }
+
+    // --- Step 2 extra: update the vertex positions with the mesh velocity
+    // and rebuild the geometry factors.
+    {
+        perf::StageScope scope(breakdown_, 2);
+        // Vertex dof value = mesh velocity at the vertex (hierarchical basis).
+        for (std::size_t le = 0; le < disc_->num_elements(); ++le) {
+            const auto& map = disc_->dofmap().element_map(le);
+            const auto& el = local_mesh_->element(le);
+            const auto& exp = disc_->ops(le).expansion();
+            for (std::size_t v = 0; v < exp.num_vertices(); ++v) {
+                const auto vid = static_cast<std::size_t>(el.v[v]);
+                const double wv = wglob[static_cast<std::size_t>(map[exp.vertex_mode(v)].global)];
+                mesh::Vertex p = local_mesh_->vertex(vid);
+                p.y += dt * wv;
+                local_mesh_->set_vertex(vid, p);
+            }
+        }
+        rebuild_discretization();
+        // Mesh velocity at the (new) quadrature points for the ALE advection.
+        std::vector<double> wmodal(disc_->modal_size());
+        disc_->scatter(wglob, wmodal);
+        disc_->to_quad(wmodal, wq_);
+    }
+
+    // Stage 1: transform to quadrature space on the new geometry.
+    {
+        perf::StageScope scope(breakdown_, 1);
+        disc_->to_quad(u_modal_, uq_);
+        disc_->to_quad(v_modal_, vq_);
+    }
+
+    // Stage 2: ALE nonlinear terms, advecting velocity (u, v - w_mesh).
+    std::vector<double> nu_new(nq), nv_new(nq);
+    {
+        perf::StageScope scope(breakdown_, 2);
+        std::vector<double> dx(nq), dy(nq), vrel(nq);
+        for (std::size_t i = 0; i < nq; ++i) vrel[i] = vq_[i] - wq_[i];
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uq_), e),
+                                           disc_->quad_block(std::span<double>(dx), e),
+                                           disc_->quad_block(std::span<double>(dy), e));
+        blaslite::dvmul(uq_, dx, nu_new);
+        blaslite::dvvtvp(vrel, dy, nu_new);
+        blaslite::dscal(-1.0, nu_new);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vq_), e),
+                                           disc_->quad_block(std::span<double>(dx), e),
+                                           disc_->quad_block(std::span<double>(dy), e));
+        blaslite::dvmul(uq_, dx, nv_new);
+        blaslite::dvvtvp(vrel, dy, nv_new);
+        blaslite::dscal(-1.0, nv_new);
+    }
+
+    // Stage 3: stiffly-stable weighting.
+    std::vector<double> uhat(nq), vhat(nq);
+    {
+        perf::StageScope scope(breakdown_, 3);
+        if (second_order) {
+            for (std::size_t i = 0; i < nq; ++i) {
+                uhat[i] = 2.0 * uq_[i] - 0.5 * uq_prev_[i];
+                vhat[i] = 2.0 * vq_[i] - 0.5 * vq_prev_[i];
+            }
+            blaslite::daxpy(2.0 * dt, nu_new, uhat);
+            blaslite::daxpy(-dt, nu_hist_[0], uhat);
+            blaslite::daxpy(2.0 * dt, nv_new, vhat);
+            blaslite::daxpy(-dt, nv_hist_[0], vhat);
+        } else {
+            blaslite::dcopy(uq_, uhat);
+            blaslite::dcopy(vq_, vhat);
+            blaslite::daxpy(dt, nu_new, uhat);
+            blaslite::daxpy(dt, nv_new, vhat);
+        }
+    }
+
+    // Stage 4: pressure RHS.
+    std::vector<double> prhs;
+    {
+        perf::StageScope scope(breakdown_, 4);
+        std::vector<double> div(nq), dx(nq), dy(nq);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uhat), e),
+                                           disc_->quad_block(std::span<double>(div), e),
+                                           disc_->quad_block(std::span<double>(dy), e));
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vhat), e),
+                                           disc_->quad_block(std::span<double>(dx), e),
+                                           disc_->quad_block(std::span<double>(dy), e));
+        blaslite::daxpy(1.0, dy, div);
+        blaslite::dscal(-1.0 / dt, div);
+        prhs = weak_rhs(div);
+    }
+
+    // Stage 5: pressure PCG solve.
+    std::vector<double> pglob(disc_->dofmap().num_global(), 0.0);
+    {
+        perf::StageScope scope(breakdown_, 5);
+        if (comm_) comm_->set_stage(5);
+        last_p_iters_ = pcg_solve(0.0, p_dirichlet_, prhs, pglob);
+        if (comm_) comm_->set_stage(-1);
+        disc_->scatter(pglob, p_modal_);
+    }
+
+    // Stage 6: Helmholtz RHS.
+    std::vector<double> urhs, vrhs;
+    {
+        perf::StageScope scope(breakdown_, 6);
+        std::vector<double> px(nq), py(nq);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+            disc_->ops(e).grad_from_modal(
+                disc_->modal_block(std::span<const double>(p_modal_), e),
+                disc_->quad_block(std::span<double>(px), e),
+                disc_->quad_block(std::span<double>(py), e));
+        blaslite::daxpy(-dt, px, uhat);
+        blaslite::daxpy(-dt, py, vhat);
+        const double scale = 1.0 / (opts_.nu * dt);
+        blaslite::dscal(scale, uhat);
+        blaslite::dscal(scale, vhat);
+        urhs = weak_rhs(uhat);
+        vrhs = weak_rhs(vhat);
+    }
+
+    // Stage 7: velocity PCG solves.
+    const double tn1 = time_ + dt;
+    {
+        perf::StageScope scope(breakdown_, 7);
+        if (comm_) comm_->set_stage(7);
+        const double lambda = g0 / (opts_.nu * dt);
+        auto xu = dirichlet_x(opts_.velocity_bc,
+                              [&](double x, double y) { return opts_.u_bc(x, y, tn1); });
+        auto xv = dirichlet_x(opts_.velocity_bc,
+                              [&](double x, double y) { return opts_.v_bc(x, y, tn1); });
+        pcg_solve(lambda, vel_dirichlet_, urhs, xu);
+        pcg_solve(lambda, vel_dirichlet_, vrhs, xv);
+        if (comm_) comm_->set_stage(-1);
+        uq_prev_ = uq_;
+        vq_prev_ = vq_;
+        disc_->scatter(xu, u_modal_);
+        disc_->scatter(xv, v_modal_);
+    }
+
+    nu_hist_[1] = std::move(nu_hist_[0]);
+    nv_hist_[1] = std::move(nv_hist_[0]);
+    nu_hist_[0] = std::move(nu_new);
+    nv_hist_[0] = std::move(nv_new);
+    disc_->to_quad(u_modal_, uq_);
+    disc_->to_quad(v_modal_, vq_);
+    time_ = tn1;
+    ++steps_taken_;
+}
+
+} // namespace nektar

@@ -1,0 +1,444 @@
+#include "nektar/ns_fourier.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "blaslite/blas.hpp"
+
+namespace nektar {
+
+namespace {
+constexpr int kStageTranspose = 2; // comm events of the nonlinear step
+} // namespace
+
+FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOptions opts,
+                     simmpi::Comm* comm)
+    : disc_(std::move(disc)),
+      opts_(opts),
+      comm_(comm),
+      mloc_(opts.num_modes / (comm ? static_cast<std::size_t>(comm->size()) : 1)),
+      nplanes_(2 * mloc_),
+      gamma0_(opts.time_order == 1 ? 1.0 : 1.5),
+      transpose_(comm, disc_->quad_size(), nplanes_),
+      zplan_(2 * opts.num_modes) {
+    const std::size_t nranks = comm ? static_cast<std::size_t>(comm->size()) : 1;
+    if (opts_.num_modes % nranks != 0)
+        throw std::invalid_argument("FourierNS: num_modes must divide by ranks");
+    if (mloc_ == 0) throw std::invalid_argument("FourierNS: fewer modes than ranks");
+
+    // Per-mode direct solvers: pressure lambda = beta_k^2, velocity
+    // lambda = gamma0/(nu dt) + beta_k^2 (the paper's "direct solvers may be
+    // employed for the solution of 2D Helmholtz problems on each processor").
+    pressure_.reserve(mloc_);
+    velocity_.reserve(mloc_);
+    for (std::size_t j = 0; j < mloc_; ++j) {
+        const double bk = beta(global_mode(j));
+        HelmholtzBC pbc = opts_.pressure_bc;
+        // Only the mean (k = 0) Poisson problem is singular without Dirichlet
+        // data; shifted modes must not be pinned.
+        if (global_mode(j) != 0) pbc.pin_first_dof = false;
+        pressure_.emplace_back(disc_, bk * bk, pbc);
+        velocity_.emplace_back(disc_, gamma0_ / (opts_.nu * opts_.dt) + bk * bk,
+                               opts_.velocity_bc);
+    }
+
+    const std::size_t nm = nplanes_ * disc_->modal_size();
+    const std::size_t nq = nplanes_ * disc_->quad_size();
+    for (int c = 0; c < 3; ++c) {
+        modal_[c].assign(nm, 0.0);
+        quad_[c].assign(nq, 0.0);
+        quad_prev_[c].assign(nq, 0.0);
+    }
+    p_modal_.assign(nm, 0.0);
+    for (auto& h : nl_hist_) {
+        h.resize(3);
+        for (auto& v : h) v.assign(nq, 0.0);
+    }
+}
+
+std::size_t FourierNS::global_mode(std::size_t local) const noexcept {
+    const std::size_t base = comm_ ? static_cast<std::size_t>(comm_->rank()) * mloc_ : 0;
+    return base + local;
+}
+
+double FourierNS::beta(std::size_t k) const noexcept {
+    return 2.0 * std::numbers::pi * static_cast<double>(k) / opts_.lz;
+}
+
+std::span<const double> FourierNS::plane_quad(int c, std::size_t p) const {
+    const std::size_t nq = disc_->quad_size();
+    return {quad_[c].data() + p * nq, nq};
+}
+
+void FourierNS::set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3Fn& w0) {
+    const std::size_t nq = disc_->quad_size();
+    const std::size_t nz = 2 * opts_.num_modes;
+    const Field3Fn* fns[3] = {&u0, &v0, &w0};
+    std::vector<double> zline(nz);
+    // Sample each quadrature point's z-line, transform, keep local modes.
+    for (int c = 0; c < 3; ++c) {
+        std::vector<double> plane_quads(nplanes_ * nq);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+            const auto& g = disc_->ops(e).geometry();
+            for (std::size_t q = 0; q < disc_->ops(e).num_quad(); ++q) {
+                const std::size_t i = disc_->quad_offset(e) + q;
+                for (std::size_t j = 0; j < nz; ++j) {
+                    const double z = opts_.lz * static_cast<double>(j) / static_cast<double>(nz);
+                    zline[j] = (*fns[c])(g.x[q], g.y[q], z);
+                }
+                const auto spec = fft::rfft(zplan_, zline);
+                for (std::size_t m = 0; m < mloc_; ++m) {
+                    const std::size_t k = global_mode(m);
+                    // Store DFT coefficients scaled by 1/Nz so that
+                    // u(z) = sum_k u_k exp(i beta_k z) + c.c. holds directly.
+                    plane_quads[(2 * m) * nq + i] = spec[k].real() / static_cast<double>(nz);
+                    plane_quads[(2 * m + 1) * nq + i] = spec[k].imag() / static_cast<double>(nz);
+                }
+            }
+        }
+        quad_[c] = plane_quads;
+        for (std::size_t p = 0; p < nplanes_; ++p) {
+            disc_->project(std::span<const double>(quad_[c]).subspan(p * nq, nq),
+                           std::span<double>(modal_[c]).subspan(p * disc_->modal_size(),
+                                                                disc_->modal_size()));
+        }
+        // Consistent quad values from the projected coefficients.
+        for (std::size_t p = 0; p < nplanes_; ++p)
+            disc_->to_quad(std::span<const double>(modal_[c])
+                               .subspan(p * disc_->modal_size(), disc_->modal_size()),
+                           std::span<double>(quad_[c]).subspan(p * nq, nq));
+        quad_prev_[c] = quad_[c];
+    }
+    time_ = 0.0;
+    steps_taken_ = 0;
+    nonlinear(nl_hist_[0]);
+    nl_hist_[1] = nl_hist_[0];
+}
+
+void FourierNS::transform_all_to_quad() {
+    const std::size_t nq = disc_->quad_size();
+    const std::size_t nm = disc_->modal_size();
+    for (int c = 0; c < 3; ++c)
+        for (std::size_t p = 0; p < nplanes_; ++p)
+            disc_->to_quad(
+                std::span<const double>(modal_[c]).subspan(p * nm, nm),
+                std::span<double>(quad_[c]).subspan(p * nq, nq));
+}
+
+void FourierNS::nonlinear(std::vector<std::vector<double>>& nl) {
+    const std::size_t nq = disc_->quad_size();
+    const std::size_t nz = 2 * opts_.num_modes;
+    const std::size_t tp = transpose_.total_planes(); // 2 * M
+    const std::size_t chunk = transpose_.chunk();
+    if (comm_) comm_->set_stage(kStageTranspose);
+
+    // 1. Transpose the three velocity components to z-line layout.
+    std::vector<std::vector<double>> lines(3, std::vector<double>(transpose_.lines_buffer_size()));
+    for (int c = 0; c < 3; ++c) transpose_.to_lines(comm_, quad_[c], lines[c]);
+
+    // 2. Inverse FFT each point's spectrum, form the six quadratic products
+    //    in physical z, forward FFT back.  Divergence form:
+    //    N_i = -(d/dx (u u_i) + d/dy (v u_i) + d/dz (w u_i)).
+    static constexpr int prod_of[6][2] = {{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}};
+    std::vector<std::vector<double>> plines(
+        6, std::vector<double>(transpose_.lines_buffer_size(), 0.0));
+    std::vector<std::vector<double>> phys(3, std::vector<double>(nz));
+    std::vector<fft::cplx> spec(opts_.num_modes + 1);
+    std::vector<double> prod(nz);
+    for (std::size_t i = 0; i < chunk; ++i) {
+        for (int c = 0; c < 3; ++c) {
+            for (std::size_t k = 0; k < opts_.num_modes; ++k)
+                spec[k] = fft::cplx{lines[c][i * tp + 2 * k], lines[c][i * tp + 2 * k + 1]} *
+                          static_cast<double>(nz);
+            spec[opts_.num_modes] = fft::cplx{0.0, 0.0}; // Nyquist
+            phys[static_cast<std::size_t>(c)] = fft::irfft(zplan_, spec);
+        }
+        for (int pr = 0; pr < 6; ++pr) {
+            const auto& a = phys[static_cast<std::size_t>(prod_of[pr][0])];
+            const auto& b = phys[static_cast<std::size_t>(prod_of[pr][1])];
+            for (std::size_t j = 0; j < nz; ++j) prod[j] = a[j] * b[j];
+            const auto pspec = fft::rfft(zplan_, prod);
+            for (std::size_t k = 0; k < opts_.num_modes; ++k) {
+                plines[static_cast<std::size_t>(pr)][i * tp + 2 * k] =
+                    pspec[k].real() / static_cast<double>(nz);
+                plines[static_cast<std::size_t>(pr)][i * tp + 2 * k + 1] =
+                    pspec[k].imag() / static_cast<double>(nz);
+            }
+        }
+    }
+
+    // 3. Transpose the products back to plane layout.
+    std::vector<std::vector<double>> pplanes(
+        6, std::vector<double>(transpose_.planes_buffer_size()));
+    for (int pr = 0; pr < 6; ++pr) transpose_.to_planes(comm_, plines[static_cast<std::size_t>(pr)],
+                                                        pplanes[static_cast<std::size_t>(pr)]);
+    if (comm_) comm_->set_stage(-1);
+
+    // 4. Differentiate in plane space: N_c = -(dx P_xc + dy P_yc + i beta P_zc).
+    //    Component products: u -> (uu, uv, uw), v -> (uv, vv, vw), w -> (uw, vw, ww).
+    static constexpr int comp_prods[3][3] = {{0, 1, 2}, {1, 3, 4}, {2, 4, 5}};
+    std::vector<double> dx(nq), dy(nq);
+    for (int c = 0; c < 3; ++c) {
+        auto& out = nl[static_cast<std::size_t>(c)];
+        std::fill(out.begin(), out.end(), 0.0);
+        for (std::size_t m = 0; m < mloc_; ++m) {
+            const double bk = beta(global_mode(m));
+            for (int reim = 0; reim < 2; ++reim) {
+                const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+                auto outp = std::span<double>(out).subspan(p * nq, nq);
+                // x and y derivative terms.
+                for (int d = 0; d < 2; ++d) {
+                    const auto& pp = pplanes[static_cast<std::size_t>(comp_prods[c][d])];
+                    auto ppp = std::span<const double>(pp).subspan(p * nq, nq);
+                    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+                        disc_->ops(e).grad_collocation(
+                            disc_->quad_block(ppp, e),
+                            disc_->quad_block(std::span<double>(dx), e),
+                            disc_->quad_block(std::span<double>(dy), e));
+                    }
+                    blaslite::daxpy(-1.0, d == 0 ? dx : dy, outp);
+                }
+                // z derivative: i*beta couples the re/im partner plane.
+                const auto& pz = pplanes[static_cast<std::size_t>(comp_prods[c][2])];
+                const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
+                auto pzp = std::span<const double>(pz).subspan(partner * nq, nq);
+                // d/dz (re) = -beta * im; d/dz (im) = +beta * re.
+                blaslite::daxpy(reim == 0 ? bk : -bk, pzp, outp);
+            }
+        }
+    }
+}
+
+void FourierNS::step() {
+    const std::size_t nq = disc_->quad_size();
+    const std::size_t nm = disc_->modal_size();
+    const double dt = opts_.dt;
+    const bool second_order = opts_.time_order == 2 && steps_taken_ >= 1;
+    const double g0 = second_order ? 1.5 : 1.0;
+    breakdown_.steps += 1;
+
+    // Stage 1: modal -> quadrature for every plane of u, v, w.
+    {
+        perf::StageScope scope(breakdown_, 1);
+        transform_all_to_quad();
+    }
+
+    // Stage 2: nonlinear terms (transposes + z FFTs + products + derivatives).
+    std::vector<std::vector<double>> nl_new(3, std::vector<double>(nplanes_ * nq));
+    {
+        perf::StageScope scope(breakdown_, 2);
+        nonlinear(nl_new);
+    }
+
+    // Stage 3: stiffly-stable weighting.
+    std::vector<std::vector<double>> hat(3, std::vector<double>(nplanes_ * nq));
+    {
+        perf::StageScope scope(breakdown_, 3);
+        for (int c = 0; c < 3; ++c) {
+            auto& h = hat[static_cast<std::size_t>(c)];
+            if (second_order) {
+                for (std::size_t i = 0; i < h.size(); ++i)
+                    h[i] = 2.0 * quad_[c][i] - 0.5 * quad_prev_[c][i];
+                blaslite::daxpy(2.0 * dt, nl_new[static_cast<std::size_t>(c)], h);
+                blaslite::daxpy(-dt, nl_hist_[0][static_cast<std::size_t>(c)], h);
+                blaslite::detail::charge(3 * h.size(), 2 * h.size() * sizeof(double),
+                                         h.size() * sizeof(double));
+            } else {
+                blaslite::dcopy(quad_[c], h);
+                blaslite::daxpy(dt, nl_new[static_cast<std::size_t>(c)], h);
+            }
+        }
+    }
+
+    // Stage 4: per-plane pressure RHS from the Fourier-space divergence.
+    std::vector<std::vector<double>> prhs(nplanes_,
+                                          std::vector<double>(disc_->dofmap().num_global(), 0.0));
+    {
+        perf::StageScope scope(breakdown_, 4);
+        std::vector<double> div(nq), dx(nq), dy(nq), local(disc_->modal_size());
+        for (std::size_t m = 0; m < mloc_; ++m) {
+            const double bk = beta(global_mode(m));
+            for (int reim = 0; reim < 2; ++reim) {
+                const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+                auto up = std::span<const double>(hat[0]).subspan(p * nq, nq);
+                auto vp = std::span<const double>(hat[1]).subspan(p * nq, nq);
+                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                    disc_->ops(e).grad_collocation(disc_->quad_block(up, e),
+                                                   disc_->quad_block(std::span<double>(div), e),
+                                                   disc_->quad_block(std::span<double>(dy), e));
+                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                    disc_->ops(e).grad_collocation(disc_->quad_block(vp, e),
+                                                   disc_->quad_block(std::span<double>(dx), e),
+                                                   disc_->quad_block(std::span<double>(dy), e));
+                blaslite::daxpy(1.0, dy, div);
+                // + d/dz w: i beta couples planes.
+                const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
+                auto wp = std::span<const double>(hat[2]).subspan(partner * nq, nq);
+                blaslite::daxpy(reim == 0 ? -bk : bk, wp, div);
+                blaslite::dscal(-1.0 / dt, div);
+                std::fill(local.begin(), local.end(), 0.0);
+                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                    disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(div), e),
+                                             disc_->modal_block(std::span<double>(local), e));
+                disc_->gather_add(local, prhs[p]);
+            }
+        }
+    }
+
+    // Stage 5: per-mode direct pressure solves.
+    {
+        perf::StageScope scope(breakdown_, 5);
+        std::vector<double> zero(disc_->dofmap().num_global(), 0.0);
+        for (std::size_t m = 0; m < mloc_; ++m) {
+            for (int reim = 0; reim < 2; ++reim) {
+                const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+                const auto sol = pressure_[m].solve_global(std::move(prhs[p]), zero);
+                std::copy(sol.begin(), sol.end(), p_modal_.begin() + static_cast<std::ptrdiff_t>(p * nm));
+            }
+        }
+    }
+
+    // Stage 6: Helmholtz RHS: u** = uhat - dt grad p, scaled by 1/(nu dt).
+    std::vector<std::vector<double>> vrhs(
+        3 * nplanes_, std::vector<double>(disc_->dofmap().num_global(), 0.0));
+    {
+        perf::StageScope scope(breakdown_, 6);
+        std::vector<double> px(nq), py(nq), local(disc_->modal_size());
+        const double scale = 1.0 / (opts_.nu * dt);
+        for (std::size_t m = 0; m < mloc_; ++m) {
+            const double bk = beta(global_mode(m));
+            for (int reim = 0; reim < 2; ++reim) {
+                const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+                auto pmod = std::span<const double>(p_modal_).subspan(p * nm, nm);
+                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                    disc_->ops(e).grad_from_modal(disc_->modal_block(pmod, e),
+                                                  disc_->quad_block(std::span<double>(px), e),
+                                                  disc_->quad_block(std::span<double>(py), e));
+                auto hu = std::span<double>(hat[0]).subspan(p * nq, nq);
+                auto hv = std::span<double>(hat[1]).subspan(p * nq, nq);
+                blaslite::daxpy(-dt, px, hu);
+                blaslite::daxpy(-dt, py, hv);
+                // dp/dz on the partner plane of w.
+                const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
+                auto pq = std::span<const double>(p_modal_).subspan(partner * nm, nm);
+                std::vector<double> pquad(nq);
+                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                    disc_->ops(e).interp_to_quad(disc_->modal_block(pq, e),
+                                                 disc_->quad_block(std::span<double>(pquad), e));
+                auto hw = std::span<double>(hat[2]).subspan(p * nq, nq);
+                blaslite::daxpy(reim == 0 ? dt * bk : -dt * bk, pquad, hw);
+            }
+        }
+        for (int c = 0; c < 3; ++c) {
+            blaslite::dscal(scale, hat[static_cast<std::size_t>(c)]);
+            for (std::size_t p = 0; p < nplanes_; ++p) {
+                auto hq = std::span<const double>(hat[static_cast<std::size_t>(c)])
+                              .subspan(p * nq, nq);
+                std::fill(local.begin(), local.end(), 0.0);
+                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                    disc_->ops(e).weak_inner(disc_->quad_block(hq, e),
+                                             disc_->modal_block(std::span<double>(local), e));
+                disc_->gather_add(local, vrhs[static_cast<std::size_t>(c) * nplanes_ + p]);
+            }
+        }
+    }
+
+    // Stage 7: per-mode direct Helmholtz solves (3 components x 2 planes).
+    const double tn1 = time_ + dt;
+    {
+        perf::StageScope scope(breakdown_, 7);
+        const VelocityBC* bcs[3] = {&opts_.u_bc, &opts_.v_bc, &opts_.w_bc};
+        for (int c = 0; c < 3; ++c) {
+            quad_prev_[c] = quad_[c];
+            for (std::size_t m = 0; m < mloc_; ++m) {
+                for (int reim = 0; reim < 2; ++reim) {
+                    const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+                    // Physical Dirichlet data enters only the mean mode's real
+                    // plane; every other plane is homogeneous.
+                    const bool mean = global_mode(m) == 0 && reim == 0;
+                    const HelmholtzDirect* solver = &velocity_[m];
+                    std::unique_ptr<HelmholtzDirect> bootstrap;
+                    if (g0 != gamma0_) {
+                        const double bk = beta(global_mode(m));
+                        bootstrap = std::make_unique<HelmholtzDirect>(
+                            disc_, g0 / (opts_.nu * dt) + bk * bk, opts_.velocity_bc);
+                        solver = bootstrap.get();
+                    }
+                    std::vector<double> bvals =
+                        mean ? solver->dirichlet_vector([&](double x, double y) {
+                            return (*bcs[c])(x, y, tn1);
+                        })
+                             : std::vector<double>(disc_->dofmap().num_global(), 0.0);
+                    const auto sol = solver->solve_global(
+                        std::move(vrhs[static_cast<std::size_t>(c) * nplanes_ + p]), bvals);
+                    std::copy(sol.begin(), sol.end(),
+                              modal_[c].begin() + static_cast<std::ptrdiff_t>(p * nm));
+                }
+            }
+        }
+    }
+
+    nl_hist_[1] = std::move(nl_hist_[0]);
+    nl_hist_[0] = std::move(nl_new);
+    transform_all_to_quad();
+    time_ = tn1;
+    ++steps_taken_;
+}
+
+double FourierNS::mode_energy(int c, std::size_t m) const {
+    const std::size_t nq = disc_->quad_size();
+    std::vector<double> sq(nq);
+    double energy = 0.0;
+    for (int reim = 0; reim < 2; ++reim) {
+        const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+        for (std::size_t i = 0; i < nq; ++i) {
+            const double v = quad_[c][p * nq + i];
+            sq[i] = v * v;
+        }
+        energy += disc_->integrate(sq);
+    }
+    return energy;
+}
+
+double FourierNS::l2_error_3d(
+    simmpi::Comm* comm, int c, double t,
+    const std::function<double(double, double, double, double)>& exact) const {
+    // Evaluate on Nz physical z-planes: u(x,y,z_j) = Re sum_k u_k e^{i beta_k z_j}.
+    // Each rank sums its own modes' contribution at every z; the partial
+    // fields combine by allreduce.
+    const std::size_t nq = disc_->quad_size();
+    const std::size_t nz = 2 * opts_.num_modes;
+    std::vector<double> field(nz * nq, 0.0);
+    for (std::size_t m = 0; m < mloc_; ++m) {
+        const std::size_t k = global_mode(m);
+        const double factor = k == 0 ? 1.0 : 2.0; // conjugate pair
+        for (std::size_t j = 0; j < nz; ++j) {
+            const double z = opts_.lz * static_cast<double>(j) / static_cast<double>(nz);
+            const double cb = std::cos(beta(k) * z);
+            const double sb = std::sin(beta(k) * z);
+            for (std::size_t i = 0; i < nq; ++i) {
+                const double re = quad_[c][(2 * m) * nq + i];
+                const double im = quad_[c][(2 * m + 1) * nq + i];
+                field[j * nq + i] += factor * (re * cb - im * sb);
+            }
+        }
+    }
+    if (comm) comm->allreduce_sum(field);
+    double err2 = 0.0;
+    for (std::size_t j = 0; j < nz; ++j) {
+        const double z = opts_.lz * static_cast<double>(j) / static_cast<double>(nz);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+            const auto& g = disc_->ops(e).geometry();
+            for (std::size_t q = 0; q < disc_->ops(e).num_quad(); ++q) {
+                const std::size_t i = disc_->quad_offset(e) + q;
+                const double d = field[j * nq + i] - exact(g.x[q], g.y[q], z, t);
+                err2 += g.wj[q] * d * d / static_cast<double>(nz);
+            }
+        }
+    }
+    return std::sqrt(err2);
+}
+
+} // namespace nektar

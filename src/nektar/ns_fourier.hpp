@@ -1,0 +1,111 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "nektar/fourier_transpose.hpp"
+#include "nektar/helmholtz.hpp"
+#include "nektar/ns_serial.hpp"
+#include "perf/stage_stats.hpp"
+
+/// \file ns_fourier.hpp
+/// NekTar-F: the Fourier-spectral/hp parallel Navier-Stokes solver (§4.2.1).
+///
+/// A 3-D field on a domain with one homogeneous (z) direction is expanded as
+/// u(x,y,z) = sum_k u_k(x,y) exp(i beta_k z); each complex Fourier mode is a
+/// pair of 2-D spectral/hp element planes ("one processor is assigned to one
+/// Fourier mode which corresponds to two spectral/hp element planes").  The
+/// per-mode Poisson/Helmholtz problems are solved with *direct* banded
+/// solvers — the key speed advantage the paper highlights — while the
+/// nonlinear step couples modes through MPI_Alltoall transpositions and
+/// 1-D FFTs, exactly the paper's stage-2 bottleneck.
+namespace nektar {
+
+struct FourierNsOptions {
+    double dt = 1e-3;
+    double nu = 0.01;
+    int time_order = 2;
+    std::size_t num_modes = 4;   ///< complex Fourier modes M (Nz = 2M physical planes)
+    double lz = 2.0 * 3.14159265358979323846; ///< spanwise length (paper uses 2*pi)
+    HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
+                                          mesh::BoundaryTag::Body}};
+    HelmholtzBC pressure_bc{.dirichlet = {mesh::BoundaryTag::Outflow}};
+    VelocityBC u_bc = [](double, double, double) { return 0.0; };
+    VelocityBC v_bc = [](double, double, double) { return 0.0; };
+    VelocityBC w_bc = [](double, double, double) { return 0.0; };
+};
+
+/// 3-D initial condition f(x, y, z).
+using Field3Fn = std::function<double(double, double, double)>;
+
+class FourierNS {
+public:
+    /// `comm` is the rank's communicator (null = serial, all modes local).
+    /// num_modes must be divisible by the communicator size.
+    FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOptions opts,
+              simmpi::Comm* comm = nullptr);
+
+    void set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3Fn& w0);
+    void step();
+
+    [[nodiscard]] double time() const noexcept { return time_; }
+    [[nodiscard]] std::size_t local_modes() const noexcept { return mloc_; }
+    [[nodiscard]] std::size_t total_modes() const noexcept { return opts_.num_modes; }
+    [[nodiscard]] const Discretization& disc() const noexcept { return *disc_; }
+
+    /// Quadrature values of local plane `p` (p = 2*local_mode + [0 re |1 im])
+    /// of velocity component c (0 = u, 1 = v, 2 = w).
+    [[nodiscard]] std::span<const double> plane_quad(int c, std::size_t p) const;
+
+    /// Evaluates the physical-space velocity component c at (quad point of
+    /// the plane mesh, z) by summing this rank's modes; ranks combine via
+    /// allreduce when called collectively through l2_error_3d.
+    [[nodiscard]] double l2_error_3d(simmpi::Comm* comm, int c, double t,
+                                     const std::function<double(double, double, double, double)>&
+                                         exact) const;
+
+    [[nodiscard]] const perf::StageBreakdown& breakdown() const noexcept { return breakdown_; }
+    perf::StageBreakdown& breakdown() noexcept { return breakdown_; }
+
+    /// Kinetic-energy content of local complex mode m of component c:
+    /// integral over the plane of |u_km|^2 (re^2 + im^2), the z-spectrum
+    /// diagnostic turbulence runs monitor.
+    [[nodiscard]] double mode_energy(int c, std::size_t m) const;
+
+    /// Degrees of freedom per velocity field on this rank (paper's Gamma).
+    [[nodiscard]] std::size_t dof_per_field() const noexcept {
+        return 2 * mloc_ * disc_->modal_size();
+    }
+
+private:
+    [[nodiscard]] double beta(std::size_t global_mode) const noexcept;
+    [[nodiscard]] std::size_t global_mode(std::size_t local) const noexcept;
+    void nonlinear(std::vector<std::vector<double>>& nl);
+    void transform_all_to_quad();
+
+    std::shared_ptr<const Discretization> disc_;
+    FourierNsOptions opts_;
+    simmpi::Comm* comm_;
+    std::size_t mloc_;       ///< complex modes per rank
+    std::size_t nplanes_;    ///< 2 * mloc_
+    double gamma0_;
+    FourierTranspose transpose_;
+    fft::Plan zplan_;        ///< length-Nz real FFT plan
+
+    std::vector<HelmholtzDirect> pressure_;  ///< one per local mode
+    std::vector<HelmholtzDirect> velocity_;
+
+    double time_ = 0.0;
+    int steps_taken_ = 0;
+    // [component][plane * modal_size] modal coefficients; quad likewise.
+    std::vector<double> modal_[3];
+    std::vector<double> quad_[3];
+    std::vector<double> quad_prev_[3];
+    std::vector<double> p_modal_;            ///< pressure planes
+    std::vector<std::vector<double>> nl_hist_[2]; ///< [age][component], plane-major quad
+    perf::StageBreakdown breakdown_;
+};
+
+} // namespace nektar

@@ -1,0 +1,259 @@
+#include "nektar/ns_serial.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "blaslite/blas.hpp"
+
+namespace nektar {
+
+SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opts)
+    : disc_(std::move(disc)),
+      opts_(opts),
+      gamma0_(opts.time_order == 1 ? 1.0 : 1.5),
+      pressure_solver_(disc_, 0.0, opts.pressure_bc),
+      velocity_solver_(disc_, gamma0_ / (opts.nu * opts.dt), opts.velocity_bc) {
+    if (opts_.time_order != 1 && opts_.time_order != 2)
+        throw std::invalid_argument("SerialNS2d: time_order must be 1 or 2");
+    const std::size_t nm = disc_->modal_size();
+    const std::size_t nq = disc_->quad_size();
+    u_modal_.assign(nm, 0.0);
+    v_modal_.assign(nm, 0.0);
+    p_modal_.assign(nm, 0.0);
+    uq_.assign(nq, 0.0);
+    vq_.assign(nq, 0.0);
+    uq_prev_.assign(nq, 0.0);
+    vq_prev_.assign(nq, 0.0);
+    for (auto* h : {&nu_hist_[0], &nu_hist_[1], &nv_hist_[0], &nv_hist_[1]})
+        h->assign(nq, 0.0);
+}
+
+void SerialNS2d::set_initial(const std::function<double(double, double)>& u0,
+                             const std::function<double(double, double)>& v0) {
+    disc_->eval_at_quad(u0, uq_);
+    disc_->eval_at_quad(v0, vq_);
+    disc_->project(uq_, u_modal_);
+    disc_->project(vq_, v_modal_);
+    // Re-evaluate at quad points from the projected modal field so state is
+    // consistent (the projection is not interpolation).
+    disc_->to_quad(u_modal_, uq_);
+    disc_->to_quad(v_modal_, vq_);
+    uq_prev_ = uq_;
+    vq_prev_ = vq_;
+    time_ = 0.0;
+    steps_taken_ = 0;
+    nonlinear(uq_, vq_, nu_hist_[0], nv_hist_[0]);
+    nu_hist_[1] = nu_hist_[0];
+    nv_hist_[1] = nv_hist_[0];
+}
+
+void SerialNS2d::nonlinear(const std::vector<double>& uq, const std::vector<double>& vq,
+                           std::vector<double>& nu_out, std::vector<double>& nv_out) const {
+    const std::size_t nq = disc_->quad_size();
+    assert(nu_out.size() == nq && nv_out.size() == nq);
+    std::vector<double> dx(nq), dy(nq);
+    // N_u = -(u du/dx + v du/dy)
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        auto ue = disc_->quad_block(std::span<const double>(uq), e);
+        disc_->ops(e).grad_collocation(ue, disc_->quad_block(std::span<double>(dx), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    }
+    blaslite::dvmul(uq, dx, nu_out);
+    blaslite::dvvtvp(vq, dy, nu_out);
+    blaslite::dscal(-1.0, nu_out);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        auto ve = disc_->quad_block(std::span<const double>(vq), e);
+        disc_->ops(e).grad_collocation(ve, disc_->quad_block(std::span<double>(dx), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    }
+    blaslite::dvmul(uq, dx, nv_out);
+    blaslite::dvvtvp(vq, dy, nv_out);
+    blaslite::dscal(-1.0, nv_out);
+}
+
+void SerialNS2d::step() {
+    const std::size_t nq = disc_->quad_size();
+    const double dt = opts_.dt;
+    const bool second_order = opts_.time_order == 2 && steps_taken_ >= 1;
+    breakdown_.steps += 1;
+
+    // Stage 1: transform modal -> quadrature space.
+    {
+        perf::StageScope scope(breakdown_, 1);
+        disc_->to_quad(u_modal_, uq_);
+        disc_->to_quad(v_modal_, vq_);
+    }
+
+    // Stage 2: nonlinear terms at quadrature points.
+    std::vector<double> nu_new(nq), nv_new(nq);
+    {
+        perf::StageScope scope(breakdown_, 2);
+        nonlinear(uq_, vq_, nu_new, nv_new);
+    }
+
+    // Stage 3: stiffly-stable weighting of velocity and nonlinear history:
+    //   uhat = sum_q alpha_q u^{n-q} + dt sum_q beta_q N^{n-q}.
+    std::vector<double> uhat(nq), vhat(nq);
+    {
+        perf::StageScope scope(breakdown_, 3);
+        if (second_order) {
+            // alpha = (2, -1/2), beta = (2, -1), gamma0 = 3/2.
+            for (std::size_t q = 0; q < nq; ++q) {
+                uhat[q] = 2.0 * uq_[q] - 0.5 * uq_prev_[q];
+                vhat[q] = 2.0 * vq_[q] - 0.5 * vq_prev_[q];
+            }
+            blaslite::daxpy(2.0 * dt, nu_new, uhat);
+            blaslite::daxpy(-dt, nu_hist_[0], uhat);
+            blaslite::daxpy(2.0 * dt, nv_new, vhat);
+            blaslite::daxpy(-dt, nv_hist_[0], vhat);
+            blaslite::detail::charge(6 * nq, 4 * nq * sizeof(double), 2 * nq * sizeof(double));
+        } else {
+            blaslite::dcopy(uq_, uhat);
+            blaslite::dcopy(vq_, vhat);
+            blaslite::daxpy(dt, nu_new, uhat);
+            blaslite::daxpy(dt, nv_new, vhat);
+        }
+    }
+    const double g0 = second_order ? 1.5 : 1.0;
+
+    // Stage 4: pressure Poisson RHS, - (div uhat / dt, v).
+    std::vector<double> prhs(disc_->dofmap().num_global(), 0.0);
+    {
+        perf::StageScope scope(breakdown_, 4);
+        std::vector<double> div(nq), dx(nq), dy(nq);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uhat), e),
+                                           disc_->quad_block(std::span<double>(div), e),
+                                           disc_->quad_block(std::span<double>(dy), e));
+        }
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vhat), e),
+                                           disc_->quad_block(std::span<double>(dx), e),
+                                           disc_->quad_block(std::span<double>(dy), e));
+        }
+        blaslite::daxpy(1.0, dy, div);
+        blaslite::dscal(-1.0 / dt, div);
+        std::vector<double> local(disc_->modal_size(), 0.0);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+            disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(div), e),
+                                     disc_->modal_block(std::span<double>(local), e));
+        disc_->gather_add(local, prhs);
+    }
+
+    // Stage 5: banded direct solve for the pressure.
+    {
+        perf::StageScope scope(breakdown_, 5);
+        std::vector<double> pdir(disc_->dofmap().num_global(), 0.0);
+        p_modal_ = pressure_solver_.solve_global(std::move(prhs), pdir);
+    }
+
+    // Stage 6: Helmholtz RHS, u** = uhat - dt grad p, f = gamma0 u** / (nu dt gamma0) ...
+    // Helmholtz form: (grad u, grad v) + lambda (u, v) = (u** / (nu dt), v),
+    // lambda = gamma0 / (nu dt).
+    std::vector<double> urhs(disc_->dofmap().num_global(), 0.0);
+    std::vector<double> vrhs(disc_->dofmap().num_global(), 0.0);
+    {
+        perf::StageScope scope(breakdown_, 6);
+        std::vector<double> px(nq), py(nq);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+            disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(p_modal_), e),
+                                          disc_->quad_block(std::span<double>(px), e),
+                                          disc_->quad_block(std::span<double>(py), e));
+        blaslite::daxpy(-dt, px, uhat);
+        blaslite::daxpy(-dt, py, vhat);
+        const double scale = 1.0 / (opts_.nu * dt);
+        blaslite::dscal(scale, uhat);
+        blaslite::dscal(scale, vhat);
+        std::vector<double> lu(disc_->modal_size(), 0.0), lv(disc_->modal_size(), 0.0);
+        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+            disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(uhat), e),
+                                     disc_->modal_block(std::span<double>(lu), e));
+            disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(vhat), e),
+                                     disc_->modal_block(std::span<double>(lv), e));
+        }
+        disc_->gather_add(lu, urhs);
+        disc_->gather_add(lv, vrhs);
+    }
+
+    // Stage 7: banded direct Helmholtz solves for the velocity.
+    const double tn1 = time_ + dt;
+    {
+        perf::StageScope scope(breakdown_, 7);
+        if (g0 != gamma0_) {
+            // First step of a second-order run uses gamma0 = 1: fall back to a
+            // dedicated solver so the operator matches the scheme.
+            HelmholtzDirect first(disc_, g0 / (opts_.nu * dt), opts_.velocity_bc);
+            uq_prev_ = uq_;
+            vq_prev_ = vq_;
+            u_modal_ = first.solve_global(std::move(urhs), first.dirichlet_vector([&](double x,
+                                                                                      double y) {
+                return opts_.u_bc(x, y, tn1);
+            }));
+            v_modal_ = first.solve_global(std::move(vrhs), first.dirichlet_vector([&](double x,
+                                                                                      double y) {
+                return opts_.v_bc(x, y, tn1);
+            }));
+        } else {
+            uq_prev_ = uq_;
+            vq_prev_ = vq_;
+            u_modal_ = velocity_solver_.solve_global(
+                std::move(urhs), velocity_solver_.dirichlet_vector(
+                                     [&](double x, double y) { return opts_.u_bc(x, y, tn1); }));
+            v_modal_ = velocity_solver_.solve_global(
+                std::move(vrhs), velocity_solver_.dirichlet_vector(
+                                     [&](double x, double y) { return opts_.v_bc(x, y, tn1); }));
+        }
+    }
+
+    // Rotate the nonlinear history.
+    nu_hist_[1] = std::move(nu_hist_[0]);
+    nv_hist_[1] = std::move(nv_hist_[0]);
+    nu_hist_[0] = std::move(nu_new);
+    nv_hist_[0] = std::move(nv_new);
+
+    disc_->to_quad(u_modal_, uq_);
+    disc_->to_quad(v_modal_, vq_);
+    time_ = tn1;
+    ++steps_taken_;
+}
+
+std::vector<double> SerialNS2d::vorticity_quad() const {
+    const std::size_t nq = disc_->quad_size();
+    std::vector<double> w(nq), dx(nq), dy(nq);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(v_modal_), e),
+                                      disc_->quad_block(std::span<double>(w), e),
+                                      disc_->quad_block(std::span<double>(dy), e));
+    }
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(u_modal_), e),
+                                      disc_->quad_block(std::span<double>(dx), e),
+                                      disc_->quad_block(std::span<double>(dy), e));
+        auto we = disc_->quad_block(std::span<double>(w), e);
+        auto dye = disc_->quad_block(std::span<const double>(dy), e);
+        for (std::size_t q = 0; q < we.size(); ++q) we[q] -= dye[q];
+    }
+    return w;
+}
+
+double SerialNS2d::divergence_norm() const {
+    const std::size_t nq = disc_->quad_size();
+    std::vector<double> div(nq), dx(nq), dy(nq);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(u_modal_), e),
+                                      disc_->quad_block(std::span<double>(div), e),
+                                      disc_->quad_block(std::span<double>(dy), e));
+    }
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(v_modal_), e),
+                                      disc_->quad_block(std::span<double>(dx), e),
+                                      disc_->quad_block(std::span<double>(dy), e));
+        auto d = disc_->quad_block(std::span<double>(div), e);
+        auto dye = disc_->quad_block(std::span<const double>(dy), e);
+        for (std::size_t q = 0; q < d.size(); ++q) d[q] += dye[q];
+    }
+    return disc_->l2_norm(div);
+}
+
+} // namespace nektar

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nektar/helmholtz.hpp"
+#include "perf/stage_stats.hpp"
+
+/// \file ns_serial.hpp
+/// The serial 2-D incompressible Navier-Stokes solver (paper §4.1).
+///
+/// Time integration is the high-order splitting scheme of Karniadakis,
+/// Israeli & Orszag (1991) at order 1 or 2 (the paper uses "a second order
+/// time-integration ... summarised in three main steps"), split into the 7
+/// instrumented stages of Figure 12:
+///   1  transform modal -> quadrature
+///   2  evaluate nonlinear terms -(u . grad) u at quadrature points
+///   3  weight-average with previous nonlinear terms (stiffly-stable)
+///   4  set up the pressure Poisson RHS
+///   5  banded direct solve of the Poisson equation
+///   6  set up the viscous Helmholtz RHS
+///   7  banded direct solves of the Helmholtz equations
+namespace nektar {
+
+/// Time-dependent Dirichlet velocity data g(x, y, t).
+using VelocityBC = std::function<double(double, double, double)>;
+
+struct NsOptions {
+    double dt = 1e-3;
+    double nu = 0.01;           ///< kinematic viscosity (1/Re)
+    int time_order = 2;         ///< 1 or 2 (stiffly-stable)
+    HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
+                                          mesh::BoundaryTag::Body}};
+    HelmholtzBC pressure_bc{.dirichlet = {mesh::BoundaryTag::Outflow}};
+    VelocityBC u_bc = [](double, double, double) { return 0.0; };
+    VelocityBC v_bc = [](double, double, double) { return 0.0; };
+};
+
+class SerialNS2d {
+public:
+    SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opts);
+
+    /// Sets the initial velocity field (evaluated at quadrature points and
+    /// projected); resets the nonlinear history and the clock.
+    void set_initial(const std::function<double(double, double)>& u0,
+                     const std::function<double(double, double)>& v0);
+
+    /// Advances one time step, recording stage statistics.
+    void step();
+
+    [[nodiscard]] double time() const noexcept { return time_; }
+    [[nodiscard]] const Discretization& disc() const noexcept { return *disc_; }
+
+    /// Current fields at quadrature points.
+    [[nodiscard]] const std::vector<double>& u_quad() const noexcept { return uq_; }
+    [[nodiscard]] const std::vector<double>& v_quad() const noexcept { return vq_; }
+    [[nodiscard]] const std::vector<double>& p_modal() const noexcept { return p_modal_; }
+
+    /// L2 norm of the divergence of the current velocity.
+    [[nodiscard]] double divergence_norm() const;
+
+    /// Vorticity omega = dv/dx - du/dy at quadrature points (the wake's
+    /// primary observable).
+    [[nodiscard]] std::vector<double> vorticity_quad() const;
+
+    /// Accumulated stage statistics (one entry per step taken).
+    [[nodiscard]] const perf::StageBreakdown& breakdown() const noexcept { return breakdown_; }
+    perf::StageBreakdown& breakdown() noexcept { return breakdown_; }
+
+private:
+    void nonlinear(const std::vector<double>& uq, const std::vector<double>& vq,
+                   std::vector<double>& nu_out, std::vector<double>& nv_out) const;
+
+    std::shared_ptr<const Discretization> disc_;
+    NsOptions opts_;
+    double gamma0_;
+    HelmholtzDirect pressure_solver_;
+    HelmholtzDirect velocity_solver_;
+
+    double time_ = 0.0;
+    int steps_taken_ = 0;
+    // State: modal coefficients and quadrature values of (u, v).
+    std::vector<double> u_modal_, v_modal_, p_modal_;
+    std::vector<double> uq_, vq_;
+    // Previous step's quadrature velocity and the nonlinear history.
+    std::vector<double> uq_prev_, vq_prev_;
+    std::vector<double> nu_hist_[2], nv_hist_[2];
+    perf::StageBreakdown breakdown_;
+};
+
+} // namespace nektar

@@ -1,0 +1,41 @@
+#include "netsim/netpipe.hpp"
+
+namespace netsim {
+
+PingPongSeries run_pingpong(const NetworkModel& net, std::size_t min_bytes,
+                            std::size_t max_bytes) {
+    PingPongSeries out;
+    out.network = net.name;
+    for (std::size_t m = std::max<std::size_t>(min_bytes, 1); m <= max_bytes;
+         m = m < 8 ? m + 1 : m + m / 2) {
+        // NetPIPE perturbs each ladder point by +/- 1 byte; with an analytic
+        // transport the three agree to rounding, so record the centre point.
+        const double t = net.ptp_seconds(m);
+        out.samples.push_back({m, t * 1e6, net.pingpong_bandwidth_mbps(m)});
+    }
+    return out;
+}
+
+PingPongSeries run_latency_sweep(const NetworkModel& net, std::size_t max_bytes,
+                                 std::size_t step) {
+    PingPongSeries out;
+    out.network = net.name;
+    for (std::size_t m = 0; m <= max_bytes; m += step) {
+        const double t = net.ptp_seconds(m);
+        out.samples.push_back({m, t * 1e6, m ? net.pingpong_bandwidth_mbps(m) : 0.0});
+    }
+    return out;
+}
+
+AlltoallSeries run_alltoall_sweep(const NetworkModel& net, int nprocs, std::size_t min_bytes,
+                                  std::size_t max_bytes) {
+    AlltoallSeries out;
+    out.network = net.name;
+    out.nprocs = nprocs;
+    for (std::size_t m = std::max<std::size_t>(min_bytes, 1); m <= max_bytes; m *= 2) {
+        out.samples.push_back({m, net.alltoall_bandwidth_mbps(nprocs, m)});
+    }
+    return out;
+}
+
+} // namespace netsim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netsim/netmodel.hpp"
+
+/// \file netpipe.hpp
+/// NetPIPE-style ping-pong driver (the paper uses NetPIPE 2.3 for Figure 7).
+///
+/// NetPIPE walks message sizes in a geometric ladder with +/-1 byte
+/// perturbations and reports, per size, the one-way latency and the
+/// effective bandwidth of the best of several trials.  Our transport is the
+/// analytic network model, so a "trial" is deterministic; the driver keeps
+/// NetPIPE's sweep structure so the output series match the paper's axes.
+namespace netsim {
+
+struct PingPongSample {
+    std::size_t message_bytes = 0;
+    double latency_us = 0.0;    ///< one-way time for this size
+    double bandwidth_mbps = 0.0;
+};
+
+struct PingPongSeries {
+    std::string network;
+    std::vector<PingPongSample> samples;
+};
+
+/// Sweeps sizes from `min_bytes` to `max_bytes` on the NetPIPE ladder.
+[[nodiscard]] PingPongSeries run_pingpong(const NetworkModel& net, std::size_t min_bytes,
+                                          std::size_t max_bytes);
+
+/// The small-message linear sweep used for the latency plot of Figure 7
+/// (0..600 bytes in `step` increments).
+[[nodiscard]] PingPongSeries run_latency_sweep(const NetworkModel& net, std::size_t max_bytes,
+                                               std::size_t step);
+
+/// The paper's Alltoall measurement: a globally synchronised loop of
+/// `reps` MPI_Alltoall calls, reporting per-process average bandwidth.
+struct AlltoallSample {
+    std::size_t message_bytes = 0;
+    double avg_bandwidth_mbps = 0.0;
+};
+
+struct AlltoallSeries {
+    std::string network;
+    int nprocs = 0;
+    std::vector<AlltoallSample> samples;
+};
+
+[[nodiscard]] AlltoallSeries run_alltoall_sweep(const NetworkModel& net, int nprocs,
+                                                std::size_t min_bytes, std::size_t max_bytes);
+
+} // namespace netsim

@@ -1,0 +1,174 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+namespace partition {
+
+namespace {
+
+/// BFS returning the order vertices are discovered in, starting from `seed`,
+/// restricted to vertices where active[v] is true.
+std::vector<int> bfs_order(const Graph& g, int seed, const std::vector<char>& active) {
+    std::vector<int> order;
+    std::vector<char> seen(g.size(), 0);
+    std::deque<int> queue;
+    queue.push_back(seed);
+    seen[static_cast<std::size_t>(seed)] = 1;
+    while (!queue.empty()) {
+        const int v = queue.front();
+        queue.pop_front();
+        order.push_back(v);
+        for (int k = g.xadj[static_cast<std::size_t>(v)];
+             k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+            const int u = g.adjncy[static_cast<std::size_t>(k)];
+            if (!active[static_cast<std::size_t>(u)] || seen[static_cast<std::size_t>(u)])
+                continue;
+            seen[static_cast<std::size_t>(u)] = 1;
+            queue.push_back(u);
+        }
+    }
+    return order;
+}
+
+/// A vertex roughly on the graph's periphery: run BFS twice and take the
+/// last-discovered vertex (the standard pseudo-peripheral heuristic).
+int pseudo_peripheral(const Graph& g, const std::vector<char>& active, int any_active) {
+    int v = any_active;
+    for (int pass = 0; pass < 2; ++pass) {
+        const auto order = bfs_order(g, v, active);
+        v = order.back();
+    }
+    return v;
+}
+
+/// Gain of moving v to the other side: (cut edges removed) - (cut added).
+int move_gain(const Graph& g, const std::vector<char>& side, const std::vector<char>& active,
+              int v) {
+    int gain = 0;
+    for (int k = g.xadj[static_cast<std::size_t>(v)];
+         k < g.xadj[static_cast<std::size_t>(v) + 1]; ++k) {
+        const int u = g.adjncy[static_cast<std::size_t>(k)];
+        if (!active[static_cast<std::size_t>(u)]) continue;
+        gain += (side[static_cast<std::size_t>(u)] != side[static_cast<std::size_t>(v)]) ? 1 : -1;
+    }
+    return gain;
+}
+
+/// Splits the active vertices into sides 0/1 with |side 0| = target0, by
+/// greedy BFS growth plus a few boundary-refinement sweeps.
+void bisect(const Graph& g, std::vector<char>& active, std::size_t target0,
+            std::vector<char>& side) {
+    // Collect active vertices (graph may be disconnected: loop components).
+    std::vector<int> remaining;
+    for (std::size_t v = 0; v < g.size(); ++v)
+        if (active[v]) remaining.push_back(static_cast<int>(v));
+    assert(target0 <= remaining.size());
+
+    for (int v : remaining) side[static_cast<std::size_t>(v)] = 1;
+    std::vector<char> taken(g.size(), 0);
+    std::size_t count0 = 0;
+    while (count0 < target0) {
+        // Seed a new BFS in the largest unexplored region.
+        int seed = -1;
+        for (int v : remaining)
+            if (!taken[static_cast<std::size_t>(v)]) { seed = v; break; }
+        if (seed < 0) break;
+        std::vector<char> act_unexplored(g.size(), 0);
+        for (int v : remaining)
+            if (!taken[static_cast<std::size_t>(v)]) act_unexplored[static_cast<std::size_t>(v)] = 1;
+        seed = pseudo_peripheral(g, act_unexplored, seed);
+        for (int v : bfs_order(g, seed, act_unexplored)) {
+            if (count0 >= target0) break;
+            side[static_cast<std::size_t>(v)] = 0;
+            taken[static_cast<std::size_t>(v)] = 1;
+            ++count0;
+        }
+    }
+
+    // Kernighan-Lin-flavoured refinement: swap the best boundary pair while
+    // it improves the cut (balance is preserved by swapping in pairs).
+    for (int sweep = 0; sweep < 8; ++sweep) {
+        int best0 = -1, best1 = -1;
+        int best_gain = 0;
+        for (int v : remaining) {
+            const int gv = move_gain(g, side, active, v);
+            if (gv <= 0) continue;
+            if (side[static_cast<std::size_t>(v)] == 0) {
+                if (best0 < 0 || gv > move_gain(g, side, active, best0)) best0 = v;
+            } else {
+                if (best1 < 0 || gv > move_gain(g, side, active, best1)) best1 = v;
+            }
+        }
+        if (best0 < 0 || best1 < 0) break;
+        const int gain = move_gain(g, side, active, best0) + move_gain(g, side, active, best1);
+        if (gain <= best_gain) break;
+        side[static_cast<std::size_t>(best0)] = 1;
+        side[static_cast<std::size_t>(best1)] = 0;
+    }
+}
+
+void recurse(const Graph& g, std::vector<char>& active, int part_lo, int part_hi,
+             std::vector<int>& part) {
+    const int nparts = part_hi - part_lo;
+    if (nparts <= 1) {
+        for (std::size_t v = 0; v < g.size(); ++v)
+            if (active[v]) part[v] = part_lo;
+        return;
+    }
+    std::size_t n_active = 0;
+    for (std::size_t v = 0; v < g.size(); ++v) n_active += active[v] ? 1u : 0u;
+    const int half = nparts / 2;
+    const std::size_t target0 = n_active * static_cast<std::size_t>(half) /
+                                static_cast<std::size_t>(nparts);
+    std::vector<char> side(g.size(), 0);
+    bisect(g, active, target0, side);
+    std::vector<char> left(g.size(), 0), right(g.size(), 0);
+    for (std::size_t v = 0; v < g.size(); ++v) {
+        if (!active[v]) continue;
+        (side[v] == 0 ? left[v] : right[v]) = 1;
+    }
+    recurse(g, left, part_lo, part_lo + half, part);
+    recurse(g, right, part_lo + half, part_hi, part);
+}
+
+} // namespace
+
+std::vector<int> partition_graph(const Graph& g, int nparts) {
+    assert(nparts >= 1);
+    std::vector<int> part(g.size(), 0);
+    if (nparts == 1 || g.size() == 0) return part;
+    std::vector<char> active(g.size(), 1);
+    recurse(g, active, 0, nparts, part);
+    return part;
+}
+
+std::vector<int> partition_strips(std::size_t n, int nparts) {
+    std::vector<int> part(n, 0);
+    for (std::size_t v = 0; v < n; ++v)
+        part[v] = static_cast<int>(v * static_cast<std::size_t>(nparts) / std::max<std::size_t>(n, 1));
+    for (auto& p : part) p = std::min(p, nparts - 1);
+    return part;
+}
+
+PartitionStats evaluate(const Graph& g, const std::vector<int>& part) {
+    PartitionStats s;
+    s.nparts = part.empty() ? 0 : *std::max_element(part.begin(), part.end()) + 1;
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(std::max(s.nparts, 1)), 0);
+    for (int p : part) ++sizes[static_cast<std::size_t>(p)];
+    s.max_part = *std::max_element(sizes.begin(), sizes.end());
+    s.min_part = *std::min_element(sizes.begin(), sizes.end());
+    for (std::size_t v = 0; v < g.size(); ++v) {
+        for (int k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+            const int u = g.adjncy[static_cast<std::size_t>(k)];
+            if (static_cast<std::size_t>(u) > v && part[static_cast<std::size_t>(u)] != part[v])
+                ++s.edge_cut;
+        }
+    }
+    return s;
+}
+
+} // namespace partition

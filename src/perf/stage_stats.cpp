@@ -1,0 +1,62 @@
+#include "perf/stage_stats.hpp"
+
+namespace perf {
+
+StageBreakdown& StageBreakdown::operator+=(const StageBreakdown& o) {
+    for (std::size_t s = 0; s <= kNumStages; ++s) {
+        counts[s] += o.counts[s];
+        host_seconds[s] += o.host_seconds[s];
+    }
+    steps += o.steps;
+    return *this;
+}
+
+blaslite::OpCounts StageBreakdown::total_counts() const {
+    blaslite::OpCounts t;
+    for (std::size_t s = 1; s <= kNumStages; ++s) t += counts[s];
+    return t;
+}
+
+double StageBreakdown::total_host_seconds() const {
+    double t = 0.0;
+    for (std::size_t s = 1; s <= kNumStages; ++s) t += host_seconds[s];
+    return t;
+}
+
+double StageBreakdown::predict_stage_seconds(const machine::MachineModel& m, std::size_t stage,
+                                             const StageShape& shape) const {
+    const blaslite::OpCounts& c = counts[stage];
+    machine::KernelShape k;
+    k.flops = static_cast<double>(c.flops);
+    k.bytes = static_cast<double>(c.bytes());
+    k.working_set = shape.working_set_bytes;
+    k.compute_efficiency = shape.compute_efficiency;
+    k.latency_bound = shape.latency_bound;
+    const double body = machine::predict_seconds(m, k);
+    // predict_seconds charges one call overhead; add the rest of the calls.
+    const double extra_calls = c.calls > 0 ? static_cast<double>(c.calls - 1) : 0.0;
+    return body + extra_calls * m.call_overhead_cycles / (m.clock_mhz * 1e6);
+}
+
+double StageBreakdown::predict_total_seconds(
+    const machine::MachineModel& m,
+    const std::array<StageShape, kNumStages + 1>& shapes) const {
+    double t = 0.0;
+    for (std::size_t s = 1; s <= kNumStages; ++s) t += predict_stage_seconds(m, s, shapes[s]);
+    return t;
+}
+
+std::string stage_name(std::size_t stage) {
+    switch (stage) {
+        case 1: return "transform modal->quadrature";
+        case 2: return "nonlinear terms";
+        case 3: return "extrapolation weighting";
+        case 4: return "Poisson RHS setup";
+        case 5: return "Poisson (pressure) solve";
+        case 6: return "Helmholtz RHS setup";
+        case 7: return "Helmholtz (viscous) solve";
+        default: return "unknown";
+    }
+}
+
+} // namespace perf

@@ -1,0 +1,304 @@
+#include "simmpi/simmpi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace simmpi {
+
+std::string to_string(CommKind k) {
+    switch (k) {
+        case CommKind::Ptp: return "ptp";
+        case CommKind::Alltoall: return "alltoall";
+        case CommKind::Allreduce: return "allreduce";
+        case CommKind::Gather: return "gather";
+        case CommKind::Bcast: return "bcast";
+        case CommKind::Barrier: return "barrier";
+    }
+    return "?";
+}
+
+namespace {
+
+double event_seconds(const CommEventKey& key, const netsim::NetworkModel& net, int nprocs) {
+    switch (key.kind) {
+        case CommKind::Ptp: return net.ptp_seconds(key.bytes);
+        case CommKind::Alltoall: return net.alltoall_seconds(nprocs, key.bytes);
+        case CommKind::Allreduce: return net.allreduce_seconds(nprocs, key.bytes);
+        case CommKind::Gather:
+        case CommKind::Bcast: return net.gather_seconds(nprocs, key.bytes);
+        case CommKind::Barrier: return net.barrier_seconds(nprocs);
+    }
+    return 0.0;
+}
+
+} // namespace
+
+double price_stage(const CommLog& log, int stage, const netsim::NetworkModel& net, int nprocs) {
+    const auto it = log.find(stage);
+    if (it == log.end()) return 0.0;
+    double t = 0.0;
+    for (const auto& [key, count] : it->second)
+        t += static_cast<double>(count) * event_seconds(key, net, nprocs);
+    return t;
+}
+
+double price_log(const CommLog& log, const netsim::NetworkModel& net, int nprocs) {
+    double t = 0.0;
+    for (const auto& [stage, events] : log) {
+        (void)events;
+        t += price_stage(log, stage, net, nprocs);
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
+
+void Comm::advance_compute(double seconds) noexcept {
+    cpu_ += seconds;
+    wall_ += seconds;
+}
+
+void Comm::send(int dest, int tag, std::span<const double> data) {
+    assert(dest >= 0 && dest < size_ && dest != rank_);
+    const std::size_t bytes = data.size_bytes();
+    World::Message msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.payload.assign(data.begin(), data.end());
+    msg.avail_time = wall_ + world_->net_.ptp_seconds(bytes);
+    record(CommKind::Ptp, bytes);
+    // The sender returns to work after the injection overhead; the transfer
+    // itself lands on the receiver's clock.
+    const double overhead = 0.5 * world_->net_.latency_us * 1e-6;
+    wall_ += overhead;
+    cpu_ += overhead * world_->net_.cpu_poll_fraction;
+    world_->deliver(dest, std::move(msg));
+}
+
+void Comm::recv(int src, int tag, std::span<double> data) {
+    World::Message msg = world_->take(rank_, src, tag);
+    if (msg.payload.size() != data.size())
+        throw std::runtime_error("simmpi: recv size mismatch");
+    std::copy(msg.payload.begin(), msg.payload.end(), data.begin());
+    const double before = wall_;
+    wall_ = std::max(wall_, msg.avail_time);
+    // TCP stacks block (pure idle); polling stacks burn CPU while waiting.
+    cpu_ += (wall_ - before) * world_->net_.cpu_poll_fraction;
+}
+
+void Comm::sendrecv(int partner, int tag, std::span<const double> send_data,
+                    std::span<double> recv_data) {
+    // send() is buffered (deposits into the partner's mailbox), so the
+    // send-then-recv order cannot deadlock.
+    send(partner, tag, send_data);
+    recv(partner, tag, recv_data);
+}
+
+double Comm::sync_and_charge(double coll_seconds) {
+    const double all = world_->rendezvous_max(wall_);
+    const double idle = all - wall_;
+    wall_ = all + coll_seconds;
+    cpu_ += (idle + coll_seconds) * world_->net_.cpu_poll_fraction;
+    return wall_;
+}
+
+void Comm::alltoall(std::span<const double> send, std::span<double> recv, std::size_t block) {
+    const std::size_t p = static_cast<std::size_t>(size_);
+    if (send.size() != p * block || recv.size() != p * block)
+        throw std::runtime_error("simmpi: alltoall size mismatch");
+    const std::size_t bytes = block * sizeof(double);
+    record(CommKind::Alltoall, bytes);
+
+    // Stage the data: rank r owns rows [r*p*block, (r+1)*p*block).
+    {
+        std::lock_guard lk(world_->exch_mtx_);
+        if (world_->exchange_.size() < p * p * block) world_->exchange_.resize(p * p * block);
+    }
+    world_->rendezvous_max(wall_); // everyone sized before anyone writes
+    std::copy(send.begin(), send.end(),
+              world_->exchange_.begin() + static_cast<std::ptrdiff_t>(rank_ * p * block));
+    world_->rendezvous_max(wall_); // writes complete before reads
+    for (std::size_t j = 0; j < p; ++j) {
+        const double* srcp = world_->exchange_.data() + (j * p + rank_) * block;
+        std::copy(srcp, srcp + block, recv.begin() + static_cast<std::ptrdiff_t>(j * block));
+    }
+    sync_and_charge(world_->net_.alltoall_seconds(size_, bytes));
+}
+
+void Comm::allreduce_sum(std::span<double> data) {
+    const std::size_t n = data.size();
+    const std::size_t p = static_cast<std::size_t>(size_);
+    record(CommKind::Allreduce, n * sizeof(double));
+    {
+        std::lock_guard lk(world_->exch_mtx_);
+        if (world_->exchange_.size() < p * n) world_->exchange_.resize(p * n);
+    }
+    world_->rendezvous_max(wall_);
+    std::copy(data.begin(), data.end(),
+              world_->exchange_.begin() + static_cast<std::ptrdiff_t>(rank_ * n));
+    world_->rendezvous_max(wall_);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < p; ++r) s += world_->exchange_[r * n + i];
+        data[i] = s;
+    }
+    sync_and_charge(world_->net_.allreduce_seconds(size_, n * sizeof(double)));
+}
+
+double Comm::allreduce_sum(double v) {
+    double buf[1] = {v};
+    allreduce_sum(std::span<double>(buf, 1));
+    return buf[0];
+}
+
+namespace {
+// Shared implementation for scalar max/min via the staging area.
+} // namespace
+
+double Comm::allreduce_max(double v) {
+    const std::size_t p = static_cast<std::size_t>(size_);
+    record(CommKind::Allreduce, sizeof(double));
+    {
+        std::lock_guard lk(world_->exch_mtx_);
+        if (world_->exchange_.size() < p) world_->exchange_.resize(p);
+    }
+    world_->rendezvous_max(wall_);
+    world_->exchange_[static_cast<std::size_t>(rank_)] = v;
+    world_->rendezvous_max(wall_);
+    double m = world_->exchange_[0];
+    for (std::size_t r = 1; r < p; ++r) m = std::max(m, world_->exchange_[r]);
+    sync_and_charge(world_->net_.allreduce_seconds(size_, sizeof(double)));
+    return m;
+}
+
+double Comm::allreduce_min(double v) { return -allreduce_max(-v); }
+
+void Comm::gather(std::span<const double> send, std::vector<double>& recv, int root) {
+    const std::size_t n = send.size();
+    const std::size_t p = static_cast<std::size_t>(size_);
+    record(CommKind::Gather, n * sizeof(double));
+    {
+        std::lock_guard lk(world_->exch_mtx_);
+        if (world_->exchange_.size() < p * n) world_->exchange_.resize(p * n);
+    }
+    world_->rendezvous_max(wall_);
+    std::copy(send.begin(), send.end(),
+              world_->exchange_.begin() + static_cast<std::ptrdiff_t>(rank_ * n));
+    world_->rendezvous_max(wall_);
+    if (rank_ == root) {
+        recv.assign(world_->exchange_.begin(),
+                    world_->exchange_.begin() + static_cast<std::ptrdiff_t>(p * n));
+    }
+    sync_and_charge(world_->net_.gather_seconds(size_, n * sizeof(double)));
+}
+
+void Comm::bcast(std::span<double> data, int root) {
+    const std::size_t n = data.size();
+    record(CommKind::Bcast, n * sizeof(double));
+    {
+        std::lock_guard lk(world_->exch_mtx_);
+        if (world_->exchange_.size() < n) world_->exchange_.resize(n);
+    }
+    world_->rendezvous_max(wall_);
+    if (rank_ == root)
+        std::copy(data.begin(), data.end(), world_->exchange_.begin());
+    world_->rendezvous_max(wall_);
+    if (rank_ != root)
+        std::copy(world_->exchange_.begin(),
+                  world_->exchange_.begin() + static_cast<std::ptrdiff_t>(n), data.begin());
+    sync_and_charge(world_->net_.gather_seconds(size_, n * sizeof(double)));
+}
+
+void Comm::barrier() {
+    record(CommKind::Barrier, 0);
+    sync_and_charge(world_->net_.barrier_seconds(size_));
+}
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(int nprocs, netsim::NetworkModel net)
+    : nprocs_(nprocs), net_(std::move(net)), mailboxes_(static_cast<std::size_t>(nprocs)) {
+    if (nprocs < 1) throw std::invalid_argument("simmpi: need at least one rank");
+}
+
+void World::deliver(int dest, Message msg) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+        std::lock_guard lk(box.mtx);
+        box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+}
+
+World::Message World::take(int self, int src, int tag) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    std::unique_lock lk(box.mtx);
+    for (;;) {
+        const auto it = std::find_if(box.queue.begin(), box.queue.end(), [&](const Message& m) {
+            return m.src == src && m.tag == tag;
+        });
+        if (it != box.queue.end()) {
+            Message msg = std::move(*it);
+            box.queue.erase(it);
+            return msg;
+        }
+        box.cv.wait(lk);
+    }
+}
+
+double World::rendezvous_max(double wall) {
+    std::unique_lock lk(rdv_.mtx);
+    const std::uint64_t gen = rdv_.generation;
+    rdv_.max_wall = std::max(rdv_.max_wall, wall);
+    if (++rdv_.waiting == nprocs_) {
+        rdv_.waiting = 0;
+        ++rdv_.generation;
+        // max_wall becomes this generation's result; reset happens lazily by
+        // the first arriver of the next generation reading-then-maxing is
+        // wrong, so snapshot and clear here.
+        const double result = rdv_.max_wall;
+        rdv_.max_wall = 0.0;
+        rdv_.result_ = result;
+        rdv_.cv.notify_all();
+        return result;
+    }
+    rdv_.cv.wait(lk, [&] { return rdv_.generation != gen; });
+    return rdv_.result_;
+}
+
+std::vector<RankReport> World::run(const std::function<void(Comm&)>& fn) {
+    std::vector<RankReport> reports(static_cast<std::size_t>(nprocs_));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs_));
+    std::mutex err_mtx;
+    std::exception_ptr first_error;
+
+    for (int r = 0; r < nprocs_; ++r) {
+        threads.emplace_back([&, r] {
+            Comm comm(*this, r, nprocs_);
+            try {
+                fn(comm);
+            } catch (...) {
+                std::lock_guard lk(err_mtx);
+                if (!first_error) first_error = std::current_exception();
+            }
+            RankReport& rep = reports[static_cast<std::size_t>(r)];
+            rep.rank = r;
+            rep.cpu_seconds = comm.cpu_time();
+            rep.wall_seconds = comm.wall_time();
+            rep.log = comm.log();
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return reports;
+}
+
+} // namespace simmpi

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netsim/netmodel.hpp"
+
+/// \file simmpi.hpp
+/// A simulated MPI: the message-passing runtime the parallel solvers run on.
+///
+/// Ranks are host threads.  Point-to-point messages really move through
+/// per-rank mailboxes (wrong tags or mismatched sizes fail loudly, and a
+/// missing send deadlocks — the semantics are honest), while a virtual clock
+/// per rank models what the transfer would have cost on a chosen 1999-era
+/// interconnect (see netsim).  Each rank tracks
+///
+///   * cpu time  — compute charged by the application via advance_compute(),
+///   * wall time — cpu time plus communication and idle time,
+///
+/// mirroring the paper's methodology: "The difference between the two types
+/// of timings indicates idle CPU time, which is associated with network
+/// inefficiency" (§4.2).
+///
+/// Collectives (alltoall, allreduce, gather, bcast, barrier) are built over
+/// a shared exchange area with real data movement and are charged from the
+/// network model's collective costs.  Every communication event is also
+/// recorded in a per-stage log so the benchmarks can re-price a run on every
+/// network without re-executing it.
+namespace simmpi {
+
+/// Communication operation categories for the event log.
+enum class CommKind : std::uint8_t { Ptp, Alltoall, Allreduce, Gather, Bcast, Barrier };
+
+[[nodiscard]] std::string to_string(CommKind k);
+
+/// Aggregation key: one collective/ptp call of a given per-message size.
+struct CommEventKey {
+    CommKind kind;
+    std::size_t bytes;  ///< ptp: message size; collectives: per-rank block size
+    auto operator<=>(const CommEventKey&) const = default;
+};
+
+/// stage id -> (event key -> number of occurrences).  Stage -1 collects
+/// everything issued outside an explicit stage.
+using CommLog = std::map<int, std::map<CommEventKey, std::uint64_t>>;
+
+/// Prices a log on a given network for a run with `nprocs` ranks.
+[[nodiscard]] double price_log(const CommLog& log, const netsim::NetworkModel& net, int nprocs);
+
+/// Prices only the given stage.
+[[nodiscard]] double price_stage(const CommLog& log, int stage, const netsim::NetworkModel& net,
+                                 int nprocs);
+
+struct RankReport {
+    int rank = 0;
+    double cpu_seconds = 0.0;
+    double wall_seconds = 0.0;
+    CommLog log;
+};
+
+class World;
+
+/// Per-rank communicator handle, valid for the duration of World::run.
+class Comm {
+public:
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] int size() const noexcept { return size_; }
+
+    /// Charges `seconds` of computation to both clocks.
+    void advance_compute(double seconds) noexcept;
+
+    /// Tags subsequent comm events with `stage` (paper stages 1-7; -1 none).
+    void set_stage(int stage) noexcept { stage_ = stage; }
+
+    /// Blocking tagged send/recv of doubles.  recv's span length must equal
+    /// the sent length (checked).
+    void send(int dest, int tag, std::span<const double> data);
+    void recv(int src, int tag, std::span<double> data);
+
+    /// Combined exchange with a partner (both sides call it); avoids the
+    /// deadlock a naive send+recv ordering would have on a synchronous model.
+    void sendrecv(int partner, int tag, std::span<const double> send_data,
+                  std::span<double> recv_data);
+
+    /// MPI_Alltoall: `send` and `recv` hold size() blocks of `block` doubles.
+    void alltoall(std::span<const double> send, std::span<double> recv, std::size_t block);
+
+    /// MPI_Allreduce(SUM) in place.
+    void allreduce_sum(std::span<double> data);
+    [[nodiscard]] double allreduce_sum(double v);
+    [[nodiscard]] double allreduce_max(double v);
+    [[nodiscard]] double allreduce_min(double v);
+
+    /// MPI_Gather of equal blocks to `root`; recv is resized at the root.
+    void gather(std::span<const double> send, std::vector<double>& recv, int root);
+
+    /// MPI_Bcast from `root`.
+    void bcast(std::span<double> data, int root);
+
+    void barrier();
+
+    [[nodiscard]] double cpu_time() const noexcept { return cpu_; }
+    [[nodiscard]] double wall_time() const noexcept { return wall_; }
+    [[nodiscard]] double idle_time() const noexcept { return wall_ - cpu_; }
+    [[nodiscard]] const CommLog& log() const noexcept { return log_; }
+
+private:
+    friend class World;
+    Comm(World& world, int rank, int size) : world_(&world), rank_(rank), size_(size) {}
+
+    void record(CommKind kind, std::size_t bytes) { ++log_[stage_][{kind, bytes}]; }
+    /// Synchronises all ranks, sets every wall clock to the max, then adds
+    /// `coll_seconds`; returns the post-collective wall time.
+    double sync_and_charge(double coll_seconds);
+
+    World* world_;
+    int rank_;
+    int size_;
+    int stage_ = -1;
+    double cpu_ = 0.0;
+    double wall_ = 0.0;
+    CommLog log_;
+};
+
+/// A simulated cluster: N ranks over one interconnect model.
+class World {
+public:
+    World(int nprocs, netsim::NetworkModel net);
+
+    /// Runs `fn(comm)` on every rank (each on its own thread) and returns the
+    /// per-rank reports.  Any exception thrown by a rank is rethrown here.
+    std::vector<RankReport> run(const std::function<void(Comm&)>& fn);
+
+    [[nodiscard]] int size() const noexcept { return nprocs_; }
+    [[nodiscard]] const netsim::NetworkModel& network() const noexcept { return net_; }
+
+private:
+    friend class Comm;
+
+    struct Message {
+        int src;
+        int tag;
+        std::vector<double> payload;
+        double avail_time; ///< virtual time at which the payload is deliverable
+    };
+
+    struct Mailbox {
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::deque<Message> queue;
+    };
+
+    /// Reusable sense-reversing barrier with a shared reduction slot.
+    struct Rendezvous {
+        std::mutex mtx;
+        std::condition_variable cv;
+        int waiting = 0;
+        std::uint64_t generation = 0;
+        double max_wall = 0.0;
+        double result_ = 0.0; ///< snapshot of max_wall for the completed generation
+    };
+
+    void deliver(int dest, Message msg);
+    Message take(int self, int src, int tag);
+    /// Enters the rendezvous with this rank's wall clock; returns max over all.
+    double rendezvous_max(double wall);
+
+    int nprocs_;
+    netsim::NetworkModel net_;
+    std::vector<Mailbox> mailboxes_;
+    Rendezvous rdv_;
+    std::mutex exch_mtx_;
+    std::vector<double> exchange_; ///< collective staging area
+};
+
+} // namespace simmpi

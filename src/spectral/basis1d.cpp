@@ -1,0 +1,25 @@
+#include "spectral/basis1d.hpp"
+
+#include <cassert>
+
+#include "spectral/jacobi.hpp"
+
+namespace spectral {
+
+double modal_basis(std::size_t p, std::size_t order, double z) noexcept {
+    assert(p <= order);
+    if (p == 0) return 0.5 * (1.0 - z);
+    if (p == order) return 0.5 * (1.0 + z);
+    return 0.25 * (1.0 - z) * (1.0 + z) * jacobi(p - 1, 1.0, 1.0, z);
+}
+
+double modal_basis_derivative(std::size_t p, std::size_t order, double z) noexcept {
+    assert(p <= order);
+    if (p == 0) return -0.5;
+    if (p == order) return 0.5;
+    const double pj = jacobi(p - 1, 1.0, 1.0, z);
+    const double dpj = jacobi_derivative(p - 1, 1.0, 1.0, z);
+    return -0.5 * z * pj + 0.25 * (1.0 - z * z) * dpj;
+}
+
+} // namespace spectral

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file basis1d.hpp
+/// The 1-D "modified" hierarchical modal basis of Karniadakis & Sherwin:
+///   psi_0(z)   = (1 - z)/2                         (left vertex)
+///   psi_P(z)   = (1 + z)/2                         (right vertex)
+///   psi_p(z)   = (1-z)/2 * (1+z)/2 * P_{p-1}^{1,1}(z),  1 <= p <= P-1
+/// This is the building block of the quadrilateral tensor expansion and the
+/// eta_1 direction of the triangle.
+namespace spectral {
+
+/// Value of mode p (0..order) at z for expansion order `order`.
+[[nodiscard]] double modal_basis(std::size_t p, std::size_t order, double z) noexcept;
+
+/// Derivative of mode p at z.
+[[nodiscard]] double modal_basis_derivative(std::size_t p, std::size_t order,
+                                            double z) noexcept;
+
+/// Sign picked up by interior edge mode j (1-based) when the edge is
+/// traversed in the reverse direction: P^{1,1}_{j-1}(-z) = (-1)^{j-1} P(z).
+[[nodiscard]] constexpr double edge_reversal_sign(std::size_t j) noexcept {
+    return (j % 2 == 0) ? -1.0 : 1.0;
+}
+
+} // namespace spectral

@@ -1,0 +1,173 @@
+#include "spectral/jacobi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "la/dense.hpp"
+
+namespace spectral {
+
+double jacobi(std::size_t n, double alpha, double beta, double x) noexcept {
+    if (n == 0) return 1.0;
+    double pm1 = 1.0;
+    double p = 0.5 * ((alpha - beta) + (alpha + beta + 2.0) * x);
+    for (std::size_t k = 1; k < n; ++k) {
+        const double kk = static_cast<double>(k);
+        const double a1 = 2.0 * (kk + 1.0) * (kk + alpha + beta + 1.0) * (2.0 * kk + alpha + beta);
+        const double a2 = (2.0 * kk + alpha + beta + 1.0) * (alpha * alpha - beta * beta);
+        const double a3 = (2.0 * kk + alpha + beta) * (2.0 * kk + alpha + beta + 1.0) *
+                          (2.0 * kk + alpha + beta + 2.0);
+        const double a4 = 2.0 * (kk + alpha) * (kk + beta) * (2.0 * kk + alpha + beta + 2.0);
+        const double pnext = ((a2 + a3 * x) * p - a4 * pm1) / a1;
+        pm1 = p;
+        p = pnext;
+    }
+    return p;
+}
+
+double jacobi_derivative(std::size_t n, double alpha, double beta, double x) noexcept {
+    if (n == 0) return 0.0;
+    return 0.5 * (static_cast<double>(n) + alpha + beta + 1.0) *
+           jacobi(n - 1, alpha + 1.0, beta + 1.0, x);
+}
+
+namespace {
+
+/// Gamma-function-free zeroth moment of the Jacobi weight via the Beta
+/// function identity mu0 = 2^(a+b+1) * B(a+1, b+1).
+double mu0(double a, double b) {
+    return std::pow(2.0, a + b + 1.0) * std::exp(std::lgamma(a + 1.0) + std::lgamma(b + 1.0) -
+                                                 std::lgamma(a + b + 2.0));
+}
+
+/// Recurrence coefficients (Gautschi): diagonal ak, off-diagonal sqrt(bk).
+void jacobi_matrix(std::size_t n, double a, double b, std::vector<double>& diag,
+                   std::vector<double>& off) {
+    diag.resize(n);
+    off.assign(n, 0.0); // off[k] couples k and k+1 (last unused)
+    for (std::size_t k = 0; k < n; ++k) {
+        const double kk = static_cast<double>(k);
+        if (k == 0) {
+            diag[k] = (b - a) / (a + b + 2.0);
+        } else {
+            const double s = 2.0 * kk + a + b;
+            diag[k] = (b * b - a * a) / (s * (s + 2.0));
+        }
+    }
+    for (std::size_t k = 1; k < n; ++k) {
+        const double kk = static_cast<double>(k);
+        const double s = 2.0 * kk + a + b;
+        const double bk = 4.0 * kk * (kk + a) * (kk + b) * (kk + a + b) /
+                          (s * s * (s + 1.0) * (s - 1.0));
+        off[k - 1] = std::sqrt(bk);
+    }
+}
+
+/// Symmetric tridiagonal QL with implicit shifts; eigenvalues land in `d`,
+/// and `z` (entered as e0) accumulates the first row of the eigenvector
+/// matrix, so Gauss weights are mu0 * z_i^2 (Golub-Welsch).
+void tql_first_row(std::vector<double>& d, std::vector<double>& e, std::vector<double>& z) {
+    const std::size_t n = d.size();
+    if (n == 0) return;
+    e.resize(n, 0.0);
+    for (std::size_t l = 0; l < n; ++l) {
+        std::size_t iter = 0;
+        for (;;) {
+            std::size_t m = l;
+            for (; m + 1 < n; ++m) {
+                const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+                if (std::abs(e[m]) <= 1e-300 + 1e-15 * dd) break;
+            }
+            if (m == l) break;
+            if (++iter > 60) throw std::runtime_error("tql: no convergence");
+            double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            double r = std::hypot(g, 1.0);
+            g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+            double s = 1.0, c = 1.0, p = 0.0;
+            for (std::size_t i = m; i-- > l;) {
+                double f = s * e[i];
+                const double bb = c * e[i];
+                r = std::hypot(f, g);
+                e[i + 1] = r;
+                if (r == 0.0) {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * bb;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - bb;
+                f = z[i + 1];
+                z[i + 1] = s * z[i] + c * f;
+                z[i] = c * z[i] - s * f;
+            }
+            if (r == 0.0 && m > l + 1) continue;
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    // Sort ascending, carrying z.
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(), [&](std::size_t i, std::size_t j) { return d[i] < d[j]; });
+    std::vector<double> ds(n), zs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ds[i] = d[idx[i]];
+        zs[i] = z[idx[i]];
+    }
+    d = std::move(ds);
+    z = std::move(zs);
+}
+
+} // namespace
+
+QuadratureRule gauss_jacobi(std::size_t n, double alpha, double beta) {
+    assert(n >= 1);
+    std::vector<double> diag, off;
+    jacobi_matrix(n, alpha, beta, diag, off);
+    std::vector<double> z(n, 0.0);
+    z[0] = 1.0;
+    tql_first_row(diag, off, z);
+    QuadratureRule rule;
+    rule.points = diag;
+    rule.weights.resize(n);
+    const double m0 = mu0(alpha, beta);
+    for (std::size_t i = 0; i < n; ++i) rule.weights[i] = m0 * z[i] * z[i];
+    return rule;
+}
+
+QuadratureRule gauss_lobatto_jacobi(std::size_t n, double alpha, double beta) {
+    assert(n >= 2);
+    QuadratureRule rule;
+    rule.points.resize(n);
+    rule.points.front() = -1.0;
+    rule.points.back() = 1.0;
+    if (n > 2) {
+        // Interior Lobatto points are the zeros of P_{n-2}^{alpha+1,beta+1},
+        // i.e. the (n-2)-point Gauss-Jacobi nodes at incremented exponents.
+        const QuadratureRule inner = gauss_jacobi(n - 2, alpha + 1.0, beta + 1.0);
+        std::copy(inner.points.begin(), inner.points.end(), rule.points.begin() + 1);
+    }
+    // Weights from exactness on the Jacobi basis: sum_i w_i P_k(x_i) must
+    // reproduce the weighted integrals (mu0 for k = 0, 0 otherwise).
+    la::DenseMatrix v(n, n);
+    std::vector<double> rhs(n, 0.0);
+    rhs[0] = mu0(alpha, beta);
+    for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t i = 0; i < n; ++i) v(k, i) = jacobi(k, alpha, beta, rule.points[i]);
+    std::vector<std::size_t> piv;
+    if (!lu_factor(v, piv)) throw std::runtime_error("gauss_lobatto_jacobi: singular system");
+    lu_solve(v, piv, rhs);
+    rule.weights = std::move(rhs);
+    return rule;
+}
+
+} // namespace spectral

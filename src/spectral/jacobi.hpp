@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file jacobi.hpp
+/// Jacobi polynomials and Gauss-type quadrature.
+///
+/// The spectral/hp expansion bases of Karniadakis & Sherwin (1999) are built
+/// from Jacobi polynomials P_n^{alpha,beta}; the triangle's collapsed
+/// coordinate direction needs Gauss-Jacobi rules with alpha = 1 or 2 so the
+/// (1-eta)^alpha geometric factor is absorbed into the quadrature weight.
+namespace spectral {
+
+/// P_n^{alpha,beta}(x) via the three-term recurrence.
+[[nodiscard]] double jacobi(std::size_t n, double alpha, double beta, double x) noexcept;
+
+/// d/dx P_n^{alpha,beta}(x) = (n+alpha+beta+1)/2 * P_{n-1}^{alpha+1,beta+1}(x).
+[[nodiscard]] double jacobi_derivative(std::size_t n, double alpha, double beta,
+                                       double x) noexcept;
+
+/// A quadrature rule on [-1, 1].
+struct QuadratureRule {
+    std::vector<double> points;
+    std::vector<double> weights;
+    [[nodiscard]] std::size_t size() const noexcept { return points.size(); }
+};
+
+/// n-point Gauss-Jacobi rule: exact for w(x) * p(x) with deg p <= 2n-1,
+/// w(x) = (1-x)^alpha (1+x)^beta.
+[[nodiscard]] QuadratureRule gauss_jacobi(std::size_t n, double alpha, double beta);
+
+/// n-point Gauss-Lobatto-Jacobi rule (endpoints included): exact to 2n-3.
+[[nodiscard]] QuadratureRule gauss_lobatto_jacobi(std::size_t n, double alpha, double beta);
+
+/// Convenience Legendre (alpha = beta = 0) versions.
+[[nodiscard]] inline QuadratureRule gauss_legendre(std::size_t n) {
+    return gauss_jacobi(n, 0.0, 0.0);
+}
+[[nodiscard]] inline QuadratureRule gauss_lobatto(std::size_t n) {
+    return gauss_lobatto_jacobi(n, 0.0, 0.0);
+}
+
+} // namespace spectral

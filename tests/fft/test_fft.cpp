@@ -1,0 +1,144 @@
+#include "fft/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace {
+
+using fft::cplx;
+
+std::vector<cplx> random_signal(std::size_t n, unsigned seed) {
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<cplx> v(n);
+    for (auto& x : v) x = cplx{dist(gen), dist(gen)};
+    return v;
+}
+
+/// Brute-force DFT for reference.
+std::vector<cplx> naive_dft(const std::vector<cplx>& x) {
+    const std::size_t n = x.size();
+    std::vector<cplx> out(n, cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t j = 0; j < n; ++j)
+            out[k] += x[j] * std::polar(1.0, -2.0 * std::numbers::pi *
+                                                 static_cast<double>(j * k) /
+                                                 static_cast<double>(n));
+    return out;
+}
+
+class FftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+    const auto n = static_cast<std::size_t>(GetParam());
+    auto x = random_signal(n, 1);
+    const auto ref = naive_dft(x);
+    fft::Plan plan(n);
+    plan.forward(x);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(x[k].real(), ref[k].real(), 1e-9 * static_cast<double>(n)) << n << " " << k;
+        EXPECT_NEAR(x[k].imag(), ref[k].imag(), 1e-9 * static_cast<double>(n));
+    }
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+    const auto n = static_cast<std::size_t>(GetParam());
+    const auto x0 = random_signal(n, 2);
+    auto x = x0;
+    fft::Plan plan(n);
+    plan.forward(x);
+    plan.inverse(x);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(x[k].real(), x0[k].real(), 1e-10 * static_cast<double>(n));
+        EXPECT_NEAR(x[k].imag(), x0[k].imag(), 1e-10 * static_cast<double>(n));
+    }
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+    const auto n = static_cast<std::size_t>(GetParam());
+    auto x = random_signal(n, 3);
+    double time_energy = 0.0;
+    for (const auto& v : x) time_energy += std::norm(v);
+    fft::Plan plan(n);
+    plan.forward(x);
+    double freq_energy = 0.0;
+    for (const auto& v : x) freq_energy += std::norm(v);
+    EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+                1e-8 * static_cast<double>(n * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwoAndOdd, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 3, 5, 6, 7, 12, 15, 100));
+
+TEST(Fft, DeltaTransformsToConstant) {
+    std::vector<cplx> x(16, cplx{0.0, 0.0});
+    x[0] = cplx{1.0, 0.0};
+    fft::forward(x);
+    for (const auto& v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, Linearity) {
+    const std::size_t n = 32;
+    const auto a = random_signal(n, 4);
+    const auto b = random_signal(n, 5);
+    std::vector<cplx> sum(n);
+    for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+    auto fa = a, fb = b, fsum = sum;
+    fft::Plan plan(n);
+    plan.forward(fa);
+    plan.forward(fb);
+    plan.forward(fsum);
+    for (std::size_t k = 0; k < n; ++k) {
+        const cplx expect = 2.0 * fa[k] + 3.0 * fb[k];
+        EXPECT_NEAR(fsum[k].real(), expect.real(), 1e-9);
+        EXPECT_NEAR(fsum[k].imag(), expect.imag(), 1e-9);
+    }
+}
+
+TEST(Rfft, RoundTripAndHermitianSymmetry) {
+    const std::size_t n = 48;
+    std::mt19937 gen(6);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> x(n);
+    for (auto& v : x) v = dist(gen);
+    fft::Plan plan(n);
+    const auto spec = fft::rfft(plan, x);
+    ASSERT_EQ(spec.size(), n / 2 + 1);
+    // DC and Nyquist must be real for a real signal.
+    EXPECT_NEAR(spec[0].imag(), 0.0, 1e-10);
+    EXPECT_NEAR(spec[n / 2].imag(), 0.0, 1e-10);
+    const auto back = fft::irfft(plan, spec);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST(Rfft, SingleHarmonicLandsInOneBin) {
+    const std::size_t n = 64;
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = std::cos(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) /
+                        static_cast<double>(n));
+    fft::Plan plan(n);
+    const auto spec = fft::rfft(plan, x);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        const double mag = std::abs(spec[k]);
+        if (k == 5) {
+            EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-9);
+        } else {
+            EXPECT_NEAR(mag, 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Fft, FlopsModelIsMonotonic) {
+    EXPECT_EQ(fft::fft_flops(1), 0u);
+    EXPECT_LT(fft::fft_flops(64), fft::fft_flops(128));
+    EXPECT_NEAR(static_cast<double>(fft::fft_flops(1024)), 5.0 * 1024 * 10, 1.0);
+}
+
+} // namespace

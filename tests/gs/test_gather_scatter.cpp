@@ -1,0 +1,138 @@
+#include "gs/gather_scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace {
+
+netsim::NetworkModel test_net() {
+    netsim::NetworkModel n;
+    n.name = "test";
+    n.latency_us = 5.0;
+    n.bandwidth_mbps = 200.0;
+    return n;
+}
+
+/// Reference: dense assembly of (gid -> sum of contributions).
+void check_gs(int nprocs, const std::vector<std::vector<std::int64_t>>& ids) {
+    // Expected sums: value of dof gid on rank r is gid * 10 + r.
+    std::map<std::int64_t, double> expected;
+    for (int r = 0; r < nprocs; ++r)
+        for (auto gid : ids[static_cast<std::size_t>(r)])
+            expected[gid] += static_cast<double>(gid) * 10.0 + r;
+
+    simmpi::World world(nprocs, test_net());
+    world.run([&](simmpi::Comm& c) {
+        const auto& mine = ids[static_cast<std::size_t>(c.rank())];
+        gs::GatherScatter gs(c, mine);
+        std::vector<double> vals(mine.size());
+        for (std::size_t i = 0; i < mine.size(); ++i)
+            vals[i] = static_cast<double>(mine[i]) * 10.0 + c.rank();
+        gs.sum(c, vals);
+        for (std::size_t i = 0; i < mine.size(); ++i)
+            EXPECT_NEAR(vals[i], expected.at(mine[i]), 1e-12)
+                << "rank " << c.rank() << " gid " << mine[i];
+    });
+}
+
+TEST(GatherScatter, PairwiseOnlySharing) {
+    // Chain: rank r shares dof 100+r with rank r+1 only.
+    const int p = 4;
+    std::vector<std::vector<std::int64_t>> ids(p);
+    for (int r = 0; r < p; ++r) {
+        ids[static_cast<std::size_t>(r)].push_back(1000 + r); // private
+        if (r > 0) ids[static_cast<std::size_t>(r)].push_back(100 + r - 1);
+        if (r + 1 < p) ids[static_cast<std::size_t>(r)].push_back(100 + r);
+    }
+    check_gs(p, ids);
+}
+
+TEST(GatherScatter, TreeSharing) {
+    // One dof shared by everyone (a corner vertex in a DD mesh).
+    const int p = 6;
+    std::vector<std::vector<std::int64_t>> ids(p);
+    for (int r = 0; r < p; ++r) ids[static_cast<std::size_t>(r)] = {7, 1000 + r};
+    check_gs(p, ids);
+}
+
+TEST(GatherScatter, MixedSharingRandomised) {
+    const int p = 5;
+    std::mt19937 gen(3);
+    std::vector<std::vector<std::int64_t>> ids(p);
+    // 40 global dofs, each held by a random subset of ranks.
+    for (std::int64_t gid = 0; gid < 40; ++gid) {
+        std::vector<int> holders;
+        for (int r = 0; r < p; ++r)
+            if (gen() % 3 == 0) holders.push_back(r);
+        if (holders.empty()) holders.push_back(static_cast<int>(gid) % p);
+        for (int r : holders) ids[static_cast<std::size_t>(r)].push_back(gid);
+    }
+    check_gs(p, ids);
+}
+
+TEST(GatherScatter, UnsharedDofsUntouched) {
+    const int p = 3;
+    std::vector<std::vector<std::int64_t>> ids(p);
+    for (int r = 0; r < p; ++r) ids[static_cast<std::size_t>(r)] = {r * 10, r * 10 + 1};
+    simmpi::World world(p, test_net());
+    world.run([&](simmpi::Comm& c) {
+        const auto& mine = ids[static_cast<std::size_t>(c.rank())];
+        gs::GatherScatter gs(c, mine);
+        EXPECT_EQ(gs.pairwise_dofs(), 0u);
+        EXPECT_EQ(gs.tree_dofs(), 0u);
+        std::vector<double> vals = {1.5, 2.5};
+        gs.sum(c, vals);
+        EXPECT_DOUBLE_EQ(vals[0], 1.5);
+        EXPECT_DOUBLE_EQ(vals[1], 2.5);
+    });
+}
+
+TEST(GatherScatter, ClassifiesPairwiseVsTree) {
+    const int p = 4;
+    // dof 1 shared by ranks 0,1 (pairwise); dof 2 by all (tree).
+    std::vector<std::vector<std::int64_t>> ids(p);
+    for (int r = 0; r < p; ++r) {
+        ids[static_cast<std::size_t>(r)].push_back(2);
+        if (r < 2) ids[static_cast<std::size_t>(r)].push_back(1);
+    }
+    simmpi::World world(p, test_net());
+    world.run([&](simmpi::Comm& c) {
+        gs::GatherScatter gs(c, ids[static_cast<std::size_t>(c.rank())]);
+        EXPECT_EQ(gs.tree_dofs(), 1u);
+        if (c.rank() < 2) {
+            EXPECT_EQ(gs.pairwise_dofs(), 1u);
+        } else {
+            EXPECT_EQ(gs.pairwise_dofs(), 0u);
+        }
+    });
+}
+
+TEST(GatherScatter, TreeOnlyStrategyMatchesAuto) {
+    const int p = 4;
+    std::vector<std::vector<std::int64_t>> ids(p);
+    for (int r = 0; r < p; ++r) {
+        ids[static_cast<std::size_t>(r)].push_back(500 + r); // private
+        if (r > 0) ids[static_cast<std::size_t>(r)].push_back(50 + r - 1);
+        if (r + 1 < p) ids[static_cast<std::size_t>(r)].push_back(50 + r);
+        ids[static_cast<std::size_t>(r)].push_back(7); // shared by all
+    }
+    simmpi::World world(p, test_net());
+    world.run([&](simmpi::Comm& c) {
+        const auto& mine = ids[static_cast<std::size_t>(c.rank())];
+        gs::GatherScatter auto_gs(c, mine);
+        gs::GatherScatter tree_gs(c, mine, gs::GatherScatter::Strategy::TreeOnly);
+        EXPECT_EQ(tree_gs.pairwise_dofs(), 0u);
+        EXPECT_GT(auto_gs.pairwise_dofs() + (c.rank() == 0 || c.rank() == p - 1 ? 1u : 0u),
+                  0u);
+        std::vector<double> v1(mine.size()), v2(mine.size());
+        for (std::size_t i = 0; i < mine.size(); ++i)
+            v1[i] = v2[i] = static_cast<double>(mine[i]) + 0.1 * c.rank();
+        auto_gs.sum(c, v1);
+        tree_gs.sum(c, v2);
+        for (std::size_t i = 0; i < mine.size(); ++i) EXPECT_NEAR(v1[i], v2[i], 1e-12);
+    });
+}
+
+} // namespace

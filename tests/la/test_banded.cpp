@@ -1,0 +1,84 @@
+#include "la/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+/// Random SPD banded matrix: diagonally dominant within the band.
+la::SymBandedMatrix random_banded(std::size_t n, std::size_t kd, unsigned seed) {
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    la::SymBandedMatrix a(n, kd);
+    for (std::size_t d = 1; d <= kd; ++d)
+        for (std::size_t j = 0; j + d < n; ++j) a.band(d, j) = dist(gen);
+    for (std::size_t j = 0; j < n; ++j) a.band(0, j) = 2.0 * static_cast<double>(kd) + 1.0;
+    return a;
+}
+
+class BandedSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BandedSizes, CholeskyRoundTrip) {
+    const auto [n, kd] = GetParam();
+    const auto nu = static_cast<std::size_t>(n);
+    const auto a = random_banded(nu, static_cast<std::size_t>(kd), 42);
+    std::vector<double> x_true(nu), b(nu);
+    std::mt19937 gen(7);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (auto& v : x_true) v = dist(gen);
+    a.matvec(x_true, b);
+    la::BandedCholesky chol;
+    ASSERT_TRUE(chol.factor(a));
+    chol.solve(b);
+    for (std::size_t i = 0; i < nu; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BandedSizes,
+                         ::testing::Values(std::pair{1, 0}, std::pair{5, 0}, std::pair{10, 1},
+                                           std::pair{20, 3}, std::pair{50, 7},
+                                           std::pair{200, 15}, std::pair{128, 127}));
+
+TEST(Banded, MatchesDenseCholesky) {
+    const auto a = random_banded(30, 4, 1);
+    la::DenseMatrix dense = a.to_dense();
+    std::vector<double> b(30, 1.0), bd(30, 1.0);
+    la::BandedCholesky chol;
+    ASSERT_TRUE(chol.factor(a));
+    chol.solve(b);
+    ASSERT_TRUE(la::cholesky_factor(dense));
+    la::cholesky_solve(dense, bd);
+    for (std::size_t i = 0; i < 30; ++i) EXPECT_NEAR(b[i], bd[i], 1e-10);
+}
+
+TEST(Banded, RejectsIndefinite) {
+    la::SymBandedMatrix a(3, 1);
+    a.band(0, 0) = 1.0;
+    a.band(0, 1) = -1.0; // negative diagonal
+    a.band(0, 2) = 1.0;
+    la::BandedCholesky chol;
+    EXPECT_FALSE(chol.factor(a));
+    EXPECT_FALSE(chol.factored());
+}
+
+TEST(Banded, AtAndAddRespectSymmetry) {
+    la::SymBandedMatrix a(5, 2);
+    a.add(1, 3, 2.5);
+    EXPECT_DOUBLE_EQ(a.at(1, 3), 2.5);
+    EXPECT_DOUBLE_EQ(a.at(3, 1), 2.5);
+    EXPECT_DOUBLE_EQ(a.at(0, 4), 0.0); // outside band
+    const auto d = a.to_dense();
+    EXPECT_DOUBLE_EQ(d.symmetry_defect(), 0.0);
+}
+
+TEST(Banded, MatvecMatchesDense) {
+    const auto a = random_banded(25, 3, 9);
+    const auto dense = a.to_dense();
+    std::vector<double> x(25), y1(25), y2(25);
+    for (std::size_t i = 0; i < 25; ++i) x[i] = static_cast<double>(i) * 0.1 - 1.0;
+    a.matvec(x, y1);
+    dense.matvec(x, y2);
+    for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+#include "la/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+la::DenseMatrix random_spd(std::size_t n, unsigned seed) {
+    std::mt19937 gen(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    la::DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(gen);
+    la::DenseMatrix spd = matmul(a, a.transposed());
+    for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+    return spd;
+}
+
+TEST(Dense, MatvecAndMatmulAgree) {
+    const auto a = random_spd(12, 1);
+    std::vector<double> x(12);
+    std::mt19937 gen(2);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (auto& v : x) v = dist(gen);
+    std::vector<double> y(12);
+    a.matvec(x, y);
+    la::DenseMatrix xm(12, 1);
+    for (std::size_t i = 0; i < 12; ++i) xm(i, 0) = x[i];
+    const auto ym = matmul(a, xm);
+    for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-12);
+}
+
+TEST(Dense, LuSolvesRandomSystem) {
+    const std::size_t n = 20;
+    auto a = random_spd(n, 3);
+    const auto a0 = a;
+    std::vector<double> x_true(n), b(n);
+    std::mt19937 gen(4);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (auto& v : x_true) v = dist(gen);
+    a0.matvec(x_true, b);
+    std::vector<std::size_t> piv;
+    ASSERT_TRUE(lu_factor(a, piv));
+    lu_solve(a, piv, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+}
+
+TEST(Dense, LuDetectsSingular) {
+    la::DenseMatrix a(3, 3, 0.0);
+    a(0, 0) = 1.0;
+    a(1, 1) = 1.0; // third row/col all zero
+    std::vector<std::size_t> piv;
+    EXPECT_FALSE(lu_factor(a, piv));
+}
+
+TEST(Dense, CholeskySolvesSpd) {
+    const std::size_t n = 15;
+    auto a = random_spd(n, 5);
+    const auto a0 = a;
+    std::vector<double> x_true(n, 1.5), b(n);
+    a0.matvec(x_true, b);
+    ASSERT_TRUE(cholesky_factor(a));
+    cholesky_solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], 1.5, 1e-9);
+}
+
+TEST(Dense, CholeskyRejectsIndefinite) {
+    la::DenseMatrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = a(1, 0) = 2.0;
+    a(1, 1) = 1.0; // eigenvalues 3, -1
+    EXPECT_FALSE(cholesky_factor(a));
+}
+
+TEST(Dense, SymmetryDefect) {
+    la::DenseMatrix a(2, 2);
+    a(0, 1) = 1.0;
+    a(1, 0) = 0.25;
+    EXPECT_DOUBLE_EQ(a.symmetry_defect(), 0.75);
+    EXPECT_DOUBLE_EQ(random_spd(8, 6).symmetry_defect(), 0.0);
+}
+
+} // namespace

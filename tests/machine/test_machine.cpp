@@ -1,0 +1,90 @@
+#include "machine/machine_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using machine::by_name;
+using machine::predict_mbps;
+using machine::predict_mflops;
+using machine::roster;
+
+TEST(MachineModel, RosterContainsThePaperMachines) {
+    for (const char* name : {"RoadRunner", "Muses", "SP2-Silver", "SP2-Thin2", "P2SC", "Onyx2",
+                             "NCSA", "AP3000", "T3E", "HITACHI"})
+        EXPECT_NO_THROW((void)by_name(name)) << name;
+    EXPECT_THROW((void)by_name("CM-5"), std::out_of_range);
+}
+
+TEST(MachineModel, BandwidthStaircaseIsMonotone) {
+    // Larger working sets never see faster memory.
+    for (const auto& m : roster()) {
+        double prev = 1e30;
+        for (std::size_t ws : {1024u, 16u * 1024u, 256u * 1024u, 8u * 1024u * 1024u}) {
+            const double bw = m.bandwidth_for(ws);
+            EXPECT_LE(bw, prev + 1e-9) << m.name << " ws=" << ws;
+            prev = bw;
+        }
+    }
+}
+
+TEST(MachineModel, PredictedRateNeverExceedsPeak) {
+    for (const auto& m : roster()) {
+        for (std::size_t n : {16u, 128u, 1024u, 65536u}) {
+            EXPECT_LE(predict_mflops(m, machine::shape_dgemm(n)), m.peak_mflops + 1e-9)
+                << m.name;
+            EXPECT_LE(predict_mflops(m, machine::shape_daxpy(n)), m.peak_mflops + 1e-9);
+        }
+    }
+}
+
+TEST(MachineModel, Figure1Shape_DcopyDropsOutOfCache) {
+    // In-L1 dcopy must beat out-of-memory dcopy on every machine.
+    for (const auto& m : roster()) {
+        const double small = predict_mbps(m, machine::shape_dcopy(2048));      // 32 KB
+        const double large = predict_mbps(m, machine::shape_dcopy(4 << 20));    // 64 MB
+        EXPECT_GT(small, large) << m.name;
+    }
+}
+
+TEST(MachineModel, Figure5Shape_PcDgemmCappedByItsPeak) {
+    // "the PC peak (hardware/never to be exceeded) performance is 450 MFlop/s"
+    const auto& pc = by_name("Muses");
+    const double rate = predict_mflops(pc, machine::shape_dgemm(400));
+    EXPECT_LE(rate, 450.0);
+    EXPECT_GT(rate, 150.0); // but a tuned dgemm reaches a solid fraction
+}
+
+TEST(MachineModel, Figure5Shape_T3EAndP2SCOnTopForLargeDgemm) {
+    // "the T3E and the SP2-P2SC nodes being superior to all the other
+    // architectures tested."
+    const double t3e = predict_mflops(by_name("T3E"), machine::shape_dgemm(500));
+    const double p2sc = predict_mflops(by_name("P2SC"), machine::shape_dgemm(500));
+    for (const char* other : {"Muses", "SP2-Silver", "SP2-Thin2", "Onyx2", "AP3000"}) {
+        const double r = predict_mflops(by_name(other), machine::shape_dgemm(500));
+        EXPECT_GT(t3e, r) << other;
+        EXPECT_GT(p2sc, r) << other;
+    }
+}
+
+TEST(MachineModel, Figure6Shape_SmallDgemmRampsUp) {
+    // Small-matrix dgemm is overhead-dominated: the rate must grow with n.
+    for (const auto& m : roster()) {
+        const double r2 = predict_mflops(m, machine::shape_dgemm(2));
+        const double r10 = predict_mflops(m, machine::shape_dgemm(10));
+        const double r20 = predict_mflops(m, machine::shape_dgemm(20));
+        EXPECT_LT(r2, r10) << m.name;
+        EXPECT_LT(r10, r20) << m.name;
+    }
+}
+
+TEST(MachineModel, Figure13Shape_PcLevel1BlasCompetitiveInL1) {
+    // "For the BLAS Level 1 routines ... the PC performance for data that fit
+    // in the first level of cache is among the best of the architectures
+    // examined" — at least it must beat the Silver and AP3000 nodes.
+    const double pc = predict_mflops(by_name("Muses"), machine::shape_ddot(512)); // 8 KB
+    EXPECT_GT(pc, predict_mflops(by_name("SP2-Silver"), machine::shape_ddot(512)) * 0.8);
+    EXPECT_GT(pc, predict_mflops(by_name("AP3000"), machine::shape_ddot(512)) * 0.8);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+#include "mesh/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+TEST(Generators, GradedLineEndpointsAndMonotonicity) {
+    const auto x = mesh::graded_line(-2.0, 3.0, 10, 1.3);
+    ASSERT_EQ(x.size(), 11u);
+    EXPECT_DOUBLE_EQ(x.front(), -2.0);
+    EXPECT_DOUBLE_EQ(x.back(), 3.0);
+    for (std::size_t i = 1; i < x.size(); ++i) EXPECT_GT(x[i], x[i - 1]);
+    // Growth ratio between consecutive intervals matches.
+    for (std::size_t i = 2; i < x.size(); ++i)
+        EXPECT_NEAR((x[i] - x[i - 1]) / (x[i - 1] - x[i - 2]), 1.3, 1e-9);
+}
+
+TEST(Generators, BluffBodyHasAllBoundaryTags) {
+    const auto m = mesh::bluff_body_mesh();
+    int inflow = 0, outflow = 0, side = 0, body = 0, untagged = 0;
+    for (const auto& e : m.edges()) {
+        if (!e.is_boundary()) continue;
+        switch (e.tag) {
+            case mesh::BoundaryTag::Inflow: ++inflow; break;
+            case mesh::BoundaryTag::Outflow: ++outflow; break;
+            case mesh::BoundaryTag::Side: ++side; break;
+            case mesh::BoundaryTag::Body: ++body; break;
+            default: ++untagged; break;
+        }
+    }
+    EXPECT_GT(inflow, 0);
+    EXPECT_GT(outflow, 0);
+    EXPECT_GT(side, 0);
+    EXPECT_GT(body, 0);
+    EXPECT_EQ(untagged, 0) << "every boundary edge must carry a tag";
+}
+
+TEST(Generators, BluffBodyAreaExcludesHole) {
+    mesh::BluffBodyParams p;
+    const auto m = mesh::bluff_body_mesh(p);
+    const double full = (p.x_max - p.x_min) * (p.y_max - p.y_min);
+    const double hole = (2.0 * p.body_half) * (2.0 * p.body_half);
+    EXPECT_NEAR(m.total_area(), full - hole, 1e-9);
+}
+
+TEST(Generators, BluffBodyBodyEdgesOnHoleBoundary) {
+    mesh::BluffBodyParams p;
+    const auto m = mesh::bluff_body_mesh(p);
+    const double h = p.body_half;
+    for (const auto& e : m.edges()) {
+        if (e.tag != mesh::BoundaryTag::Body) continue;
+        const auto& a = m.vertex(static_cast<std::size_t>(e.v0));
+        const auto& b = m.vertex(static_cast<std::size_t>(e.v1));
+        for (const auto* v : {&a, &b}) {
+            EXPECT_LE(std::abs(v->x), h + 1e-9);
+            EXPECT_LE(std::abs(v->y), h + 1e-9);
+        }
+    }
+}
+
+TEST(Generators, FlappingMeshRefinementScales) {
+    const auto m1 = mesh::flapping_body_mesh(1);
+    const auto m2 = mesh::flapping_body_mesh(2);
+    EXPECT_GT(m2.num_elements(), 3 * m1.num_elements());
+}
+
+TEST(Generators, TensorQuadsMatchCoordinateLines) {
+    const std::vector<double> xs = {0.0, 0.5, 2.0};
+    const std::vector<double> ys = {-1.0, 0.0};
+    const auto m = mesh::tensor_quads(xs, ys);
+    EXPECT_EQ(m.num_elements(), 2u);
+    EXPECT_NEAR(m.total_area(), 2.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+#include "mesh/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/generators.hpp"
+
+namespace {
+
+TEST(Mesh, RectangleQuadCounts) {
+    const auto m = mesh::rectangle_quads(4, 3, 0.0, 4.0, 0.0, 3.0);
+    EXPECT_EQ(m.num_elements(), 12u);
+    EXPECT_EQ(m.num_vertices(), 20u);
+    // Edges: horizontal 4*4 + vertical 5*3 = 31.
+    EXPECT_EQ(m.num_edges(), 31u);
+    EXPECT_NEAR(m.total_area(), 12.0, 1e-12);
+}
+
+TEST(Mesh, InteriorEdgesHaveTwoElements) {
+    const auto m = mesh::rectangle_quads(3, 3, 0.0, 1.0, 0.0, 1.0);
+    std::size_t boundary = 0, interior = 0;
+    for (const auto& e : m.edges()) {
+        if (e.is_boundary()) {
+            ++boundary;
+            EXPECT_LT(e.elem[1], 0);
+        } else {
+            ++interior;
+            EXPECT_GE(e.elem[1], 0);
+            EXPECT_NE(e.elem[0], e.elem[1]);
+        }
+    }
+    EXPECT_EQ(boundary, 12u);
+    EXPECT_EQ(interior, 12u);
+}
+
+TEST(Mesh, ElementEdgeBackReferencesAreConsistent) {
+    const auto m = mesh::rectangle_tris(3, 2, 0.0, 1.0, 0.0, 1.0);
+    for (std::size_t e = 0; e < m.num_elements(); ++e) {
+        const int ne = m.element(e).num_vertices();
+        for (int le = 0; le < ne; ++le) {
+            const int id = m.element_edge(e, static_cast<std::size_t>(le));
+            ASSERT_GE(id, 0);
+            const auto& edge = m.edge(static_cast<std::size_t>(id));
+            const bool found = (edge.elem[0] == static_cast<int>(e) && edge.local[0] == le) ||
+                               (edge.elem[1] == static_cast<int>(e) && edge.local[1] == le);
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(Mesh, AllElementsPositiveArea) {
+    for (const auto& m :
+         {mesh::rectangle_quads(5, 5, -1.0, 1.0, -1.0, 1.0),
+          mesh::rectangle_tris(4, 4, 0.0, 2.0, 0.0, 1.0), mesh::bluff_body_mesh()}) {
+        for (std::size_t e = 0; e < m.num_elements(); ++e)
+            EXPECT_GT(m.element_area(e), 0.0) << "element " << e;
+    }
+}
+
+TEST(Mesh, DualGraphSymmetry) {
+    const auto m = mesh::rectangle_quads(4, 4, 0.0, 1.0, 0.0, 1.0);
+    std::vector<int> xadj, adj;
+    m.dual_graph(xadj, adj);
+    ASSERT_EQ(xadj.size(), m.num_elements() + 1);
+    for (std::size_t v = 0; v < m.num_elements(); ++v) {
+        for (int k = xadj[v]; k < xadj[v + 1]; ++k) {
+            const int u = adj[static_cast<std::size_t>(k)];
+            bool back = false;
+            for (int k2 = xadj[static_cast<std::size_t>(u)];
+                 k2 < xadj[static_cast<std::size_t>(u) + 1]; ++k2)
+                back |= adj[static_cast<std::size_t>(k2)] == static_cast<int>(v);
+            EXPECT_TRUE(back);
+        }
+    }
+}
+
+TEST(Mesh, VertexMutationPreservesTopology) {
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0);
+    const std::size_t ne = m.num_edges();
+    m.set_vertex(4, {0.52, 0.47}); // centre vertex
+    EXPECT_EQ(m.num_edges(), ne);
+    EXPECT_NEAR(m.total_area(), 1.0, 1e-12); // interior move preserves total
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mesh/generators.hpp"
+#include "nektar/discretization.hpp"
+
+namespace {
+
+std::shared_ptr<nektar::Discretization> make_disc(mesh::Mesh m, std::size_t order) {
+    return std::make_shared<nektar::Discretization>(
+        std::make_shared<mesh::Mesh>(std::move(m)), order);
+}
+
+TEST(ElementOps, MassAndLaplacianAreSymmetric) {
+    const auto disc = make_disc(mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0), 4);
+    for (std::size_t e = 0; e < disc->num_elements(); ++e) {
+        EXPECT_LT(disc->ops(e).mass().symmetry_defect(), 1e-12);
+        EXPECT_LT(disc->ops(e).laplacian().symmetry_defect(), 1e-12);
+    }
+}
+
+TEST(ElementOps, TriangleMatricesSymmetricToo) {
+    const auto disc = make_disc(mesh::rectangle_tris(2, 2, 0.0, 1.0, 0.0, 1.0), 4);
+    for (std::size_t e = 0; e < disc->num_elements(); ++e) {
+        EXPECT_LT(disc->ops(e).mass().symmetry_defect(), 1e-12);
+        EXPECT_LT(disc->ops(e).laplacian().symmetry_defect(), 1e-11);
+    }
+}
+
+TEST(ElementOps, MassIntegratesConstants) {
+    // 1^T M 1 = element area.
+    const auto disc = make_disc(mesh::rectangle_quads(3, 2, 0.0, 3.0, 0.0, 2.0), 3);
+    for (std::size_t e = 0; e < disc->num_elements(); ++e) {
+        const auto& ops = disc->ops(e);
+        const std::size_t nm = ops.num_modes();
+        // Constant function: vertex modes = 1, higher modes = 0.
+        std::vector<double> one(nm, 0.0);
+        for (std::size_t v = 0; v < ops.expansion().num_vertices(); ++v)
+            one[ops.expansion().vertex_mode(v)] = 1.0;
+        double area = 0.0;
+        for (std::size_t i = 0; i < nm; ++i)
+            for (std::size_t j = 0; j < nm; ++j) area += one[i] * ops.mass()(i, j) * one[j];
+        EXPECT_NEAR(area, disc->mesh().element_area(e), 1e-10);
+    }
+}
+
+TEST(ElementOps, LaplacianAnnihilatesConstants) {
+    const auto disc = make_disc(mesh::rectangle_tris(2, 1, 0.0, 1.0, 0.0, 1.0), 5);
+    for (std::size_t e = 0; e < disc->num_elements(); ++e) {
+        const auto& ops = disc->ops(e);
+        const std::size_t nm = ops.num_modes();
+        std::vector<double> one(nm, 0.0), out(nm, 0.0);
+        for (std::size_t v = 0; v < ops.expansion().num_vertices(); ++v)
+            one[ops.expansion().vertex_mode(v)] = 1.0;
+        ops.laplacian().matvec(one, out);
+        for (double v : out) EXPECT_NEAR(v, 0.0, 1e-10);
+    }
+}
+
+TEST(ElementOps, Figure10Structure_BoundaryFirstOrdering) {
+    // The paper's Figure 10: with boundary modes first, the interior-interior
+    // block of the elemental Laplacian is banded.  We assert the ordering
+    // invariant it relies on: vertices, then edges, then interior.
+    for (auto shape : {spectral::Shape::Quad, spectral::Shape::Triangle}) {
+        const auto exp = spectral::make_expansion(shape, 6);
+        EXPECT_EQ(exp->vertex_mode(0), 0u);
+        EXPECT_EQ(exp->edge_mode(0, 1), exp->num_vertices());
+        EXPECT_EQ(exp->interior_begin(),
+                  exp->num_vertices() + exp->num_edges() * exp->edge_mode_count());
+        EXPECT_GT(exp->num_modes(), exp->interior_begin()); // has interior modes
+    }
+}
+
+TEST(ElementOps, ProjectionThenInterpolationIsIdentityOnPolynomials) {
+    const auto disc = make_disc(mesh::rectangle_quads(2, 2, -1.0, 1.0, -1.0, 1.0), 4);
+    std::vector<double> quad(disc->quad_size());
+    disc->eval_at_quad([](double x, double y) { return x * x * y + 2.0 * y - 1.0; }, quad);
+    std::vector<double> modal(disc->modal_size());
+    disc->project(quad, modal);
+    std::vector<double> back(disc->quad_size());
+    disc->to_quad(modal, back);
+    for (std::size_t q = 0; q < quad.size(); ++q) EXPECT_NEAR(back[q], quad[q], 1e-10);
+}
+
+TEST(ElementOps, CollocationGradientExactForPolynomials) {
+    const auto disc = make_disc(mesh::rectangle_quads(3, 3, 0.0, 2.0, -1.0, 1.0), 4);
+    std::vector<double> quad(disc->quad_size()), dx(disc->quad_size()), dy(disc->quad_size());
+    disc->eval_at_quad([](double x, double y) { return x * x * x - 2.0 * x * y + y * y; },
+                       quad);
+    for (std::size_t e = 0; e < disc->num_elements(); ++e)
+        disc->ops(e).grad_collocation(disc->quad_block(std::span<const double>(quad), e),
+                                      disc->quad_block(std::span<double>(dx), e),
+                                      disc->quad_block(std::span<double>(dy), e));
+    std::vector<double> ex(disc->quad_size()), ey(disc->quad_size());
+    disc->eval_at_quad([](double x, double y) { return 3.0 * x * x - 2.0 * y; }, ex);
+    disc->eval_at_quad([](double x, double y) { return -2.0 * x + 2.0 * y; }, ey);
+    for (std::size_t q = 0; q < dx.size(); ++q) {
+        EXPECT_NEAR(dx[q], ex[q], 1e-9);
+        EXPECT_NEAR(dy[q], ey[q], 1e-9);
+    }
+}
+
+TEST(DofMap, CountsAndContinuity) {
+    const auto m = std::make_shared<mesh::Mesh>(mesh::rectangle_quads(3, 2, 0, 3, 0, 2));
+    const std::size_t P = 3;
+    nektar::DofMap dm(*m, P);
+    const std::size_t expected = m->num_vertices() + m->num_edges() * (P - 1) +
+                                 m->num_elements() * (P - 1) * (P - 1);
+    EXPECT_EQ(dm.num_global(), expected);
+}
+
+TEST(DofMap, RcmReducesBandwidth) {
+    const auto m = mesh::rectangle_quads(8, 8, 0, 1, 0, 1);
+    nektar::DofMap with(m, 3, true);
+    nektar::DofMap without(m, 3, false);
+    EXPECT_LT(with.bandwidth(), without.bandwidth());
+}
+
+TEST(DofMap, ContinuityAcrossElements) {
+    // Scatter a random global vector and check that shared-edge quadrature
+    // traces agree between neighbouring elements by evaluating the field at
+    // shared vertices... via a global function reproduction instead:
+    // project x+2y globally and require elementwise representation to agree
+    // with the function everywhere (continuity implied by single-valued dofs).
+    const auto disc = std::make_shared<nektar::Discretization>(
+        std::make_shared<mesh::Mesh>(mesh::rectangle_tris(3, 3, 0, 1, 0, 1)), 4);
+    std::vector<double> quad(disc->quad_size());
+    disc->eval_at_quad([](double x, double y) { return 3.0 * x - 2.0 * y + 0.5; }, quad);
+    std::vector<double> modal(disc->modal_size());
+    disc->project(quad, modal);
+    // Gather then scatter must reproduce the same local coefficients: the
+    // projection of a continuous function is single-valued on shared dofs.
+    std::vector<double> global(disc->dofmap().num_global(), 0.0);
+    std::vector<double> counts(disc->dofmap().num_global(), 0.0);
+    for (std::size_t e = 0; e < disc->num_elements(); ++e) {
+        const auto& map = disc->dofmap().element_map(e);
+        auto block = disc->modal_block(std::span<const double>(modal), e);
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            global[static_cast<std::size_t>(map[i].global)] += map[i].sign * block[i];
+            counts[static_cast<std::size_t>(map[i].global)] += 1.0;
+        }
+    }
+    for (std::size_t g = 0; g < global.size(); ++g) global[g] /= counts[g];
+    std::vector<double> modal2(disc->modal_size());
+    disc->scatter(global, modal2);
+    for (std::size_t i = 0; i < modal.size(); ++i)
+        EXPECT_NEAR(modal2[i], modal[i], 1e-9) << "shared dof disagreement at " << i;
+}
+
+TEST(Discretization, IntegrateAndNorms) {
+    const auto disc = make_disc(mesh::rectangle_quads(4, 4, 0.0, 1.0, 0.0, 1.0), 3);
+    std::vector<double> quad(disc->quad_size());
+    disc->eval_at_quad([](double x, double y) { return x * y; }, quad);
+    EXPECT_NEAR(disc->integrate(quad), 0.25, 1e-12);
+    EXPECT_NEAR(disc->l2_norm(quad), 1.0 / 3.0, 1e-12); // sqrt(1/9)
+    EXPECT_NEAR(disc->l2_error(quad, [](double x, double y) { return x * y; }), 0.0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "nektar/ns_serial.hpp"
+
+namespace {
+
+using nektar::Discretization;
+using nektar::NsOptions;
+using nektar::SerialNS2d;
+
+TEST(Diagnostics, VorticityOfTaylorGreenField) {
+    // u = -cos(pi x) sin(pi y), v = sin(pi x) cos(pi y):
+    // omega = dv/dx - du/dy = 2 pi cos(pi x) cos(pi y).
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 2.0, 0.0, 2.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    const auto disc =
+        std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 8);
+    NsOptions opts;
+    opts.dt = 1e-3;
+    opts.nu = 0.05;
+    opts.pressure_bc.dirichlet.clear();
+    opts.pressure_bc.pin_first_dof = true;
+    SerialNS2d ns(disc, opts);
+    ns.set_initial(
+        [](double x, double y) {
+            return -std::cos(std::numbers::pi * x) * std::sin(std::numbers::pi * y);
+        },
+        [](double x, double y) {
+            return std::sin(std::numbers::pi * x) * std::cos(std::numbers::pi * y);
+        });
+    const auto w = ns.vorticity_quad();
+    const double err = disc->l2_error(w, [](double x, double y) {
+        return 2.0 * std::numbers::pi * std::cos(std::numbers::pi * x) *
+               std::cos(std::numbers::pi * y);
+    });
+    EXPECT_LT(err, 1e-4);
+}
+
+TEST(Diagnostics, UnforcedDecayingFlowLosesEnergy) {
+    // With zero boundary velocity and no forcing, kinetic energy must fall
+    // monotonically (viscous dissipation) — a physical sanity invariant.
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 2.0, 0.0, 2.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    const auto disc =
+        std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 7);
+    NsOptions opts;
+    opts.dt = 2e-3;
+    opts.nu = 0.05;
+    opts.pressure_bc.dirichlet.clear();
+    opts.pressure_bc.pin_first_dof = true;
+    SerialNS2d ns(disc, opts);
+    ns.set_initial(
+        [](double x, double y) {
+            return -std::cos(std::numbers::pi * x) * std::sin(std::numbers::pi * y);
+        },
+        [](double x, double y) {
+            return std::sin(std::numbers::pi * x) * std::cos(std::numbers::pi * y);
+        });
+    const auto energy = [&] {
+        std::vector<double> ke(disc->quad_size());
+        for (std::size_t i = 0; i < ke.size(); ++i)
+            ke[i] = ns.u_quad()[i] * ns.u_quad()[i] + ns.v_quad()[i] * ns.v_quad()[i];
+        return disc->integrate(ke);
+    };
+    double prev = energy();
+    for (int s = 0; s < 20; ++s) {
+        ns.step();
+        const double e = energy();
+        EXPECT_LT(e, prev * (1.0 + 1e-10)) << "energy rose at step " << s;
+        prev = e;
+    }
+}
+
+TEST(Diagnostics, TimeAdvancesByDt) {
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    const auto disc =
+        std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 3);
+    NsOptions opts;
+    opts.dt = 0.25;
+    opts.nu = 0.1;
+    opts.pressure_bc.dirichlet.clear();
+    opts.pressure_bc.pin_first_dof = true;
+    SerialNS2d ns(disc, opts);
+    ns.set_initial([](double, double) { return 0.0; }, [](double, double) { return 0.0; });
+    EXPECT_DOUBLE_EQ(ns.time(), 0.0);
+    ns.step();
+    ns.step();
+    EXPECT_DOUBLE_EQ(ns.time(), 0.5);
+}
+
+TEST(Diagnostics, ZeroFieldStaysZero) {
+    auto m = mesh::rectangle_quads(3, 3, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    const auto disc =
+        std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 4);
+    NsOptions opts;
+    opts.dt = 1e-2;
+    opts.nu = 0.1;
+    opts.pressure_bc.dirichlet.clear();
+    opts.pressure_bc.pin_first_dof = true;
+    SerialNS2d ns(disc, opts);
+    ns.set_initial([](double, double) { return 0.0; }, [](double, double) { return 0.0; });
+    for (int s = 0; s < 5; ++s) ns.step();
+    for (double v : ns.u_quad()) EXPECT_NEAR(v, 0.0, 1e-12);
+    for (double v : ns.v_quad()) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+} // namespace

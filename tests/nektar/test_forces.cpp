@@ -1,0 +1,108 @@
+#include "nektar/forces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/generators.hpp"
+
+namespace {
+
+using nektar::body_force;
+using nektar::Discretization;
+
+std::shared_ptr<Discretization> channel(std::size_t order) {
+    // Channel [0,2] x [0,1]; walls at y = 0 and y = 1.
+    auto m = mesh::rectangle_quads(4, 2, 0.0, 2.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall,
+                   [](double, double y) { return y < 1e-9 || y > 1.0 - 1e-9; });
+    return std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), order);
+}
+
+/// Project an analytic field into per-element modal coefficients.
+std::vector<double> project(const Discretization& d,
+                            const std::function<double(double, double)>& f) {
+    std::vector<double> q(d.quad_size()), modal(d.modal_size());
+    d.eval_at_quad(f, q);
+    d.project(q, modal);
+    return modal;
+}
+
+TEST(BodyForce, PoiseuilleWallShear) {
+    // u = y (1 - y), v = 0, p = 0: the shear the fluid exerts on each wall is
+    // nu * |du/dy| per unit length, directed +x (the flow drags the wall).
+    const double nu = 0.3;
+    const auto d = channel(4);
+    const auto u = project(*d, [](double, double y) { return y * (1.0 - y); });
+    const auto v = project(*d, [](double, double) { return 0.0; });
+    const auto p = project(*d, [](double, double) { return 0.0; });
+    const auto f = body_force(*d, u, v, p, nu, mesh::BoundaryTag::Wall);
+    // du/dy = 1 at y=0 and -1 at y=1; both walls feel +x drag of nu * L = 0.6.
+    EXPECT_NEAR(f.fx, 2.0 * nu * 2.0 * 1.0, 1e-9);
+    EXPECT_NEAR(f.fy, 0.0, 1e-9);
+}
+
+TEST(BodyForce, HydrostaticPressureOnBody) {
+    // Constant pressure p0 around a closed body: net force must vanish.
+    const auto m = mesh::bluff_body_mesh();
+    const auto d =
+        std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(m), 3);
+    const auto zero = project(*d, [](double, double) { return 0.0; });
+    const auto p = project(*d, [](double, double) { return 2.5; });
+    const auto f = body_force(*d, zero, zero, p, 0.1, mesh::BoundaryTag::Body);
+    EXPECT_NEAR(f.fx, 0.0, 1e-9);
+    EXPECT_NEAR(f.fy, 0.0, 1e-9);
+}
+
+TEST(BodyForce, LinearPressureGivesBuoyancy) {
+    // p = y on the unit square body (2h)^2: net force = -grad p * area = -area
+    // in y... the fluid pushes the body toward low pressure: F = -∮ p n_body ds
+    // = -(area) * grad p = (0, -4 h^2).
+    const auto m = mesh::bluff_body_mesh();
+    const auto d =
+        std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(m), 3);
+    const auto zero = project(*d, [](double, double) { return 0.0; });
+    const auto p = project(*d, [](double, double y) { return y; });
+    const auto f = body_force(*d, zero, zero, p, 0.0, mesh::BoundaryTag::Body);
+    EXPECT_NEAR(f.fx, 0.0, 1e-9);
+    EXPECT_NEAR(f.fy, -1.0, 1e-6); // body is 1 x 1
+}
+
+TEST(BodyForce, PointEvaluationMatchesQuadValues) {
+    // eval_modal at a quadrature point's reference coordinates must agree
+    // with interp_to_quad there (both shapes).
+    for (bool tris : {false, true}) {
+        auto m = tris ? mesh::rectangle_tris(2, 2, 0.0, 1.0, 0.0, 1.0)
+                      : mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0);
+        const auto d =
+            std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 5);
+        const auto modal = project(*d, [](double x, double y) { return std::sin(x) * y + x; });
+        std::vector<double> quad(d->quad_size());
+        d->to_quad(modal, quad);
+        for (std::size_t e = 0; e < d->num_elements(); e += 3) {
+            const auto& ops = d->ops(e);
+            const auto me = d->modal_block(std::span<const double>(modal), e);
+            for (std::size_t q = 0; q < ops.num_quad(); q += 7) {
+                const double val = ops.eval_modal(me, ops.expansion().xi1(q),
+                                                  ops.expansion().xi2(q));
+                EXPECT_NEAR(val, d->quad_block(std::span<const double>(quad), e)[q], 1e-10);
+            }
+        }
+    }
+}
+
+TEST(BodyForce, GradientEvaluationMatchesAnalytic) {
+    const auto d = channel(5);
+    const auto modal = project(*d, [](double x, double y) { return x * x * y - y * y; });
+    for (std::size_t e = 0; e < d->num_elements(); ++e) {
+        const auto& ops = d->ops(e);
+        const auto me = d->modal_block(std::span<const double>(modal), e);
+        const auto pm = ops.map_at(0.3, -0.4);
+        double dx, dy;
+        ops.eval_modal_grad(me, 0.3, -0.4, dx, dy);
+        EXPECT_NEAR(dx, 2.0 * pm.x * pm.y, 1e-9);
+        EXPECT_NEAR(dy, pm.x * pm.x - 2.0 * pm.y, 1e-9);
+    }
+}
+
+} // namespace

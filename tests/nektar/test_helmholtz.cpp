@@ -1,0 +1,167 @@
+#include "nektar/helmholtz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+
+namespace {
+
+using nektar::Discretization;
+using nektar::HelmholtzBC;
+using nektar::HelmholtzDirect;
+using nektar::HelmholtzPCG;
+
+std::shared_ptr<Discretization> disc_for(mesh::Mesh m, std::size_t order) {
+    return std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), order);
+}
+
+/// Manufactured solution u = sin(pi x) sin(pi y) on [0,1]^2 with
+/// -lap u + lambda u = f, homogeneous Dirichlet on the whole boundary.
+struct Manufactured {
+    double lambda;
+    [[nodiscard]] double u(double x, double y) const {
+        return std::sin(std::numbers::pi * x) * std::sin(std::numbers::pi * y);
+    }
+    [[nodiscard]] double f(double x, double y) const {
+        return (2.0 * std::numbers::pi * std::numbers::pi + lambda) * u(x, y);
+    }
+};
+
+mesh::Mesh unit_square_quads(std::size_t n) {
+    auto m = mesh::rectangle_quads(n, n, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    return m;
+}
+
+mesh::Mesh unit_square_tris(std::size_t n) {
+    auto m = mesh::rectangle_tris(n, n, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    return m;
+}
+
+double solve_error(std::shared_ptr<Discretization> disc, double lambda, bool use_pcg) {
+    const Manufactured ms{lambda};
+    HelmholtzBC bc{.dirichlet = {mesh::BoundaryTag::Wall}};
+    std::vector<double> fq(disc->quad_size());
+    disc->eval_at_quad([&](double x, double y) { return ms.f(x, y); }, fq);
+    std::vector<double> modal;
+    if (use_pcg) {
+        HelmholtzPCG solver(disc, lambda, bc);
+        modal = solver.solve(fq);
+    } else {
+        HelmholtzDirect solver(disc, lambda, bc);
+        modal = solver.solve(fq);
+    }
+    std::vector<double> uq(disc->quad_size());
+    disc->to_quad(modal, uq);
+    return disc->l2_error(uq, [&](double x, double y) { return ms.u(x, y); });
+}
+
+class HelmholtzOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(HelmholtzOrders, QuadMeshPConvergence) {
+    const auto P = static_cast<std::size_t>(GetParam());
+    const double err = solve_error(disc_for(unit_square_quads(3), P), 1.0, false);
+    // Exponential convergence: generous per-order bounds.
+    const double bounds[] = {0, 0, 0.05, 0.02, 2e-3, 5e-4, 2e-5, 5e-6, 2e-7};
+    EXPECT_LT(err, bounds[P]) << "P=" << P;
+}
+
+TEST_P(HelmholtzOrders, TriMeshPConvergence) {
+    const auto P = static_cast<std::size_t>(GetParam());
+    const double err = solve_error(disc_for(unit_square_tris(3), P), 1.0, false);
+    const double bounds[] = {0, 0, 0.06, 0.03, 3e-3, 8e-4, 4e-5, 1e-5, 5e-7};
+    EXPECT_LT(err, bounds[P]) << "P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HelmholtzOrders, ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(Helmholtz, DirectAndPcgAgree) {
+    const auto disc = disc_for(unit_square_quads(3), 5);
+    const double direct = solve_error(disc, 2.5, false);
+    const double pcg = solve_error(disc, 2.5, true);
+    EXPECT_NEAR(direct, pcg, 1e-7);
+}
+
+TEST(Helmholtz, NonHomogeneousDirichlet) {
+    // u = x^2 - y^2 is harmonic: solve Laplace with u given on the boundary.
+    const auto disc = disc_for(unit_square_quads(4), 4);
+    HelmholtzDirect solver(disc, 0.0, {.dirichlet = {mesh::BoundaryTag::Wall}});
+    std::vector<double> fq(disc->quad_size(), 0.0);
+    const auto modal = solver.solve(fq, [](double x, double y) { return x * x - y * y; });
+    std::vector<double> uq(disc->quad_size());
+    disc->to_quad(modal, uq);
+    EXPECT_LT(disc->l2_error(uq, [](double x, double y) { return x * x - y * y; }), 1e-9);
+}
+
+TEST(Helmholtz, MixedDirichletNeumann) {
+    // u = cos(pi x): du/dn = 0 on y = 0, 1 (natural), Dirichlet on x = 0, 1.
+    auto m = mesh::rectangle_quads(4, 2, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall,
+                   [](double x, double) { return x < 1e-9 || x > 1.0 - 1e-9; });
+    m.tag_boundary(mesh::BoundaryTag::Side,
+                   [](double, double y) { return y < 1e-9 || y > 1.0 - 1e-9; });
+    const auto disc = disc_for(std::move(m), 6);
+    const double lambda = 1.0;
+    HelmholtzDirect solver(disc, lambda, {.dirichlet = {mesh::BoundaryTag::Wall}});
+    std::vector<double> fq(disc->quad_size());
+    disc->eval_at_quad(
+        [&](double x, double) {
+            return (std::numbers::pi * std::numbers::pi + lambda) * std::cos(std::numbers::pi * x);
+        },
+        fq);
+    const auto modal =
+        solver.solve(fq, [](double x, double) { return std::cos(std::numbers::pi * x); });
+    std::vector<double> uq(disc->quad_size());
+    disc->to_quad(modal, uq);
+    EXPECT_LT(disc->l2_error(uq, [](double x, double) { return std::cos(std::numbers::pi * x); }),
+              1e-5);
+}
+
+TEST(Helmholtz, AllNeumannPoissonNeedsPin) {
+    auto m = mesh::rectangle_quads(3, 3, 0.0, 1.0, 0.0, 1.0);
+    // No Dirichlet tags at all.
+    const auto disc = disc_for(std::move(m), 3);
+    EXPECT_THROW(HelmholtzDirect(disc, 0.0, {}), std::runtime_error);
+    EXPECT_NO_THROW(HelmholtzDirect(disc, 0.0, {.dirichlet = {}, .pin_first_dof = true}));
+}
+
+TEST(Helmholtz, BandedSolverSeesReducedBandwidth) {
+    // The RCM ordering must give a half-bandwidth well below the dof count.
+    const auto disc = disc_for(unit_square_quads(6), 4);
+    HelmholtzDirect solver(disc, 1.0, {.dirichlet = {mesh::BoundaryTag::Wall}});
+    EXPECT_LT(solver.bandwidth(), disc->dofmap().num_global() / 3);
+}
+
+TEST(Helmholtz, HybridTriQuadMesh) {
+    // Half the strip quads, half split into triangles: conformity across the
+    // tri/quad interface is exercised directly.
+    std::vector<mesh::Vertex> verts = {{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}};
+    std::vector<mesh::Element> elems;
+    elems.push_back({spectral::Shape::Quad, {0, 1, 4, 3}});
+    elems.push_back({spectral::Shape::Triangle, {1, 2, 5, -1}});
+    elems.push_back({spectral::Shape::Triangle, {1, 5, 4, -1}});
+    auto m = mesh::Mesh(std::move(verts), std::move(elems));
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    const auto disc = disc_for(std::move(m), 5);
+    HelmholtzDirect solver(disc, 1.0, {.dirichlet = {mesh::BoundaryTag::Wall}});
+    // Manufactured: u = sin(pi x / 2) sin(pi y), Dirichlet from the exact u.
+    const auto u = [](double x, double y) {
+        return std::sin(0.5 * std::numbers::pi * x) * std::sin(std::numbers::pi * y);
+    };
+    std::vector<double> fq(disc->quad_size());
+    disc->eval_at_quad(
+        [&](double x, double y) {
+            return (1.25 * std::numbers::pi * std::numbers::pi + 1.0) * u(x, y);
+        },
+        fq);
+    const auto modal = solver.solve(fq, u);
+    std::vector<double> uq(disc->quad_size());
+    disc->to_quad(modal, uq);
+    EXPECT_LT(disc->l2_error(uq, u), 5e-3);
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mesh/generators.hpp"
+#include "nektar/discretization.hpp"
+
+namespace {
+
+using nektar::Discretization;
+
+/// scatter (global -> local) and gather_add (local -> global) are adjoint:
+/// <scatter(g), l> = <g, gather(l)> for all g, l.  This is the identity the
+/// whole C0 assembly (signs included) rests on.
+TEST(ScatterGather, AdjointIdentity) {
+    for (bool tris : {false, true}) {
+        auto m = tris ? mesh::rectangle_tris(3, 2, 0.0, 1.0, 0.0, 1.0)
+                      : mesh::rectangle_quads(3, 2, 0.0, 1.0, 0.0, 1.0);
+        const Discretization d(std::make_shared<mesh::Mesh>(std::move(m)), 4);
+        std::mt19937 gen(5);
+        std::uniform_real_distribution<double> dist(-1.0, 1.0);
+        std::vector<double> g(d.dofmap().num_global()), l(d.modal_size());
+        for (auto& v : g) v = dist(gen);
+        for (auto& v : l) v = dist(gen);
+
+        std::vector<double> sg(d.modal_size());
+        d.scatter(g, sg);
+        std::vector<double> gl(d.dofmap().num_global(), 0.0);
+        d.gather_add(l, gl);
+
+        double lhs = 0.0, rhs = 0.0;
+        for (std::size_t i = 0; i < l.size(); ++i) lhs += sg[i] * l[i];
+        for (std::size_t i = 0; i < g.size(); ++i) rhs += g[i] * gl[i];
+        EXPECT_NEAR(lhs, rhs, 1e-10) << (tris ? "tris" : "quads");
+    }
+}
+
+TEST(ScatterGather, GatherCountsMultiplicity) {
+    // gather_add of all-ones local vectors yields each dof's multiplicity
+    // (up to edge-mode signs, which cancel pairwise for C0-consistent data):
+    // vertex dofs interior to a quad grid appear in 4 elements.
+    const Discretization d(
+        std::make_shared<mesh::Mesh>(mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0)), 2);
+    std::vector<double> ones(d.modal_size(), 1.0);
+    std::vector<double> g(d.dofmap().num_global(), 0.0);
+    d.gather_add(ones, g);
+    // The centre vertex of a 2x2 grid belongs to 4 elements.
+    bool found4 = false;
+    for (double v : g) found4 |= std::abs(v - 4.0) < 1e-12;
+    EXPECT_TRUE(found4);
+}
+
+} // namespace

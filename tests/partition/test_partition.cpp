@@ -1,0 +1,73 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/generators.hpp"
+#include "mesh/mesh.hpp"
+
+namespace {
+
+partition::Graph grid_graph(std::size_t nx, std::size_t ny) {
+    const auto m = mesh::rectangle_quads(nx, ny, 0.0, 1.0, 0.0, 1.0);
+    partition::Graph g;
+    m.dual_graph(g.xadj, g.adjncy);
+    return g;
+}
+
+class PartitionP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionP, BalancedParts) {
+    const int p = GetParam();
+    const auto g = grid_graph(12, 12);
+    const auto part = partition::partition_graph(g, p);
+    const auto stats = partition::evaluate(g, part);
+    EXPECT_EQ(stats.nparts, p);
+    EXPECT_LE(stats.imbalance(), 1.5) << "parts badly unbalanced";
+}
+
+TEST_P(PartitionP, BeatsOrMatchesStripBaseline) {
+    const int p = GetParam();
+    const auto g = grid_graph(16, 16);
+    const auto part = partition::partition_graph(g, p);
+    const auto strips = partition::partition_strips(g.size(), p);
+    const auto s1 = partition::evaluate(g, part);
+    const auto s2 = partition::evaluate(g, strips);
+    // Strip partitions of a row-major grid are near-optimal horizontal cuts,
+    // so we only require the graph partitioner to stay in the same league.
+    EXPECT_LE(s1.edge_cut, 2 * s2.edge_cut + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionP, ::testing::Values(2, 3, 4, 7, 8, 16));
+
+TEST(Partition, SinglePartIsTrivial) {
+    const auto g = grid_graph(4, 4);
+    const auto part = partition::partition_graph(g, 1);
+    for (int v : part) EXPECT_EQ(v, 0);
+    EXPECT_EQ(partition::evaluate(g, part).edge_cut, 0u);
+}
+
+TEST(Partition, BluffBodyMeshPartitions) {
+    const auto m = mesh::bluff_body_mesh();
+    partition::Graph g;
+    m.dual_graph(g.xadj, g.adjncy);
+    const auto part = partition::partition_graph(g, 8);
+    const auto stats = partition::evaluate(g, part);
+    EXPECT_EQ(stats.nparts, 8);
+    EXPECT_LE(stats.imbalance(), 1.6);
+    EXPECT_LT(stats.edge_cut, g.adjncy.size() / 2); // far from cutting everything
+}
+
+TEST(Partition, EveryVertexAssigned) {
+    const auto g = grid_graph(9, 7);
+    const auto part = partition::partition_graph(g, 5);
+    ASSERT_EQ(part.size(), g.size());
+    std::vector<int> counts(5, 0);
+    for (int v : part) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 5);
+        ++counts[static_cast<std::size_t>(v)];
+    }
+    for (int c : counts) EXPECT_GT(c, 0);
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+#include "spectral/basis1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using spectral::edge_reversal_sign;
+using spectral::modal_basis;
+using spectral::modal_basis_derivative;
+
+TEST(ModalBasis1d, VertexModesAreLinearHats) {
+    const std::size_t P = 6;
+    for (double z : {-1.0, -0.5, 0.0, 0.7, 1.0}) {
+        EXPECT_NEAR(modal_basis(0, P, z), 0.5 * (1.0 - z), 1e-15);
+        EXPECT_NEAR(modal_basis(P, P, z), 0.5 * (1.0 + z), 1e-15);
+    }
+}
+
+TEST(ModalBasis1d, InteriorModesVanishAtEndpoints) {
+    const std::size_t P = 8;
+    for (std::size_t p = 1; p < P; ++p) {
+        EXPECT_NEAR(modal_basis(p, P, -1.0), 0.0, 1e-14);
+        EXPECT_NEAR(modal_basis(p, P, 1.0), 0.0, 1e-14);
+    }
+}
+
+TEST(ModalBasis1d, PartitionAtVertices) {
+    // Vertex modes sum to 1 everywhere (the linear part of the hierarchy).
+    const std::size_t P = 4;
+    for (double z = -1.0; z <= 1.0; z += 0.25)
+        EXPECT_NEAR(modal_basis(0, P, z) + modal_basis(P, P, z), 1.0, 1e-14);
+}
+
+TEST(ModalBasis1d, DerivativeMatchesFiniteDifference) {
+    const std::size_t P = 7;
+    const double h = 1e-6;
+    for (std::size_t p = 0; p <= P; ++p) {
+        for (double z : {-0.8, -0.2, 0.4, 0.9}) {
+            const double fd = (modal_basis(p, P, z + h) - modal_basis(p, P, z - h)) / (2.0 * h);
+            EXPECT_NEAR(modal_basis_derivative(p, P, z), fd, 1e-7) << "p=" << p << " z=" << z;
+        }
+    }
+}
+
+TEST(ModalBasis1d, ReversalSymmetry) {
+    // psi_j(-z) = edge_reversal_sign(j) * psi_j(z) for interior modes.
+    const std::size_t P = 9;
+    for (std::size_t j = 1; j < P; ++j) {
+        for (double z : {0.15, 0.6, 0.95}) {
+            EXPECT_NEAR(modal_basis(j, P, -z), edge_reversal_sign(j) * modal_basis(j, P, z),
+                        1e-13)
+                << "j=" << j;
+        }
+    }
+}
+
+TEST(ModalBasis1d, ReversalSignValues) {
+    EXPECT_DOUBLE_EQ(edge_reversal_sign(1), 1.0);
+    EXPECT_DOUBLE_EQ(edge_reversal_sign(2), -1.0);
+    EXPECT_DOUBLE_EQ(edge_reversal_sign(3), 1.0);
+    EXPECT_DOUBLE_EQ(edge_reversal_sign(4), -1.0);
+}
+
+} // namespace

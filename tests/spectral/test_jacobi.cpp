@@ -1,0 +1,138 @@
+#include "spectral/jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace {
+
+using spectral::gauss_jacobi;
+using spectral::gauss_legendre;
+using spectral::gauss_lobatto;
+using spectral::gauss_lobatto_jacobi;
+using spectral::jacobi;
+using spectral::jacobi_derivative;
+
+TEST(Jacobi, LowOrderClosedForms) {
+    // P_0 = 1, P_1^{a,b}(x) = ((a - b) + (a + b + 2) x) / 2.
+    for (double x : {-0.9, -0.3, 0.0, 0.5, 1.0}) {
+        EXPECT_DOUBLE_EQ(jacobi(0, 1.0, 1.0, x), 1.0);
+        EXPECT_NEAR(jacobi(1, 0.0, 0.0, x), x, 1e-14);
+        EXPECT_NEAR(jacobi(1, 1.0, 1.0, x), 2.0 * x, 1e-14);
+        // Legendre P_2 = (3x^2 - 1)/2.
+        EXPECT_NEAR(jacobi(2, 0.0, 0.0, x), 0.5 * (3.0 * x * x - 1.0), 1e-13);
+    }
+}
+
+TEST(Jacobi, EndpointValues) {
+    // P_n^{a,b}(1) = C(n + a, n).
+    EXPECT_NEAR(jacobi(3, 0.0, 0.0, 1.0), 1.0, 1e-13);
+    EXPECT_NEAR(jacobi(3, 1.0, 1.0, 1.0), 4.0, 1e-13);       // C(4,3)
+    EXPECT_NEAR(jacobi(2, 2.0, 0.0, 1.0), 6.0, 1e-13);       // C(4,2)
+    // Symmetry: P_n^{a,b}(-x) = (-1)^n P_n^{b,a}(x).
+    for (std::size_t n = 0; n <= 6; ++n) {
+        const double lhs = jacobi(n, 1.0, 2.0, -0.37);
+        const double rhs = (n % 2 ? -1.0 : 1.0) * jacobi(n, 2.0, 1.0, 0.37);
+        EXPECT_NEAR(lhs, rhs, 1e-12);
+    }
+}
+
+TEST(Jacobi, DerivativeMatchesFiniteDifference) {
+    const double h = 1e-6;
+    for (std::size_t n : {1u, 2u, 5u, 9u}) {
+        for (double x : {-0.7, 0.1, 0.6}) {
+            const double fd =
+                (jacobi(n, 1.0, 0.0, x + h) - jacobi(n, 1.0, 0.0, x - h)) / (2.0 * h);
+            EXPECT_NEAR(jacobi_derivative(n, 1.0, 0.0, x), fd, 1e-6);
+        }
+    }
+}
+
+/// Orthogonality of P_m, P_n under the (1-x)^a (1+x)^b weight, checked with a
+/// Gauss rule of sufficient degree.
+class JacobiOrthogonality
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(JacobiOrthogonality, PolynomialsAreOrthogonal) {
+    const auto [a, b] = GetParam();
+    const auto rule = gauss_jacobi(16, a, b);
+    for (std::size_t m = 0; m <= 8; ++m) {
+        for (std::size_t n = 0; n < m; ++n) {
+            double s = 0.0;
+            for (std::size_t q = 0; q < rule.size(); ++q)
+                s += rule.weights[q] * jacobi(m, a, b, rule.points[q]) *
+                     jacobi(n, a, b, rule.points[q]);
+            EXPECT_NEAR(s, 0.0, 1e-11) << "a=" << a << " b=" << b << " m=" << m << " n=" << n;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, JacobiOrthogonality,
+                         ::testing::Values(std::tuple{0.0, 0.0}, std::tuple{1.0, 0.0},
+                                           std::tuple{1.0, 1.0}, std::tuple{3.0, 1.0},
+                                           std::tuple{2.0, 0.0}));
+
+double integrate(const spectral::QuadratureRule& rule,
+                 const std::function<double(double)>& f) {
+    double s = 0.0;
+    for (std::size_t q = 0; q < rule.size(); ++q) s += rule.weights[q] * f(rule.points[q]);
+    return s;
+}
+
+TEST(GaussJacobi, ExactForPolynomialsUpToDegree) {
+    // n-point Gauss is exact to degree 2n-1 under its weight.
+    const std::size_t n = 5;
+    const auto rule = gauss_legendre(n);
+    // int_{-1}^{1} x^k dx = 2/(k+1) for even k.
+    for (std::size_t k = 0; k <= 2 * n - 1; ++k) {
+        const double exact = (k % 2 == 0) ? 2.0 / static_cast<double>(k + 1) : 0.0;
+        EXPECT_NEAR(integrate(rule, [k](double x) { return std::pow(x, k); }), exact, 1e-12)
+            << "k=" << k;
+    }
+}
+
+TEST(GaussJacobi, WeightedMomentAlpha1) {
+    // int (1-x) x^0 = 2; int (1-x) x = -2/3... compute a couple explicitly.
+    const auto rule = gauss_jacobi(6, 1.0, 0.0);
+    EXPECT_NEAR(integrate(rule, [](double) { return 1.0; }), 2.0, 1e-12);
+    EXPECT_NEAR(integrate(rule, [](double x) { return x; }), -2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(integrate(rule, [](double x) { return x * x; }), 2.0 / 3.0, 1e-12);
+}
+
+TEST(GaussLobatto, IncludesEndpointsAndIsExact) {
+    const std::size_t n = 6;
+    const auto rule = gauss_lobatto(n);
+    EXPECT_DOUBLE_EQ(rule.points.front(), -1.0);
+    EXPECT_DOUBLE_EQ(rule.points.back(), 1.0);
+    // Exact to degree 2n-3.
+    for (std::size_t k = 0; k <= 2 * n - 3; ++k) {
+        const double exact = (k % 2 == 0) ? 2.0 / static_cast<double>(k + 1) : 0.0;
+        EXPECT_NEAR(integrate(rule, [k](double x) { return std::pow(x, k); }), exact, 1e-11);
+    }
+}
+
+TEST(GaussLobattoJacobi, Alpha1WeightIsExact) {
+    const std::size_t n = 7;
+    const auto rule = gauss_lobatto_jacobi(n, 1.0, 0.0);
+    // int (1-x) x^k for k = 0..3: 2, -2/3, 2/3, -2/5.
+    const double exact[] = {2.0, -2.0 / 3.0, 2.0 / 3.0, -2.0 / 5.0};
+    for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_NEAR(integrate(rule, [k](double x) { return std::pow(x, k); }), exact[k], 1e-11);
+}
+
+TEST(GaussJacobi, PointsSortedAndInsideInterval) {
+    for (std::size_t n : {2u, 5u, 12u, 20u}) {
+        const auto rule = gauss_jacobi(n, 1.0, 0.0);
+        for (std::size_t q = 0; q < n; ++q) {
+            EXPECT_GT(rule.points[q], -1.0);
+            EXPECT_LT(rule.points[q], 1.0);
+            EXPECT_GT(rule.weights[q], 0.0);
+            if (q) {
+                EXPECT_LT(rule.points[q - 1], rule.points[q]);
+            }
+        }
+    }
+}
+
+} // namespace
