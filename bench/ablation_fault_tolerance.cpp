@@ -1,0 +1,156 @@
+/// Ablation: how much network *unreliability* — not just mean
+/// latency/bandwidth — costs the NekTar-F time step.  The paper's Fast
+/// Ethernet wall-clock divergence (Table 2) is driven by retransmits and
+/// stragglers on the shared wire; this sweep quantifies that mechanism by
+/// running the real Fourier solver on the simulated cluster while the
+/// seeded fault layer injects packet loss and per-rank slowdowns, then
+/// reports per-stage wall-time inflation versus the fault-free baseline.
+///
+/// Output is JSON (one document on stdout) so downstream tooling can plot
+/// inflation-vs-loss-rate curves per network.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app_model.hpp"
+#include "mesh/generators.hpp"
+#include "nektar/ns_fourier.hpp"
+
+namespace {
+
+struct FaultRun {
+    perf::StageBreakdown bd; ///< rank-0 stages + fault accounting from all ranks
+    simmpi::CommLog log;
+    double max_wall = 0.0;  ///< slowest rank's virtual wall clock
+    double mean_cpu = 0.0;
+    double comm_groups = 1.0;
+};
+
+FaultRun run_fourier(int nprocs, const netsim::NetworkModel& net) {
+    mesh::BluffBodyParams p;
+    p.n_upstream = 3;
+    p.n_wake = 4;
+    p.n_body = 2;
+    p.n_side = 2;
+    const auto base_mesh = std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p));
+
+    FaultRun data;
+    const int bootstrap = 1, steady = 2;
+    simmpi::World world(nprocs, net);
+    std::vector<perf::StageBreakdown> bds(static_cast<std::size_t>(nprocs));
+    const auto reports = world.run([&](simmpi::Comm& c) {
+        const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
+        nektar::FourierNsOptions opts;
+        opts.dt = 2e-3;
+        opts.nu = 0.01;
+        opts.num_modes = static_cast<std::size_t>(c.size()); // 2 planes per proc
+        opts.u_bc = [](double x, double y, double) {
+            const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
+            return body ? 0.0 : 1.0;
+        };
+        nektar::FourierNS ns(disc, opts, &c);
+        ns.set_initial([](double, double, double z) { return 1.0 + 0.05 * std::sin(z); },
+                       [](double, double, double) { return 0.0; },
+                       [](double, double, double z) { return 0.05 * std::cos(z); });
+        for (int s = 0; s < bootstrap; ++s) ns.step();
+        ns.breakdown() = {};
+        for (int s = 0; s < steady; ++s) ns.step();
+        bds[static_cast<std::size_t>(c.rank())] = ns.breakdown();
+    });
+    data.bd = bds[0];
+    data.log = reports[0].log;
+    data.comm_groups = static_cast<double>(1 + bootstrap + steady);
+    for (const auto& rep : reports) {
+        data.max_wall = std::max(data.max_wall, rep.wall_seconds);
+        data.mean_cpu += rep.cpu_seconds / nprocs;
+        // Fold every rank's fault accounting into the perf stage breakdown.
+        for (const auto& [stage, fs] : rep.fault_log)
+            data.bd.add_comm_faults(stage < 0 ? 0 : static_cast<std::size_t>(stage),
+                                    fs.retransmits, fs.extra_seconds);
+    }
+    return data;
+}
+
+netsim::NetworkModel with_faults(const netsim::NetworkModel& base, double loss,
+                                 double straggler_factor) {
+    netsim::NetworkModel n = base;
+    n.fault.seed = 1999; // the paper's year; any fixed seed keeps runs reproducible
+    n.fault.loss_probability = loss;
+    // Loss detection on a kernel TCP stack costs a timeout ~an order of
+    // magnitude above the base latency before the resend goes out.
+    n.fault.retransmit_timeout_us = 10.0 * base.latency_us;
+    n.fault.straggler_fraction = straggler_factor > 1.0 ? 0.25 : 0.0;
+    n.fault.straggler_factor = straggler_factor;
+    return n;
+}
+
+void emit_run(const char* net_name, double loss, double straggler, const FaultRun& r,
+              const FaultRun& baseline, const netsim::NetworkModel& net, int nprocs,
+              bool first) {
+    std::printf("%s\n    {\"network\": \"%s\", \"loss_rate\": %g, "
+                "\"straggler_factor\": %g,\n",
+                first ? "" : ",", net_name, loss, straggler);
+    std::printf("     \"wall_seconds\": %.6e, \"baseline_wall_seconds\": %.6e, "
+                "\"wall_inflation\": %.4f,\n",
+                r.max_wall, baseline.max_wall, r.max_wall / baseline.max_wall);
+    std::printf("     \"cpu_seconds\": %.6e, \"idle_seconds\": %.6e,\n", r.mean_cpu,
+                r.max_wall - r.mean_cpu);
+    std::printf("     \"retransmits\": %llu, \"fault_seconds\": %.6e,\n",
+                static_cast<unsigned long long>(r.bd.total_retransmits()),
+                r.bd.total_fault_seconds());
+    std::printf("     \"stages\": [");
+    for (std::size_t s = 1; s <= perf::kNumStages; ++s) {
+        const double comm = simmpi::price_stage(r.log, static_cast<int>(s), net, nprocs) /
+                            r.comm_groups;
+        const double fault = r.bd.fault_seconds[s] / r.comm_groups;
+        const double inflation = comm > 0.0 ? (comm + fault) / comm : 1.0;
+        std::printf("%s\n        {\"stage\": %zu, \"name\": \"%s\", "
+                    "\"comm_seconds\": %.6e, \"fault_seconds\": %.6e, "
+                    "\"retransmits\": %llu, \"wall_inflation\": %.4f}",
+                    s == 1 ? "" : ",", s, perf::stage_name(s).c_str(), comm, fault,
+                    static_cast<unsigned long long>(r.bd.retransmits[s]), inflation);
+    }
+    std::printf("]}");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int nprocs = argc > 1 ? std::atoi(argv[1]) : 8;
+    if (nprocs < 2) {
+        std::fprintf(stderr, "usage: %s [nprocs >= 2]  (got \"%s\")\n", argv[0],
+                     argc > 1 ? argv[1] : "");
+        return 2;
+    }
+    const std::vector<std::string> networks = {"RoadRunner eth.", "RoadRunner myr.", "T3E"};
+    const std::vector<double> loss_rates = {0.0, 0.001, 0.01, 0.05};
+    const std::vector<double> straggler_factors = {2.0, 4.0};
+
+    std::printf("{\n  \"bench\": \"ablation_fault_tolerance\",\n"
+                "  \"nprocs\": %d,\n  \"fault_seed\": 1999,\n  \"runs\": [",
+                nprocs);
+    bool first = true;
+    for (const auto& name : networks) {
+        const netsim::NetworkModel& base = netsim::by_name(name);
+        // Fault-free baseline for this network.
+        const FaultRun baseline = run_fourier(nprocs, with_faults(base, 0.0, 1.0));
+        // Loss-rate sweep at no straggling.
+        for (const double loss : loss_rates) {
+            const FaultRun r = loss == 0.0
+                                   ? baseline
+                                   : run_fourier(nprocs, with_faults(base, loss, 1.0));
+            emit_run(name.c_str(), loss, 1.0, r, baseline, base, nprocs, first);
+            first = false;
+        }
+        // Straggler-severity sweep at a fixed modest loss rate.
+        for (const double sf : straggler_factors) {
+            const FaultRun r = run_fourier(nprocs, with_faults(base, 0.01, sf));
+            emit_run(name.c_str(), 0.01, sf, r, baseline, base, nprocs, first);
+            first = false;
+        }
+    }
+    std::printf("\n  ]\n}\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+#include "netsim/faultmodel.hpp"
+
+#include <algorithm>
+
+namespace netsim {
+
+namespace {
+
+constexpr double kUs = 1e-6;
+
+/// splitmix64 finaliser: a full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Counter-mode stream: hash the (seed, rank, msg, salt) coordinates through
+/// independent mix rounds so neighbouring coordinates decorrelate.
+std::uint64_t draw(std::uint64_t seed, int rank, std::uint64_t msg,
+                   std::uint64_t salt) noexcept {
+    std::uint64_t h = mix64(seed);
+    h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) + 1));
+    h = mix64(h ^ (msg + 1));
+    h = mix64(h ^ (salt + 1));
+    return h;
+}
+
+/// Distinct salt spaces per fault mechanism.
+enum Salt : std::uint64_t { kJitter = 0, kDegrade = 1, kStraggler = 2, kLossBase = 16 };
+
+} // namespace
+
+bool FaultModel::enabled() const noexcept {
+    return latency_jitter_us > 0.0 || loss_probability > 0.0 ||
+           (degrade_probability > 0.0 && degrade_factor != 1.0) ||
+           (straggler_fraction > 0.0 && straggler_factor != 1.0);
+}
+
+double FaultModel::uniform(int rank, std::uint64_t msg_index,
+                           std::uint64_t salt) const noexcept {
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(draw(seed, rank, msg_index, salt) >> 11) * 0x1.0p-53;
+}
+
+bool FaultModel::is_straggler(int rank) const noexcept {
+    if (straggler_fraction <= 0.0 || straggler_factor == 1.0) return false;
+    // Per-rank draw with a fixed message coordinate: straggling is a property
+    // of the rank (slow node), not of any one message.
+    return uniform(rank, 0, Salt::kStraggler) < straggler_fraction;
+}
+
+double FaultModel::rank_slowdown(int rank) const noexcept {
+    return is_straggler(rank) ? straggler_factor : 1.0;
+}
+
+FaultPerturbation FaultModel::perturb(int rank, std::uint64_t msg_index,
+                                      double base_seconds) const noexcept {
+    FaultPerturbation p;
+    if (latency_jitter_us > 0.0)
+        p.extra_seconds += latency_jitter_us * kUs * uniform(rank, msg_index, Salt::kJitter);
+    if (loss_probability > 0.0) {
+        // Geometric number of lost transmissions, each costing the detection
+        // timeout plus a full resend of the message.
+        while (p.retransmits < max_retransmits &&
+               uniform(rank, msg_index,
+                       Salt::kLossBase + static_cast<std::uint64_t>(p.retransmits)) <
+                   loss_probability)
+            ++p.retransmits;
+        p.extra_seconds +=
+            p.retransmits * (retransmit_timeout_us * kUs + base_seconds);
+    }
+    if (degrade_probability > 0.0 && degrade_factor != 1.0 &&
+        uniform(rank, msg_index, Salt::kDegrade) < degrade_probability)
+        p.extra_seconds += (degrade_factor - 1.0) * base_seconds;
+    return p;
+}
+
+double FaultModel::expected_extra_seconds(double base_seconds) const noexcept {
+    double extra = 0.5 * latency_jitter_us * kUs;
+    if (loss_probability > 0.0 && loss_probability < 1.0) {
+        // E[retransmits] for a capped geometric; the cap matters only for
+        // pathological loss rates.
+        const double q = loss_probability;
+        const double mean = q / (1.0 - q);
+        extra += std::min(mean, static_cast<double>(max_retransmits)) *
+                 (retransmit_timeout_us * kUs + base_seconds);
+    }
+    extra += degrade_probability * (degrade_factor - 1.0) * base_seconds;
+    return extra;
+}
+
+double FaultModel::expected_inflation(double base_seconds) const noexcept {
+    if (base_seconds <= 0.0) return 1.0;
+    const double faulted = base_seconds + expected_extra_seconds(base_seconds);
+    // Average the straggler slowdown over the rank population.
+    const double slow =
+        1.0 + straggler_fraction * (straggler_factor - 1.0);
+    return faulted * slow / base_seconds;
+}
+
+} // namespace netsim

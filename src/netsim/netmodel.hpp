@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "netsim/faultmodel.hpp"
+
 /// \file netmodel.hpp
 /// Analytic interconnect models for the paper's communication study.
 ///
@@ -50,6 +52,11 @@ struct NetworkModel {
     /// kernel TCP path of MPICH/LAM on ethernet blocks in the kernel, which
     /// is what separates CPU from wall clock in the paper's Table 2.
     double cpu_poll_fraction = 1.0;
+    /// Seeded fault injection (jitter, loss/retransmit, degradation,
+    /// stragglers).  Default-constructed = perfect network; the analytic
+    /// costs below are always the *unfaulted* means — faults are charged
+    /// per-message by the simmpi runtime, which knows (rank, message index).
+    FaultModel fault{};
 
     /// One-way point-to-point time for m bytes, in seconds.
     [[nodiscard]] double ptp_seconds(std::size_t m_bytes) const noexcept;

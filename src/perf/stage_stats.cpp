@@ -6,9 +6,30 @@ StageBreakdown& StageBreakdown::operator+=(const StageBreakdown& o) {
     for (std::size_t s = 0; s <= kNumStages; ++s) {
         counts[s] += o.counts[s];
         host_seconds[s] += o.host_seconds[s];
+        retransmits[s] += o.retransmits[s];
+        fault_seconds[s] += o.fault_seconds[s];
     }
     steps += o.steps;
     return *this;
+}
+
+void StageBreakdown::add_comm_faults(std::size_t stage, std::uint64_t retransmit_count,
+                                     double extra_seconds) {
+    const std::size_t s = stage <= kNumStages ? stage : 0;
+    retransmits[s] += retransmit_count;
+    fault_seconds[s] += extra_seconds;
+}
+
+std::uint64_t StageBreakdown::total_retransmits() const {
+    std::uint64_t t = 0;
+    for (std::size_t s = 0; s <= kNumStages; ++s) t += retransmits[s];
+    return t;
+}
+
+double StageBreakdown::total_fault_seconds() const {
+    double t = 0.0;
+    for (std::size_t s = 0; s <= kNumStages; ++s) t += fault_seconds[s];
+    return t;
 }
 
 blaslite::OpCounts StageBreakdown::total_counts() const {

@@ -3,6 +3,7 @@
 #include <array>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "blaslite/counters.hpp"
@@ -35,12 +36,25 @@ struct StageShape {
 struct StageBreakdown {
     std::array<blaslite::OpCounts, kNumStages + 1> counts{}; ///< 1-based
     std::array<double, kNumStages + 1> host_seconds{};
+    /// Fault accounting per stage, filled from a simulated run's per-stage
+    /// fault log (simmpi::FaultLog): lost transmissions the network had to
+    /// repeat, and the virtual seconds the fault model added on top of the
+    /// unfaulted communication costs.  Zero for serial or perfect-network runs.
+    std::array<std::uint64_t, kNumStages + 1> retransmits{};
+    std::array<double, kNumStages + 1> fault_seconds{};
     int steps = 0;
 
     StageBreakdown& operator+=(const StageBreakdown& o);
 
+    /// Credits `stage` with fault overhead observed by the comm runtime.
+    /// Events outside an explicit stage (simmpi stage -1) belong in slot 0.
+    void add_comm_faults(std::size_t stage, std::uint64_t retransmit_count,
+                         double extra_seconds);
+
     [[nodiscard]] blaslite::OpCounts total_counts() const;
     [[nodiscard]] double total_host_seconds() const;
+    [[nodiscard]] std::uint64_t total_retransmits() const;
+    [[nodiscard]] double total_fault_seconds() const;
 
     /// Predicted seconds a machine spends in `stage` over the recorded run.
     [[nodiscard]] double predict_stage_seconds(const machine::MachineModel& m,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -63,6 +64,18 @@ void Comm::advance_compute(double seconds) noexcept {
     wall_ += seconds;
 }
 
+double Comm::faulted_cost(double base_seconds) {
+    const netsim::FaultModel& fm = world_->net_.fault;
+    const std::uint64_t idx = msg_index_++;
+    if (!fm.enabled()) return base_seconds;
+    const netsim::FaultPerturbation p = fm.perturb(rank_, idx, base_seconds);
+    const double cost = (base_seconds + p.extra_seconds) * fm.rank_slowdown(rank_);
+    FaultStageStats& fs = fault_log_[stage_];
+    fs.retransmits += static_cast<std::uint64_t>(p.retransmits);
+    fs.extra_seconds += cost - base_seconds;
+    return cost;
+}
+
 void Comm::send(int dest, int tag, std::span<const double> data) {
     assert(dest >= 0 && dest < size_ && dest != rank_);
     const std::size_t bytes = data.size_bytes();
@@ -70,10 +83,10 @@ void Comm::send(int dest, int tag, std::span<const double> data) {
     msg.src = rank_;
     msg.tag = tag;
     msg.payload.assign(data.begin(), data.end());
-    msg.avail_time = wall_ + world_->net_.ptp_seconds(bytes);
+    msg.avail_time = wall_ + faulted_cost(world_->net_.ptp_seconds(bytes));
     record(CommKind::Ptp, bytes);
     // The sender returns to work after the injection overhead; the transfer
-    // itself lands on the receiver's clock.
+    // itself (with any retransmits/jitter) lands on the receiver's clock.
     const double overhead = 0.5 * world_->net_.latency_us * 1e-6;
     wall_ += overhead;
     cpu_ += overhead * world_->net_.cpu_poll_fraction;
@@ -100,10 +113,14 @@ void Comm::sendrecv(int partner, int tag, std::span<const double> send_data,
 }
 
 double Comm::sync_and_charge(double coll_seconds) {
+    // Per-rank perturbation: a straggler leaves the collective late, so its
+    // peers accumulate idle time at the *next* synchronisation point —
+    // exactly how a slow node degrades a real cluster.
+    const double cost = faulted_cost(coll_seconds);
     const double all = world_->rendezvous_max(wall_);
     const double idle = all - wall_;
-    wall_ = all + coll_seconds;
-    cpu_ += (idle + coll_seconds) * world_->net_.cpu_poll_fraction;
+    wall_ = all + cost;
+    cpu_ += (idle + cost) * world_->net_.cpu_poll_fraction;
     return wall_;
 }
 
@@ -155,10 +172,6 @@ double Comm::allreduce_sum(double v) {
     allreduce_sum(std::span<double>(buf, 1));
     return buf[0];
 }
-
-namespace {
-// Shared implementation for scalar max/min via the staging area.
-} // namespace
 
 double Comm::allreduce_max(double v) {
     const std::size_t p = static_cast<std::size_t>(size_);
@@ -237,8 +250,16 @@ void World::deliver(int dest, Message msg) {
     box.cv.notify_all();
 }
 
+void World::abort_world() {
+    aborted_.store(true);
+    rdv_.cv.notify_all();
+    for (auto& box : mailboxes_) box.cv.notify_all();
+}
+
 World::Message World::take(int self, int src, int tag) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(watchdog_seconds_);
     std::unique_lock lk(box.mtx);
     for (;;) {
         const auto it = std::find_if(box.queue.begin(), box.queue.end(), [&](const Message& m) {
@@ -249,11 +270,20 @@ World::Message World::take(int self, int src, int tag) {
             box.queue.erase(it);
             return msg;
         }
-        box.cv.wait(lk);
+        if (aborted_.load()) throw Aborted{};
+        if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+            lk.unlock();
+            throw DeadlockError("simmpi: rank " + std::to_string(self) +
+                                " waited > watchdog for a message from rank " +
+                                std::to_string(src) + " tag " + std::to_string(tag) +
+                                " (missing send or wrong tag)");
+        }
     }
 }
 
 double World::rendezvous_max(double wall) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(watchdog_seconds_);
     std::unique_lock lk(rdv_.mtx);
     const std::uint64_t gen = rdv_.generation;
     rdv_.max_wall = std::max(rdv_.max_wall, wall);
@@ -269,7 +299,16 @@ double World::rendezvous_max(double wall) {
         rdv_.cv.notify_all();
         return result;
     }
-    rdv_.cv.wait(lk, [&] { return rdv_.generation != gen; });
+    while (rdv_.generation == gen) {
+        if (aborted_.load()) throw Aborted{};
+        if (rdv_.cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+            rdv_.generation == gen) {
+            lk.unlock();
+            throw DeadlockError(
+                "simmpi: collective rendezvous waited > watchdog "
+                "(some rank never entered the collective)");
+        }
+    }
     return rdv_.result_;
 }
 
@@ -285,19 +324,35 @@ std::vector<RankReport> World::run(const std::function<void(Comm&)>& fn) {
             Comm comm(*this, r, nprocs_);
             try {
                 fn(comm);
+            } catch (const Aborted&) {
+                // Woken by another rank's failure; unwind quietly.
             } catch (...) {
-                std::lock_guard lk(err_mtx);
-                if (!first_error) first_error = std::current_exception();
+                {
+                    std::lock_guard lk(err_mtx);
+                    if (!first_error) first_error = std::current_exception();
+                }
+                // Release every rank still blocked in take()/rendezvous so
+                // run() can join and rethrow instead of hanging.
+                abort_world();
             }
             RankReport& rep = reports[static_cast<std::size_t>(r)];
             rep.rank = r;
             rep.cpu_seconds = comm.cpu_time();
             rep.wall_seconds = comm.wall_time();
             rep.log = comm.log();
+            rep.fault_log = comm.fault_log();
         });
     }
     for (auto& t : threads) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    if (first_error) {
+        // Scrub the half-finished run so the world is reusable: drop stale
+        // messages and rewind the rendezvous (deserters left `waiting` high).
+        aborted_.store(false);
+        for (auto& box : mailboxes_) box.queue.clear();
+        rdv_.waiting = 0;
+        rdv_.max_wall = 0.0;
+        std::rethrow_exception(first_error);
+    }
     return reports;
 }
 

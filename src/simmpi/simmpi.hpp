@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,9 +20,9 @@
 ///
 /// Ranks are host threads.  Point-to-point messages really move through
 /// per-rank mailboxes (wrong tags or mismatched sizes fail loudly, and a
-/// missing send deadlocks — the semantics are honest), while a virtual clock
-/// per rank models what the transfer would have cost on a chosen 1999-era
-/// interconnect (see netsim).  Each rank tracks
+/// missing send trips the deadlock watchdog — the semantics are honest),
+/// while a virtual clock per rank models what the transfer would have cost
+/// on a chosen 1999-era interconnect (see netsim).  Each rank tracks
 ///
 ///   * cpu time  — compute charged by the application via advance_compute(),
 ///   * wall time — cpu time plus communication and idle time,
@@ -34,6 +36,14 @@
 /// network model's collective costs.  Every communication event is also
 /// recorded in a per-stage log so the benchmarks can re-price a run on every
 /// network without re-executing it.
+///
+/// If the network model carries an enabled netsim::FaultModel, every
+/// communication cost is perturbed deterministically (seed, rank, per-rank
+/// message index): jitter and retransmits land on the virtual clocks exactly
+/// like honest slow hardware would, stragglers inflate their own comm costs
+/// so their peers accumulate idle time at the next synchronisation, and the
+/// per-stage FaultLog records the retransmit counts and the fault-attributed
+/// extra seconds.  Faults never touch payloads — only time.
 namespace simmpi {
 
 /// Communication operation categories for the event log.
@@ -59,11 +69,35 @@ using CommLog = std::map<int, std::map<CommEventKey, std::uint64_t>>;
 [[nodiscard]] double price_stage(const CommLog& log, int stage, const netsim::NetworkModel& net,
                                  int nprocs);
 
+/// Fault accounting for one stage: how many transmissions were lost and how
+/// much virtual time the fault model added on top of the unfaulted costs.
+struct FaultStageStats {
+    std::uint64_t retransmits = 0;
+    double extra_seconds = 0.0;
+    FaultStageStats& operator+=(const FaultStageStats& o) {
+        retransmits += o.retransmits;
+        extra_seconds += o.extra_seconds;
+        return *this;
+    }
+};
+
+/// stage id -> fault accounting (same stage keys as CommLog).
+using FaultLog = std::map<int, FaultStageStats>;
+
+/// Thrown by World::run when a rank waits longer than the watchdog allows:
+/// a missing send, a mismatched tag, or a collective some rank never enters.
+/// Without the watchdog these bugs would hang the test harness forever.
+class DeadlockError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
 struct RankReport {
     int rank = 0;
     double cpu_seconds = 0.0;
     double wall_seconds = 0.0;
     CommLog log;
+    FaultLog fault_log;
 };
 
 class World;
@@ -111,14 +145,21 @@ public:
     [[nodiscard]] double wall_time() const noexcept { return wall_; }
     [[nodiscard]] double idle_time() const noexcept { return wall_ - cpu_; }
     [[nodiscard]] const CommLog& log() const noexcept { return log_; }
+    [[nodiscard]] const FaultLog& fault_log() const noexcept { return fault_log_; }
 
 private:
     friend class World;
     Comm(World& world, int rank, int size) : world_(&world), rank_(rank), size_(size) {}
 
     void record(CommKind kind, std::size_t bytes) { ++log_[stage_][{kind, bytes}]; }
+    /// Applies the fault model to one comm event of unfaulted cost
+    /// `base_seconds`, consuming this rank's next message index; records the
+    /// perturbation in the fault log and returns the faulted cost.  With no
+    /// enabled fault model this returns `base_seconds` bit-exactly.
+    double faulted_cost(double base_seconds);
     /// Synchronises all ranks, sets every wall clock to the max, then adds
-    /// `coll_seconds`; returns the post-collective wall time.
+    /// `coll_seconds` (fault-perturbed per rank); returns the post-collective
+    /// wall time.
     double sync_and_charge(double coll_seconds);
 
     World* world_;
@@ -127,7 +168,9 @@ private:
     int stage_ = -1;
     double cpu_ = 0.0;
     double wall_ = 0.0;
+    std::uint64_t msg_index_ = 0; ///< per-rank deterministic fault stream position
     CommLog log_;
+    FaultLog fault_log_;
 };
 
 /// A simulated cluster: N ranks over one interconnect model.
@@ -136,11 +179,18 @@ public:
     World(int nprocs, netsim::NetworkModel net);
 
     /// Runs `fn(comm)` on every rank (each on its own thread) and returns the
-    /// per-rank reports.  Any exception thrown by a rank is rethrown here.
+    /// per-rank reports.  Any exception thrown by a rank is rethrown here;
+    /// the remaining ranks are woken and unwound instead of blocking forever.
     std::vector<RankReport> run(const std::function<void(Comm&)>& fn);
 
     [[nodiscard]] int size() const noexcept { return nprocs_; }
     [[nodiscard]] const netsim::NetworkModel& network() const noexcept { return net_; }
+
+    /// Host-time bound on any single blocking wait (recv matching, collective
+    /// rendezvous).  A wait exceeding it aborts the world and World::run
+    /// throws DeadlockError instead of hanging the harness.
+    void set_watchdog_seconds(double s) noexcept { watchdog_seconds_ = s; }
+    [[nodiscard]] double watchdog_seconds() const noexcept { return watchdog_seconds_; }
 
 private:
     friend class Comm;
@@ -168,13 +218,20 @@ private:
         double result_ = 0.0; ///< snapshot of max_wall for the completed generation
     };
 
+    /// Internal unwind signal for ranks woken by an abort; never escapes run().
+    struct Aborted {};
+
     void deliver(int dest, Message msg);
     Message take(int self, int src, int tag);
     /// Enters the rendezvous with this rank's wall clock; returns max over all.
     double rendezvous_max(double wall);
+    /// Wakes every blocked rank; they unwind with Aborted.
+    void abort_world();
 
     int nprocs_;
     netsim::NetworkModel net_;
+    double watchdog_seconds_ = 30.0;
+    std::atomic<bool> aborted_{false};
     std::vector<Mailbox> mailboxes_;
     Rendezvous rdv_;
     std::mutex exch_mtx_;

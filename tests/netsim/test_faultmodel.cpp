@@ -1,0 +1,147 @@
+#include "netsim/faultmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using netsim::FaultModel;
+
+FaultModel lossy() {
+    FaultModel f;
+    f.seed = 42;
+    f.latency_jitter_us = 50.0;
+    f.loss_probability = 0.05;
+    f.retransmit_timeout_us = 200.0;
+    f.degrade_probability = 0.01;
+    f.degrade_factor = 4.0;
+    f.straggler_fraction = 0.25;
+    f.straggler_factor = 2.0;
+    return f;
+}
+
+TEST(FaultModel, DefaultIsDisabledAndInert) {
+    const FaultModel f;
+    EXPECT_FALSE(f.enabled());
+    const auto p = f.perturb(3, 17, 1e-3);
+    EXPECT_EQ(p.extra_seconds, 0.0);
+    EXPECT_EQ(p.retransmits, 0);
+    EXPECT_EQ(f.rank_slowdown(0), 1.0);
+    EXPECT_EQ(f.expected_extra_seconds(1e-3), 0.0);
+    EXPECT_EQ(f.expected_inflation(1e-3), 1.0);
+}
+
+TEST(FaultModel, ZeroProbabilitiesPerturbNothingEvenWithSeed) {
+    FaultModel f;
+    f.seed = 12345; // a seed alone must not enable anything
+    EXPECT_FALSE(f.enabled());
+    for (int rank = 0; rank < 8; ++rank)
+        for (std::uint64_t m = 0; m < 100; ++m) {
+            const auto p = f.perturb(rank, m, 2.5e-4);
+            EXPECT_EQ(p.extra_seconds, 0.0);
+            EXPECT_EQ(p.retransmits, 0);
+        }
+}
+
+TEST(FaultModel, PerturbIsAPureFunctionOfSeedRankIndex) {
+    const FaultModel f = lossy();
+    for (int rank = 0; rank < 8; ++rank)
+        for (std::uint64_t m = 0; m < 200; ++m) {
+            const auto a = f.perturb(rank, m, 1e-3);
+            const auto b = f.perturb(rank, m, 1e-3);
+            EXPECT_EQ(a.extra_seconds, b.extra_seconds);
+            EXPECT_EQ(a.retransmits, b.retransmits);
+        }
+    // Different ranks see different streams, as do different indices.
+    int diffs = 0;
+    for (std::uint64_t m = 0; m < 50; ++m)
+        if (f.perturb(0, m, 1e-3).extra_seconds != f.perturb(1, m, 1e-3).extra_seconds)
+            ++diffs;
+    EXPECT_GT(diffs, 40);
+}
+
+TEST(FaultModel, SeedChangesTheStream) {
+    FaultModel a = lossy(), b = lossy();
+    b.seed = a.seed + 1;
+    int diffs = 0;
+    for (std::uint64_t m = 0; m < 50; ++m)
+        if (a.perturb(2, m, 1e-3).extra_seconds != b.perturb(2, m, 1e-3).extra_seconds)
+            ++diffs;
+    EXPECT_GT(diffs, 40);
+}
+
+TEST(FaultModel, UniformDrawsCoverUnitInterval) {
+    const FaultModel f = lossy();
+    double mn = 1.0, mx = 0.0, sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = f.uniform(0, static_cast<std::uint64_t>(i), 7);
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        mn = std::min(mn, u);
+        mx = std::max(mx, u);
+        sum += u;
+    }
+    EXPECT_LT(mn, 0.01);
+    EXPECT_GT(mx, 0.99);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(FaultModel, RetransmitRateMatchesLossProbability) {
+    FaultModel f;
+    f.seed = 7;
+    f.loss_probability = 0.10;
+    f.retransmit_timeout_us = 100.0;
+    const int n = 20000;
+    std::uint64_t losses = 0;
+    for (int i = 0; i < n; ++i)
+        losses += static_cast<std::uint64_t>(
+            f.perturb(0, static_cast<std::uint64_t>(i), 1e-4).retransmits);
+    // E[retransmits] = p/(1-p) ~ 0.111
+    EXPECT_NEAR(static_cast<double>(losses) / n, 0.111, 0.01);
+}
+
+TEST(FaultModel, StragglerFractionIsRespectedAcrossRanks) {
+    FaultModel f;
+    f.seed = 99;
+    f.straggler_fraction = 0.25;
+    f.straggler_factor = 3.0;
+    int stragglers = 0;
+    const int ranks = 2000;
+    for (int r = 0; r < ranks; ++r)
+        if (f.is_straggler(r)) ++stragglers;
+    EXPECT_NEAR(static_cast<double>(stragglers) / ranks, 0.25, 0.04);
+    // Straggling is a stable property of a rank.
+    for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(f.is_straggler(r), f.rank_slowdown(r) == 3.0);
+}
+
+TEST(FaultModel, ExpectedInflationGrowsWithLossRate) {
+    FaultModel lo, hi;
+    lo.seed = hi.seed = 1;
+    lo.loss_probability = 0.01;
+    hi.loss_probability = 0.10;
+    lo.retransmit_timeout_us = hi.retransmit_timeout_us = 200.0;
+    const double base = 1e-3;
+    EXPECT_GT(lo.expected_inflation(base), 1.0);
+    EXPECT_GT(hi.expected_inflation(base), lo.expected_inflation(base));
+}
+
+TEST(FaultModel, EmpiricalMeanMatchesExpectedExtra) {
+    FaultModel f;
+    f.seed = 3;
+    f.latency_jitter_us = 40.0;
+    f.loss_probability = 0.05;
+    f.retransmit_timeout_us = 150.0;
+    f.degrade_probability = 0.02;
+    f.degrade_factor = 3.0;
+    const double base = 5e-4;
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += f.perturb(0, static_cast<std::uint64_t>(i), base).extra_seconds;
+    EXPECT_NEAR(sum / n, f.expected_extra_seconds(base), 0.05 * f.expected_extra_seconds(base));
+}
+
+} // namespace

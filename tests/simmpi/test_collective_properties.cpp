@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "simmpi/simmpi.hpp"
+
+/// Property tests for the simmpi collectives: every collective's *data* must
+/// match a serial reference implementation for all rank counts, message
+/// sizes, and fault configurations.  Fault injection may stretch the virtual
+/// clocks — it must never corrupt a payload.
+namespace {
+
+/// Exactly-representable test value: a pure function of (rank, block, slot)
+/// so references can be recomputed serially.
+double value(int rank, int block, std::size_t slot) {
+    return static_cast<double>(rank) * 65536.0 + static_cast<double>(block) * 256.0 +
+           static_cast<double>(slot % 251);
+}
+
+netsim::NetworkModel make_net(std::uint64_t fault_seed) {
+    netsim::NetworkModel n;
+    n.name = "prop";
+    n.latency_us = 20.0;
+    n.bandwidth_mbps = 50.0;
+    n.cpu_poll_fraction = 0.6;
+    if (fault_seed != 0) {
+        n.fault.seed = fault_seed;
+        n.fault.latency_jitter_us = 80.0;
+        n.fault.loss_probability = 0.05;
+        n.fault.retransmit_timeout_us = 300.0;
+        n.fault.degrade_probability = 0.02;
+        n.fault.degrade_factor = 3.0;
+        n.fault.straggler_fraction = 0.3;
+        n.fault.straggler_factor = 2.5;
+    }
+    return n;
+}
+
+/// (rank count, message size in doubles, fault seed; 0 = perfect network).
+class CollectiveProps
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, std::uint64_t>> {
+protected:
+    [[nodiscard]] int nprocs() const { return std::get<0>(GetParam()); }
+    [[nodiscard]] std::size_t count() const { return std::get<1>(GetParam()); }
+    [[nodiscard]] std::uint64_t seed() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(CollectiveProps, AlltoallMatchesSerialTranspose) {
+    const int p = nprocs();
+    const std::size_t block = count();
+    simmpi::World world(p, make_net(seed()));
+    world.run([&](simmpi::Comm& c) {
+        std::vector<double> send(static_cast<std::size_t>(p) * block);
+        std::vector<double> recv(send.size());
+        for (int j = 0; j < p; ++j)
+            for (std::size_t k = 0; k < block; ++k)
+                send[static_cast<std::size_t>(j) * block + k] = value(c.rank(), j, k);
+        c.alltoall(send, recv, block);
+        // Reference: block j of my recv is what rank j addressed to me.
+        for (int j = 0; j < p; ++j)
+            for (std::size_t k = 0; k < block; ++k)
+                ASSERT_EQ(recv[static_cast<std::size_t>(j) * block + k],
+                          value(j, c.rank(), k))
+                    << "p=" << p << " rank=" << c.rank() << " j=" << j << " k=" << k;
+    });
+}
+
+TEST_P(CollectiveProps, AllreduceSumMatchesSerialSum) {
+    const int p = nprocs();
+    const std::size_t n = count();
+    simmpi::World world(p, make_net(seed()));
+    world.run([&](simmpi::Comm& c) {
+        std::vector<double> data(n);
+        for (std::size_t i = 0; i < n; ++i) data[i] = value(c.rank(), 0, i);
+        c.allreduce_sum(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            double ref = 0.0;
+            for (int r = 0; r < p; ++r) ref += value(r, 0, i);
+            ASSERT_EQ(data[i], ref) << "i=" << i;
+        }
+        // Scalar reductions against their serial references.
+        ASSERT_EQ(c.allreduce_max(value(c.rank(), 1, 0)), value(p - 1, 1, 0));
+        ASSERT_EQ(c.allreduce_min(value(c.rank(), 1, 0)), value(0, 1, 0));
+    });
+}
+
+TEST_P(CollectiveProps, GatherConcatenatesAtEveryRoot) {
+    const int p = nprocs();
+    const std::size_t n = count();
+    simmpi::World world(p, make_net(seed()));
+    world.run([&](simmpi::Comm& c) {
+        for (int root = 0; root < p; ++root) {
+            std::vector<double> mine(n);
+            for (std::size_t i = 0; i < n; ++i) mine[i] = value(c.rank(), root, i);
+            std::vector<double> all;
+            c.gather(mine, all, root);
+            if (c.rank() == root) {
+                ASSERT_EQ(all.size(), static_cast<std::size_t>(p) * n);
+                for (int r = 0; r < p; ++r)
+                    for (std::size_t i = 0; i < n; ++i)
+                        ASSERT_EQ(all[static_cast<std::size_t>(r) * n + i], value(r, root, i));
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveProps, BcastDeliversRootPayloadToAll) {
+    const int p = nprocs();
+    const std::size_t n = count();
+    simmpi::World world(p, make_net(seed()));
+    world.run([&](simmpi::Comm& c) {
+        for (int root = 0; root < p; ++root) {
+            std::vector<double> data(n);
+            if (c.rank() == root)
+                for (std::size_t i = 0; i < n; ++i) data[i] = value(root, 7, i);
+            c.bcast(data, root);
+            for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(data[i], value(root, 7, i));
+        }
+    });
+}
+
+TEST_P(CollectiveProps, BarrierLeavesClocksSynchronisedAndMonotone) {
+    const int p = nprocs();
+    simmpi::World world(p, make_net(seed()));
+    const bool faulted = seed() != 0;
+    const auto reports = world.run([&](simmpi::Comm& c) {
+        double prev = 0.0;
+        for (int i = 0; i < 4; ++i) {
+            c.advance_compute(1e-5 * (c.rank() + 1));
+            c.barrier();
+            ASSERT_GE(c.wall_time(), prev);
+            prev = c.wall_time();
+        }
+        ASSERT_GE(c.wall_time(), c.cpu_time() - 1e-12);
+    });
+    if (!faulted) {
+        // On a perfect network every rank leaves the final barrier together;
+        // stragglers may legitimately trail under fault injection.
+        for (int r = 1; r < p; ++r)
+            EXPECT_DOUBLE_EQ(reports[0].wall_seconds, reports[static_cast<std::size_t>(r)].wall_seconds);
+    }
+}
+
+TEST_P(CollectiveProps, FaultsStretchClocksButNeverBelowBaseline) {
+    const int p = nprocs();
+    const std::size_t n = count();
+    const auto traffic = [n, p](simmpi::Comm& c) {
+        std::vector<double> data(n, static_cast<double>(c.rank()));
+        c.allreduce_sum(data);
+        std::vector<double> blocks(static_cast<std::size_t>(p) * n, 1.0);
+        std::vector<double> recvb(blocks.size());
+        c.alltoall(blocks, recvb, n);
+        c.barrier();
+    };
+    simmpi::World base_world(p, make_net(0));
+    const auto base = base_world.run(traffic);
+    simmpi::World fault_world(p, make_net(seed() ? seed() : 77));
+    const auto faulted = fault_world.run(traffic);
+    double extra_total = 0.0;
+    for (int r = 0; r < p; ++r) {
+        const auto& fr = faulted[static_cast<std::size_t>(r)];
+        // Jitter/loss/slowdown only ever add virtual time.
+        EXPECT_GE(fr.wall_seconds, base[static_cast<std::size_t>(r)].wall_seconds - 1e-15);
+        for (const auto& [stage, fs] : fr.fault_log) {
+            (void)stage;
+            EXPECT_GE(fs.extra_seconds, 0.0);
+            extra_total += fs.extra_seconds;
+        }
+        // The baseline run reports an empty fault log.
+        EXPECT_TRUE(base[static_cast<std::size_t>(r)].fault_log.empty());
+    }
+    EXPECT_GT(extra_total, 0.0); // this fault profile is aggressive enough to fire
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksSizesSeeds, CollectiveProps,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values<std::size_t>(1, 17, 4096),
+                       ::testing::Values<std::uint64_t>(0, 1, 20260806)),
+    [](const ::testing::TestParamInfo<CollectiveProps::ParamType>& info) {
+        return "p" + std::to_string(std::get<0>(info.param)) + "_n" +
+               std::to_string(std::get<1>(info.param)) + "_seed" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+} // namespace

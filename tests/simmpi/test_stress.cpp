@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
 #include "simmpi/simmpi.hpp"
 
@@ -63,6 +65,127 @@ TEST(SimMpiStress, VirtualTimeIsDeterministic) {
     const double a = run_once();
     const double b = run_once();
     EXPECT_DOUBLE_EQ(a, b);
+}
+
+netsim::NetworkModel faulty_net(std::uint64_t seed) {
+    netsim::NetworkModel n = net();
+    n.fault.seed = seed;
+    n.fault.latency_jitter_us = 40.0;
+    n.fault.loss_probability = 0.03;
+    n.fault.retransmit_timeout_us = 250.0;
+    n.fault.degrade_probability = 0.01;
+    n.fault.degrade_factor = 2.5;
+    n.fault.straggler_fraction = 0.25;
+    n.fault.straggler_factor = 2.0;
+    return n;
+}
+
+/// Exercises one named collective (plus a ptp ring for "ptp") so the
+/// determinism sweep can cover each communication path in isolation.
+void drive(simmpi::Comm& c, const std::string& kind) {
+    const int p = c.size();
+    for (int round = 0; round < 8; ++round) {
+        c.advance_compute(1e-5 * (c.rank() + 1));
+        if (kind == "ptp") {
+            std::vector<double> out = {static_cast<double>(round)}, in(1);
+            c.send((c.rank() + 1) % p, round, out);
+            c.recv((c.rank() + p - 1) % p, round, in);
+        } else if (kind == "alltoall") {
+            std::vector<double> v(static_cast<std::size_t>(p) * 4, 1.0), r(v.size());
+            c.alltoall(v, r, 4);
+        } else if (kind == "allreduce") {
+            std::vector<double> v(32, 1.0);
+            c.allreduce_sum(v);
+        } else if (kind == "gather") {
+            std::vector<double> mine(8, 1.0), all;
+            c.gather(mine, all, round % p);
+        } else if (kind == "bcast") {
+            std::vector<double> v(16, static_cast<double>(c.rank()));
+            c.bcast(v, round % p);
+        } else if (kind == "barrier") {
+            c.barrier();
+        }
+    }
+    c.barrier(); // drain the ring so no messages outlive the run
+}
+
+std::vector<double> walls(const netsim::NetworkModel& n, const std::string& kind) {
+    simmpi::World world(8, n);
+    const auto reports = world.run([&](simmpi::Comm& c) { drive(c, kind); });
+    std::vector<double> w;
+    for (const auto& r : reports) w.push_back(r.wall_seconds);
+    return w;
+}
+
+/// Every collective's virtual wall clocks must be bit-identical across 3
+/// repeated runs — on a perfect network AND under seeded fault injection
+/// (injection is a pure function of (seed, rank, message index), so host
+/// scheduling must never leak into the clocks).
+TEST(SimMpiStress, EveryCollectiveIsBitDeterministicAcrossRuns) {
+    const std::vector<std::string> kinds = {"ptp",    "alltoall", "allreduce",
+                                            "gather", "bcast",    "barrier"};
+    for (const auto& kind : kinds) {
+        for (const netsim::NetworkModel& n : {net(), faulty_net(7), faulty_net(123)}) {
+            const auto a = walls(n, kind);
+            const auto b = walls(n, kind);
+            const auto c = walls(n, kind);
+            for (std::size_t r = 0; r < a.size(); ++r) {
+                // operator== on doubles: bit-identical, not "close".
+                EXPECT_TRUE(a[r] == b[r] && b[r] == c[r])
+                    << kind << " net=" << n.name << " fault seed=" << n.fault.seed
+                    << " rank=" << r << ": " << a[r] << " vs " << b[r] << " vs " << c[r];
+            }
+        }
+    }
+}
+
+/// A fault model with every probability/jitter at zero must price exactly
+/// like no fault model at all — the fault path may not perturb a single bit.
+TEST(SimMpiStress, ZeroFaultModelPricesIdenticallyToNoFaultModel) {
+    netsim::NetworkModel zero_fault = net();
+    zero_fault.fault.seed = 987654321; // a seed alone must change nothing
+    ASSERT_FALSE(zero_fault.fault.enabled());
+    for (const std::string kind :
+         {"ptp", "alltoall", "allreduce", "gather", "bcast", "barrier"}) {
+        const auto base = walls(net(), kind);
+        const auto zero = walls(zero_fault, kind);
+        for (std::size_t r = 0; r < base.size(); ++r)
+            EXPECT_TRUE(base[r] == zero[r])
+                << kind << " rank=" << r << ": " << base[r] << " vs " << zero[r];
+    }
+}
+
+/// Fault-injected runs must also be deterministic under heavy interleaved
+/// mixed traffic (the original stress pattern) — and change the clocks
+/// relative to the unfaulted baseline, proving injection actually fired.
+TEST(SimMpiStress, FaultInjectedMixedTrafficIsDeterministicAndNonTrivial) {
+    const auto run_mixed = [](const netsim::NetworkModel& n) {
+        simmpi::World world(8, n);
+        const auto reports = world.run([](simmpi::Comm& c) {
+            const int p = c.size();
+            for (int round = 0; round < 12; ++round) {
+                std::vector<double> out = {1.0}, in(1);
+                c.send((c.rank() + 1) % p, round, out);
+                c.recv((c.rank() + p - 1) % p, round, in);
+                const double s = c.allreduce_sum(in[0]);
+                (void)s;
+                c.barrier();
+            }
+        });
+        std::vector<double> w;
+        for (const auto& r : reports) w.push_back(r.wall_seconds);
+        return w;
+    };
+    const auto f1 = run_mixed(faulty_net(42));
+    const auto f2 = run_mixed(faulty_net(42));
+    const auto base = run_mixed(net());
+    bool any_diff = false;
+    for (std::size_t r = 0; r < f1.size(); ++r) {
+        EXPECT_TRUE(f1[r] == f2[r]) << "rank " << r;
+        EXPECT_GE(f1[r], base[r] - 1e-15) << "rank " << r;
+        if (f1[r] != base[r]) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff) << "fault profile never fired";
 }
 
 } // namespace
