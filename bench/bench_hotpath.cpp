@@ -1,0 +1,164 @@
+/// Hot-path microbenchmark of the batched elemental operator engine:
+/// per-element dgemv loops versus the grouped dgemm batch for the
+/// modal->quad transform, the weak inner product, and the modal gradient.
+/// Writes machine-readable results to BENCH_hotpath.json (CI uploads it as
+/// an artifact; --smoke shrinks the sweep for the per-commit job).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mesh/generators.hpp"
+#include "nektar/discretization.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+struct CaseResult {
+    std::size_t order = 0, elements = 0, planes = 0;
+    double per_elem_ms[3] = {};  // to_quad, weak_inner, grad
+    double batched_ms[3] = {};
+    [[nodiscard]] double per_elem_total() const {
+        return per_elem_ms[0] + per_elem_ms[1] + per_elem_ms[2];
+    }
+    [[nodiscard]] double batched_total() const {
+        return batched_ms[0] + batched_ms[1] + batched_ms[2];
+    }
+    [[nodiscard]] double speedup() const { return per_elem_total() / batched_total(); }
+};
+
+CaseResult run_case(std::size_t order, std::size_t nside, std::size_t planes,
+                    double min_seconds) {
+    const auto m = std::make_shared<mesh::Mesh>(
+        mesh::rectangle_quads(nside, nside, 0.0, 1.0, 0.0, 1.0));
+    const auto disc = std::make_shared<nektar::Discretization>(m, order);
+    const std::size_t nm = disc->modal_size();
+    const std::size_t nq = disc->quad_size();
+
+    std::vector<double> modal(nm * planes), quad(nq * planes), rhs(nm * planes);
+    std::vector<double> dx(nq * planes), dy(nq * planes);
+    for (std::size_t i = 0; i < modal.size(); ++i)
+        modal[i] = 1.0 + static_cast<double>(i % 17) * 0.25;
+    for (std::size_t i = 0; i < quad.size(); ++i)
+        quad[i] = 0.5 + static_cast<double>(i % 13) * 0.125;
+
+    CaseResult r{order, disc->num_elements(), planes, {}, {}};
+    const std::size_t ne = disc->num_elements();
+
+    const auto per_plane = [&](auto&& body) {
+        for (std::size_t p = 0; p < planes; ++p)
+            for (std::size_t e = 0; e < ne; ++e) body(p, e);
+    };
+    const auto mspan = [&](std::size_t p) {
+        return std::span<const double>(modal).subspan(p * nm, nm);
+    };
+
+    // Per-element reference loops (the pre-batching hot path).
+    r.per_elem_ms[0] = 1e3 * benchutil::time_per_call(
+        [&] {
+            per_plane([&](std::size_t p, std::size_t e) {
+                disc->ops(e).interp_to_quad(
+                    disc->modal_block(mspan(p), e),
+                    disc->quad_block(std::span<double>(quad).subspan(p * nq, nq), e));
+            });
+        },
+        min_seconds);
+    r.per_elem_ms[1] = 1e3 * benchutil::time_per_call(
+        [&] {
+            std::fill(rhs.begin(), rhs.end(), 0.0);
+            per_plane([&](std::size_t p, std::size_t e) {
+                disc->ops(e).weak_inner(
+                    disc->quad_block(std::span<const double>(quad).subspan(p * nq, nq), e),
+                    disc->modal_block(std::span<double>(rhs).subspan(p * nm, nm), e));
+            });
+        },
+        min_seconds);
+    r.per_elem_ms[2] = 1e3 * benchutil::time_per_call(
+        [&] {
+            per_plane([&](std::size_t p, std::size_t e) {
+                disc->ops(e).grad_from_modal(
+                    disc->modal_block(mspan(p), e),
+                    disc->quad_block(std::span<double>(dx).subspan(p * nq, nq), e),
+                    disc->quad_block(std::span<double>(dy).subspan(p * nq, nq), e));
+            });
+        },
+        min_seconds);
+
+    // Batched engine (the default path of the solvers).
+    r.batched_ms[0] = 1e3 * benchutil::time_per_call(
+        [&] { disc->to_quad_planes(modal, quad, planes); }, min_seconds);
+    r.batched_ms[1] = 1e3 * benchutil::time_per_call(
+        [&] {
+            std::fill(rhs.begin(), rhs.end(), 0.0);
+            disc->weak_inner_planes(quad, rhs, planes);
+        },
+        min_seconds);
+    r.batched_ms[2] = 1e3 * benchutil::time_per_call(
+        [&] { disc->grad_from_modal_planes(modal, dx, dy, planes); }, min_seconds);
+    return r;
+}
+
+void write_json(const std::vector<CaseResult>& results, const char* path) {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_hotpath: cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n  \"threads\": %u,\n  \"cases\": [\n",
+                 parallel::num_threads());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult& r = results[i];
+        std::fprintf(f,
+                     "    {\"order\": %zu, \"elements\": %zu, \"planes\": %zu,\n"
+                     "     \"per_element_ms\": {\"to_quad\": %.4f, \"weak_inner\": %.4f, "
+                     "\"grad\": %.4f},\n"
+                     "     \"batched_ms\": {\"to_quad\": %.4f, \"weak_inner\": %.4f, "
+                     "\"grad\": %.4f},\n"
+                     "     \"speedup\": %.3f}%s\n",
+                     r.order, r.elements, r.planes, r.per_elem_ms[0], r.per_elem_ms[1],
+                     r.per_elem_ms[2], r.batched_ms[0], r.batched_ms[1], r.batched_ms[2],
+                     r.speedup(), i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+    const double min_seconds = smoke ? 0.002 : 0.05;
+    const std::vector<std::size_t> orders = smoke ? std::vector<std::size_t>{4, 8}
+                                                  : std::vector<std::size_t>{4, 6, 8};
+    const std::vector<std::size_t> sides = smoke ? std::vector<std::size_t>{8}
+                                                 : std::vector<std::size_t>{8, 16};
+    const std::vector<std::size_t> planes = smoke ? std::vector<std::size_t>{1, 4}
+                                                  : std::vector<std::size_t>{1, 16};
+
+    std::printf("Batched elemental engine hot path (per-element dgemv vs grouped dgemm)\n");
+    std::printf("threads = %u\n\n", parallel::num_threads());
+    benchutil::Table table({"order", "elems", "planes", "perElem ms", "batched ms", "speedup"});
+    table.print_header();
+
+    std::vector<CaseResult> results;
+    for (std::size_t order : orders) {
+        for (std::size_t side : sides) {
+            for (std::size_t np : planes) {
+                const CaseResult r = run_case(order, side, np, min_seconds);
+                results.push_back(r);
+                table.print_row({std::to_string(r.order), std::to_string(r.elements),
+                                 std::to_string(r.planes),
+                                 benchutil::fmt(r.per_elem_total(), "%.3f"),
+                                 benchutil::fmt(r.batched_total(), "%.3f"),
+                                 benchutil::fmt(r.speedup(), "%.2f")});
+            }
+        }
+    }
+    write_json(results, "BENCH_hotpath.json");
+    return 0;
+}

@@ -4,18 +4,41 @@
 #include <cassert>
 #include <cmath>
 
+#include "parallel/scratch.hpp"
+#include "parallel/thread_pool.hpp"
+
+/// Hot kernels are compiled once per x86-64 microarchitecture level and
+/// dispatched at load time (GCC/Clang function multi-versioning).  The
+/// baseline x86-64 ABI the default build targets has no FMA and only 16
+/// SSE2 registers, which starves the register-blocked micro-kernel; the
+/// v3 (AVX2+FMA) and v4 (AVX-512) clones give it the register file it was
+/// designed for without changing global compile flags or dropping support
+/// for older machines.  Dispatch is per-machine, not per-run, so results
+/// stay bitwise reproducible on a given host.  Sanitizer builds disable
+/// the clones: their IFUNC resolvers run during relocation, before the
+/// sanitizer runtime is initialized, and crash at startup.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define REPRO_MULTIVERSION
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define REPRO_MULTIVERSION
+#endif
+#endif
+#if !defined(REPRO_MULTIVERSION) && defined(__x86_64__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define REPRO_MULTIVERSION \
+    __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#endif
+#endif
+#ifndef REPRO_MULTIVERSION
+#define REPRO_MULTIVERSION
+#endif
+
 namespace blaslite {
 
 namespace {
 constexpr std::size_t kDouble = sizeof(double);
 } // namespace
-
-OpCounts& thread_counts() noexcept {
-    thread_local OpCounts counts;
-    return counts;
-}
-
-void reset_thread_counts() noexcept { thread_counts() = OpCounts{}; }
 
 void dcopy(std::span<const double> x, std::span<double> y) noexcept {
     assert(x.size() == y.size());
@@ -23,6 +46,7 @@ void dcopy(std::span<const double> x, std::span<double> y) noexcept {
     detail::charge(0, x.size() * kDouble, x.size() * kDouble);
 }
 
+REPRO_MULTIVERSION
 void daxpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
     assert(x.size() == y.size());
     const std::size_t n = x.size();
@@ -30,6 +54,7 @@ void daxpy(double alpha, std::span<const double> x, std::span<double> y) noexcep
     detail::charge(2 * n, 2 * n * kDouble, n * kDouble);
 }
 
+REPRO_MULTIVERSION
 double ddot(std::span<const double> x, std::span<const double> y) noexcept {
     assert(x.size() == y.size());
     const std::size_t n = x.size();
@@ -48,11 +73,13 @@ double ddot(std::span<const double> x, std::span<const double> y) noexcept {
     return (s0 + s1) + (s2 + s3);
 }
 
+REPRO_MULTIVERSION
 void dscal(double alpha, std::span<double> x) noexcept {
     for (double& v : x) v *= alpha;
     detail::charge(x.size(), x.size() * kDouble, x.size() * kDouble);
 }
 
+REPRO_MULTIVERSION
 void dvmul(std::span<const double> x, std::span<const double> y, std::span<double> z) noexcept {
     assert(x.size() == y.size() && x.size() == z.size());
     const std::size_t n = x.size();
@@ -60,6 +87,7 @@ void dvmul(std::span<const double> x, std::span<const double> y, std::span<doubl
     detail::charge(n, 2 * n * kDouble, n * kDouble);
 }
 
+REPRO_MULTIVERSION
 void dvvtvp(std::span<const double> x, std::span<const double> y, std::span<double> z) noexcept {
     assert(x.size() == y.size() && x.size() == z.size());
     const std::size_t n = x.size();
@@ -67,6 +95,7 @@ void dvvtvp(std::span<const double> x, std::span<const double> y, std::span<doub
     detail::charge(2 * n, 3 * n * kDouble, n * kDouble);
 }
 
+REPRO_MULTIVERSION
 void dgemv(double alpha, const double* a, std::size_t lda, std::size_t m, std::size_t n,
            const double* x, double beta, double* y) noexcept {
     for (std::size_t i = 0; i < m; ++i) {
@@ -83,6 +112,7 @@ void dgemv(double alpha, const double* a, std::size_t lda, std::size_t m, std::s
     detail::charge(2 * m * n + 3 * m, (m * n + n + m) * kDouble, m * kDouble);
 }
 
+REPRO_MULTIVERSION
 void dgemv_t(double alpha, const double* a, std::size_t lda, std::size_t m, std::size_t n,
              const double* x, double beta, double* y) noexcept {
     if (beta == 0.0) {
@@ -103,6 +133,7 @@ namespace {
 /// Unblocked triple loop in ikj order: streams B and C rows, keeps a[i][p] in
 /// a register.  Optimal for the tiny matrices (n <= 20) that dominate
 /// spectral/hp elemental operations (paper, Figure 6).
+REPRO_MULTIVERSION
 void dgemm_small(double alpha, const double* a, std::size_t lda, const double* b,
                  std::size_t ldb, double beta, double* c, std::size_t ldc, std::size_t m,
                  std::size_t n, std::size_t k) noexcept {
@@ -122,22 +153,98 @@ void dgemm_small(double alpha, const double* a, std::size_t lda, const double* b
     }
 }
 
-constexpr std::size_t kBlockM = 64;
-constexpr std::size_t kBlockN = 64;
-constexpr std::size_t kBlockK = 64;
+// --------------------------------------------------------------------------
+// Register-blocked micro-kernel engine.
+//
+// C rows are processed kMR at a time against kNR-column panels of B that were
+// packed (zero-padded) into contiguous micro-panels, so the inner loop is a
+// rank-1 update of a kMR x kNR accumulator tile held entirely in registers.
+// Every C element accumulates its k products in ascending-p order regardless
+// of tiling, row blocking, or the thread count — the basis of the engine's
+// bitwise-determinism guarantee.
+// --------------------------------------------------------------------------
 
-} // namespace
+constexpr std::size_t kMR = 8;        ///< register tile rows
+constexpr std::size_t kNR = 8;        ///< register tile columns
+constexpr std::size_t kRowBlock = 128; ///< C rows per thread-pool work item
+/// Below this flop count the unblocked ikj loop wins (no packing overhead);
+/// this keeps the paper's small-n regime (Figure 6) on its dedicated path.
+constexpr std::size_t kSmallFlops = 2 * 24 * 24 * 24;
+/// Minimum whole-call flop count before the thread pool is worth waking.
+constexpr std::size_t kParallelFlops = 1u << 21;
 
-void dgemm(double alpha, const double* a, std::size_t lda, const double* b, std::size_t ldb,
-           double beta, double* c, std::size_t ldc, std::size_t m, std::size_t n,
-           std::size_t k) noexcept {
-    detail::charge(2 * m * n * k + m * n, (m * k + k * n + m * n) * kDouble, m * n * kDouble);
-    if (m <= kBlockM && n <= kBlockN && k <= kBlockK) {
-        dgemm_small(alpha, a, lda, b, ldb, beta, c, ldc, m, n, k);
-        return;
+/// Packs b (k x n row-major, leading dimension ldb) into kNR-wide column
+/// panels, zero-padded to a multiple of kNR columns.
+REPRO_MULTIVERSION
+void pack_b_panels(const double* b, std::size_t ldb, std::size_t k, std::size_t n,
+                   double* bp) noexcept {
+    const std::size_t npanels = (n + kNR - 1) / kNR;
+    for (std::size_t j = 0; j < npanels; ++j) {
+        const std::size_t j0 = j * kNR;
+        const std::size_t nr = std::min(kNR, n - j0);
+        double* panel = bp + j * k * kNR;
+        for (std::size_t p = 0; p < k; ++p) {
+            const double* brow = b + p * ldb + j0;
+            double* prow = panel + p * kNR;
+            for (std::size_t jj = 0; jj < nr; ++jj) prow[jj] = brow[jj];
+            for (std::size_t jj = nr; jj < kNR; ++jj) prow[jj] = 0.0;
+        }
     }
-    // Blocked path: apply beta once up front, then accumulate block products.
-    for (std::size_t i = 0; i < m; ++i) {
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+/// One packed-panel row: a kNR-wide vector.  Element-aligned (packed panels
+/// come from generic scratch buffers) and may_alias (it is loaded straight
+/// from double arrays).  The compiler lowers it to whatever the active clone
+/// has — one zmm, two ymm, or four xmm.
+typedef double PanelVec
+    __attribute__((vector_size(kNR * sizeof(double)), aligned(alignof(double)), may_alias));
+#endif
+
+/// C tile (MR x nr) += alpha * A rows (MR x k, ld = lda) * packed panel.
+/// Force-inlined so each multi-versioned caller compiles the tile with its
+/// own ISA.  The accumulator block is MR named kNR-wide vectors — one
+/// AVX-512 register per tile row — and the rank-1 update body is MR
+/// broadcast-FMAs per packed panel row: MR independent dependence chains,
+/// enough to hide FMA latency.  (Written with vector extensions rather than
+/// a scalar array because the auto-vectorizer spills the scalar tile.)
+template <std::size_t MR>
+[[gnu::always_inline]] inline void micro_kernel(std::size_t k, double alpha, const double* a,
+                                                std::size_t lda, const double* bp, double* c,
+                                                std::size_t ldc, std::size_t nr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    PanelVec acc[MR] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const PanelVec brow = *reinterpret_cast<const PanelVec*>(bp + p * kNR);
+        for (std::size_t ii = 0; ii < MR; ++ii) acc[ii] += a[ii * lda + p] * brow;
+    }
+    for (std::size_t ii = 0; ii < MR; ++ii) {
+        double* crow = c + ii * ldc;
+        for (std::size_t jj = 0; jj < nr; ++jj) crow[jj] += alpha * acc[ii][jj];
+    }
+#else
+    double acc[MR][kNR] = {};
+    for (std::size_t p = 0; p < k; ++p) {
+        const double* brow = bp + p * kNR;
+        for (std::size_t ii = 0; ii < MR; ++ii) {
+            const double aip = a[ii * lda + p];
+            for (std::size_t jj = 0; jj < kNR; ++jj) acc[ii][jj] += aip * brow[jj];
+        }
+    }
+    for (std::size_t ii = 0; ii < MR; ++ii) {
+        double* crow = c + ii * ldc;
+        for (std::size_t jj = 0; jj < nr; ++jj) crow[jj] += alpha * acc[ii][jj];
+    }
+#endif
+}
+
+/// Applies beta to rows [0, mb) of C, then accumulates alpha * A * B using
+/// the packed panels of B.
+REPRO_MULTIVERSION
+void kernel_rows(double alpha, const double* a, std::size_t lda, const double* bp,
+                 double beta, double* c, std::size_t ldc, std::size_t mb, std::size_t n,
+                 std::size_t k) noexcept {
+    for (std::size_t i = 0; i < mb; ++i) {
         double* crow = c + i * ldc;
         if (beta == 0.0) {
             std::fill(crow, crow + n, 0.0);
@@ -145,16 +252,115 @@ void dgemm(double alpha, const double* a, std::size_t lda, const double* b, std:
             for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
         }
     }
-    for (std::size_t ii = 0; ii < m; ii += kBlockM) {
-        const std::size_t mb = std::min(kBlockM, m - ii);
-        for (std::size_t pp = 0; pp < k; pp += kBlockK) {
-            const std::size_t kb = std::min(kBlockK, k - pp);
-            for (std::size_t jj = 0; jj < n; jj += kBlockN) {
-                const std::size_t nb = std::min(kBlockN, n - jj);
-                dgemm_small(alpha, a + ii * lda + pp, lda, b + pp * ldb + jj, ldb, 1.0,
-                            c + ii * ldc + jj, ldc, mb, nb, kb);
-            }
+    const std::size_t npanels = (n + kNR - 1) / kNR;
+    std::size_t i = 0;
+    for (; i + kMR <= mb; i += kMR) {
+        for (std::size_t j = 0; j < npanels; ++j) {
+            const std::size_t nr = std::min(kNR, n - j * kNR);
+            micro_kernel<kMR>(k, alpha, a + i * lda, lda, bp + j * k * kNR,
+                              c + i * ldc + j * kNR, ldc, nr);
         }
+    }
+    const std::size_t mr = mb - i;
+    if (mr == 0) return;
+    for (std::size_t j = 0; j < npanels; ++j) {
+        const std::size_t nr = std::min(kNR, n - j * kNR);
+        const double* arow = a + i * lda;
+        double* crow = c + i * ldc + j * kNR;
+        const double* panel = bp + j * k * kNR;
+        switch (mr) {
+            case 1: micro_kernel<1>(k, alpha, arow, lda, panel, crow, ldc, nr); break;
+            case 2: micro_kernel<2>(k, alpha, arow, lda, panel, crow, ldc, nr); break;
+            case 3: micro_kernel<3>(k, alpha, arow, lda, panel, crow, ldc, nr); break;
+            case 4: micro_kernel<4>(k, alpha, arow, lda, panel, crow, ldc, nr); break;
+            case 5: micro_kernel<5>(k, alpha, arow, lda, panel, crow, ldc, nr); break;
+            case 6: micro_kernel<6>(k, alpha, arow, lda, panel, crow, ldc, nr); break;
+            default: micro_kernel<7>(k, alpha, arow, lda, panel, crow, ldc, nr); break;
+        }
+    }
+}
+
+/// Packed-panel dgemm body shared by dgemm and the batched entry point:
+/// assumes non-degenerate sizes and pre-packed B panels.
+void dgemm_packed(double alpha, const double* a, std::size_t lda, const double* bp,
+                  double beta, double* c, std::size_t ldc, std::size_t m, std::size_t n,
+                  std::size_t k) noexcept {
+    const std::size_t nblocks = (m + kRowBlock - 1) / kRowBlock;
+    if (nblocks > 1 && parallel::num_threads() > 1 && 2 * m * n * k >= kParallelFlops) {
+        // Split C rows across the pool; each row's accumulation order is
+        // unchanged, so results are bitwise identical at any thread count.
+        parallel::pool().parallel_for(nblocks, [&](std::size_t b0, std::size_t b1) {
+            const std::size_t i0 = b0 * kRowBlock;
+            const std::size_t i1 = std::min(m, b1 * kRowBlock);
+            kernel_rows(alpha, a + i0 * lda, lda, bp, beta, c + i0 * ldc, ldc, i1 - i0, n,
+                        k);
+        });
+        return;
+    }
+    kernel_rows(alpha, a, lda, bp, beta, c, ldc, m, n, k);
+}
+
+} // namespace
+
+void dgemm(double alpha, const double* a, std::size_t lda, const double* b, std::size_t ldb,
+           double beta, double* c, std::size_t ldc, std::size_t m, std::size_t n,
+           std::size_t k) noexcept {
+    detail::charge(2 * m * n * k + m * n, (m * k + k * n + m * n) * kDouble, m * n * kDouble);
+    if (m == 0 || n == 0) return;
+    if (k == 0 || n < kNR || 2 * m * n * k <= kSmallFlops) {
+        dgemm_small(alpha, a, lda, b, ldb, beta, c, ldc, m, n, k);
+        return;
+    }
+    const std::size_t npanels = (n + kNR - 1) / kNR;
+    parallel::Scratch bp(npanels * kNR * k);
+    pack_b_panels(b, ldb, k, n, bp.data());
+    dgemm_packed(alpha, a, lda, bp.data(), beta, c, ldc, m, n, k);
+}
+
+void dgemm_cm(double alpha, const double* a, std::size_t lda, const double* b,
+              std::size_t ldb, double beta, double* c, std::size_t ldc, std::size_t m,
+              std::size_t n, std::size_t k) noexcept {
+    // A column-major product is the row-major product of the transposed
+    // views: C_cm(m x n) = A_cm(m x k) B_cm(k x n) is computed as
+    // C'(n x m) = B'(n x k) A'(k x m) on the same buffers.
+    dgemm(alpha, b, ldb, a, lda, beta, c, ldc, n, m, k);
+}
+
+void dgemm_batch_same_a(double alpha, const double* a, std::size_t lda, std::size_t m,
+                        std::size_t k, std::span<const GemmBatchItem> items, std::size_t n,
+                        std::size_t ldb, std::size_t ldc, double beta) noexcept {
+    if (items.empty() || m == 0) return;
+    // Charged exactly as the equivalent sequence of dgemm_cm calls, so the
+    // op stream (and with it the virtual-clock pricing) does not depend on
+    // whether a caller batches or loops.
+    for (std::size_t i = 0; i < items.size(); ++i)
+        detail::charge(2 * m * n * k + m * n, (m * k + k * n + m * n) * kDouble,
+                       m * n * kDouble);
+    if (n == 0) return;
+    if (k == 0 || m < kNR) {
+        // Degenerate or narrow-output batches take the same unblocked path the
+        // per-item column-major call would (row-major views swap operands).
+        for (const GemmBatchItem& it : items)
+            dgemm_small(alpha, it.b, ldb, a, lda, beta, it.c, ldc, n, m, k);
+        return;
+    }
+    // Row-major view of the shared operator: A_cm(m x k, lda) is A'(k x m)
+    // row-major — the right operand of every item's row-major product
+    // C'_i(n x m) = B'_i(n x k) A'(k x m).  Pack it once for all items.
+    const std::size_t npanels = (m + kNR - 1) / kNR;
+    parallel::Scratch ap(npanels * kNR * k);
+    pack_b_panels(a, lda, k, m, ap.data());
+
+    const auto run_item = [&](const GemmBatchItem& it) {
+        kernel_rows(alpha, it.b, ldb, ap.data(), beta, it.c, ldc, n, m, k);
+    };
+    const std::size_t total_flops = 2 * m * n * k * items.size();
+    if (items.size() > 1 && parallel::num_threads() > 1 && total_flops >= kParallelFlops) {
+        parallel::pool().parallel_for(items.size(), [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) run_item(items[i]);
+        });
+    } else {
+        for (const GemmBatchItem& it : items) run_item(it);
     }
 }
 

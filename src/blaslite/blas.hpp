@@ -46,8 +46,12 @@ void dgemv_t(double alpha, const double* a, std::size_t lda, std::size_t m, std:
              const double* x, double beta, double* y) noexcept;
 
 /// C <- alpha*A*B + beta*C with A m-by-k, B k-by-n, C m-by-n, all row-major
-/// (BLAS dgemm, NN case).  Blocked for cache reuse; the small-n regime the
-/// paper highlights (n <= 20, Figure 6) takes a dedicated unblocked path.
+/// (BLAS dgemm, NN case).  Runs a register-blocked (4x8 accumulator tile)
+/// micro-kernel over packed panels of B; the small-n regime the paper
+/// highlights (n <= 20, Figure 6) takes a dedicated unblocked path.  Large
+/// row counts split across the parallel thread pool by blocks of C rows,
+/// which is bitwise deterministic: each C element accumulates its k-products
+/// in the same order regardless of tiling or thread count.
 void dgemm(double alpha, const double* a, std::size_t lda, const double* b, std::size_t ldb,
            double beta, double* c, std::size_t ldc, std::size_t m, std::size_t n,
            std::size_t k) noexcept;
@@ -55,6 +59,36 @@ void dgemm(double alpha, const double* a, std::size_t lda, const double* b, std:
 /// Convenience dgemm for tightly packed square matrices.
 void dgemm_square(double alpha, const double* a, const double* b, double beta, double* c,
                   std::size_t n) noexcept;
+
+/// C <- alpha*A*B + beta*C, all COLUMN-major: A m-by-k (lda >= m), B k-by-n
+/// (ldb >= k), C m-by-n (ldc >= m).  The batched elemental engine packs
+/// per-element coefficient blocks as columns, which makes the whole-group
+/// operand a column-major panel; this entry point runs it through the same
+/// micro-kernel (a column-major product is the row-major product of the
+/// transposed views, so no data movement is needed).
+void dgemm_cm(double alpha, const double* a, std::size_t lda, const double* b,
+              std::size_t ldb, double beta, double* c, std::size_t ldc, std::size_t m,
+              std::size_t n, std::size_t k) noexcept;
+
+/// One batch item of dgemm_batch_same_a: a right-hand-side panel and its
+/// output panel (both column-major).
+struct GemmBatchItem {
+    const double* b = nullptr;
+    double* c = nullptr;
+};
+
+/// Batched column-major GEMM sharing the left operand:
+///   C_i <- alpha * A * B_i + beta * C_i     for every item i,
+/// with A m-by-k (lda >= m) and every B_i k-by-n (ldb), C_i m-by-n (ldc).
+/// This is the dgemv -> dgemm batching step of the elemental engine: one
+/// operator matrix (basis, derivative, or Helmholtz block) multiplies many
+/// element/plane panels in a single call.  A is packed into micro-panels
+/// once and reused for every item; items split across the thread pool
+/// (bitwise deterministic — items are independent).  Operation counters are
+/// charged exactly as the equivalent sequence of dgemm_cm calls.
+void dgemm_batch_same_a(double alpha, const double* a, std::size_t lda, std::size_t m,
+                        std::size_t k, std::span<const GemmBatchItem> items, std::size_t n,
+                        std::size_t ldb, std::size_t ldc, double beta) noexcept;
 
 /// Infinity norm of x - y; handy for tests.
 [[nodiscard]] double max_abs_diff(std::span<const double> x, std::span<const double> y) noexcept;

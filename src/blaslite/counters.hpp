@@ -40,11 +40,15 @@ struct OpCounts {
 
 /// Counters for the calling thread.  Kernels accumulate here unconditionally;
 /// the cost of four thread-local additions per call is negligible next to the
-/// kernels themselves.
-OpCounts& thread_counts() noexcept;
+/// kernels themselves.  Header-only so that code which merely aggregates
+/// counters (the parallel thread pool) needs no link dependency on blaslite.
+inline OpCounts& thread_counts() noexcept {
+    thread_local OpCounts counts;
+    return counts;
+}
 
 /// Reset this thread's counters to zero.
-void reset_thread_counts() noexcept;
+inline void reset_thread_counts() noexcept { thread_counts() = OpCounts{}; }
 
 /// RAII scope that measures the counts accumulated while it is alive.
 class CountScope {

@@ -123,4 +123,10 @@ void cholesky_solve(const DenseMatrix& l, std::span<double> b) {
     }
 }
 
+void cholesky_solve_cols(const DenseMatrix& l, double* b, std::size_t ld, std::size_t nrhs) {
+    const std::size_t n = l.rows();
+    assert(ld >= n);
+    for (std::size_t c = 0; c < nrhs; ++c) cholesky_solve(l, std::span<double>(b + c * ld, n));
+}
+
 } // namespace la

@@ -73,4 +73,12 @@ bool cholesky_factor(DenseMatrix& a);
 /// Solves L L^T x = b after cholesky_factor; b is overwritten with x.
 void cholesky_solve(const DenseMatrix& l, std::span<double> b);
 
+/// Solves L L^T X = B for `nrhs` right-hand sides stored as column-major
+/// columns of B (column c starts at b + c*ld, length l.rows()); every column
+/// is overwritten with its solution.  Each column is solved with exactly the
+/// per-column substitution order of cholesky_solve, so results are bitwise
+/// identical to nrhs independent calls — the batched elemental engine relies
+/// on this when projecting whole element groups at once.
+void cholesky_solve_cols(const DenseMatrix& l, double* b, std::size_t ld, std::size_t nrhs);
+
 } // namespace la

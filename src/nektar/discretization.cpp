@@ -1,6 +1,12 @@
 #include "nektar/discretization.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <map>
+
+#include "blaslite/blas.hpp"
+#include "parallel/scratch.hpp"
 
 namespace nektar {
 
@@ -11,23 +17,245 @@ Discretization::Discretization(std::shared_ptr<const mesh::Mesh> m, std::size_t 
     ops_.reserve(ne);
     modal_off_.resize(ne);
     quad_off_.resize(ne);
+    // One expansion per shape for the whole discretization (the global
+    // make_expansion cache is shared across Discretizations but sits behind a
+    // mutex; resolving each shape once here keeps construction off it), and
+    // one matrix cache so congruent elements share mass/Laplacian/Cholesky.
+    std::map<spectral::Shape, std::shared_ptr<const spectral::Expansion>> expansions;
+    MatrixCache cache;
     for (std::size_t e = 0; e < ne; ++e) {
-        ops_.emplace_back(*mesh_, e, order);
+        const spectral::Shape shape = mesh_->element(e).shape;
+        auto& exp = expansions[shape];
+        if (!exp) exp = spectral::make_expansion(shape, order);
+        ops_.emplace_back(*mesh_, e, exp, &cache);
         modal_off_[e] = modal_size_;
         quad_off_[e] = quad_size_;
         modal_size_ += ops_[e].num_modes();
         quad_size_ += ops_[e].num_quad();
     }
+
+    // Group elements by expansion, in order of first appearance.
+    for (std::size_t e = 0; e < ne; ++e) {
+        const spectral::Expansion* exp = &ops_[e].expansion();
+        auto it = std::find_if(groups_.begin(), groups_.end(),
+                               [exp](const ElemGroup& g) { return g.exp.get() == exp; });
+        if (it == groups_.end()) {
+            ElemGroup g;
+            g.exp = ops_[e].expansion_ptr();
+            g.modal_begin = modal_off_[e];
+            g.quad_begin = quad_off_[e];
+            g.basis_cm = g.exp->basis().transposed();
+            g.d1_cm = g.exp->dbasis_dxi1().transposed();
+            g.d2_cm = g.exp->dbasis_dxi2().transposed();
+            groups_.push_back(std::move(g));
+            it = groups_.end() - 1;
+        }
+        it->elems.push_back(e);
+    }
+    for (ElemGroup& g : groups_) {
+        g.contiguous = g.elems.back() - g.elems.front() + 1 == g.elems.size();
+        for (std::size_t j = 0; j < g.elems.size(); ++j) {
+            const ElemMatrices* id = ops_[g.elems[j]].matrix_identity();
+            if (g.runs.empty() || g.runs.back().mats != id)
+                g.runs.push_back({j, 1, id});
+            else
+                ++g.runs.back().count;
+        }
+    }
+    single_group_ = groups_.size() == 1 && groups_.front().contiguous;
 }
 
+namespace {
+
+/// Gathers per-element modal blocks of one plane into a packed column-major
+/// panel (one element per column).
+void pack_cols(std::span<const double> field, const std::vector<std::size_t>& off,
+               const std::vector<std::size_t>& elems, std::size_t plane_off,
+               std::size_t width, double* dst) {
+    for (std::size_t j = 0; j < elems.size(); ++j) {
+        const double* src = field.data() + plane_off + off[elems[j]];
+        std::copy(src, src + width, dst + j * width);
+    }
+}
+
+/// Scatters a packed column-major panel back into per-element blocks.
+void unpack_cols(const double* src, const std::vector<std::size_t>& off,
+                 const std::vector<std::size_t>& elems, std::size_t plane_off,
+                 std::size_t width, std::span<double> field) {
+    for (std::size_t j = 0; j < elems.size(); ++j) {
+        double* dst = field.data() + plane_off + off[elems[j]];
+        std::copy(src + j * width, src + (j + 1) * width, dst);
+    }
+}
+
+} // namespace
+
 void Discretization::to_quad(std::span<const double> modal, std::span<double> quad) const {
-    for (std::size_t e = 0; e < ops_.size(); ++e)
-        ops_[e].interp_to_quad(modal_block(modal, e), quad_block(quad, e));
+    to_quad_planes(modal, quad, 1);
+}
+
+void Discretization::to_quad_planes(std::span<const double> modal, std::span<double> quad,
+                                    std::size_t nplanes) const {
+    assert(modal.size() == modal_size_ * nplanes && quad.size() == quad_size_ * nplanes);
+    for (const ElemGroup& g : groups_) {
+        const std::size_t nm = g.exp->num_modes();
+        const std::size_t nq = g.exp->num_quad();
+        const std::size_t cnt = g.elems.size();
+        if (single_group_) {
+            // Whole mesh, planes back to back: one dgemm over every column.
+            blaslite::dgemm_cm(1.0, g.basis_cm.data(), nq, modal.data(), nm, 0.0,
+                               quad.data(), nq, nq, cnt * nplanes, nm);
+        } else if (g.contiguous) {
+            std::vector<blaslite::GemmBatchItem> items(nplanes);
+            for (std::size_t p = 0; p < nplanes; ++p)
+                items[p] = {modal.data() + p * modal_size_ + g.modal_begin,
+                            quad.data() + p * quad_size_ + g.quad_begin};
+            blaslite::dgemm_batch_same_a(1.0, g.basis_cm.data(), nq, nq, nm, items, cnt, nm,
+                                         nq, 0.0);
+        } else {
+            parallel::Scratch mp(nm * cnt * nplanes), qp(nq * cnt * nplanes);
+            for (std::size_t p = 0; p < nplanes; ++p)
+                pack_cols(modal, modal_off_, g.elems, p * modal_size_, nm,
+                          mp.data() + p * nm * cnt);
+            blaslite::dgemm_cm(1.0, g.basis_cm.data(), nq, mp.data(), nm, 0.0, qp.data(), nq,
+                               nq, cnt * nplanes, nm);
+            for (std::size_t p = 0; p < nplanes; ++p)
+                unpack_cols(qp.data() + p * nq * cnt, quad_off_, g.elems, p * quad_size_, nq,
+                            quad);
+        }
+    }
+}
+
+void Discretization::weak_inner(std::span<const double> quad, std::span<double> rhs) const {
+    weak_inner_planes(quad, rhs, 1);
+}
+
+void Discretization::weak_inner_planes(std::span<const double> quad, std::span<double> rhs,
+                                       std::size_t nplanes) const {
+    assert(quad.size() == quad_size_ * nplanes && rhs.size() == modal_size_ * nplanes);
+    for (const ElemGroup& g : groups_) {
+        const std::size_t nm = g.exp->num_modes();
+        const std::size_t nq = g.exp->num_quad();
+        const std::size_t cnt = g.elems.size();
+        // The column-major transpose of the shared basis is its row-major
+        // buffer itself: B^T (nm x nq column-major, lda = nm).
+        const double* bt_cm = g.exp->basis().data();
+        // Quadrature weights fold into the input panel while packing.
+        parallel::Scratch wq(nq * cnt * nplanes);
+        for (std::size_t p = 0; p < nplanes; ++p) {
+            for (std::size_t j = 0; j < cnt; ++j) {
+                const std::size_t e = g.elems[j];
+                const double* src = quad.data() + p * quad_size_ + quad_off_[e];
+                const std::vector<double>& wj = ops_[e].geometry().wj;
+                double* dst = wq.data() + (p * cnt + j) * nq;
+                for (std::size_t q = 0; q < nq; ++q) dst[q] = wj[q] * src[q];
+            }
+        }
+        if (single_group_) {
+            blaslite::dgemm_cm(1.0, bt_cm, nm, wq.data(), nq, 1.0, rhs.data(), nm, nm,
+                               cnt * nplanes, nq);
+        } else if (g.contiguous) {
+            std::vector<blaslite::GemmBatchItem> items(nplanes);
+            for (std::size_t p = 0; p < nplanes; ++p)
+                items[p] = {wq.data() + p * nq * cnt,
+                            rhs.data() + p * modal_size_ + g.modal_begin};
+            blaslite::dgemm_batch_same_a(1.0, bt_cm, nm, nm, nq, items, cnt, nq, nm, 1.0);
+        } else {
+            parallel::Scratch rp(nm * cnt * nplanes);
+            blaslite::dgemm_cm(1.0, bt_cm, nm, wq.data(), nq, 0.0, rp.data(), nm, nm,
+                               cnt * nplanes, nq);
+            for (std::size_t p = 0; p < nplanes; ++p) {
+                for (std::size_t j = 0; j < cnt; ++j) {
+                    double* dst = rhs.data() + p * modal_size_ + modal_off_[g.elems[j]];
+                    const double* src = rp.data() + (p * cnt + j) * nm;
+                    for (std::size_t i = 0; i < nm; ++i) dst[i] += src[i];
+                }
+            }
+        }
+    }
 }
 
 void Discretization::project(std::span<const double> quad, std::span<double> modal) const {
-    for (std::size_t e = 0; e < ops_.size(); ++e)
-        ops_[e].project(quad_block(quad, e), modal_block(modal, e));
+    project_planes(quad, modal, 1);
+}
+
+void Discretization::project_planes(std::span<const double> quad, std::span<double> modal,
+                                    std::size_t nplanes) const {
+    assert(quad.size() == quad_size_ * nplanes && modal.size() == modal_size_ * nplanes);
+    std::fill(modal.begin(), modal.end(), 0.0);
+    weak_inner_planes(quad, modal, nplanes);
+    // Mass solves: runs of congruent elements share one Cholesky factor, so a
+    // whole run of columns goes through la::cholesky_solve_cols at once.
+    for (const ElemGroup& g : groups_) {
+        const std::size_t nm = g.exp->num_modes();
+        for (std::size_t p = 0; p < nplanes; ++p) {
+            double* base = modal.data() + p * modal_size_;
+            for (const ElemGroup::MatrixRun& run : g.runs) {
+                const std::size_t first = g.elems[run.first];
+                if (g.contiguous) {
+                    la::cholesky_solve_cols(run.mats->mass_chol, base + modal_off_[first],
+                                            nm, run.count);
+                } else {
+                    for (std::size_t j = 0; j < run.count; ++j)
+                        la::cholesky_solve(
+                            run.mats->mass_chol,
+                            std::span<double>(base + modal_off_[g.elems[run.first + j]], nm));
+                }
+            }
+        }
+    }
+}
+
+void Discretization::grad_from_modal(std::span<const double> modal, std::span<double> dudx,
+                                     std::span<double> dudy) const {
+    grad_from_modal_planes(modal, dudx, dudy, 1);
+}
+
+void Discretization::grad_from_modal_planes(std::span<const double> modal,
+                                            std::span<double> dudx, std::span<double> dudy,
+                                            std::size_t nplanes) const {
+    assert(modal.size() == modal_size_ * nplanes);
+    assert(dudx.size() == quad_size_ * nplanes && dudy.size() == quad_size_ * nplanes);
+    for (const ElemGroup& g : groups_) {
+        const std::size_t nm = g.exp->num_modes();
+        const std::size_t nq = g.exp->num_quad();
+        const std::size_t cnt = g.elems.size();
+        parallel::Scratch d1(nq * cnt * nplanes), d2(nq * cnt * nplanes);
+        const auto apply = [&](const la::DenseMatrix& op_cm, double* out) {
+            if (g.contiguous) {
+                std::vector<blaslite::GemmBatchItem> items(nplanes);
+                for (std::size_t p = 0; p < nplanes; ++p)
+                    items[p] = {modal.data() + p * modal_size_ + g.modal_begin,
+                                out + p * nq * cnt};
+                blaslite::dgemm_batch_same_a(1.0, op_cm.data(), nq, nq, nm, items, cnt, nm,
+                                             nq, 0.0);
+            } else {
+                parallel::Scratch mp(nm * cnt * nplanes);
+                for (std::size_t p = 0; p < nplanes; ++p)
+                    pack_cols(modal, modal_off_, g.elems, p * modal_size_, nm,
+                              mp.data() + p * nm * cnt);
+                blaslite::dgemm_cm(1.0, op_cm.data(), nq, mp.data(), nm, 0.0, out, nq, nq,
+                                   cnt * nplanes, nm);
+            }
+        };
+        apply(g.d1_cm, d1.data());
+        apply(g.d2_cm, d2.data());
+        // Chain rule with per-element geometry factors while scattering back.
+        for (std::size_t p = 0; p < nplanes; ++p) {
+            for (std::size_t j = 0; j < cnt; ++j) {
+                const std::size_t e = g.elems[j];
+                const ElemGeometry& geo = ops_[e].geometry();
+                const double* c1 = d1.data() + (p * cnt + j) * nq;
+                const double* c2 = d2.data() + (p * cnt + j) * nq;
+                double* dx = dudx.data() + p * quad_size_ + quad_off_[e];
+                double* dy = dudy.data() + p * quad_size_ + quad_off_[e];
+                for (std::size_t q = 0; q < nq; ++q) {
+                    dx[q] = geo.rx[q] * c1[q] + geo.sx[q] * c2[q];
+                    dy[q] = geo.ry[q] * c1[q] + geo.sy[q] * c2[q];
+                }
+            }
+        }
+    }
 }
 
 void Discretization::eval_at_quad(const std::function<double(double, double)>& f,

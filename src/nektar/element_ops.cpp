@@ -1,10 +1,12 @@
 #include "nektar/element_ops.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "blaslite/blas.hpp"
+#include "parallel/scratch.hpp"
 #include "spectral/jacobi.hpp"
 
 namespace nektar {
@@ -32,13 +34,66 @@ la::DenseMatrix diff_matrix(const std::vector<double>& x) {
     return d;
 }
 
+/// Builds the (expansion, geometry)-dependent elemental matrices.
+ElemMatrices build_matrices(const spectral::Expansion& exp, const ElemGeometry& geom) {
+    const std::size_t nq = exp.num_quad();
+    const std::size_t nm = exp.num_modes();
+    const la::DenseMatrix& B = exp.basis();
+    const la::DenseMatrix& D1 = exp.dbasis_dxi1();
+    const la::DenseMatrix& D2 = exp.dbasis_dxi2();
+    ElemMatrices mats;
+    mats.mass = la::DenseMatrix(nm, nm);
+    mats.lap = la::DenseMatrix(nm, nm);
+    // Physical derivatives of every mode at every point, then one dgemm each.
+    la::DenseMatrix dx(nq, nm), dy(nq, nm), bw(nq, nm), dxw(nq, nm), dyw(nq, nm);
+    for (std::size_t q = 0; q < nq; ++q) {
+        for (std::size_t mI = 0; mI < nm; ++mI) {
+            dx(q, mI) = geom.rx[q] * D1(q, mI) + geom.sx[q] * D2(q, mI);
+            dy(q, mI) = geom.ry[q] * D1(q, mI) + geom.sy[q] * D2(q, mI);
+            bw(q, mI) = geom.wj[q] * B(q, mI);
+            dxw(q, mI) = geom.wj[q] * dx(q, mI);
+            dyw(q, mI) = geom.wj[q] * dy(q, mI);
+        }
+    }
+    for (std::size_t i = 0; i < nm; ++i) {
+        for (std::size_t j = 0; j < nm; ++j) {
+            double mij = 0.0, lij = 0.0;
+            for (std::size_t q = 0; q < nq; ++q) {
+                mij += bw(q, i) * B(q, j);
+                lij += dxw(q, i) * dx(q, j) + dyw(q, i) * dy(q, j);
+            }
+            mats.mass(i, j) = mij;
+            mats.lap(i, j) = lij;
+        }
+    }
+    mats.mass_chol = mats.mass;
+    if (!la::cholesky_factor(mats.mass_chol))
+        throw std::runtime_error("ElementOps: mass matrix not SPD");
+    return mats;
+}
+
 } // namespace
 
+std::shared_ptr<const ElemMatrices> MatrixCache::get(
+    const spectral::Expansion* exp, const ElemGeometry& g,
+    const std::function<ElemMatrices()>& build) {
+    std::vector<std::uint64_t> key;
+    key.reserve(5 * g.wj.size());
+    for (const std::vector<double>* arr : {&g.wj, &g.rx, &g.ry, &g.sx, &g.sy})
+        for (double v : *arr) key.push_back(std::bit_cast<std::uint64_t>(v));
+    auto& slot = cache_[{exp, std::move(key)}];
+    if (!slot) slot = std::make_shared<const ElemMatrices>(build());
+    return slot;
+}
+
 ElementOps::ElementOps(const mesh::Mesh& m, std::size_t e, std::size_t order)
-    : exp_(spectral::make_expansion(m.element(e).shape, order)) {
+    : ElementOps(m, e, spectral::make_expansion(m.element(e).shape, order)) {}
+
+ElementOps::ElementOps(const mesh::Mesh& m, std::size_t e,
+                       std::shared_ptr<const spectral::Expansion> exp, MatrixCache* cache)
+    : exp_(std::move(exp)) {
     const mesh::Element& el = m.element(e);
     const std::size_t nq = exp_->num_quad();
-    const std::size_t nm = exp_->num_modes();
     geom_.wj.resize(nq);
     geom_.rx.resize(nq);
     geom_.ry.resize(nq);
@@ -63,38 +118,9 @@ ElementOps::ElementOps(const mesh::Mesh& m, std::size_t e, std::size_t order)
         geom_.sy[q] = pm.sy;
     }
 
-    // Elemental matrices by quadrature.
-    const la::DenseMatrix& B = exp_->basis();
-    const la::DenseMatrix& D1 = exp_->dbasis_dxi1();
-    const la::DenseMatrix& D2 = exp_->dbasis_dxi2();
-    mass_ = la::DenseMatrix(nm, nm);
-    lap_ = la::DenseMatrix(nm, nm);
-    // Physical derivatives of every mode at every point, then one dgemm each.
-    la::DenseMatrix dx(nq, nm), dy(nq, nm), bw(nq, nm), dxw(nq, nm), dyw(nq, nm);
-    for (std::size_t q = 0; q < nq; ++q) {
-        for (std::size_t mI = 0; mI < nm; ++mI) {
-            dx(q, mI) = geom_.rx[q] * D1(q, mI) + geom_.sx[q] * D2(q, mI);
-            dy(q, mI) = geom_.ry[q] * D1(q, mI) + geom_.sy[q] * D2(q, mI);
-            bw(q, mI) = geom_.wj[q] * B(q, mI);
-            dxw(q, mI) = geom_.wj[q] * dx(q, mI);
-            dyw(q, mI) = geom_.wj[q] * dy(q, mI);
-        }
-    }
-    for (std::size_t i = 0; i < nm; ++i) {
-        for (std::size_t j = 0; j < nm; ++j) {
-            double mij = 0.0, lij = 0.0;
-            for (std::size_t q = 0; q < nq; ++q) {
-                mij += bw(q, i) * B(q, j);
-                lij += dxw(q, i) * dx(q, j) + dyw(q, i) * dy(q, j);
-            }
-            mass_(i, j) = mij;
-            lap_(i, j) = lij;
-        }
-    }
-
-    mass_chol_ = mass_;
-    if (!la::cholesky_factor(mass_chol_))
-        throw std::runtime_error("ElementOps: mass matrix not SPD");
+    const auto build = [this] { return build_matrices(*exp_, geom_); };
+    mats_ = cache ? cache->get(exp_.get(), geom_, build)
+                  : std::make_shared<const ElemMatrices>(build());
 
     if (el.shape == spectral::Shape::Quad) {
         nq1d_ = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(nq))));
@@ -126,10 +152,14 @@ PointMap ElementOps::map_at(double x1, double x2) const {
         const double n2 = 0.25 * (1 + x1) * (1 + x2), n3 = 0.25 * (1 - x1) * (1 + x2);
         xx = n0 * v0.x + n1 * v1.x + n2 * v2.x + n3 * v3.x;
         yy = n0 * v0.y + n1 * v1.y + n2 * v2.y + n3 * v3.y;
-        dxd1 = 0.25 * (-(1 - x2) * v0.x + (1 - x2) * v1.x + (1 + x2) * v2.x - (1 + x2) * v3.x);
-        dxd2 = 0.25 * (-(1 - x1) * v0.x - (1 + x1) * v1.x + (1 + x1) * v2.x + (1 - x1) * v3.x);
-        dyd1 = 0.25 * (-(1 - x2) * v0.y + (1 - x2) * v1.y + (1 + x2) * v2.y - (1 + x2) * v3.y);
-        dyd2 = 0.25 * (-(1 - x1) * v0.y - (1 + x1) * v1.y + (1 + x1) * v2.y + (1 - x1) * v3.y);
+        // Difference form: translation-invariant to the last bit, so
+        // congruent (translated) elements produce identical Jacobian
+        // metrics and share one ElemMatrices instance via the MatrixCache's
+        // exact-bit key.
+        dxd1 = 0.25 * ((1 - x2) * (v1.x - v0.x) + (1 + x2) * (v2.x - v3.x));
+        dxd2 = 0.25 * ((1 - x1) * (v3.x - v0.x) + (1 + x1) * (v2.x - v1.x));
+        dyd1 = 0.25 * ((1 - x2) * (v1.y - v0.y) + (1 + x2) * (v2.y - v3.y));
+        dyd2 = 0.25 * ((1 - x1) * (v3.y - v0.y) + (1 + x1) * (v2.y - v1.y));
     }
     PointMap pm;
     pm.x = xx;
@@ -171,8 +201,8 @@ void ElementOps::interp_to_quad(std::span<const double> modal, std::span<double>
 void ElementOps::weak_inner(std::span<const double> quad, std::span<double> rhs) const {
     assert(quad.size() == num_quad() && rhs.size() == num_modes());
     const la::DenseMatrix& B = exp_->basis();
-    std::vector<double> wq(num_quad());
-    for (std::size_t q = 0; q < num_quad(); ++q) wq[q] = geom_.wj[q] * quad[q];
+    parallel::Scratch wq(num_quad());
+    for (std::size_t q = 0; q < num_quad(); ++q) wq.data()[q] = geom_.wj[q] * quad[q];
     blaslite::dgemv_t(1.0, B.data(), B.cols(), B.rows(), B.cols(), wq.data(), 1.0, rhs.data());
 }
 
@@ -181,7 +211,7 @@ void ElementOps::grad_from_modal(std::span<const double> modal, std::span<double
     const la::DenseMatrix& D1 = exp_->dbasis_dxi1();
     const la::DenseMatrix& D2 = exp_->dbasis_dxi2();
     const std::size_t nq = num_quad();
-    std::vector<double> d1(nq), d2(nq);
+    parallel::Scratch d1(nq), d2(nq);
     blaslite::dgemv(1.0, D1.data(), D1.cols(), D1.rows(), D1.cols(), modal.data(), 0.0,
                     d1.data());
     blaslite::dgemv(1.0, D2.data(), D2.cols(), D2.rows(), D2.cols(), modal.data(), 0.0,
@@ -197,7 +227,7 @@ void ElementOps::grad_collocation(std::span<const double> quad, std::span<double
     if (nq1d_ == 0)
         throw std::logic_error("grad_collocation: quad elements only");
     const std::size_t n = nq1d_;
-    std::vector<double> d1(n * n), d2(n * n);
+    parallel::Scratch d1(n * n), d2(n * n);
     // d/dxi1: differentiate along rows (xi1 is the fast index).
     for (std::size_t j = 0; j < n; ++j)
         blaslite::dgemv(1.0, d1d_.data(), n, n, n, quad.data() + j * n, 0.0, d1.data() + j * n);
@@ -219,7 +249,7 @@ void ElementOps::grad_collocation(std::span<const double> quad, std::span<double
 void ElementOps::project(std::span<const double> quad, std::span<double> modal) const {
     std::fill(modal.begin(), modal.end(), 0.0);
     weak_inner(quad, modal);
-    la::cholesky_solve(mass_chol_, modal);
+    la::cholesky_solve(mats_->mass_chol, modal);
 }
 
 } // namespace nektar

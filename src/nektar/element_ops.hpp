@@ -1,7 +1,11 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "la/dense.hpp"
@@ -37,20 +41,66 @@ struct PointMap {
     double det = 0.0;          ///< Jacobian determinant
 };
 
+/// The elemental matrices that depend only on (expansion, geometry factors).
+/// Congruent elements — translated copies of one another, ubiquitous in the
+/// structured meshes the paper benchmarks — share one immutable instance.
+struct ElemMatrices {
+    la::DenseMatrix mass;      ///< (phi_i, phi_j)
+    la::DenseMatrix lap;       ///< (grad phi_i, grad phi_j) — the Figure 10 matrix
+    la::DenseMatrix mass_chol; ///< Cholesky factor of mass
+};
+
+/// Deduplicates ElemMatrices across congruent elements.  Keyed on the
+/// expansion identity plus the bit patterns of the geometry factor arrays
+/// (wj, rx, ry, sx, sy — translation-invariant), so two elements share
+/// matrices only when the build inputs are bitwise identical.  One cache is
+/// owned per Discretization construction, which keeps it bounded under the
+/// per-step rebuilds of the ALE solver.
+class MatrixCache {
+public:
+    /// Returns the cached matrices for (exp, geometry), building them with
+    /// `build` on a miss.
+    std::shared_ptr<const ElemMatrices> get(const spectral::Expansion* exp,
+                                            const ElemGeometry& g,
+                                            const std::function<ElemMatrices()>& build);
+
+private:
+    std::map<std::pair<const spectral::Expansion*, std::vector<std::uint64_t>>,
+             std::shared_ptr<const ElemMatrices>>
+        cache_;
+};
+
 class ElementOps {
 public:
     /// Builds the operators for element `e` of `m` at expansion order `order`.
     ElementOps(const mesh::Mesh& m, std::size_t e, std::size_t order);
 
+    /// Same, with a caller-provided expansion (skips the global expansion
+    /// cache lookup) and an optional matrix cache shared across elements.
+    ElementOps(const mesh::Mesh& m, std::size_t e,
+               std::shared_ptr<const spectral::Expansion> exp, MatrixCache* cache = nullptr);
+
     [[nodiscard]] const spectral::Expansion& expansion() const noexcept { return *exp_; }
+    [[nodiscard]] std::shared_ptr<const spectral::Expansion> expansion_ptr() const noexcept {
+        return exp_;
+    }
     [[nodiscard]] const ElemGeometry& geometry() const noexcept { return geom_; }
     [[nodiscard]] std::size_t num_modes() const noexcept { return exp_->num_modes(); }
     [[nodiscard]] std::size_t num_quad() const noexcept { return exp_->num_quad(); }
 
     /// Elemental mass matrix (phi_i, phi_j).
-    [[nodiscard]] const la::DenseMatrix& mass() const noexcept { return mass_; }
+    [[nodiscard]] const la::DenseMatrix& mass() const noexcept { return mats_->mass; }
     /// Elemental stiffness (grad phi_i, grad phi_j) — the Figure 10 matrix.
-    [[nodiscard]] const la::DenseMatrix& laplacian() const noexcept { return lap_; }
+    [[nodiscard]] const la::DenseMatrix& laplacian() const noexcept { return mats_->lap; }
+    /// Cholesky factor of the elemental mass matrix.
+    [[nodiscard]] const la::DenseMatrix& mass_cholesky() const noexcept {
+        return mats_->mass_chol;
+    }
+    /// Identity of the shared matrix set: equal pointers mean congruent
+    /// elements (identical mass/Laplacian/Cholesky), which the batched
+    /// Helmholtz apply exploits to fold whole runs of elements into one
+    /// matrix-matrix product.
+    [[nodiscard]] const ElemMatrices* matrix_identity() const noexcept { return mats_.get(); }
 
     /// u_quad = B u_modal (paper stage 1).
     void interp_to_quad(std::span<const double> modal, std::span<double> quad) const;
@@ -85,8 +135,7 @@ public:
 private:
     std::shared_ptr<const spectral::Expansion> exp_;
     ElemGeometry geom_;
-    la::DenseMatrix mass_, lap_;
-    la::DenseMatrix mass_chol_;        ///< Cholesky factor of mass_
+    std::shared_ptr<const ElemMatrices> mats_; ///< shared across congruent elements
     // Collocation machinery (quads): 1-D GLL differentiation matrix.
     la::DenseMatrix d1d_;
     std::size_t nq1d_ = 0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "blaslite/blas.hpp"
+#include "parallel/scratch.hpp"
 
 namespace nektar {
 
@@ -111,9 +112,7 @@ std::vector<double> HelmholtzDirect::solve(std::span<const double> f_quad,
                                            const std::function<double(double, double)>& g) const {
     std::vector<double> rhs(disc_->dofmap().num_global(), 0.0);
     std::vector<double> local(disc_->modal_size(), 0.0);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-        disc_->ops(e).weak_inner(disc_->quad_block(f_quad, e),
-                                 disc_->modal_block(std::span<double>(local), e));
+    disc_->weak_inner(f_quad, local);
     disc_->gather_add(local, rhs);
     return solve_global(std::move(rhs), dirichlet_vector(g));
 }
@@ -139,30 +138,55 @@ HelmholtzPCG::HelmholtzPCG(std::shared_ptr<const Discretization> disc, double la
     inv_diag_.resize(diag.size());
     for (std::size_t i = 0; i < diag.size(); ++i)
         inv_diag_[i] = is_dirichlet_[i] ? 1.0 : 1.0 / diag[i];
+
+    // Fuse L + lambda*M once per matrix class: the per-CG-iteration apply
+    // then runs one matrix product per congruent-element run instead of two
+    // dgemvs per element.
+    for (const ElemGroup& g : disc_->groups()) {
+        for (const ElemGroup::MatrixRun& run : g.runs) {
+            if (fused_.count(run.mats)) continue;
+            la::DenseMatrix h = run.mats->lap;
+            const la::DenseMatrix& mass = run.mats->mass;
+            for (std::size_t i = 0; i < h.rows() * h.cols(); ++i)
+                h.data()[i] += lambda_ * mass.data()[i];
+            fused_.emplace(run.mats, std::move(h));
+        }
+    }
 }
 
 void HelmholtzPCG::apply(std::span<const double> x, std::span<double> y) const {
     std::fill(y.begin(), y.end(), 0.0);
-    std::vector<double> xl(disc_->modal_size()), yl(disc_->modal_size());
-    disc_->scatter(x, xl);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-        const ElementOps& ops = disc_->ops(e);
-        const std::size_t nm = ops.num_modes();
-        auto xe = disc_->modal_block(std::span<const double>(xl), e);
-        auto ye = disc_->modal_block(std::span<double>(yl), e);
-        blaslite::dgemv(1.0, ops.laplacian().data(), nm, nm, nm, xe.data(), 0.0, ye.data());
-        blaslite::dgemv(lambda_, ops.mass().data(), nm, nm, nm, xe.data(), 1.0, ye.data());
+    parallel::Scratch xl(disc_->modal_size()), yl(disc_->modal_size());
+    disc_->scatter(x, xl.span());
+    for (const ElemGroup& g : disc_->groups()) {
+        const std::size_t nm = g.exp->num_modes();
+        for (const ElemGroup::MatrixRun& run : g.runs) {
+            const la::DenseMatrix& h = fused_.at(run.mats);
+            if (g.contiguous) {
+                // Congruent run of adjacent blocks: Y = H X in one product
+                // (H symmetric, so the row-major buffer is the column-major
+                // operand).
+                const std::size_t off = disc_->modal_offset(g.elems[run.first]);
+                blaslite::dgemm_cm(1.0, h.data(), nm, xl.data() + off, nm, 0.0,
+                                   yl.data() + off, nm, nm, run.count, nm);
+            } else {
+                for (std::size_t j = 0; j < run.count; ++j) {
+                    const std::size_t off =
+                        disc_->modal_offset(g.elems[run.first + j]);
+                    blaslite::dgemv(1.0, h.data(), nm, nm, nm, xl.data() + off, 0.0,
+                                    yl.data() + off);
+                }
+            }
+        }
     }
-    disc_->gather_add(yl, y);
+    disc_->gather_add(yl.span(), y);
 }
 
 std::vector<double> HelmholtzPCG::solve(std::span<const double> f_quad,
                                         const std::function<double(double, double)>& g) const {
     const std::size_t n = disc_->dofmap().num_global();
     std::vector<double> rhs(n, 0.0), local(disc_->modal_size(), 0.0);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-        disc_->ops(e).weak_inner(disc_->quad_block(f_quad, e),
-                                 disc_->modal_block(std::span<double>(local), e));
+    disc_->weak_inner(f_quad, local);
     disc_->gather_add(local, rhs);
 
     std::vector<double> x(n, 0.0);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <span>
@@ -97,6 +98,10 @@ private:
     std::vector<char> is_dirichlet_;
     std::vector<double> inv_diag_;
     la::CgOptions opts_;
+    /// Fused elemental operator H = L + lambda*M per matrix class; symmetric,
+    /// so its row-major buffer doubles as the column-major left operand of
+    /// the batched per-run dgemm in apply().
+    std::map<const ElemMatrices*, la::DenseMatrix> fused_;
     mutable std::size_t last_iters_ = 0;
 };
 

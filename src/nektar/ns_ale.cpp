@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "blaslite/blas.hpp"
+#include "parallel/scratch.hpp"
 
 namespace nektar {
 
@@ -157,27 +158,42 @@ double AleNS2d::global_dot(std::span<const double> a, std::span<const double> b)
 void AleNS2d::apply_operator(double lambda, std::span<const double> x,
                              std::span<double> y) const {
     std::fill(y.begin(), y.end(), 0.0);
-    std::vector<double> xl(disc_->modal_size()), yl(disc_->modal_size());
-    disc_->scatter(x, xl);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-        const ElementOps& ops = disc_->ops(e);
-        const std::size_t nm = ops.num_modes();
-        auto xe = disc_->modal_block(std::span<const double>(xl), e);
-        auto ye = disc_->modal_block(std::span<double>(yl), e);
-        blaslite::dgemv(1.0, ops.laplacian().data(), nm, nm, nm, xe.data(), 0.0, ye.data());
-        if (lambda != 0.0)
-            blaslite::dgemv(lambda, ops.mass().data(), nm, nm, nm, xe.data(), 1.0, ye.data());
+    parallel::Scratch xl(disc_->modal_size()), yl(disc_->modal_size());
+    disc_->scatter(x, xl.span());
+    // Congruent-element runs share their Laplacian/mass matrices (symmetric,
+    // so row-major buffers serve as the column-major left operand), turning
+    // the per-element dgemv pair into per-run matrix products.  lambda varies
+    // between solves here (ALE rebuilds each step), so L and M stay separate.
+    for (const ElemGroup& g : disc_->groups()) {
+        const std::size_t nm = g.exp->num_modes();
+        for (const ElemGroup::MatrixRun& run : g.runs) {
+            if (g.contiguous) {
+                const std::size_t off = disc_->modal_offset(g.elems[run.first]);
+                blaslite::dgemm_cm(1.0, run.mats->lap.data(), nm, xl.data() + off, nm, 0.0,
+                                   yl.data() + off, nm, nm, run.count, nm);
+                if (lambda != 0.0)
+                    blaslite::dgemm_cm(lambda, run.mats->mass.data(), nm, xl.data() + off,
+                                       nm, 1.0, yl.data() + off, nm, nm, run.count, nm);
+            } else {
+                for (std::size_t j = 0; j < run.count; ++j) {
+                    const std::size_t off = disc_->modal_offset(g.elems[run.first + j]);
+                    blaslite::dgemv(1.0, run.mats->lap.data(), nm, nm, nm, xl.data() + off,
+                                    0.0, yl.data() + off);
+                    if (lambda != 0.0)
+                        blaslite::dgemv(lambda, run.mats->mass.data(), nm, nm, nm,
+                                        xl.data() + off, 1.0, yl.data() + off);
+                }
+            }
+        }
     }
-    disc_->gather_add(yl, y);
+    disc_->gather_add(yl.span(), y);
     // Interface dofs accumulate the neighbour ranks' element contributions.
     gs_assemble(std::span<double>(y.data(), y.size()));
 }
 
 std::vector<double> AleNS2d::weak_rhs(std::span<const double> quad) const {
     std::vector<double> local(disc_->modal_size(), 0.0);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-        disc_->ops(e).weak_inner(disc_->quad_block(quad, e),
-                                 disc_->modal_block(std::span<double>(local), e));
+    disc_->weak_inner(quad, local);
     std::vector<double> rhs(disc_->dofmap().num_global(), 0.0);
     disc_->gather_add(local, rhs);
     gs_assemble(rhs);

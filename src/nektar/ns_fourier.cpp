@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "blaslite/blas.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace nektar {
 
@@ -99,16 +100,9 @@ void FourierNS::set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3
             }
         }
         quad_[c] = plane_quads;
-        for (std::size_t p = 0; p < nplanes_; ++p) {
-            disc_->project(std::span<const double>(quad_[c]).subspan(p * nq, nq),
-                           std::span<double>(modal_[c]).subspan(p * disc_->modal_size(),
-                                                                disc_->modal_size()));
-        }
+        disc_->project_planes(quad_[c], modal_[c], nplanes_);
         // Consistent quad values from the projected coefficients.
-        for (std::size_t p = 0; p < nplanes_; ++p)
-            disc_->to_quad(std::span<const double>(modal_[c])
-                               .subspan(p * disc_->modal_size(), disc_->modal_size()),
-                           std::span<double>(quad_[c]).subspan(p * nq, nq));
+        disc_->to_quad_planes(modal_[c], quad_[c], nplanes_);
         quad_prev_[c] = quad_[c];
     }
     time_ = 0.0;
@@ -118,13 +112,9 @@ void FourierNS::set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3
 }
 
 void FourierNS::transform_all_to_quad() {
-    const std::size_t nq = disc_->quad_size();
-    const std::size_t nm = disc_->modal_size();
-    for (int c = 0; c < 3; ++c)
-        for (std::size_t p = 0; p < nplanes_; ++p)
-            disc_->to_quad(
-                std::span<const double>(modal_[c]).subspan(p * nm, nm),
-                std::span<double>(quad_[c]).subspan(p * nq, nq));
+    // All local planes of a component fuse into the batch dimension: on a
+    // single-group mesh this is one dgemm per component.
+    for (int c = 0; c < 3; ++c) disc_->to_quad_planes(modal_[c], quad_[c], nplanes_);
 }
 
 void FourierNS::nonlinear(std::vector<std::vector<double>>& nl) {
@@ -279,25 +269,26 @@ void FourierNS::step() {
                 blaslite::daxpy(reim == 0 ? -bk : bk, wp, div);
                 blaslite::dscal(-1.0 / dt, div);
                 std::fill(local.begin(), local.end(), 0.0);
-                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-                    disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(div), e),
-                                             disc_->modal_block(std::span<double>(local), e));
+                disc_->weak_inner(div, local);
                 disc_->gather_add(local, prhs[p]);
             }
         }
     }
 
-    // Stage 5: per-mode direct pressure solves.
+    // Stage 5: per-mode direct pressure solves, split across the thread pool
+    // (each plane's solve runs whole on one thread, so results and the
+    // counter-derived compute charge are independent of the pool size).
     {
         perf::StageScope scope(breakdown_, 5);
-        std::vector<double> zero(disc_->dofmap().num_global(), 0.0);
-        for (std::size_t m = 0; m < mloc_; ++m) {
-            for (int reim = 0; reim < 2; ++reim) {
-                const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+        const std::vector<double> zero(disc_->dofmap().num_global(), 0.0);
+        parallel::pool().parallel_for(nplanes_, [&](std::size_t p0, std::size_t p1) {
+            for (std::size_t p = p0; p < p1; ++p) {
+                const std::size_t m = p / 2;
                 const auto sol = pressure_[m].solve_global(std::move(prhs[p]), zero);
-                std::copy(sol.begin(), sol.end(), p_modal_.begin() + static_cast<std::ptrdiff_t>(p * nm));
+                std::copy(sol.begin(), sol.end(),
+                          p_modal_.begin() + static_cast<std::ptrdiff_t>(p * nm));
             }
-        }
+        });
     }
 
     // Stage 6: Helmholtz RHS: u** = uhat - dt grad p, scaled by 1/(nu dt).
@@ -305,43 +296,37 @@ void FourierNS::step() {
         3 * nplanes_, std::vector<double>(disc_->dofmap().num_global(), 0.0));
     {
         perf::StageScope scope(breakdown_, 6);
-        std::vector<double> px(nq), py(nq), local(disc_->modal_size());
         const double scale = 1.0 / (opts_.nu * dt);
+        // Batched over every plane at once: the in-plane pressure gradient,
+        // the plane interpolation for dp/dz, and the weak inner products.
+        std::vector<double> px(nplanes_ * nq), py(nplanes_ * nq), pquad(nplanes_ * nq);
+        disc_->grad_from_modal_planes(p_modal_, px, py, nplanes_);
+        disc_->to_quad_planes(p_modal_, pquad, nplanes_);
         for (std::size_t m = 0; m < mloc_; ++m) {
             const double bk = beta(global_mode(m));
             for (int reim = 0; reim < 2; ++reim) {
                 const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
-                auto pmod = std::span<const double>(p_modal_).subspan(p * nm, nm);
-                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-                    disc_->ops(e).grad_from_modal(disc_->modal_block(pmod, e),
-                                                  disc_->quad_block(std::span<double>(px), e),
-                                                  disc_->quad_block(std::span<double>(py), e));
                 auto hu = std::span<double>(hat[0]).subspan(p * nq, nq);
                 auto hv = std::span<double>(hat[1]).subspan(p * nq, nq);
-                blaslite::daxpy(-dt, px, hu);
-                blaslite::daxpy(-dt, py, hv);
+                blaslite::daxpy(-dt, std::span<const double>(px).subspan(p * nq, nq), hu);
+                blaslite::daxpy(-dt, std::span<const double>(py).subspan(p * nq, nq), hv);
                 // dp/dz on the partner plane of w.
                 const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
-                auto pq = std::span<const double>(p_modal_).subspan(partner * nm, nm);
-                std::vector<double> pquad(nq);
-                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-                    disc_->ops(e).interp_to_quad(disc_->modal_block(pq, e),
-                                                 disc_->quad_block(std::span<double>(pquad), e));
+                auto pq = std::span<const double>(pquad).subspan(partner * nq, nq);
                 auto hw = std::span<double>(hat[2]).subspan(p * nq, nq);
-                blaslite::daxpy(reim == 0 ? dt * bk : -dt * bk, pquad, hw);
+                blaslite::daxpy(reim == 0 ? dt * bk : -dt * bk, pq, hw);
             }
         }
+        std::vector<double> local(nplanes_ * disc_->modal_size());
         for (int c = 0; c < 3; ++c) {
             blaslite::dscal(scale, hat[static_cast<std::size_t>(c)]);
-            for (std::size_t p = 0; p < nplanes_; ++p) {
-                auto hq = std::span<const double>(hat[static_cast<std::size_t>(c)])
-                              .subspan(p * nq, nq);
-                std::fill(local.begin(), local.end(), 0.0);
-                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-                    disc_->ops(e).weak_inner(disc_->quad_block(hq, e),
-                                             disc_->modal_block(std::span<double>(local), e));
-                disc_->gather_add(local, vrhs[static_cast<std::size_t>(c) * nplanes_ + p]);
-            }
+            std::fill(local.begin(), local.end(), 0.0);
+            disc_->weak_inner_planes(hat[static_cast<std::size_t>(c)], local, nplanes_);
+            for (std::size_t p = 0; p < nplanes_; ++p)
+                disc_->gather_add(
+                    std::span<const double>(local).subspan(p * disc_->modal_size(),
+                                                           disc_->modal_size()),
+                    vrhs[static_cast<std::size_t>(c) * nplanes_ + p]);
         }
     }
 
@@ -350,34 +335,36 @@ void FourierNS::step() {
     {
         perf::StageScope scope(breakdown_, 7);
         const VelocityBC* bcs[3] = {&opts_.u_bc, &opts_.v_bc, &opts_.w_bc};
-        for (int c = 0; c < 3; ++c) {
-            quad_prev_[c] = quad_[c];
-            for (std::size_t m = 0; m < mloc_; ++m) {
-                for (int reim = 0; reim < 2; ++reim) {
-                    const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
-                    // Physical Dirichlet data enters only the mean mode's real
-                    // plane; every other plane is homogeneous.
-                    const bool mean = global_mode(m) == 0 && reim == 0;
-                    const HelmholtzDirect* solver = &velocity_[m];
-                    std::unique_ptr<HelmholtzDirect> bootstrap;
-                    if (g0 != gamma0_) {
-                        const double bk = beta(global_mode(m));
-                        bootstrap = std::make_unique<HelmholtzDirect>(
-                            disc_, g0 / (opts_.nu * dt) + bk * bk, opts_.velocity_bc);
-                        solver = bootstrap.get();
-                    }
-                    std::vector<double> bvals =
-                        mean ? solver->dirichlet_vector([&](double x, double y) {
-                            return (*bcs[c])(x, y, tn1);
-                        })
-                             : std::vector<double>(disc_->dofmap().num_global(), 0.0);
-                    const auto sol = solver->solve_global(
-                        std::move(vrhs[static_cast<std::size_t>(c) * nplanes_ + p]), bvals);
-                    std::copy(sol.begin(), sol.end(),
-                              modal_[c].begin() + static_cast<std::ptrdiff_t>(p * nm));
+        for (int c = 0; c < 3; ++c) quad_prev_[c] = quad_[c];
+        // 3 components x nplanes independent solves across the thread pool;
+        // each task owns its plane's RHS and output slice.
+        parallel::pool().parallel_for(3 * nplanes_, [&](std::size_t t0, std::size_t t1) {
+            for (std::size_t t = t0; t < t1; ++t) {
+                const int c = static_cast<int>(t / nplanes_);
+                const std::size_t p = t % nplanes_;
+                const std::size_t m = p / 2;
+                const int reim = static_cast<int>(p % 2);
+                // Physical Dirichlet data enters only the mean mode's real
+                // plane; every other plane is homogeneous.
+                const bool mean = global_mode(m) == 0 && reim == 0;
+                const HelmholtzDirect* solver = &velocity_[m];
+                std::unique_ptr<HelmholtzDirect> bootstrap;
+                if (g0 != gamma0_) {
+                    const double bk = beta(global_mode(m));
+                    bootstrap = std::make_unique<HelmholtzDirect>(
+                        disc_, g0 / (opts_.nu * dt) + bk * bk, opts_.velocity_bc);
+                    solver = bootstrap.get();
                 }
+                std::vector<double> bvals =
+                    mean ? solver->dirichlet_vector(
+                               [&](double x, double y) { return (*bcs[c])(x, y, tn1); })
+                         : std::vector<double>(disc_->dofmap().num_global(), 0.0);
+                const auto sol = solver->solve_global(
+                    std::move(vrhs[static_cast<std::size_t>(c) * nplanes_ + p]), bvals);
+                std::copy(sol.begin(), sol.end(),
+                          modal_[c].begin() + static_cast<std::ptrdiff_t>(p * nm));
             }
-        }
+        });
     }
 
     nl_hist_[1] = std::move(nl_hist_[0]);

@@ -135,9 +135,7 @@ void SerialNS2d::step() {
         blaslite::daxpy(1.0, dy, div);
         blaslite::dscal(-1.0 / dt, div);
         std::vector<double> local(disc_->modal_size(), 0.0);
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-            disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(div), e),
-                                     disc_->modal_block(std::span<double>(local), e));
+        disc_->weak_inner(div, local);
         disc_->gather_add(local, prhs);
     }
 
@@ -156,22 +154,15 @@ void SerialNS2d::step() {
     {
         perf::StageScope scope(breakdown_, 6);
         std::vector<double> px(nq), py(nq);
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-            disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(p_modal_), e),
-                                          disc_->quad_block(std::span<double>(px), e),
-                                          disc_->quad_block(std::span<double>(py), e));
+        disc_->grad_from_modal(p_modal_, px, py);
         blaslite::daxpy(-dt, px, uhat);
         blaslite::daxpy(-dt, py, vhat);
         const double scale = 1.0 / (opts_.nu * dt);
         blaslite::dscal(scale, uhat);
         blaslite::dscal(scale, vhat);
         std::vector<double> lu(disc_->modal_size(), 0.0), lv(disc_->modal_size(), 0.0);
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-            disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(uhat), e),
-                                     disc_->modal_block(std::span<double>(lu), e));
-            disc_->ops(e).weak_inner(disc_->quad_block(std::span<const double>(vhat), e),
-                                     disc_->modal_block(std::span<double>(lv), e));
-        }
+        disc_->weak_inner(uhat, lu);
+        disc_->weak_inner(vhat, lv);
         disc_->gather_add(lu, urhs);
         disc_->gather_add(lv, vrhs);
     }
@@ -221,38 +212,18 @@ void SerialNS2d::step() {
 std::vector<double> SerialNS2d::vorticity_quad() const {
     const std::size_t nq = disc_->quad_size();
     std::vector<double> w(nq), dx(nq), dy(nq);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(v_modal_), e),
-                                      disc_->quad_block(std::span<double>(w), e),
-                                      disc_->quad_block(std::span<double>(dy), e));
-    }
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(u_modal_), e),
-                                      disc_->quad_block(std::span<double>(dx), e),
-                                      disc_->quad_block(std::span<double>(dy), e));
-        auto we = disc_->quad_block(std::span<double>(w), e);
-        auto dye = disc_->quad_block(std::span<const double>(dy), e);
-        for (std::size_t q = 0; q < we.size(); ++q) we[q] -= dye[q];
-    }
+    disc_->grad_from_modal(v_modal_, w, dy);
+    disc_->grad_from_modal(u_modal_, dx, dy);
+    for (std::size_t q = 0; q < nq; ++q) w[q] -= dy[q];
     return w;
 }
 
 double SerialNS2d::divergence_norm() const {
     const std::size_t nq = disc_->quad_size();
     std::vector<double> div(nq), dx(nq), dy(nq);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(u_modal_), e),
-                                      disc_->quad_block(std::span<double>(div), e),
-                                      disc_->quad_block(std::span<double>(dy), e));
-    }
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-        disc_->ops(e).grad_from_modal(disc_->modal_block(std::span<const double>(v_modal_), e),
-                                      disc_->quad_block(std::span<double>(dx), e),
-                                      disc_->quad_block(std::span<double>(dy), e));
-        auto d = disc_->quad_block(std::span<double>(div), e);
-        auto dye = disc_->quad_block(std::span<const double>(dy), e);
-        for (std::size_t q = 0; q < d.size(); ++q) d[q] += dye[q];
-    }
+    disc_->grad_from_modal(u_modal_, div, dy);
+    disc_->grad_from_modal(v_modal_, dx, dy);
+    for (std::size_t q = 0; q < nq; ++q) div[q] += dy[q];
     return disc_->l2_norm(div);
 }
 

@@ -1,0 +1,34 @@
+#include "parallel/scratch.hpp"
+
+#include <memory>
+
+namespace parallel {
+
+namespace {
+
+/// Per-thread stack of idle buffers.  Scratch objects are strictly scoped, so
+/// a stack discipline (borrow the most recently returned buffer) keeps the
+/// working set small and cache-warm.
+std::vector<std::unique_ptr<std::vector<double>>>& free_list() {
+    thread_local std::vector<std::unique_ptr<std::vector<double>>> list;
+    return list;
+}
+
+} // namespace
+
+Scratch::Scratch(std::size_t n) : n_(n) {
+    auto& list = free_list();
+    std::unique_ptr<std::vector<double>> buf;
+    if (!list.empty()) {
+        buf = std::move(list.back());
+        list.pop_back();
+    } else {
+        buf = std::make_unique<std::vector<double>>();
+    }
+    if (buf->size() < n) buf->resize(n);
+    buf_ = buf.release();
+}
+
+Scratch::~Scratch() { free_list().emplace_back(buf_); }
+
+} // namespace parallel

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file scratch.hpp
+/// Thread-local scratch buffers for the elemental hot paths.
+///
+/// The per-element operators used to allocate `std::vector` temporaries on
+/// every call (weak_inner's weighted-quadrature copy, the Helmholtz apply's
+/// per-element blocks).  A `Scratch` borrows a buffer from a thread-local
+/// free list and returns it on scope exit, so steady-state steps allocate
+/// nothing.  Buffers keep their capacity between uses and their contents are
+/// unspecified on acquisition.
+namespace parallel {
+
+class Scratch {
+public:
+    explicit Scratch(std::size_t n);
+    ~Scratch();
+    Scratch(const Scratch&) = delete;
+    Scratch& operator=(const Scratch&) = delete;
+
+    [[nodiscard]] double* data() noexcept { return buf_->data(); }
+    [[nodiscard]] std::span<double> span() noexcept { return {buf_->data(), n_}; }
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    [[nodiscard]] double& operator[](std::size_t i) noexcept { return (*buf_)[i]; }
+
+private:
+    std::vector<double>* buf_;
+    std::size_t n_;
+};
+
+} // namespace parallel

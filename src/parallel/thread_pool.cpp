@@ -1,0 +1,159 @@
+#include "parallel/thread_pool.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "blaslite/counters.hpp"
+
+namespace parallel {
+
+namespace {
+thread_local bool in_parallel_region = false;
+} // namespace
+
+struct ThreadPool::Impl {
+    /// Held by the one external caller currently fanning out.  Concurrent
+    /// callers (e.g. simulated-MPI rank threads, which are already host
+    /// threads of their own) run their range inline instead of queueing:
+    /// the pool's task list and pending counter belong to a single
+    /// parallel_for at a time, and inline execution is bitwise identical
+    /// anyway.
+    std::mutex active;
+    std::mutex m;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    std::deque<std::function<void()>> tasks;
+    std::size_t pending = 0; ///< queued + running tasks of the active parallel_for
+    bool stop = false;
+    std::vector<std::thread> workers;
+
+    void worker_loop() {
+        in_parallel_region = true; // nested parallel_for from a body runs inline
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock lk(m);
+                cv_work.wait(lk, [&] { return stop || !tasks.empty(); });
+                if (stop && tasks.empty()) return;
+                task = std::move(tasks.front());
+                tasks.pop_front();
+            }
+            task();
+            {
+                std::lock_guard lk(m);
+                if (--pending == 0) cv_done.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
+    threads_ = threads == 0 ? 1 : threads;
+    impl_->workers.reserve(threads_ - 1);
+    for (unsigned t = 1; t < threads_; ++t)
+        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lk(impl_->m);
+        impl_->stop = true;
+    }
+    impl_->cv_work.notify_all();
+    for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    const std::size_t chunks = std::min<std::size_t>(threads_, n);
+    if (chunks <= 1 || in_parallel_region) {
+        body(0, n);
+        return;
+    }
+    std::unique_lock active_lk(impl_->active, std::try_to_lock);
+    if (!active_lk.owns_lock()) {
+        body(0, n);
+        return;
+    }
+
+    struct ChunkResult {
+        blaslite::OpCounts counts;
+        std::exception_ptr error;
+    };
+    std::vector<ChunkResult> results(chunks);
+
+    const auto chunk_bounds = [&](std::size_t c) {
+        return std::pair{c * n / chunks, (c + 1) * n / chunks};
+    };
+    const auto run_chunk = [&](std::size_t c) {
+        const auto [b, e] = chunk_bounds(c);
+        blaslite::CountScope scope;
+        try {
+            body(b, e);
+        } catch (...) {
+            results[c].error = std::current_exception();
+        }
+        results[c].counts = scope.delta();
+    };
+
+    {
+        std::lock_guard lk(impl_->m);
+        impl_->pending = chunks - 1;
+        for (std::size_t c = 1; c < chunks; ++c)
+            impl_->tasks.emplace_back([&run_chunk, c] { run_chunk(c); });
+    }
+    impl_->cv_work.notify_all();
+
+    in_parallel_region = true;
+    run_chunk(0);
+    in_parallel_region = false;
+
+    {
+        std::unique_lock lk(impl_->m);
+        impl_->cv_done.wait(lk, [&] { return impl_->pending == 0; });
+    }
+
+    // Fold the workers' thread-local operation counts into the caller's so
+    // StageScope deltas (and with them the virtual-clock compute charges) are
+    // identical at any thread count.  The caller's own chunk already charged
+    // its counters live; re-add only its scoped delta's complement — i.e. add
+    // back chunks 1..N-1 plus nothing for chunk 0.
+    blaslite::OpCounts& mine = blaslite::thread_counts();
+    for (std::size_t c = 1; c < chunks; ++c) mine += results[c].counts;
+
+    for (std::size_t c = 0; c < chunks; ++c)
+        if (results[c].error) std::rethrow_exception(results[c].error);
+}
+
+namespace {
+
+unsigned env_threads() {
+    if (const char* s = std::getenv("REPRO_THREADS")) {
+        const long v = std::strtol(s, nullptr, 10);
+        if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 1;
+}
+
+std::unique_ptr<ThreadPool>& global_pool() {
+    static std::unique_ptr<ThreadPool> p = std::make_unique<ThreadPool>(env_threads());
+    return p;
+}
+
+} // namespace
+
+ThreadPool& pool() { return *global_pool(); }
+
+void set_num_threads(unsigned threads) {
+    global_pool() = std::make_unique<ThreadPool>(threads);
+}
+
+unsigned num_threads() { return pool().size(); }
+
+} // namespace parallel

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+/// \file thread_pool.hpp
+/// A small reusable host-thread pool for intra-rank parallelism.
+///
+/// The paper's machines overlap nothing within a rank; on a modern host the
+/// batched elemental operators and the per-Fourier-mode Helmholtz solves are
+/// embarrassingly parallel, so the solvers split them across a fixed set of
+/// worker threads.  Determinism contract: `parallel_for` partitions the index
+/// range into contiguous chunks whose *contents* never depend on the thread
+/// count a body observes — every index is processed by exactly one thread
+/// with the same per-index operation sequence — so floating-point results are
+/// bitwise independent of the pool size as long as the body itself does not
+/// reduce across indices.
+///
+/// The blaslite operation counters are thread-local; the pool measures every
+/// worker's counter delta and adds it back to the calling thread's counters
+/// (in chunk order, integer sums — order-independent anyway) before
+/// `parallel_for` returns.  Virtual-clock compute charging therefore stays
+/// counter-derived and identical at 1 and N threads.
+namespace parallel {
+
+class ThreadPool {
+public:
+    /// `threads` is the total concurrency including the calling thread;
+    /// the pool owns `threads - 1` workers.  0 is treated as 1.
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] unsigned size() const noexcept { return threads_; }
+
+    /// Runs body(begin, end) over a partition of [0, n) into at most size()
+    /// contiguous chunks.  The caller executes the first chunk; workers run
+    /// the rest.  Blocks until every chunk finished.  The first exception
+    /// (in chunk order) is rethrown on the caller.  Nested calls from inside
+    /// a body run inline on the calling thread.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    unsigned threads_ = 1;
+};
+
+/// The process-wide pool, sized from the REPRO_THREADS environment variable
+/// on first use (default 1: no host parallelism unless asked for).
+ThreadPool& pool();
+
+/// Rebuilds the global pool with `threads` total threads (tests and tools;
+/// not thread-safe against concurrent pool() users).
+void set_num_threads(unsigned threads);
+
+/// Total threads the global pool runs with.
+[[nodiscard]] unsigned num_threads();
+
+} // namespace parallel

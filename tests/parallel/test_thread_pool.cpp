@@ -1,0 +1,154 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "blaslite/blas.hpp"
+#include "parallel/scratch.hpp"
+
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+    for (unsigned threads : {1u, 2u, 3u, 7u}) {
+        parallel::ThreadPool pool(threads);
+        for (std::size_t n : {0ul, 1ul, 2ul, 7ul, 64ul, 1000ul}) {
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                             << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ChunksArePartitionOfRange) {
+    parallel::ThreadPool pool(4);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(103, [&](std::size_t b, std::size_t e) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_EQ(chunks.front().first, 0u);
+    EXPECT_EQ(chunks.back().second, 103u);
+    for (std::size_t i = 1; i < chunks.size(); ++i)
+        EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+}
+
+TEST(ThreadPool, WorkerCountersFoldIntoCaller) {
+    // Kernels charge thread-local counters; parallel_for must hand every
+    // worker's delta back to the caller so virtual-clock charging is
+    // identical at 1 and N threads.
+    const std::size_t n = 64, len = 33;
+    std::vector<double> x(n * len, 1.0), y(n * len, 2.0);
+
+    const auto run = [&](parallel::ThreadPool& pool) {
+        blaslite::CountScope scope;
+        pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                blaslite::daxpy(0.5, std::span<const double>(x).subspan(i * len, len),
+                                std::span<double>(y).subspan(i * len, len));
+        });
+        return scope.delta();
+    };
+
+    parallel::ThreadPool serial(1), wide(5);
+    const auto d1 = run(serial);
+    const auto dn = run(wide);
+    EXPECT_EQ(d1.flops, dn.flops);
+    EXPECT_EQ(d1.bytes_read, dn.bytes_read);
+    EXPECT_EQ(d1.bytes_written, dn.bytes_written);
+    EXPECT_EQ(d1.calls, dn.calls);
+    EXPECT_EQ(d1.calls, n);
+}
+
+TEST(ThreadPool, FirstExceptionInChunkOrderPropagates) {
+    parallel::ThreadPool pool(4);
+    try {
+        pool.parallel_for(100, [&](std::size_t b, std::size_t) {
+            throw std::runtime_error("chunk@" + std::to_string(b));
+        });
+        FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk@0");
+    }
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersAreSafe) {
+    // Simulated-MPI rank threads share the global pool; a second caller must
+    // fall back to inline execution, not corrupt the first caller's tasks.
+    parallel::ThreadPool pool(4);
+    std::vector<std::vector<std::atomic<int>>> hits(6);
+    for (auto& h : hits) h = std::vector<std::atomic<int>>(500);
+    std::vector<std::thread> callers;
+    for (std::size_t t = 0; t < hits.size(); ++t)
+        callers.emplace_back([&, t] {
+            for (int rep = 0; rep < 20; ++rep)
+                pool.parallel_for(hits[t].size(), [&](std::size_t b, std::size_t e) {
+                    for (std::size_t i = b; i < e; ++i) hits[t][i].fetch_add(1);
+                });
+        });
+    for (auto& c : callers) c.join();
+    for (const auto& h : hits)
+        for (const auto& x : h) ASSERT_EQ(x.load(), 20);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+    parallel::ThreadPool pool(3);
+    std::atomic<int> total{0};
+    pool.parallel_for(6, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            pool.parallel_for(4, [&](std::size_t ib, std::size_t ie) {
+                total.fetch_add(static_cast<int>(ie - ib));
+            });
+    });
+    EXPECT_EQ(total.load(), 24);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+    const unsigned before = parallel::num_threads();
+    parallel::set_num_threads(3);
+    EXPECT_EQ(parallel::num_threads(), 3u);
+    parallel::set_num_threads(before);
+    EXPECT_EQ(parallel::num_threads(), before);
+}
+
+TEST(Scratch, ReusesThreadLocalBuffers) {
+    double* first = nullptr;
+    {
+        parallel::Scratch s(256);
+        ASSERT_EQ(s.size(), 256u);
+        first = s.data();
+        for (std::size_t i = 0; i < 256; ++i) s[i] = static_cast<double>(i);
+        EXPECT_EQ(s.span()[255], 255.0);
+    }
+    {
+        // Released buffers go back on this thread's free list; an
+        // equal-or-smaller request gets the same allocation back.
+        parallel::Scratch s(256);
+        EXPECT_EQ(s.data(), first);
+    }
+}
+
+TEST(Scratch, DistinctLiveScratchesDoNotAlias) {
+    parallel::Scratch a(64), b(64);
+    EXPECT_NE(a.data(), b.data());
+    for (std::size_t i = 0; i < 64; ++i) {
+        a[i] = 1.0;
+        b[i] = 2.0;
+    }
+    EXPECT_EQ(a.span()[0], 1.0);
+    EXPECT_EQ(b.span()[0], 2.0);
+}
+
+} // namespace
