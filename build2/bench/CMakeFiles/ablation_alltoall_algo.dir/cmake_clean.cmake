@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alltoall_algo.dir/ablation_alltoall_algo.cpp.o"
+  "CMakeFiles/ablation_alltoall_algo.dir/ablation_alltoall_algo.cpp.o.d"
+  "ablation_alltoall_algo"
+  "ablation_alltoall_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alltoall_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

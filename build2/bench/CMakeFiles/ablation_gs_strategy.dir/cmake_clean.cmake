@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gs_strategy.dir/ablation_gs_strategy.cpp.o"
+  "CMakeFiles/ablation_gs_strategy.dir/ablation_gs_strategy.cpp.o.d"
+  "ablation_gs_strategy"
+  "ablation_gs_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gs_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mvia.dir/ablation_mvia.cpp.o"
+  "CMakeFiles/ablation_mvia.dir/ablation_mvia.cpp.o.d"
+  "ablation_mvia"
+  "ablation_mvia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mvia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

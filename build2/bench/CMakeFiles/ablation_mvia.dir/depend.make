@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_mvia.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rcm_condensation.dir/ablation_rcm_condensation.cpp.o"
+  "CMakeFiles/ablation_rcm_condensation.dir/ablation_rcm_condensation.cpp.o.d"
+  "ablation_rcm_condensation"
+  "ablation_rcm_condensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rcm_condensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_serial_stages.dir/fig12_serial_stages.cpp.o"
+  "CMakeFiles/fig12_serial_stages.dir/fig12_serial_stages.cpp.o.d"
+  "fig12_serial_stages"
+  "fig12_serial_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_serial_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_f_stages.dir/fig13_14_f_stages.cpp.o"
+  "CMakeFiles/fig13_14_f_stages.dir/fig13_14_f_stages.cpp.o.d"
+  "fig13_14_f_stages"
+  "fig13_14_f_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_f_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

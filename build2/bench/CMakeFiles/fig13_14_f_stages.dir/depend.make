@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_14_f_stages.
+# This may be replaced when dependencies are built.

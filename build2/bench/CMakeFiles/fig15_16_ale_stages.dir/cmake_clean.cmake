@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_ale_stages.dir/fig15_16_ale_stages.cpp.o"
+  "CMakeFiles/fig15_16_ale_stages.dir/fig15_16_ale_stages.cpp.o.d"
+  "fig15_16_ale_stages"
+  "fig15_16_ale_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_ale_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

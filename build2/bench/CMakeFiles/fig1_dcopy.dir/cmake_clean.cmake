@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dcopy.dir/fig1_dcopy.cpp.o"
+  "CMakeFiles/fig1_dcopy.dir/fig1_dcopy.cpp.o.d"
+  "fig1_dcopy"
+  "fig1_dcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

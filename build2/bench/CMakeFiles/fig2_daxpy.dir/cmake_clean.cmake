@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_daxpy.dir/fig2_daxpy.cpp.o"
+  "CMakeFiles/fig2_daxpy.dir/fig2_daxpy.cpp.o.d"
+  "fig2_daxpy"
+  "fig2_daxpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_daxpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

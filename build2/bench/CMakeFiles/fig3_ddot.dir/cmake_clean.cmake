@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ddot.dir/fig3_ddot.cpp.o"
+  "CMakeFiles/fig3_ddot.dir/fig3_ddot.cpp.o.d"
+  "fig3_ddot"
+  "fig3_ddot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ddot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

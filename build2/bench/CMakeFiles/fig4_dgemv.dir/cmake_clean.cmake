@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dgemv.dir/fig4_dgemv.cpp.o"
+  "CMakeFiles/fig4_dgemv.dir/fig4_dgemv.cpp.o.d"
+  "fig4_dgemv"
+  "fig4_dgemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dgemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_dgemv.
+# This may be replaced when dependencies are built.

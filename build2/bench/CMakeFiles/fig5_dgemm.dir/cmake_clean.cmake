@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dgemm.dir/fig5_dgemm.cpp.o"
+  "CMakeFiles/fig5_dgemm.dir/fig5_dgemm.cpp.o.d"
+  "fig5_dgemm"
+  "fig5_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

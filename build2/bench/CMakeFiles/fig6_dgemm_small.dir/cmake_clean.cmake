@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dgemm_small.dir/fig6_dgemm_small.cpp.o"
+  "CMakeFiles/fig6_dgemm_small.dir/fig6_dgemm_small.cpp.o.d"
+  "fig6_dgemm_small"
+  "fig6_dgemm_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dgemm_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

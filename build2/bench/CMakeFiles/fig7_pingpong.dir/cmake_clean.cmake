@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pingpong.dir/fig7_pingpong.cpp.o"
+  "CMakeFiles/fig7_pingpong.dir/fig7_pingpong.cpp.o.d"
+  "fig7_pingpong"
+  "fig7_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_alltoall.dir/fig8_alltoall.cpp.o"
+  "CMakeFiles/fig8_alltoall.dir/fig8_alltoall.cpp.o.d"
+  "fig8_alltoall"
+  "fig8_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

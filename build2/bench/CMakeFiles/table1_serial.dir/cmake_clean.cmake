@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_serial.dir/table1_serial.cpp.o"
+  "CMakeFiles/table1_serial.dir/table1_serial.cpp.o.d"
+  "table1_serial"
+  "table1_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nektar_f.dir/table2_nektar_f.cpp.o"
+  "CMakeFiles/table2_nektar_f.dir/table2_nektar_f.cpp.o.d"
+  "table2_nektar_f"
+  "table2_nektar_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nektar_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

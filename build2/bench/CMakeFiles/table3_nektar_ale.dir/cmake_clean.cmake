@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nektar_ale.dir/table3_nektar_ale.cpp.o"
+  "CMakeFiles/table3_nektar_ale.dir/table3_nektar_ale.cpp.o.d"
+  "table3_nektar_ale"
+  "table3_nektar_ale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nektar_ale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_advisor.dir/cluster_advisor.cpp.o"
+  "CMakeFiles/cluster_advisor.dir/cluster_advisor.cpp.o.d"
+  "cluster_advisor"
+  "cluster_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

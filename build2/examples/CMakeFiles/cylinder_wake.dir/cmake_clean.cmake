@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cylinder_wake.dir/cylinder_wake.cpp.o"
+  "CMakeFiles/cylinder_wake.dir/cylinder_wake.cpp.o.d"
+  "cylinder_wake"
+  "cylinder_wake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cylinder_wake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

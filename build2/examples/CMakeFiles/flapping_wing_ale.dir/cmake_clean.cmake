@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flapping_wing_ale.dir/flapping_wing_ale.cpp.o"
+  "CMakeFiles/flapping_wing_ale.dir/flapping_wing_ale.cpp.o.d"
+  "flapping_wing_ale"
+  "flapping_wing_ale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flapping_wing_ale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flapping_wing_ale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulent_wake_fourier.dir/turbulent_wake_fourier.cpp.o"
+  "CMakeFiles/turbulent_wake_fourier.dir/turbulent_wake_fourier.cpp.o.d"
+  "turbulent_wake_fourier"
+  "turbulent_wake_fourier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulent_wake_fourier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for turbulent_wake_fourier.
+# This may be replaced when dependencies are built.

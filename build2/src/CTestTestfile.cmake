@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("parallel")
+subdirs("blaslite")
+subdirs("la")
+subdirs("fft")
+subdirs("machine")
+subdirs("netsim")
+subdirs("simmpi")
+subdirs("spectral")
+subdirs("mesh")
+subdirs("partition")
+subdirs("gs")
+subdirs("perf")
+subdirs("nektar")

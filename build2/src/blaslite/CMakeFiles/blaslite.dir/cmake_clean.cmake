@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaslite.dir/blas.cpp.o"
+  "CMakeFiles/blaslite.dir/blas.cpp.o.d"
+  "libblaslite.a"
+  "libblaslite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaslite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

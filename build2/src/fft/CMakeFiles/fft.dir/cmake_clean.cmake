@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft.dir/fft.cpp.o"
+  "CMakeFiles/fft.dir/fft.cpp.o.d"
+  "libfft.a"
+  "libfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs.dir/gather_scatter.cpp.o"
+  "CMakeFiles/gs.dir/gather_scatter.cpp.o.d"
+  "libgs.a"
+  "libgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la.dir/banded.cpp.o"
+  "CMakeFiles/la.dir/banded.cpp.o.d"
+  "CMakeFiles/la.dir/cg.cpp.o"
+  "CMakeFiles/la.dir/cg.cpp.o.d"
+  "CMakeFiles/la.dir/dense.cpp.o"
+  "CMakeFiles/la.dir/dense.cpp.o.d"
+  "libla.a"
+  "libla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine.dir/machine_model.cpp.o"
+  "CMakeFiles/machine.dir/machine_model.cpp.o.d"
+  "libmachine.a"
+  "libmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/generators.cpp" "src/mesh/CMakeFiles/mesh.dir/generators.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/generators.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/mesh/CMakeFiles/mesh.dir/mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/mesh.dir/mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/spectral/CMakeFiles/spectral.dir/DependInfo.cmake"
+  "/root/repo/build2/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build2/src/blaslite/CMakeFiles/blaslite.dir/DependInfo.cmake"
+  "/root/repo/build2/src/parallel/CMakeFiles/parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

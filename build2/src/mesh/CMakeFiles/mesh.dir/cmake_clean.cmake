@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh.dir/generators.cpp.o"
+  "CMakeFiles/mesh.dir/generators.cpp.o.d"
+  "CMakeFiles/mesh.dir/mesh.cpp.o"
+  "CMakeFiles/mesh.dir/mesh.cpp.o.d"
+  "libmesh.a"
+  "libmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nektar/discretization.cpp" "src/nektar/CMakeFiles/nektar.dir/discretization.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/discretization.cpp.o.d"
+  "/root/repo/src/nektar/dofmap.cpp" "src/nektar/CMakeFiles/nektar.dir/dofmap.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/dofmap.cpp.o.d"
+  "/root/repo/src/nektar/element_ops.cpp" "src/nektar/CMakeFiles/nektar.dir/element_ops.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/element_ops.cpp.o.d"
+  "/root/repo/src/nektar/forces.cpp" "src/nektar/CMakeFiles/nektar.dir/forces.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/forces.cpp.o.d"
+  "/root/repo/src/nektar/fourier_transpose.cpp" "src/nektar/CMakeFiles/nektar.dir/fourier_transpose.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/fourier_transpose.cpp.o.d"
+  "/root/repo/src/nektar/helmholtz.cpp" "src/nektar/CMakeFiles/nektar.dir/helmholtz.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/helmholtz.cpp.o.d"
+  "/root/repo/src/nektar/ns_ale.cpp" "src/nektar/CMakeFiles/nektar.dir/ns_ale.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/ns_ale.cpp.o.d"
+  "/root/repo/src/nektar/ns_fourier.cpp" "src/nektar/CMakeFiles/nektar.dir/ns_fourier.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/ns_fourier.cpp.o.d"
+  "/root/repo/src/nektar/ns_serial.cpp" "src/nektar/CMakeFiles/nektar.dir/ns_serial.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/ns_serial.cpp.o.d"
+  "/root/repo/src/nektar/static_condensation.cpp" "src/nektar/CMakeFiles/nektar.dir/static_condensation.cpp.o" "gcc" "src/nektar/CMakeFiles/nektar.dir/static_condensation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/spectral/CMakeFiles/spectral.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build2/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build2/src/blaslite/CMakeFiles/blaslite.dir/DependInfo.cmake"
+  "/root/repo/build2/src/perf/CMakeFiles/perf.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fft/CMakeFiles/fft.dir/DependInfo.cmake"
+  "/root/repo/build2/src/simmpi/CMakeFiles/simmpi.dir/DependInfo.cmake"
+  "/root/repo/build2/src/gs/CMakeFiles/gs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/partition/CMakeFiles/partition.dir/DependInfo.cmake"
+  "/root/repo/build2/src/machine/CMakeFiles/machine.dir/DependInfo.cmake"
+  "/root/repo/build2/src/parallel/CMakeFiles/parallel.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nektar.dir/discretization.cpp.o"
+  "CMakeFiles/nektar.dir/discretization.cpp.o.d"
+  "CMakeFiles/nektar.dir/dofmap.cpp.o"
+  "CMakeFiles/nektar.dir/dofmap.cpp.o.d"
+  "CMakeFiles/nektar.dir/element_ops.cpp.o"
+  "CMakeFiles/nektar.dir/element_ops.cpp.o.d"
+  "CMakeFiles/nektar.dir/forces.cpp.o"
+  "CMakeFiles/nektar.dir/forces.cpp.o.d"
+  "CMakeFiles/nektar.dir/fourier_transpose.cpp.o"
+  "CMakeFiles/nektar.dir/fourier_transpose.cpp.o.d"
+  "CMakeFiles/nektar.dir/helmholtz.cpp.o"
+  "CMakeFiles/nektar.dir/helmholtz.cpp.o.d"
+  "CMakeFiles/nektar.dir/ns_ale.cpp.o"
+  "CMakeFiles/nektar.dir/ns_ale.cpp.o.d"
+  "CMakeFiles/nektar.dir/ns_fourier.cpp.o"
+  "CMakeFiles/nektar.dir/ns_fourier.cpp.o.d"
+  "CMakeFiles/nektar.dir/ns_serial.cpp.o"
+  "CMakeFiles/nektar.dir/ns_serial.cpp.o.d"
+  "CMakeFiles/nektar.dir/static_condensation.cpp.o"
+  "CMakeFiles/nektar.dir/static_condensation.cpp.o.d"
+  "libnektar.a"
+  "libnektar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nektar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

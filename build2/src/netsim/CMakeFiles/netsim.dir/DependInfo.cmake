@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/faultmodel.cpp" "src/netsim/CMakeFiles/netsim.dir/faultmodel.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/faultmodel.cpp.o.d"
+  "/root/repo/src/netsim/netmodel.cpp" "src/netsim/CMakeFiles/netsim.dir/netmodel.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/netmodel.cpp.o.d"
+  "/root/repo/src/netsim/netpipe.cpp" "src/netsim/CMakeFiles/netsim.dir/netpipe.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/netpipe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim.dir/faultmodel.cpp.o"
+  "CMakeFiles/netsim.dir/faultmodel.cpp.o.d"
+  "CMakeFiles/netsim.dir/netmodel.cpp.o"
+  "CMakeFiles/netsim.dir/netmodel.cpp.o.d"
+  "CMakeFiles/netsim.dir/netpipe.cpp.o"
+  "CMakeFiles/netsim.dir/netpipe.cpp.o.d"
+  "libnetsim.a"
+  "libnetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel.dir/scratch.cpp.o"
+  "CMakeFiles/parallel.dir/scratch.cpp.o.d"
+  "CMakeFiles/parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/parallel.dir/thread_pool.cpp.o.d"
+  "libparallel.a"
+  "libparallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

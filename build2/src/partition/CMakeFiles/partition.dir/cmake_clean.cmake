@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition.dir/partition.cpp.o"
+  "CMakeFiles/partition.dir/partition.cpp.o.d"
+  "libpartition.a"
+  "libpartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

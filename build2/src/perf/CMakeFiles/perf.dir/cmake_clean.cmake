@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf.dir/stage_stats.cpp.o"
+  "CMakeFiles/perf.dir/stage_stats.cpp.o.d"
+  "libperf.a"
+  "libperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi.dir/simmpi.cpp.o"
+  "CMakeFiles/simmpi.dir/simmpi.cpp.o.d"
+  "libsimmpi.a"
+  "libsimmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

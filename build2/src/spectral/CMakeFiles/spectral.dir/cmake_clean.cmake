@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral.dir/basis1d.cpp.o"
+  "CMakeFiles/spectral.dir/basis1d.cpp.o.d"
+  "CMakeFiles/spectral.dir/expansion.cpp.o"
+  "CMakeFiles/spectral.dir/expansion.cpp.o.d"
+  "CMakeFiles/spectral.dir/jacobi.cpp.o"
+  "CMakeFiles/spectral.dir/jacobi.cpp.o.d"
+  "libspectral.a"
+  "libspectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blaslite.dir/blaslite/test_blas.cpp.o"
+  "CMakeFiles/test_blaslite.dir/blaslite/test_blas.cpp.o.d"
+  "CMakeFiles/test_blaslite.dir/blaslite/test_blas_batch.cpp.o"
+  "CMakeFiles/test_blaslite.dir/blaslite/test_blas_batch.cpp.o.d"
+  "test_blaslite"
+  "test_blaslite.pdb"
+  "test_blaslite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blaslite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gs.dir/gs/test_gather_scatter.cpp.o"
+  "CMakeFiles/test_gs.dir/gs/test_gather_scatter.cpp.o.d"
+  "test_gs"
+  "test_gs.pdb"
+  "test_gs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

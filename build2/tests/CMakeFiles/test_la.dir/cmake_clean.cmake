@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la.dir/la/test_banded.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_banded.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_cg.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_cg.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/test_dense.cpp.o"
+  "CMakeFiles/test_la.dir/la/test_dense.cpp.o.d"
+  "test_la"
+  "test_la.pdb"
+  "test_la[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nektar.dir/nektar/test_ale.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_ale.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_assembly.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_assembly.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_batched_ops.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_batched_ops.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_diagnostics.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_diagnostics.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_forces.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_forces.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_fourier.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_fourier.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_helmholtz.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_helmholtz.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_ns_serial.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_ns_serial.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_scatter_gather.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_scatter_gather.cpp.o.d"
+  "CMakeFiles/test_nektar.dir/nektar/test_static_condensation.cpp.o"
+  "CMakeFiles/test_nektar.dir/nektar/test_static_condensation.cpp.o.d"
+  "test_nektar"
+  "test_nektar.pdb"
+  "test_nektar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nektar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

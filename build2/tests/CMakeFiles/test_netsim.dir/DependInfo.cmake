@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/test_faultmodel.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/test_faultmodel.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/test_faultmodel.cpp.o.d"
+  "/root/repo/tests/netsim/test_netmodel.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/test_netmodel.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/test_netmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/nektar/CMakeFiles/nektar.dir/DependInfo.cmake"
+  "/root/repo/build2/src/gs/CMakeFiles/gs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/simmpi/CMakeFiles/simmpi.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/machine/CMakeFiles/machine.dir/DependInfo.cmake"
+  "/root/repo/build2/src/partition/CMakeFiles/partition.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fft/CMakeFiles/fft.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mesh/CMakeFiles/mesh.dir/DependInfo.cmake"
+  "/root/repo/build2/src/spectral/CMakeFiles/spectral.dir/DependInfo.cmake"
+  "/root/repo/build2/src/la/CMakeFiles/la.dir/DependInfo.cmake"
+  "/root/repo/build2/src/blaslite/CMakeFiles/blaslite.dir/DependInfo.cmake"
+  "/root/repo/build2/src/perf/CMakeFiles/perf.dir/DependInfo.cmake"
+  "/root/repo/build2/src/parallel/CMakeFiles/parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

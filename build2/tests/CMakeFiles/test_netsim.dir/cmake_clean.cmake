@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/test_faultmodel.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_faultmodel.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/test_netmodel.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_netmodel.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collective_properties.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_collective_properties.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_simmpi.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_simmpi.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_stress.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_stress.cpp.o.d"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_watchdog.cpp.o"
+  "CMakeFiles/test_simmpi.dir/simmpi/test_watchdog.cpp.o.d"
+  "test_simmpi"
+  "test_simmpi.pdb"
+  "test_simmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

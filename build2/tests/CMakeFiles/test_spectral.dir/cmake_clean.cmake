@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectral.dir/spectral/test_basis.cpp.o"
+  "CMakeFiles/test_spectral.dir/spectral/test_basis.cpp.o.d"
+  "CMakeFiles/test_spectral.dir/spectral/test_expansion.cpp.o"
+  "CMakeFiles/test_spectral.dir/spectral/test_expansion.cpp.o.d"
+  "CMakeFiles/test_spectral.dir/spectral/test_jacobi.cpp.o"
+  "CMakeFiles/test_spectral.dir/spectral/test_jacobi.cpp.o.d"
+  "test_spectral"
+  "test_spectral.pdb"
+  "test_spectral[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

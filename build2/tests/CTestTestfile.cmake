@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_blaslite[1]_include.cmake")
+include("/root/repo/build2/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build2/tests/test_la[1]_include.cmake")
+include("/root/repo/build2/tests/test_fft[1]_include.cmake")
+include("/root/repo/build2/tests/test_spectral[1]_include.cmake")
+include("/root/repo/build2/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build2/tests/test_machine[1]_include.cmake")
+include("/root/repo/build2/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build2/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build2/tests/test_partition[1]_include.cmake")
+include("/root/repo/build2/tests/test_gs[1]_include.cmake")
+include("/root/repo/build2/tests/test_perf[1]_include.cmake")
+include("/root/repo/build2/tests/test_nektar[1]_include.cmake")
