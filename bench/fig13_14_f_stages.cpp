@@ -85,10 +85,10 @@ int main() {
             wall_total += wall[s];
         }
         std::printf("%s\n", pl.label.c_str());
-        benchutil::Table table({"stage", "CPU %", "wall %"}, 12);
+        benchutil::Table table({"stage", "CPU %", "wall %"}, 14);
         table.print_header();
         for (std::size_t s = 1; s <= perf::kNumStages; ++s)
-            table.print_row({std::to_string(s),
+            table.print_row({std::to_string(s) + " " + perf::stage_short_name(s),
                              benchutil::fmt(100.0 * cpu[s] / cpu_total, "%.0f"),
                              benchutil::fmt(100.0 * wall[s] / wall_total, "%.0f")});
         std::printf("\n");

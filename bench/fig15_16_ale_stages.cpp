@@ -77,16 +77,22 @@ int main() {
             const auto& net = netsim::by_name(pl.network);
             const auto comp = app_model::compute_stage_seconds(bd, mm, shapes);
             const auto comm = app_model::comm_stage_seconds(log, net, nprocs);
+            // Bucket by the shared perf taxonomy instead of hardcoding the
+            // stage sets (a = setup, b = pressure solve, c = viscous solve).
             double a_cpu = 0.0, b_cpu = 0.0, c_cpu = 0.0;
             double a_wall = 0.0, b_wall = 0.0, c_wall = 0.0;
-            for (std::size_t s : {1u, 2u, 3u, 4u, 6u}) {
+            for (std::size_t s : perf::stages_in_group(perf::StageGroup::Setup)) {
                 a_cpu += comp[s] + comm[s] * net.cpu_poll_fraction;
                 a_wall += comp[s] + comm[s];
             }
-            b_cpu = comp[5] + comm[5] * net.cpu_poll_fraction;
-            b_wall = comp[5] + comm[5];
-            c_cpu = comp[7] + comm[7] * net.cpu_poll_fraction;
-            c_wall = comp[7] + comm[7];
+            for (std::size_t s : perf::stages_in_group(perf::StageGroup::PressureSolve)) {
+                b_cpu += comp[s] + comm[s] * net.cpu_poll_fraction;
+                b_wall += comp[s] + comm[s];
+            }
+            for (std::size_t s : perf::stages_in_group(perf::StageGroup::ViscousSolve)) {
+                c_cpu += comp[s] + comm[s] * net.cpu_poll_fraction;
+                c_wall += comp[s] + comm[s];
+            }
             const double tc = a_cpu + b_cpu + c_cpu;
             const double tw = a_wall + b_wall + c_wall;
             std::printf("P = %d, %s:  CPU  a %.0f%%  b %.0f%%  c %.0f%%   |   "

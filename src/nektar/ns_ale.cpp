@@ -77,7 +77,10 @@ SubMesh build_submesh(const mesh::Mesh& full, const std::vector<int>& part, int 
 
 AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts,
                  simmpi::Comm* comm, const std::vector<int>* elem_part)
-    : opts_(std::move(opts)), comm_(comm), order_(order) {
+    : SolverCore(opts.time_order, opts.dt, /*num_fields=*/2),
+      opts_(std::move(opts)),
+      comm_(comm),
+      order_(order) {
     const int rank = comm_ ? comm_->rank() : 0;
     std::vector<int> part(full_mesh.num_elements(), 0);
     if (comm_ && comm_->size() > 1) {
@@ -135,9 +138,7 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
     uq_.assign(nq, 0.0);
     vq_.assign(nq, 0.0);
     wq_.assign(nq, 0.0);
-    uq_prev_.assign(nq, 0.0);
-    vq_prev_.assign(nq, 0.0);
-    for (auto* h : {&nu_hist_[0], &nu_hist_[1], &nv_hist_[0], &nv_hist_[1]}) h->assign(nq, 0.0);
+    reset_state(nq);
 }
 
 void AleNS2d::rebuild_discretization() {
@@ -249,35 +250,47 @@ std::size_t AleNS2d::pcg_solve(double lambda, const std::vector<char>& dirichlet
     return res.iterations;
 }
 
-void AleNS2d::set_initial(const std::function<double(double, double)>& u0,
-                          const std::function<double(double, double)>& v0) {
+void AleNS2d::load_state(const std::function<double(double, double)>& u0,
+                         const std::function<double(double, double)>& v0) {
     disc_->eval_at_quad(u0, uq_);
     disc_->eval_at_quad(v0, vq_);
     disc_->project(uq_, u_modal_);
     disc_->project(vq_, v_modal_);
     disc_->to_quad(u_modal_, uq_);
     disc_->to_quad(v_modal_, vq_);
-    uq_prev_ = uq_;
-    vq_prev_ = vq_;
-    time_ = 0.0;
-    steps_taken_ = 0;
-    for (auto* h : {&nu_hist_[0], &nu_hist_[1], &nv_hist_[0], &nv_hist_[1]})
-        std::fill(h->begin(), h->end(), 0.0);
 }
 
-void AleNS2d::step() {
-    const std::size_t nq = disc_->quad_size();
-    const double dt = opts_.dt;
-    const bool second_order = steps_taken_ >= 1;
-    const double g0 = second_order ? 1.5 : 1.0;
-    breakdown_.steps += 1;
+void AleNS2d::set_initial(const std::function<double(double, double)>& u0,
+                          const std::function<double(double, double)>& v0) {
+    load_state(u0, v0);
+    reset_state(disc_->quad_size());
+}
 
+void AleNS2d::set_initial_exact(const VelocityBC& u, const VelocityBC& v) {
+    const std::size_t nq = disc_->quad_size();
+    reset_state(nq);
+    // Seed the history oldest-first: t = -(Je-1) dt, ..., -dt.  The mesh (and
+    // wq_ = 0) is the start-of-run configuration for every level.
+    for (int q = time_order() - 1; q >= 1; --q) {
+        const double t = -static_cast<double>(q) * opts_.dt;
+        load_state([&](double x, double y) { return u(x, y, t); },
+                   [&](double x, double y) { return v(x, y, t); });
+        std::vector<std::vector<double>> nl(2, std::vector<double>(nq));
+        nonlinear(nl);
+        push_history({uq_, vq_}, std::move(nl));
+    }
+    load_state([&](double x, double y) { return u(x, y, 0.0); },
+               [&](double x, double y) { return v(x, y, 0.0); });
+}
+
+// ALE extras, before the shared splitting stages run.
+void AleNS2d::begin_step(const StepContext& ctx) {
     // --- Extra Helmholtz solve of step 7: the mesh velocity (Laplacian
     // smoothing of the prescribed boundary motion).
     std::vector<double> wglob(disc_->dofmap().num_global(), 0.0);
     {
-        perf::StageScope scope(breakdown_, 7);
-        const double vb = opts_.body_velocity(time_);
+        perf::StageScope scope(breakdown(), 7);
+        const double vb = opts_.body_velocity(time());
         // Body edges move at vb; the outer boundary stays put.  The L2 edge
         // projection of the constant vb puts vb on the vertex dofs and zero
         // on the edge bubbles.
@@ -294,7 +307,7 @@ void AleNS2d::step() {
     // --- Step 2 extra: update the vertex positions with the mesh velocity
     // and rebuild the geometry factors.
     {
-        perf::StageScope scope(breakdown_, 2);
+        perf::StageScope scope(breakdown(), 2);
         // Vertex dof value = mesh velocity at the vertex (hierarchical basis).
         for (std::size_t le = 0; le < disc_->num_elements(); ++le) {
             const auto& map = disc_->dofmap().element_map(le);
@@ -304,7 +317,7 @@ void AleNS2d::step() {
                 const auto vid = static_cast<std::size_t>(el.v[v]);
                 const double wv = wglob[static_cast<std::size_t>(map[exp.vertex_mode(v)].global)];
                 mesh::Vertex p = local_mesh_->vertex(vid);
-                p.y += dt * wv;
+                p.y += ctx.dt * wv;
                 local_mesh_->set_vertex(vid, p);
             }
         }
@@ -314,131 +327,110 @@ void AleNS2d::step() {
         disc_->scatter(wglob, wmodal);
         disc_->to_quad(wmodal, wq_);
     }
+}
 
-    // Stage 1: transform to quadrature space on the new geometry.
-    {
-        perf::StageScope scope(breakdown_, 1);
-        disc_->to_quad(u_modal_, uq_);
-        disc_->to_quad(v_modal_, vq_);
-    }
-
-    // Stage 2: ALE nonlinear terms, advecting velocity (u, v - w_mesh).
-    std::vector<double> nu_new(nq), nv_new(nq);
-    {
-        perf::StageScope scope(breakdown_, 2);
-        std::vector<double> dx(nq), dy(nq), vrel(nq);
-        for (std::size_t i = 0; i < nq; ++i) vrel[i] = vq_[i] - wq_[i];
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uq_), e),
-                                           disc_->quad_block(std::span<double>(dx), e),
-                                           disc_->quad_block(std::span<double>(dy), e));
-        blaslite::dvmul(uq_, dx, nu_new);
-        blaslite::dvvtvp(vrel, dy, nu_new);
-        blaslite::dscal(-1.0, nu_new);
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vq_), e),
-                                           disc_->quad_block(std::span<double>(dx), e),
-                                           disc_->quad_block(std::span<double>(dy), e));
-        blaslite::dvmul(uq_, dx, nv_new);
-        blaslite::dvvtvp(vrel, dy, nv_new);
-        blaslite::dscal(-1.0, nv_new);
-    }
-
-    // Stage 3: stiffly-stable weighting.
-    std::vector<double> uhat(nq), vhat(nq);
-    {
-        perf::StageScope scope(breakdown_, 3);
-        if (second_order) {
-            for (std::size_t i = 0; i < nq; ++i) {
-                uhat[i] = 2.0 * uq_[i] - 0.5 * uq_prev_[i];
-                vhat[i] = 2.0 * vq_[i] - 0.5 * vq_prev_[i];
-            }
-            blaslite::daxpy(2.0 * dt, nu_new, uhat);
-            blaslite::daxpy(-dt, nu_hist_[0], uhat);
-            blaslite::daxpy(2.0 * dt, nv_new, vhat);
-            blaslite::daxpy(-dt, nv_hist_[0], vhat);
-        } else {
-            blaslite::dcopy(uq_, uhat);
-            blaslite::dcopy(vq_, vhat);
-            blaslite::daxpy(dt, nu_new, uhat);
-            blaslite::daxpy(dt, nv_new, vhat);
-        }
-    }
-
-    // Stage 4: pressure RHS.
-    std::vector<double> prhs;
-    {
-        perf::StageScope scope(breakdown_, 4);
-        std::vector<double> div(nq), dx(nq), dy(nq);
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uhat), e),
-                                           disc_->quad_block(std::span<double>(div), e),
-                                           disc_->quad_block(std::span<double>(dy), e));
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vhat), e),
-                                           disc_->quad_block(std::span<double>(dx), e),
-                                           disc_->quad_block(std::span<double>(dy), e));
-        blaslite::daxpy(1.0, dy, div);
-        blaslite::dscal(-1.0 / dt, div);
-        prhs = weak_rhs(div);
-    }
-
-    // Stage 5: pressure PCG solve.
-    std::vector<double> pglob(disc_->dofmap().num_global(), 0.0);
-    {
-        perf::StageScope scope(breakdown_, 5);
-        if (comm_) comm_->set_stage(5);
-        last_p_iters_ = pcg_solve(0.0, p_dirichlet_, prhs, pglob);
-        if (comm_) comm_->set_stage(-1);
-        disc_->scatter(pglob, p_modal_);
-    }
-
-    // Stage 6: Helmholtz RHS.
-    std::vector<double> urhs, vrhs;
-    {
-        perf::StageScope scope(breakdown_, 6);
-        std::vector<double> px(nq), py(nq);
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-            disc_->ops(e).grad_from_modal(
-                disc_->modal_block(std::span<const double>(p_modal_), e),
-                disc_->quad_block(std::span<double>(px), e),
-                disc_->quad_block(std::span<double>(py), e));
-        blaslite::daxpy(-dt, px, uhat);
-        blaslite::daxpy(-dt, py, vhat);
-        const double scale = 1.0 / (opts_.nu * dt);
-        blaslite::dscal(scale, uhat);
-        blaslite::dscal(scale, vhat);
-        urhs = weak_rhs(uhat);
-        vrhs = weak_rhs(vhat);
-    }
-
-    // Stage 7: velocity PCG solves.
-    const double tn1 = time_ + dt;
-    {
-        perf::StageScope scope(breakdown_, 7);
-        if (comm_) comm_->set_stage(7);
-        const double lambda = g0 / (opts_.nu * dt);
-        auto xu = dirichlet_x(opts_.velocity_bc,
-                              [&](double x, double y) { return opts_.u_bc(x, y, tn1); });
-        auto xv = dirichlet_x(opts_.velocity_bc,
-                              [&](double x, double y) { return opts_.v_bc(x, y, tn1); });
-        pcg_solve(lambda, vel_dirichlet_, urhs, xu);
-        pcg_solve(lambda, vel_dirichlet_, vrhs, xv);
-        if (comm_) comm_->set_stage(-1);
-        uq_prev_ = uq_;
-        vq_prev_ = vq_;
-        disc_->scatter(xu, u_modal_);
-        disc_->scatter(xv, v_modal_);
-    }
-
-    nu_hist_[1] = std::move(nu_hist_[0]);
-    nv_hist_[1] = std::move(nv_hist_[0]);
-    nu_hist_[0] = std::move(nu_new);
-    nv_hist_[0] = std::move(nv_new);
+// Stage 1: transform to quadrature space on the new geometry.
+void AleNS2d::stage_transform(const StepContext&) {
     disc_->to_quad(u_modal_, uq_);
     disc_->to_quad(v_modal_, vq_);
-    time_ = tn1;
-    ++steps_taken_;
+}
+
+// Stage 2: ALE nonlinear terms, advecting velocity (u, v - w_mesh).
+void AleNS2d::stage_nonlinear(const StepContext&, std::vector<std::vector<double>>& nl) {
+    nonlinear(nl);
+}
+
+void AleNS2d::nonlinear(std::vector<std::vector<double>>& nl) const {
+    const std::size_t nq = disc_->quad_size();
+    auto& nu_new = nl[0];
+    auto& nv_new = nl[1];
+    std::vector<double> dx(nq), dy(nq), vrel(nq);
+    for (std::size_t i = 0; i < nq; ++i) vrel[i] = vq_[i] - wq_[i];
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uq_), e),
+                                       disc_->quad_block(std::span<double>(dx), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    blaslite::dvmul(uq_, dx, nu_new);
+    blaslite::dvvtvp(vrel, dy, nu_new);
+    blaslite::dscal(-1.0, nu_new);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vq_), e),
+                                       disc_->quad_block(std::span<double>(dx), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    blaslite::dvmul(uq_, dx, nv_new);
+    blaslite::dvvtvp(vrel, dy, nv_new);
+    blaslite::dscal(-1.0, nv_new);
+}
+
+// Stage 4: pressure RHS.
+void AleNS2d::stage_pressure_rhs(const StepContext& ctx,
+                                 const std::vector<std::vector<double>>& hat) {
+    const std::size_t nq = disc_->quad_size();
+    std::vector<double> div(nq), dx(nq), dy(nq);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(hat[0]), e),
+                                       disc_->quad_block(std::span<double>(div), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(hat[1]), e),
+                                       disc_->quad_block(std::span<double>(dx), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    blaslite::daxpy(1.0, dy, div);
+    blaslite::dscal(-1.0 / ctx.dt, div);
+    prhs_ = weak_rhs(div);
+}
+
+// Stage 5: pressure PCG solve.
+void AleNS2d::stage_pressure_solve(const StepContext&) {
+    std::vector<double> pglob(disc_->dofmap().num_global(), 0.0);
+    if (comm_) comm_->set_stage(5);
+    last_p_iters_ = pcg_solve(0.0, p_dirichlet_, prhs_, pglob);
+    if (comm_) comm_->set_stage(-1);
+    disc_->scatter(pglob, p_modal_);
+}
+
+// Stage 6: Helmholtz RHS.
+void AleNS2d::stage_viscous_rhs(const StepContext& ctx,
+                                std::vector<std::vector<double>>& hat) {
+    const std::size_t nq = disc_->quad_size();
+    auto& uhat = hat[0];
+    auto& vhat = hat[1];
+    std::vector<double> px(nq), py(nq);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+        disc_->ops(e).grad_from_modal(
+            disc_->modal_block(std::span<const double>(p_modal_), e),
+            disc_->quad_block(std::span<double>(px), e),
+            disc_->quad_block(std::span<double>(py), e));
+    blaslite::daxpy(-ctx.dt, px, uhat);
+    blaslite::daxpy(-ctx.dt, py, vhat);
+    const double scale = 1.0 / (opts_.nu * ctx.dt);
+    blaslite::dscal(scale, uhat);
+    blaslite::dscal(scale, vhat);
+    urhs_ = weak_rhs(uhat);
+    vrhs_ = weak_rhs(vhat);
+}
+
+// Stage 7: velocity PCG solves with lambda from the step's *effective*
+// gamma0, so the implicit operator matches the explicit weights.
+void AleNS2d::stage_viscous_solve(const StepContext& ctx) {
+    const double tn1 = ctx.t_new;
+    if (comm_) comm_->set_stage(7);
+    const double lambda = ctx.scheme.gamma0 / (opts_.nu * ctx.dt);
+    record_velocity_lambda(lambda);
+    auto xu = dirichlet_x(opts_.velocity_bc,
+                          [&](double x, double y) { return opts_.u_bc(x, y, tn1); });
+    auto xv = dirichlet_x(opts_.velocity_bc,
+                          [&](double x, double y) { return opts_.v_bc(x, y, tn1); });
+    pcg_solve(lambda, vel_dirichlet_, urhs_, xu);
+    pcg_solve(lambda, vel_dirichlet_, vrhs_, xv);
+    if (comm_) comm_->set_stage(-1);
+    disc_->scatter(xu, u_modal_);
+    disc_->scatter(xv, v_modal_);
+}
+
+void AleNS2d::end_step(const StepContext&) {
+    disc_->to_quad(u_modal_, uq_);
+    disc_->to_quad(v_modal_, vq_);
 }
 
 } // namespace nektar

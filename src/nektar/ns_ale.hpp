@@ -8,7 +8,7 @@
 #include "nektar/discretization.hpp"
 #include "nektar/helmholtz.hpp"
 #include "nektar/ns_serial.hpp"
-#include "perf/stage_stats.hpp"
+#include "nektar/splitting.hpp"
 
 /// \file ns_ale.hpp
 /// NekTar-ALE: the arbitrary Lagrangian-Eulerian Navier-Stokes solver on a
@@ -25,6 +25,9 @@
 ///  * communications go through the Tufo-Fischer GS library (pairwise +
 ///    tree), *not* MPI_Alltoall.
 ///
+/// Time integration runs through the shared stiffly-stable core
+/// (splitting.hpp) at order 1..3, like the serial and Fourier solvers.
+///
 /// The mesh is split across ranks by the METIS-style partitioner; every rank
 /// owns a contiguous sub-discretization and shares interface dofs through
 /// gather-scatter assembly inside PCG.
@@ -33,6 +36,7 @@ namespace nektar {
 struct AleOptions {
     double dt = 1e-3;
     double nu = 0.01;
+    int time_order = 2;         ///< 1..3 (stiffly-stable)
     /// Vertical velocity of the body boundary at time t (heave/flap motion).
     std::function<double(double)> body_velocity = [](double) { return 0.0; };
     HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
@@ -43,7 +47,7 @@ struct AleOptions {
     la::CgOptions cg{.max_iterations = 2000, .tolerance = 1e-9};
 };
 
-class AleNS2d {
+class AleNS2d : public SolverCore {
 public:
     /// Collective when `comm` is non-null: every rank passes the same full
     /// mesh and partition vector (element -> rank) and keeps only its part.
@@ -52,9 +56,16 @@ public:
 
     void set_initial(const std::function<double(double, double)>& u0,
                      const std::function<double(double, double)>& v0);
-    void step();
 
-    [[nodiscard]] double time() const noexcept { return time_; }
+    /// Exact-history start for temporal convergence studies: sets the state
+    /// at t = 0 and seeds the time_order - 1 history levels from t = -dt,
+    /// -2 dt, so the first step runs at the full requested order.  Histories
+    /// are sampled on the t = 0 mesh; meaningful when the mesh is at rest at
+    /// start (body_velocity(t) ~ 0 for t <= 0).
+    void set_initial_exact(const VelocityBC& u, const VelocityBC& v);
+
+    void step() { advance(); }
+
     /// This rank's sub-discretization (rebuilt as the mesh moves).
     [[nodiscard]] const Discretization& disc() const noexcept { return *disc_; }
     [[nodiscard]] const std::vector<double>& u_quad() const noexcept { return uq_; }
@@ -62,13 +73,35 @@ public:
     /// Mesh velocity (vertical component) at quadrature points.
     [[nodiscard]] const std::vector<double>& mesh_velocity_quad() const noexcept { return wq_; }
 
-    [[nodiscard]] const perf::StageBreakdown& breakdown() const noexcept { return breakdown_; }
-    perf::StageBreakdown& breakdown() noexcept { return breakdown_; }
     /// PCG iterations of the last pressure solve (diagnostics).
     [[nodiscard]] std::size_t last_pressure_iterations() const noexcept { return last_p_iters_; }
 
+protected:
+    /// ALE extras ahead of the splitting stages: the mesh-velocity Helmholtz
+    /// solve (charged to stage 7, "an extra Helmholtz solve is added in step
+    /// 7") and the vertex update + geometry rebuild (charged to stage 2).
+    void begin_step(const StepContext& ctx) override;
+    void stage_transform(const StepContext& ctx) override;
+    void stage_nonlinear(const StepContext& ctx,
+                         std::vector<std::vector<double>>& nl) override;
+    void stage_pressure_rhs(const StepContext& ctx,
+                            const std::vector<std::vector<double>>& hat) override;
+    void stage_pressure_solve(const StepContext& ctx) override;
+    void stage_viscous_rhs(const StepContext& ctx,
+                           std::vector<std::vector<double>>& hat) override;
+    void stage_viscous_solve(const StepContext& ctx) override;
+    void end_step(const StepContext& ctx) override;
+    [[nodiscard]] const std::vector<double>& quad_field(std::size_t c) const override {
+        return c == 0 ? uq_ : vq_;
+    }
+
 private:
     void rebuild_discretization();
+    /// Projects pointwise fields into the solver state (no reset).
+    void load_state(const std::function<double(double, double)>& u0,
+                    const std::function<double(double, double)>& v0);
+    /// ALE nonlinear terms with advecting velocity (u, v - w_mesh).
+    void nonlinear(std::vector<std::vector<double>>& nl) const;
     /// Distributed (or serial) diagonally preconditioned CG solve of
     /// (L + lambda M) x = rhs with Dirichlet data already in x.
     std::size_t pcg_solve(double lambda, const std::vector<char>& dirichlet,
@@ -90,14 +123,11 @@ private:
     std::vector<double> dot_weights_;      ///< 1/multiplicity per local dof
     std::vector<char> vel_dirichlet_, p_dirichlet_, mesh_dirichlet_;
 
-    double time_ = 0.0;
-    int steps_taken_ = 0;
     std::vector<double> u_modal_, v_modal_, p_modal_;
     std::vector<double> uq_, vq_, wq_;
-    std::vector<double> uq_prev_, vq_prev_;
-    std::vector<double> nu_hist_[2], nv_hist_[2];
+    // Inter-stage scratch of the current step (RHS vectors in global dofs).
+    std::vector<double> prhs_, urhs_, vrhs_;
     mutable std::size_t last_p_iters_ = 0;
-    perf::StageBreakdown breakdown_;
 };
 
 } // namespace nektar

@@ -16,12 +16,12 @@ constexpr int kStageTranspose = 2; // comm events of the nonlinear step
 
 FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOptions opts,
                      simmpi::Comm* comm)
-    : disc_(std::move(disc)),
+    : SolverCore(opts.time_order, opts.dt, /*num_fields=*/3),
+      disc_(std::move(disc)),
       opts_(opts),
       comm_(comm),
       mloc_(opts.num_modes / (comm ? static_cast<std::size_t>(comm->size()) : 1)),
       nplanes_(2 * mloc_),
-      gamma0_(opts.time_order == 1 ? 1.0 : 1.5),
       transpose_(comm, disc_->quad_size(), nplanes_),
       zplan_(2 * opts.num_modes) {
     const std::size_t nranks = comm ? static_cast<std::size_t>(comm->size()) : 1;
@@ -33,7 +33,6 @@ FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOption
     // lambda = gamma0/(nu dt) + beta_k^2 (the paper's "direct solvers may be
     // employed for the solution of 2D Helmholtz problems on each processor").
     pressure_.reserve(mloc_);
-    velocity_.reserve(mloc_);
     for (std::size_t j = 0; j < mloc_; ++j) {
         const double bk = beta(global_mode(j));
         HelmholtzBC pbc = opts_.pressure_bc;
@@ -41,22 +40,28 @@ FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOption
         // data; shifted modes must not be pinned.
         if (global_mode(j) != 0) pbc.pin_first_dof = false;
         pressure_.emplace_back(disc_, bk * bk, pbc);
-        velocity_.emplace_back(disc_, gamma0_ / (opts_.nu * opts_.dt) + bk * bk,
-                               opts_.velocity_bc);
     }
+    velocity_solvers_.configure([this](double gamma0) {
+        std::vector<HelmholtzDirect> v;
+        v.reserve(mloc_);
+        for (std::size_t j = 0; j < mloc_; ++j) {
+            const double bk = beta(global_mode(j));
+            v.emplace_back(disc_, gamma0 / (opts_.nu * opts_.dt) + bk * bk,
+                           opts_.velocity_bc);
+        }
+        return v;
+    });
+    // Warm the steady-state operators (startup orders build on first use).
+    velocity_solvers_.get(opts_.time_order);
 
     const std::size_t nm = nplanes_ * disc_->modal_size();
     const std::size_t nq = nplanes_ * disc_->quad_size();
     for (int c = 0; c < 3; ++c) {
         modal_[c].assign(nm, 0.0);
         quad_[c].assign(nq, 0.0);
-        quad_prev_[c].assign(nq, 0.0);
     }
     p_modal_.assign(nm, 0.0);
-    for (auto& h : nl_hist_) {
-        h.resize(3);
-        for (auto& v : h) v.assign(nq, 0.0);
-    }
+    reset_state(nq);
 }
 
 std::size_t FourierNS::global_mode(std::size_t local) const noexcept {
@@ -73,7 +78,7 @@ std::span<const double> FourierNS::plane_quad(int c, std::size_t p) const {
     return {quad_[c].data() + p * nq, nq};
 }
 
-void FourierNS::set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3Fn& w0) {
+void FourierNS::load_state(const Field3Fn& u0, const Field3Fn& v0, const Field3Fn& w0) {
     const std::size_t nq = disc_->quad_size();
     const std::size_t nz = 2 * opts_.num_modes;
     const Field3Fn* fns[3] = {&u0, &v0, &w0};
@@ -103,12 +108,31 @@ void FourierNS::set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3
         disc_->project_planes(quad_[c], modal_[c], nplanes_);
         // Consistent quad values from the projected coefficients.
         disc_->to_quad_planes(modal_[c], quad_[c], nplanes_);
-        quad_prev_[c] = quad_[c];
     }
-    time_ = 0.0;
-    steps_taken_ = 0;
-    nonlinear(nl_hist_[0]);
-    nl_hist_[1] = nl_hist_[0];
+}
+
+void FourierNS::set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3Fn& w0) {
+    reset_state(nplanes_ * disc_->quad_size());
+    load_state(u0, v0, w0);
+}
+
+void FourierNS::set_initial_exact(const TimeField3Fn& u, const TimeField3Fn& v,
+                                  const TimeField3Fn& w) {
+    const std::size_t n = nplanes_ * disc_->quad_size();
+    reset_state(n);
+    // Seed the history oldest-first: t = -(Je-1) dt, ..., -dt.
+    for (int q = time_order() - 1; q >= 1; --q) {
+        const double t = -static_cast<double>(q) * opts_.dt;
+        load_state([&](double x, double y, double z) { return u(x, y, z, t); },
+                   [&](double x, double y, double z) { return v(x, y, z, t); },
+                   [&](double x, double y, double z) { return w(x, y, z, t); });
+        std::vector<std::vector<double>> nl(3, std::vector<double>(n));
+        nonlinear(nl);
+        push_history({quad_[0], quad_[1], quad_[2]}, std::move(nl));
+    }
+    load_state([&](double x, double y, double z) { return u(x, y, z, 0.0); },
+               [&](double x, double y, double z) { return v(x, y, z, 0.0); },
+               [&](double x, double y, double z) { return w(x, y, z, 0.0); });
 }
 
 void FourierNS::transform_all_to_quad() {
@@ -201,178 +225,139 @@ void FourierNS::nonlinear(std::vector<std::vector<double>>& nl) {
     }
 }
 
-void FourierNS::step() {
-    const std::size_t nq = disc_->quad_size();
-    const std::size_t nm = disc_->modal_size();
-    const double dt = opts_.dt;
-    const bool second_order = opts_.time_order == 2 && steps_taken_ >= 1;
-    const double g0 = second_order ? 1.5 : 1.0;
-    breakdown_.steps += 1;
+// Stage 1: modal -> quadrature for every plane of u, v, w.
+void FourierNS::stage_transform(const StepContext&) { transform_all_to_quad(); }
 
-    // Stage 1: modal -> quadrature for every plane of u, v, w.
-    {
-        perf::StageScope scope(breakdown_, 1);
-        transform_all_to_quad();
-    }
-
-    // Stage 2: nonlinear terms (transposes + z FFTs + products + derivatives).
-    std::vector<std::vector<double>> nl_new(3, std::vector<double>(nplanes_ * nq));
-    {
-        perf::StageScope scope(breakdown_, 2);
-        nonlinear(nl_new);
-    }
-
-    // Stage 3: stiffly-stable weighting.
-    std::vector<std::vector<double>> hat(3, std::vector<double>(nplanes_ * nq));
-    {
-        perf::StageScope scope(breakdown_, 3);
-        for (int c = 0; c < 3; ++c) {
-            auto& h = hat[static_cast<std::size_t>(c)];
-            if (second_order) {
-                for (std::size_t i = 0; i < h.size(); ++i)
-                    h[i] = 2.0 * quad_[c][i] - 0.5 * quad_prev_[c][i];
-                blaslite::daxpy(2.0 * dt, nl_new[static_cast<std::size_t>(c)], h);
-                blaslite::daxpy(-dt, nl_hist_[0][static_cast<std::size_t>(c)], h);
-                blaslite::detail::charge(3 * h.size(), 2 * h.size() * sizeof(double),
-                                         h.size() * sizeof(double));
-            } else {
-                blaslite::dcopy(quad_[c], h);
-                blaslite::daxpy(dt, nl_new[static_cast<std::size_t>(c)], h);
-            }
-        }
-    }
-
-    // Stage 4: per-plane pressure RHS from the Fourier-space divergence.
-    std::vector<std::vector<double>> prhs(nplanes_,
-                                          std::vector<double>(disc_->dofmap().num_global(), 0.0));
-    {
-        perf::StageScope scope(breakdown_, 4);
-        std::vector<double> div(nq), dx(nq), dy(nq), local(disc_->modal_size());
-        for (std::size_t m = 0; m < mloc_; ++m) {
-            const double bk = beta(global_mode(m));
-            for (int reim = 0; reim < 2; ++reim) {
-                const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
-                auto up = std::span<const double>(hat[0]).subspan(p * nq, nq);
-                auto vp = std::span<const double>(hat[1]).subspan(p * nq, nq);
-                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-                    disc_->ops(e).grad_collocation(disc_->quad_block(up, e),
-                                                   disc_->quad_block(std::span<double>(div), e),
-                                                   disc_->quad_block(std::span<double>(dy), e));
-                for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-                    disc_->ops(e).grad_collocation(disc_->quad_block(vp, e),
-                                                   disc_->quad_block(std::span<double>(dx), e),
-                                                   disc_->quad_block(std::span<double>(dy), e));
-                blaslite::daxpy(1.0, dy, div);
-                // + d/dz w: i beta couples planes.
-                const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
-                auto wp = std::span<const double>(hat[2]).subspan(partner * nq, nq);
-                blaslite::daxpy(reim == 0 ? -bk : bk, wp, div);
-                blaslite::dscal(-1.0 / dt, div);
-                std::fill(local.begin(), local.end(), 0.0);
-                disc_->weak_inner(div, local);
-                disc_->gather_add(local, prhs[p]);
-            }
-        }
-    }
-
-    // Stage 5: per-mode direct pressure solves, split across the thread pool
-    // (each plane's solve runs whole on one thread, so results and the
-    // counter-derived compute charge are independent of the pool size).
-    {
-        perf::StageScope scope(breakdown_, 5);
-        const std::vector<double> zero(disc_->dofmap().num_global(), 0.0);
-        parallel::pool().parallel_for(nplanes_, [&](std::size_t p0, std::size_t p1) {
-            for (std::size_t p = p0; p < p1; ++p) {
-                const std::size_t m = p / 2;
-                const auto sol = pressure_[m].solve_global(std::move(prhs[p]), zero);
-                std::copy(sol.begin(), sol.end(),
-                          p_modal_.begin() + static_cast<std::ptrdiff_t>(p * nm));
-            }
-        });
-    }
-
-    // Stage 6: Helmholtz RHS: u** = uhat - dt grad p, scaled by 1/(nu dt).
-    std::vector<std::vector<double>> vrhs(
-        3 * nplanes_, std::vector<double>(disc_->dofmap().num_global(), 0.0));
-    {
-        perf::StageScope scope(breakdown_, 6);
-        const double scale = 1.0 / (opts_.nu * dt);
-        // Batched over every plane at once: the in-plane pressure gradient,
-        // the plane interpolation for dp/dz, and the weak inner products.
-        std::vector<double> px(nplanes_ * nq), py(nplanes_ * nq), pquad(nplanes_ * nq);
-        disc_->grad_from_modal_planes(p_modal_, px, py, nplanes_);
-        disc_->to_quad_planes(p_modal_, pquad, nplanes_);
-        for (std::size_t m = 0; m < mloc_; ++m) {
-            const double bk = beta(global_mode(m));
-            for (int reim = 0; reim < 2; ++reim) {
-                const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
-                auto hu = std::span<double>(hat[0]).subspan(p * nq, nq);
-                auto hv = std::span<double>(hat[1]).subspan(p * nq, nq);
-                blaslite::daxpy(-dt, std::span<const double>(px).subspan(p * nq, nq), hu);
-                blaslite::daxpy(-dt, std::span<const double>(py).subspan(p * nq, nq), hv);
-                // dp/dz on the partner plane of w.
-                const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
-                auto pq = std::span<const double>(pquad).subspan(partner * nq, nq);
-                auto hw = std::span<double>(hat[2]).subspan(p * nq, nq);
-                blaslite::daxpy(reim == 0 ? dt * bk : -dt * bk, pq, hw);
-            }
-        }
-        std::vector<double> local(nplanes_ * disc_->modal_size());
-        for (int c = 0; c < 3; ++c) {
-            blaslite::dscal(scale, hat[static_cast<std::size_t>(c)]);
-            std::fill(local.begin(), local.end(), 0.0);
-            disc_->weak_inner_planes(hat[static_cast<std::size_t>(c)], local, nplanes_);
-            for (std::size_t p = 0; p < nplanes_; ++p)
-                disc_->gather_add(
-                    std::span<const double>(local).subspan(p * disc_->modal_size(),
-                                                           disc_->modal_size()),
-                    vrhs[static_cast<std::size_t>(c) * nplanes_ + p]);
-        }
-    }
-
-    // Stage 7: per-mode direct Helmholtz solves (3 components x 2 planes).
-    const double tn1 = time_ + dt;
-    {
-        perf::StageScope scope(breakdown_, 7);
-        const VelocityBC* bcs[3] = {&opts_.u_bc, &opts_.v_bc, &opts_.w_bc};
-        for (int c = 0; c < 3; ++c) quad_prev_[c] = quad_[c];
-        // 3 components x nplanes independent solves across the thread pool;
-        // each task owns its plane's RHS and output slice.
-        parallel::pool().parallel_for(3 * nplanes_, [&](std::size_t t0, std::size_t t1) {
-            for (std::size_t t = t0; t < t1; ++t) {
-                const int c = static_cast<int>(t / nplanes_);
-                const std::size_t p = t % nplanes_;
-                const std::size_t m = p / 2;
-                const int reim = static_cast<int>(p % 2);
-                // Physical Dirichlet data enters only the mean mode's real
-                // plane; every other plane is homogeneous.
-                const bool mean = global_mode(m) == 0 && reim == 0;
-                const HelmholtzDirect* solver = &velocity_[m];
-                std::unique_ptr<HelmholtzDirect> bootstrap;
-                if (g0 != gamma0_) {
-                    const double bk = beta(global_mode(m));
-                    bootstrap = std::make_unique<HelmholtzDirect>(
-                        disc_, g0 / (opts_.nu * dt) + bk * bk, opts_.velocity_bc);
-                    solver = bootstrap.get();
-                }
-                std::vector<double> bvals =
-                    mean ? solver->dirichlet_vector(
-                               [&](double x, double y) { return (*bcs[c])(x, y, tn1); })
-                         : std::vector<double>(disc_->dofmap().num_global(), 0.0);
-                const auto sol = solver->solve_global(
-                    std::move(vrhs[static_cast<std::size_t>(c) * nplanes_ + p]), bvals);
-                std::copy(sol.begin(), sol.end(),
-                          modal_[c].begin() + static_cast<std::ptrdiff_t>(p * nm));
-            }
-        });
-    }
-
-    nl_hist_[1] = std::move(nl_hist_[0]);
-    nl_hist_[0] = std::move(nl_new);
-    transform_all_to_quad();
-    time_ = tn1;
-    ++steps_taken_;
+// Stage 2: nonlinear terms (transposes + z FFTs + products + derivatives).
+void FourierNS::stage_nonlinear(const StepContext&, std::vector<std::vector<double>>& nl) {
+    nonlinear(nl);
 }
+
+// Stage 4: per-plane pressure RHS from the Fourier-space divergence.
+void FourierNS::stage_pressure_rhs(const StepContext& ctx,
+                                   const std::vector<std::vector<double>>& hat) {
+    const std::size_t nq = disc_->quad_size();
+    prhs_.assign(nplanes_, std::vector<double>(disc_->dofmap().num_global(), 0.0));
+    std::vector<double> div(nq), dx(nq), dy(nq), local(disc_->modal_size());
+    for (std::size_t m = 0; m < mloc_; ++m) {
+        const double bk = beta(global_mode(m));
+        for (int reim = 0; reim < 2; ++reim) {
+            const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+            auto up = std::span<const double>(hat[0]).subspan(p * nq, nq);
+            auto vp = std::span<const double>(hat[1]).subspan(p * nq, nq);
+            for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                disc_->ops(e).grad_collocation(disc_->quad_block(up, e),
+                                               disc_->quad_block(std::span<double>(div), e),
+                                               disc_->quad_block(std::span<double>(dy), e));
+            for (std::size_t e = 0; e < disc_->num_elements(); ++e)
+                disc_->ops(e).grad_collocation(disc_->quad_block(vp, e),
+                                               disc_->quad_block(std::span<double>(dx), e),
+                                               disc_->quad_block(std::span<double>(dy), e));
+            blaslite::daxpy(1.0, dy, div);
+            // + d/dz w: i beta couples planes.
+            const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
+            auto wp = std::span<const double>(hat[2]).subspan(partner * nq, nq);
+            blaslite::daxpy(reim == 0 ? -bk : bk, wp, div);
+            blaslite::dscal(-1.0 / ctx.dt, div);
+            std::fill(local.begin(), local.end(), 0.0);
+            disc_->weak_inner(div, local);
+            disc_->gather_add(local, prhs_[p]);
+        }
+    }
+}
+
+// Stage 5: per-mode direct pressure solves, split across the thread pool
+// (each plane's solve runs whole on one thread, so results and the
+// counter-derived compute charge are independent of the pool size).
+void FourierNS::stage_pressure_solve(const StepContext&) {
+    const std::size_t nm = disc_->modal_size();
+    const std::vector<double> zero(disc_->dofmap().num_global(), 0.0);
+    parallel::pool().parallel_for(nplanes_, [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+            const std::size_t m = p / 2;
+            const auto sol = pressure_[m].solve_global(std::move(prhs_[p]), zero);
+            std::copy(sol.begin(), sol.end(),
+                      p_modal_.begin() + static_cast<std::ptrdiff_t>(p * nm));
+        }
+    });
+}
+
+// Stage 6: Helmholtz RHS: u** = uhat - dt grad p, scaled by 1/(nu dt).
+void FourierNS::stage_viscous_rhs(const StepContext& ctx,
+                                  std::vector<std::vector<double>>& hat) {
+    const std::size_t nq = disc_->quad_size();
+    vrhs_.assign(3 * nplanes_, std::vector<double>(disc_->dofmap().num_global(), 0.0));
+    const double dt = ctx.dt;
+    const double scale = 1.0 / (opts_.nu * dt);
+    // Batched over every plane at once: the in-plane pressure gradient,
+    // the plane interpolation for dp/dz, and the weak inner products.
+    std::vector<double> px(nplanes_ * nq), py(nplanes_ * nq), pquad(nplanes_ * nq);
+    disc_->grad_from_modal_planes(p_modal_, px, py, nplanes_);
+    disc_->to_quad_planes(p_modal_, pquad, nplanes_);
+    for (std::size_t m = 0; m < mloc_; ++m) {
+        const double bk = beta(global_mode(m));
+        for (int reim = 0; reim < 2; ++reim) {
+            const std::size_t p = 2 * m + static_cast<std::size_t>(reim);
+            auto hu = std::span<double>(hat[0]).subspan(p * nq, nq);
+            auto hv = std::span<double>(hat[1]).subspan(p * nq, nq);
+            blaslite::daxpy(-dt, std::span<const double>(px).subspan(p * nq, nq), hu);
+            blaslite::daxpy(-dt, std::span<const double>(py).subspan(p * nq, nq), hv);
+            // dp/dz on the partner plane of w.
+            const std::size_t partner = 2 * m + static_cast<std::size_t>(1 - reim);
+            auto pq = std::span<const double>(pquad).subspan(partner * nq, nq);
+            auto hw = std::span<double>(hat[2]).subspan(p * nq, nq);
+            blaslite::daxpy(reim == 0 ? dt * bk : -dt * bk, pq, hw);
+        }
+    }
+    std::vector<double> local(nplanes_ * disc_->modal_size());
+    for (int c = 0; c < 3; ++c) {
+        blaslite::dscal(scale, hat[static_cast<std::size_t>(c)]);
+        std::fill(local.begin(), local.end(), 0.0);
+        disc_->weak_inner_planes(hat[static_cast<std::size_t>(c)], local, nplanes_);
+        for (std::size_t p = 0; p < nplanes_; ++p)
+            disc_->gather_add(
+                std::span<const double>(local).subspan(p * disc_->modal_size(),
+                                                       disc_->modal_size()),
+                vrhs_[static_cast<std::size_t>(c) * nplanes_ + p]);
+    }
+}
+
+// Stage 7: per-mode direct Helmholtz solves (3 components x 2 planes) with
+// the operator set of the step's *effective* order, so the implicit lambda
+// matches the explicit weights (startup ramp included).
+void FourierNS::stage_viscous_solve(const StepContext& ctx) {
+    const std::size_t nm = disc_->modal_size();
+    const double tn1 = ctx.t_new;
+    // Build (or fetch) the whole order's operator set up front, outside the
+    // thread pool; the old code rebuilt a bootstrap solver per plane task.
+    const std::vector<HelmholtzDirect>& solvers = velocity_solvers_.get(ctx.scheme.order);
+    record_velocity_lambda(solvers.front().lambda());
+    const VelocityBC* bcs[3] = {&opts_.u_bc, &opts_.v_bc, &opts_.w_bc};
+    // 3 components x nplanes independent solves across the thread pool;
+    // each task owns its plane's RHS and output slice.
+    parallel::pool().parallel_for(3 * nplanes_, [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+            const int c = static_cast<int>(t / nplanes_);
+            const std::size_t p = t % nplanes_;
+            const std::size_t m = p / 2;
+            const int reim = static_cast<int>(p % 2);
+            // Physical Dirichlet data enters only the mean mode's real
+            // plane; every other plane is homogeneous.
+            const bool mean = global_mode(m) == 0 && reim == 0;
+            const HelmholtzDirect& solver = solvers[m];
+            std::vector<double> bvals =
+                mean ? solver.dirichlet_vector(
+                           [&](double x, double y) { return (*bcs[c])(x, y, tn1); })
+                     : std::vector<double>(disc_->dofmap().num_global(), 0.0);
+            const auto sol = solver.solve_global(
+                std::move(vrhs_[static_cast<std::size_t>(c) * nplanes_ + p]), bvals);
+            std::copy(sol.begin(), sol.end(),
+                      modal_[c].begin() + static_cast<std::ptrdiff_t>(p * nm));
+        }
+    });
+}
+
+void FourierNS::end_step(const StepContext&) { transform_all_to_quad(); }
 
 double FourierNS::mode_energy(int c, std::size_t m) const {
     const std::size_t nq = disc_->quad_size();

@@ -8,7 +8,7 @@
 #include "nektar/fourier_transpose.hpp"
 #include "nektar/helmholtz.hpp"
 #include "nektar/ns_serial.hpp"
-#include "perf/stage_stats.hpp"
+#include "nektar/splitting.hpp"
 
 /// \file ns_fourier.hpp
 /// NekTar-F: the Fourier-spectral/hp parallel Navier-Stokes solver (§4.2.1).
@@ -20,13 +20,14 @@
 /// per-mode Poisson/Helmholtz problems are solved with *direct* banded
 /// solvers — the key speed advantage the paper highlights — while the
 /// nonlinear step couples modes through MPI_Alltoall transpositions and
-/// 1-D FFTs, exactly the paper's stage-2 bottleneck.
+/// 1-D FFTs, exactly the paper's stage-2 bottleneck.  Time integration runs
+/// through the shared stiffly-stable core (splitting.hpp) at order 1..3.
 namespace nektar {
 
 struct FourierNsOptions {
     double dt = 1e-3;
     double nu = 0.01;
-    int time_order = 2;
+    int time_order = 2;          ///< 1..3 (stiffly-stable)
     std::size_t num_modes = 4;   ///< complex Fourier modes M (Nz = 2M physical planes)
     double lz = 2.0 * 3.14159265358979323846; ///< spanwise length (paper uses 2*pi)
     HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
@@ -39,8 +40,10 @@ struct FourierNsOptions {
 
 /// 3-D initial condition f(x, y, z).
 using Field3Fn = std::function<double(double, double, double)>;
+/// Time-dependent 3-D field f(x, y, z, t) (exact-history starts).
+using TimeField3Fn = std::function<double(double, double, double, double)>;
 
-class FourierNS {
+class FourierNS : public SolverCore {
 public:
     /// `comm` is the rank's communicator (null = serial, all modes local).
     /// num_modes must be divisible by the communicator size.
@@ -48,9 +51,15 @@ public:
               simmpi::Comm* comm = nullptr);
 
     void set_initial(const Field3Fn& u0, const Field3Fn& v0, const Field3Fn& w0);
-    void step();
 
-    [[nodiscard]] double time() const noexcept { return time_; }
+    /// Exact-history start for temporal convergence studies: sets the state
+    /// at t = 0 and seeds the time_order - 1 history levels from t = -dt,
+    /// -2 dt, so the first step runs at the full requested order.
+    void set_initial_exact(const TimeField3Fn& u, const TimeField3Fn& v,
+                           const TimeField3Fn& w);
+
+    void step() { advance(); }
+
     [[nodiscard]] std::size_t local_modes() const noexcept { return mloc_; }
     [[nodiscard]] std::size_t total_modes() const noexcept { return opts_.num_modes; }
     [[nodiscard]] const Discretization& disc() const noexcept { return *disc_; }
@@ -66,9 +75,6 @@ public:
                                      const std::function<double(double, double, double, double)>&
                                          exact) const;
 
-    [[nodiscard]] const perf::StageBreakdown& breakdown() const noexcept { return breakdown_; }
-    perf::StageBreakdown& breakdown() noexcept { return breakdown_; }
-
     /// Kinetic-energy content of local complex mode m of component c:
     /// integral over the plane of |u_km|^2 (re^2 + im^2), the z-spectrum
     /// diagnostic turbulence runs monitor.
@@ -79,33 +85,48 @@ public:
         return 2 * mloc_ * disc_->modal_size();
     }
 
+protected:
+    void stage_transform(const StepContext& ctx) override;
+    void stage_nonlinear(const StepContext& ctx,
+                         std::vector<std::vector<double>>& nl) override;
+    void stage_pressure_rhs(const StepContext& ctx,
+                            const std::vector<std::vector<double>>& hat) override;
+    void stage_pressure_solve(const StepContext& ctx) override;
+    void stage_viscous_rhs(const StepContext& ctx,
+                           std::vector<std::vector<double>>& hat) override;
+    void stage_viscous_solve(const StepContext& ctx) override;
+    void end_step(const StepContext& ctx) override;
+    [[nodiscard]] const std::vector<double>& quad_field(std::size_t c) const override {
+        return quad_[c];
+    }
+
 private:
     [[nodiscard]] double beta(std::size_t global_mode) const noexcept;
     [[nodiscard]] std::size_t global_mode(std::size_t local) const noexcept;
     void nonlinear(std::vector<std::vector<double>>& nl);
     void transform_all_to_quad();
+    /// Samples pointwise 3-D fields into the local modes' state (no reset).
+    void load_state(const Field3Fn& u0, const Field3Fn& v0, const Field3Fn& w0);
 
     std::shared_ptr<const Discretization> disc_;
     FourierNsOptions opts_;
     simmpi::Comm* comm_;
     std::size_t mloc_;       ///< complex modes per rank
     std::size_t nplanes_;    ///< 2 * mloc_
-    double gamma0_;
     FourierTranspose transpose_;
     fft::Plan zplan_;        ///< length-Nz real FFT plan
 
     std::vector<HelmholtzDirect> pressure_;  ///< one per local mode
-    std::vector<HelmholtzDirect> velocity_;
+    /// Per-mode velocity operators keyed on the *effective* startup order
+    /// (lambda = gamma0/(nu dt) + beta_k^2 must match the explicit weights).
+    HelmholtzOrderCache velocity_solvers_;
 
-    double time_ = 0.0;
-    int steps_taken_ = 0;
     // [component][plane * modal_size] modal coefficients; quad likewise.
     std::vector<double> modal_[3];
     std::vector<double> quad_[3];
-    std::vector<double> quad_prev_[3];
     std::vector<double> p_modal_;            ///< pressure planes
-    std::vector<std::vector<double>> nl_hist_[2]; ///< [age][component], plane-major quad
-    perf::StageBreakdown breakdown_;
+    // Inter-stage scratch: per-plane pressure and velocity RHS vectors.
+    std::vector<std::vector<double>> prhs_, vrhs_;
 };
 
 } // namespace nektar

@@ -9,13 +9,17 @@
 namespace nektar {
 
 SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opts)
-    : disc_(std::move(disc)),
+    : SolverCore(opts.time_order, opts.dt, /*num_fields=*/2),
+      disc_(std::move(disc)),
       opts_(opts),
-      gamma0_(opts.time_order == 1 ? 1.0 : 1.5),
-      pressure_solver_(disc_, 0.0, opts.pressure_bc),
-      velocity_solver_(disc_, gamma0_ / (opts.nu * opts.dt), opts.velocity_bc) {
-    if (opts_.time_order != 1 && opts_.time_order != 2)
-        throw std::invalid_argument("SerialNS2d: time_order must be 1 or 2");
+      pressure_solver_(disc_, 0.0, opts.pressure_bc) {
+    velocity_solvers_.configure([this](double gamma0) {
+        std::vector<HelmholtzDirect> v;
+        v.emplace_back(disc_, gamma0 / (opts_.nu * opts_.dt), opts_.velocity_bc);
+        return v;
+    });
+    // Warm the steady-state operator (the startup orders build on first use).
+    velocity_solvers_.get(opts_.time_order);
     const std::size_t nm = disc_->modal_size();
     const std::size_t nq = disc_->quad_size();
     u_modal_.assign(nm, 0.0);
@@ -23,14 +27,11 @@ SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opt
     p_modal_.assign(nm, 0.0);
     uq_.assign(nq, 0.0);
     vq_.assign(nq, 0.0);
-    uq_prev_.assign(nq, 0.0);
-    vq_prev_.assign(nq, 0.0);
-    for (auto* h : {&nu_hist_[0], &nu_hist_[1], &nv_hist_[0], &nv_hist_[1]})
-        h->assign(nq, 0.0);
+    reset_state(nq);
 }
 
-void SerialNS2d::set_initial(const std::function<double(double, double)>& u0,
-                             const std::function<double(double, double)>& v0) {
+void SerialNS2d::load_state(const std::function<double(double, double)>& u0,
+                            const std::function<double(double, double)>& v0) {
     disc_->eval_at_quad(u0, uq_);
     disc_->eval_at_quad(v0, vq_);
     disc_->project(uq_, u_modal_);
@@ -39,13 +40,28 @@ void SerialNS2d::set_initial(const std::function<double(double, double)>& u0,
     // consistent (the projection is not interpolation).
     disc_->to_quad(u_modal_, uq_);
     disc_->to_quad(v_modal_, vq_);
-    uq_prev_ = uq_;
-    vq_prev_ = vq_;
-    time_ = 0.0;
-    steps_taken_ = 0;
-    nonlinear(uq_, vq_, nu_hist_[0], nv_hist_[0]);
-    nu_hist_[1] = nu_hist_[0];
-    nv_hist_[1] = nv_hist_[0];
+}
+
+void SerialNS2d::set_initial(const std::function<double(double, double)>& u0,
+                             const std::function<double(double, double)>& v0) {
+    reset_state(disc_->quad_size());
+    load_state(u0, v0);
+}
+
+void SerialNS2d::set_initial_exact(const VelocityBC& u, const VelocityBC& v) {
+    const std::size_t nq = disc_->quad_size();
+    reset_state(nq);
+    // Seed the history oldest-first: t = -(Je-1) dt, ..., -dt.
+    for (int q = time_order() - 1; q >= 1; --q) {
+        const double t = -static_cast<double>(q) * opts_.dt;
+        load_state([&](double x, double y) { return u(x, y, t); },
+                   [&](double x, double y) { return v(x, y, t); });
+        std::vector<std::vector<double>> nl(2, std::vector<double>(nq));
+        nonlinear(uq_, vq_, nl[0], nl[1]);
+        push_history({uq_, vq_}, std::move(nl));
+    }
+    load_state([&](double x, double y) { return u(x, y, 0.0); },
+               [&](double x, double y) { return v(x, y, 0.0); });
 }
 
 void SerialNS2d::nonlinear(const std::vector<double>& uq, const std::vector<double>& vq,
@@ -72,141 +88,84 @@ void SerialNS2d::nonlinear(const std::vector<double>& uq, const std::vector<doub
     blaslite::dscal(-1.0, nv_out);
 }
 
-void SerialNS2d::step() {
-    const std::size_t nq = disc_->quad_size();
-    const double dt = opts_.dt;
-    const bool second_order = opts_.time_order == 2 && steps_taken_ >= 1;
-    breakdown_.steps += 1;
-
-    // Stage 1: transform modal -> quadrature space.
-    {
-        perf::StageScope scope(breakdown_, 1);
-        disc_->to_quad(u_modal_, uq_);
-        disc_->to_quad(v_modal_, vq_);
-    }
-
-    // Stage 2: nonlinear terms at quadrature points.
-    std::vector<double> nu_new(nq), nv_new(nq);
-    {
-        perf::StageScope scope(breakdown_, 2);
-        nonlinear(uq_, vq_, nu_new, nv_new);
-    }
-
-    // Stage 3: stiffly-stable weighting of velocity and nonlinear history:
-    //   uhat = sum_q alpha_q u^{n-q} + dt sum_q beta_q N^{n-q}.
-    std::vector<double> uhat(nq), vhat(nq);
-    {
-        perf::StageScope scope(breakdown_, 3);
-        if (second_order) {
-            // alpha = (2, -1/2), beta = (2, -1), gamma0 = 3/2.
-            for (std::size_t q = 0; q < nq; ++q) {
-                uhat[q] = 2.0 * uq_[q] - 0.5 * uq_prev_[q];
-                vhat[q] = 2.0 * vq_[q] - 0.5 * vq_prev_[q];
-            }
-            blaslite::daxpy(2.0 * dt, nu_new, uhat);
-            blaslite::daxpy(-dt, nu_hist_[0], uhat);
-            blaslite::daxpy(2.0 * dt, nv_new, vhat);
-            blaslite::daxpy(-dt, nv_hist_[0], vhat);
-            blaslite::detail::charge(6 * nq, 4 * nq * sizeof(double), 2 * nq * sizeof(double));
-        } else {
-            blaslite::dcopy(uq_, uhat);
-            blaslite::dcopy(vq_, vhat);
-            blaslite::daxpy(dt, nu_new, uhat);
-            blaslite::daxpy(dt, nv_new, vhat);
-        }
-    }
-    const double g0 = second_order ? 1.5 : 1.0;
-
-    // Stage 4: pressure Poisson RHS, - (div uhat / dt, v).
-    std::vector<double> prhs(disc_->dofmap().num_global(), 0.0);
-    {
-        perf::StageScope scope(breakdown_, 4);
-        std::vector<double> div(nq), dx(nq), dy(nq);
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uhat), e),
-                                           disc_->quad_block(std::span<double>(div), e),
-                                           disc_->quad_block(std::span<double>(dy), e));
-        }
-        for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
-            disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vhat), e),
-                                           disc_->quad_block(std::span<double>(dx), e),
-                                           disc_->quad_block(std::span<double>(dy), e));
-        }
-        blaslite::daxpy(1.0, dy, div);
-        blaslite::dscal(-1.0 / dt, div);
-        std::vector<double> local(disc_->modal_size(), 0.0);
-        disc_->weak_inner(div, local);
-        disc_->gather_add(local, prhs);
-    }
-
-    // Stage 5: banded direct solve for the pressure.
-    {
-        perf::StageScope scope(breakdown_, 5);
-        std::vector<double> pdir(disc_->dofmap().num_global(), 0.0);
-        p_modal_ = pressure_solver_.solve_global(std::move(prhs), pdir);
-    }
-
-    // Stage 6: Helmholtz RHS, u** = uhat - dt grad p, f = gamma0 u** / (nu dt gamma0) ...
-    // Helmholtz form: (grad u, grad v) + lambda (u, v) = (u** / (nu dt), v),
-    // lambda = gamma0 / (nu dt).
-    std::vector<double> urhs(disc_->dofmap().num_global(), 0.0);
-    std::vector<double> vrhs(disc_->dofmap().num_global(), 0.0);
-    {
-        perf::StageScope scope(breakdown_, 6);
-        std::vector<double> px(nq), py(nq);
-        disc_->grad_from_modal(p_modal_, px, py);
-        blaslite::daxpy(-dt, px, uhat);
-        blaslite::daxpy(-dt, py, vhat);
-        const double scale = 1.0 / (opts_.nu * dt);
-        blaslite::dscal(scale, uhat);
-        blaslite::dscal(scale, vhat);
-        std::vector<double> lu(disc_->modal_size(), 0.0), lv(disc_->modal_size(), 0.0);
-        disc_->weak_inner(uhat, lu);
-        disc_->weak_inner(vhat, lv);
-        disc_->gather_add(lu, urhs);
-        disc_->gather_add(lv, vrhs);
-    }
-
-    // Stage 7: banded direct Helmholtz solves for the velocity.
-    const double tn1 = time_ + dt;
-    {
-        perf::StageScope scope(breakdown_, 7);
-        if (g0 != gamma0_) {
-            // First step of a second-order run uses gamma0 = 1: fall back to a
-            // dedicated solver so the operator matches the scheme.
-            HelmholtzDirect first(disc_, g0 / (opts_.nu * dt), opts_.velocity_bc);
-            uq_prev_ = uq_;
-            vq_prev_ = vq_;
-            u_modal_ = first.solve_global(std::move(urhs), first.dirichlet_vector([&](double x,
-                                                                                      double y) {
-                return opts_.u_bc(x, y, tn1);
-            }));
-            v_modal_ = first.solve_global(std::move(vrhs), first.dirichlet_vector([&](double x,
-                                                                                      double y) {
-                return opts_.v_bc(x, y, tn1);
-            }));
-        } else {
-            uq_prev_ = uq_;
-            vq_prev_ = vq_;
-            u_modal_ = velocity_solver_.solve_global(
-                std::move(urhs), velocity_solver_.dirichlet_vector(
-                                     [&](double x, double y) { return opts_.u_bc(x, y, tn1); }));
-            v_modal_ = velocity_solver_.solve_global(
-                std::move(vrhs), velocity_solver_.dirichlet_vector(
-                                     [&](double x, double y) { return opts_.v_bc(x, y, tn1); }));
-        }
-    }
-
-    // Rotate the nonlinear history.
-    nu_hist_[1] = std::move(nu_hist_[0]);
-    nv_hist_[1] = std::move(nv_hist_[0]);
-    nu_hist_[0] = std::move(nu_new);
-    nv_hist_[0] = std::move(nv_new);
-
+// Stage 1: transform modal -> quadrature space.
+void SerialNS2d::stage_transform(const StepContext&) {
     disc_->to_quad(u_modal_, uq_);
     disc_->to_quad(v_modal_, vq_);
-    time_ = tn1;
-    ++steps_taken_;
+}
+
+// Stage 2: nonlinear terms at quadrature points.
+void SerialNS2d::stage_nonlinear(const StepContext&, std::vector<std::vector<double>>& nl) {
+    nonlinear(uq_, vq_, nl[0], nl[1]);
+}
+
+// Stage 4: pressure Poisson RHS, - (div uhat / dt, v).
+void SerialNS2d::stage_pressure_rhs(const StepContext& ctx,
+                                    const std::vector<std::vector<double>>& hat) {
+    const std::size_t nq = disc_->quad_size();
+    prhs_.assign(disc_->dofmap().num_global(), 0.0);
+    std::vector<double> div(nq), dx(nq), dy(nq);
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(hat[0]), e),
+                                       disc_->quad_block(std::span<double>(div), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    }
+    for (std::size_t e = 0; e < disc_->num_elements(); ++e) {
+        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(hat[1]), e),
+                                       disc_->quad_block(std::span<double>(dx), e),
+                                       disc_->quad_block(std::span<double>(dy), e));
+    }
+    blaslite::daxpy(1.0, dy, div);
+    blaslite::dscal(-1.0 / ctx.dt, div);
+    std::vector<double> local(disc_->modal_size(), 0.0);
+    disc_->weak_inner(div, local);
+    disc_->gather_add(local, prhs_);
+}
+
+// Stage 5: banded direct solve for the pressure.
+void SerialNS2d::stage_pressure_solve(const StepContext&) {
+    std::vector<double> pdir(disc_->dofmap().num_global(), 0.0);
+    p_modal_ = pressure_solver_.solve_global(std::move(prhs_), pdir);
+}
+
+// Stage 6: Helmholtz RHS, u** = uhat - dt grad p, then scaled so that
+// (grad u, grad v) + lambda (u, v) = (u** / (nu dt), v), lambda = gamma0/(nu dt).
+void SerialNS2d::stage_viscous_rhs(const StepContext& ctx,
+                                   std::vector<std::vector<double>>& hat) {
+    const std::size_t nq = disc_->quad_size();
+    std::vector<double> px(nq), py(nq);
+    disc_->grad_from_modal(p_modal_, px, py);
+    blaslite::daxpy(-ctx.dt, px, hat[0]);
+    blaslite::daxpy(-ctx.dt, py, hat[1]);
+    const double scale = 1.0 / (opts_.nu * ctx.dt);
+    blaslite::dscal(scale, hat[0]);
+    blaslite::dscal(scale, hat[1]);
+    urhs_.assign(disc_->dofmap().num_global(), 0.0);
+    vrhs_.assign(disc_->dofmap().num_global(), 0.0);
+    std::vector<double> lu(disc_->modal_size(), 0.0), lv(disc_->modal_size(), 0.0);
+    disc_->weak_inner(hat[0], lu);
+    disc_->weak_inner(hat[1], lv);
+    disc_->gather_add(lu, urhs_);
+    disc_->gather_add(lv, vrhs_);
+}
+
+// Stage 7: banded direct Helmholtz solves with the operator of the step's
+// *effective* order, so the implicit lambda matches the explicit weights.
+void SerialNS2d::stage_viscous_solve(const StepContext& ctx) {
+    const HelmholtzDirect& solver = velocity_solvers_.get(ctx.scheme.order).front();
+    record_velocity_lambda(solver.lambda());
+    const double tn1 = ctx.t_new;
+    u_modal_ = solver.solve_global(
+        std::move(urhs_),
+        solver.dirichlet_vector([&](double x, double y) { return opts_.u_bc(x, y, tn1); }));
+    v_modal_ = solver.solve_global(
+        std::move(vrhs_),
+        solver.dirichlet_vector([&](double x, double y) { return opts_.v_bc(x, y, tn1); }));
+}
+
+void SerialNS2d::end_step(const StepContext&) {
+    disc_->to_quad(u_modal_, uq_);
+    disc_->to_quad(v_modal_, vq_);
 }
 
 std::vector<double> SerialNS2d::vorticity_quad() const {

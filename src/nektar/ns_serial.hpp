@@ -5,15 +5,15 @@
 #include <vector>
 
 #include "nektar/helmholtz.hpp"
-#include "perf/stage_stats.hpp"
+#include "nektar/splitting.hpp"
 
 /// \file ns_serial.hpp
 /// The serial 2-D incompressible Navier-Stokes solver (paper §4.1).
 ///
-/// Time integration is the high-order splitting scheme of Karniadakis,
-/// Israeli & Orszag (1991) at order 1 or 2 (the paper uses "a second order
-/// time-integration ... summarised in three main steps"), split into the 7
-/// instrumented stages of Figure 12:
+/// Time integration is the high-order stiffly-stable splitting scheme shared
+/// by all three solvers (see splitting.hpp) at order 1..3 (the paper uses "a
+/// second order time-integration ... summarised in three main steps"), split
+/// into the 7 instrumented stages of Figure 12:
 ///   1  transform modal -> quadrature
 ///   2  evaluate nonlinear terms -(u . grad) u at quadrature points
 ///   3  weight-average with previous nonlinear terms (stiffly-stable)
@@ -29,7 +29,7 @@ using VelocityBC = std::function<double(double, double, double)>;
 struct NsOptions {
     double dt = 1e-3;
     double nu = 0.01;           ///< kinematic viscosity (1/Re)
-    int time_order = 2;         ///< 1 or 2 (stiffly-stable)
+    int time_order = 2;         ///< 1..3 (stiffly-stable)
     HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
                                           mesh::BoundaryTag::Body}};
     HelmholtzBC pressure_bc{.dirichlet = {mesh::BoundaryTag::Outflow}};
@@ -37,19 +37,25 @@ struct NsOptions {
     VelocityBC v_bc = [](double, double, double) { return 0.0; };
 };
 
-class SerialNS2d {
+class SerialNS2d : public SolverCore {
 public:
     SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opts);
 
     /// Sets the initial velocity field (evaluated at quadrature points and
-    /// projected); resets the nonlinear history and the clock.
+    /// projected); resets the history ring buffers and the clock.  The first
+    /// steps then ramp through the integration orders 1, 2, ..., time_order.
     void set_initial(const std::function<double(double, double)>& u0,
                      const std::function<double(double, double)>& v0);
 
-    /// Advances one time step, recording stage statistics.
-    void step();
+    /// Exact-history start for temporal convergence studies: sets the state
+    /// from u(x, y, t), v(x, y, t) at t = 0 and seeds the time_order - 1
+    /// history levels from t = -dt, -2 dt, so the very first step runs at
+    /// the full requested order instead of ramping.
+    void set_initial_exact(const VelocityBC& u, const VelocityBC& v);
 
-    [[nodiscard]] double time() const noexcept { return time_; }
+    /// Advances one time step, recording stage statistics.
+    void step() { advance(); }
+
     [[nodiscard]] const Discretization& disc() const noexcept { return *disc_; }
 
     /// Current fields at quadrature points.
@@ -64,29 +70,41 @@ public:
     /// primary observable).
     [[nodiscard]] std::vector<double> vorticity_quad() const;
 
-    /// Accumulated stage statistics (one entry per step taken).
-    [[nodiscard]] const perf::StageBreakdown& breakdown() const noexcept { return breakdown_; }
-    perf::StageBreakdown& breakdown() noexcept { return breakdown_; }
+protected:
+    void stage_transform(const StepContext& ctx) override;
+    void stage_nonlinear(const StepContext& ctx,
+                         std::vector<std::vector<double>>& nl) override;
+    void stage_pressure_rhs(const StepContext& ctx,
+                            const std::vector<std::vector<double>>& hat) override;
+    void stage_pressure_solve(const StepContext& ctx) override;
+    void stage_viscous_rhs(const StepContext& ctx,
+                           std::vector<std::vector<double>>& hat) override;
+    void stage_viscous_solve(const StepContext& ctx) override;
+    void end_step(const StepContext& ctx) override;
+    [[nodiscard]] const std::vector<double>& quad_field(std::size_t c) const override {
+        return c == 0 ? uq_ : vq_;
+    }
 
 private:
     void nonlinear(const std::vector<double>& uq, const std::vector<double>& vq,
                    std::vector<double>& nu_out, std::vector<double>& nv_out) const;
+    /// Projects pointwise fields at time t into the solver state (no reset).
+    void load_state(const std::function<double(double, double)>& u0,
+                    const std::function<double(double, double)>& v0);
 
     std::shared_ptr<const Discretization> disc_;
     NsOptions opts_;
-    double gamma0_;
     HelmholtzDirect pressure_solver_;
-    HelmholtzDirect velocity_solver_;
+    /// Velocity Helmholtz operators keyed on the *effective* startup order,
+    /// so the implicit lambda = gamma0/(nu dt) always matches the explicit
+    /// weights (the ramped first steps included).
+    HelmholtzOrderCache velocity_solvers_;
 
-    double time_ = 0.0;
-    int steps_taken_ = 0;
     // State: modal coefficients and quadrature values of (u, v).
     std::vector<double> u_modal_, v_modal_, p_modal_;
     std::vector<double> uq_, vq_;
-    // Previous step's quadrature velocity and the nonlinear history.
-    std::vector<double> uq_prev_, vq_prev_;
-    std::vector<double> nu_hist_[2], nv_hist_[2];
-    perf::StageBreakdown breakdown_;
+    // Inter-stage scratch of the current step (RHS vectors in global dofs).
+    std::vector<double> prhs_, urhs_, vrhs_;
 };
 
 } // namespace nektar

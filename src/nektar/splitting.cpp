@@ -1,0 +1,190 @@
+#include "nektar/splitting.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "blaslite/blas.hpp"
+
+namespace nektar {
+
+const SplittingCoeffs& stiffly_stable(int order) {
+    // Karniadakis, Israeli & Orszag (1991), Table 2 (the stiffly-stable
+    // family the paper's three codes share).
+    static const std::array<SplittingCoeffs, kMaxTimeOrder> table = {{
+        {1, 1.0, {1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}},
+        {2, 1.5, {2.0, -0.5, 0.0}, {2.0, -1.0, 0.0}},
+        {3, 11.0 / 6.0, {3.0, -1.5, 1.0 / 3.0}, {3.0, -3.0, 1.0}},
+    }};
+    if (order < 1 || order > kMaxTimeOrder)
+        throw std::invalid_argument("stiffly_stable: time order must be 1..3");
+    return table[static_cast<std::size_t>(order - 1)];
+}
+
+void FieldHistory::configure(std::size_t components, std::size_t size, int depth) {
+    components_ = components;
+    size_ = size;
+    depth_ = depth;
+    stored_ = 0;
+    head_ = -1;
+    ring_.assign(static_cast<std::size_t>(depth), {});
+}
+
+void FieldHistory::clear() {
+    stored_ = 0;
+    head_ = -1;
+    for (auto& slot : ring_) slot.clear();
+}
+
+void FieldHistory::push(std::vector<std::vector<double>> fields) {
+    if (depth_ == 0) return; // order-1 schemes keep no history
+    assert(fields.size() == components_);
+    head_ = (head_ + 1) % depth_;
+    ring_[static_cast<std::size_t>(head_)] = std::move(fields);
+    if (stored_ < depth_) ++stored_;
+}
+
+const std::vector<double>& FieldHistory::level(int age, std::size_t c) const {
+    assert(age >= 1 && age <= stored_);
+    const int slot = (head_ - (age - 1) + depth_ * age) % depth_;
+    return ring_[static_cast<std::size_t>(slot)][c];
+}
+
+void HelmholtzOrderCache::configure(Factory factory) {
+    factory_ = std::move(factory);
+    for (auto& c : cache_) c.reset();
+}
+
+const std::vector<HelmholtzDirect>& HelmholtzOrderCache::get(int je) const {
+    auto& slot = cache_.at(static_cast<std::size_t>(je));
+    if (!slot) slot = factory_(stiffly_stable(je).gamma0);
+    return *slot;
+}
+
+SolverCore::SolverCore(int time_order, double dt, std::size_t num_fields)
+    : time_order_(time_order), dt_(dt), num_fields_(num_fields) {
+    if (time_order < 1 || time_order > kMaxTimeOrder)
+        throw std::invalid_argument("SolverCore: time_order must be 1..3");
+}
+
+void SolverCore::reset_state(std::size_t field_size) {
+    field_size_ = field_size;
+    time_ = 0.0;
+    steps_taken_ = 0;
+    last_step_order_ = 0;
+    last_velocity_lambda_ = std::numeric_limits<double>::quiet_NaN();
+    vel_hist_.configure(num_fields_, field_size, time_order_ - 1);
+    nl_hist_.configure(num_fields_, field_size, time_order_ - 1);
+    nl_scratch_.assign(num_fields_, std::vector<double>(field_size, 0.0));
+    hat_scratch_.assign(num_fields_, std::vector<double>(field_size, 0.0));
+}
+
+void SolverCore::push_history(std::vector<std::vector<double>> vel,
+                              std::vector<std::vector<double>> nl) {
+    vel_hist_.push(std::move(vel));
+    nl_hist_.push(std::move(nl));
+}
+
+int SolverCore::effective_order() const noexcept {
+    const int from_history = vel_hist_.available() + 1; // +1: the current level
+    return time_order_ < from_history ? time_order_ : from_history;
+}
+
+void SolverCore::begin_step(const StepContext&) {}
+
+void SolverCore::end_step(const StepContext&) {}
+
+void SolverCore::extrapolate(const StepContext& ctx,
+                             const std::vector<std::vector<double>>& nl_new,
+                             std::vector<std::vector<double>>& hat) {
+    const SplittingCoeffs& sc = ctx.scheme;
+    const int je = sc.order;
+    const std::size_t n = field_size_;
+    for (std::size_t c = 0; c < num_fields_; ++c) {
+        auto& h = hat[c];
+        const std::vector<double>& v0 = quad_field(c);
+        // Velocity part, fused across ages: h = sum_q alpha_q u^{n-q}.
+        switch (je) {
+            case 1:
+                for (std::size_t i = 0; i < n; ++i) h[i] = sc.alpha[0] * v0[i];
+                break;
+            case 2: {
+                const std::vector<double>& v1 = vel_hist_.level(1, c);
+                for (std::size_t i = 0; i < n; ++i)
+                    h[i] = sc.alpha[0] * v0[i] + sc.alpha[1] * v1[i];
+                break;
+            }
+            default: {
+                const std::vector<double>& v1 = vel_hist_.level(1, c);
+                const std::vector<double>& v2 = vel_hist_.level(2, c);
+                for (std::size_t i = 0; i < n; ++i)
+                    h[i] = sc.alpha[0] * v0[i] + sc.alpha[1] * v1[i] + sc.alpha[2] * v2[i];
+                break;
+            }
+        }
+        blaslite::detail::charge(static_cast<std::uint64_t>(2 * je - 1) * n,
+                                 static_cast<std::uint64_t>(je) * n * sizeof(double),
+                                 n * sizeof(double));
+        // Nonlinear part: h += dt sum_q beta_q N^{n-q}.
+        blaslite::daxpy(ctx.dt * sc.beta[0], nl_new[c], h);
+        for (int q = 1; q < je; ++q)
+            blaslite::daxpy(ctx.dt * sc.beta[static_cast<std::size_t>(q)],
+                            nl_hist_.level(q, c), h);
+    }
+}
+
+void SolverCore::advance() {
+    assert(field_size_ > 0 && "reset_state (set_initial) must run before advance");
+    const int je = effective_order();
+    const StepContext ctx{steps_taken_, stiffly_stable(je), dt_, time_ + dt_};
+    breakdown_.steps += 1;
+    last_step_order_ = je;
+
+    begin_step(ctx);
+
+    {
+        perf::StageScope scope(breakdown_, 1);
+        stage_transform(ctx);
+    }
+    {
+        perf::StageScope scope(breakdown_, 2);
+        stage_nonlinear(ctx, nl_scratch_);
+    }
+    {
+        perf::StageScope scope(breakdown_, 3);
+        extrapolate(ctx, nl_scratch_, hat_scratch_);
+    }
+    {
+        perf::StageScope scope(breakdown_, 4);
+        stage_pressure_rhs(ctx, hat_scratch_);
+    }
+    {
+        perf::StageScope scope(breakdown_, 5);
+        stage_pressure_solve(ctx);
+    }
+    {
+        perf::StageScope scope(breakdown_, 6);
+        stage_viscous_rhs(ctx, hat_scratch_);
+    }
+    {
+        perf::StageScope scope(breakdown_, 7);
+        stage_viscous_solve(ctx);
+    }
+
+    // Rotate the histories: the pre-solve quadrature fields become u^{n-1},
+    // this step's nonlinear terms become N^{n-1}.
+    if (time_order_ > 1) {
+        std::vector<std::vector<double>> vel(num_fields_);
+        for (std::size_t c = 0; c < num_fields_; ++c) vel[c] = quad_field(c);
+        vel_hist_.push(std::move(vel));
+        std::vector<std::vector<double>> nl = std::move(nl_scratch_);
+        nl_scratch_.assign(num_fields_, std::vector<double>(field_size_, 0.0));
+        nl_hist_.push(std::move(nl));
+    }
+
+    end_step(ctx);
+    time_ = ctx.t_new;
+    ++steps_taken_;
+}
+
+} // namespace nektar

@@ -1,0 +1,218 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "nektar/helmholtz.hpp"
+#include "perf/stage_stats.hpp"
+
+/// \file splitting.hpp
+/// The shared stiffly-stable time-integration core of the three
+/// Navier-Stokes solvers (serial 2-D, NekTar-F, NekTar-ALE).
+///
+/// All three application codes of the paper integrate the incompressible
+/// Navier-Stokes equations with the high-order splitting scheme of
+/// Karniadakis, Israeli & Orszag (1991):
+///
+///   uhat             = sum_q alpha_q u^{n-q} + dt sum_q beta_q N(u^{n-q})
+///   lap p^{n+1}      = div uhat / dt                  (pressure Poisson)
+///   (lap - gamma0/(nu dt)) u^{n+1} = -uhat''/(nu dt)  (viscous Helmholtz)
+///
+/// at integration order Je = 1..3.  This header owns the pieces that are
+/// identical across the solvers: the coefficient tables, the startup-order
+/// ramp, the field-history ring buffers, per-effective-order Helmholtz
+/// operator caches (so the implicit lambda always matches the explicit
+/// weights, including on the ramped first steps), and the SolverCore stage
+/// pipeline that sequences the paper's 7 instrumented stages around
+/// per-solver hooks (nonlinear terms, pressure/viscous RHS and solves).
+namespace nektar {
+
+/// Highest supported integration order (the paper's Je <= 3).
+inline constexpr int kMaxTimeOrder = 3;
+
+/// Stiffly-stable integration coefficients for one order Je.
+struct SplittingCoeffs {
+    int order;       ///< Je
+    double gamma0;   ///< implicit weight of u^{n+1}
+    std::array<double, kMaxTimeOrder> alpha; ///< explicit velocity weights
+    std::array<double, kMaxTimeOrder> beta;  ///< explicit nonlinear weights
+};
+
+/// The coefficient table for Je in [1, kMaxTimeOrder]; throws
+/// std::invalid_argument outside that range.
+[[nodiscard]] const SplittingCoeffs& stiffly_stable(int order);
+
+/// Ring buffer of the last `depth` time levels of a `components`-field set
+/// (u^{n-1}, u^{n-2}, ... — the *current* level lives with the solver).
+/// Age 1 is the most recently pushed level, age `depth` the oldest.
+class FieldHistory {
+public:
+    FieldHistory() = default;
+
+    /// (Re)configures for `components` fields of `size` entries each keeping
+    /// `depth` levels, and forgets all stored levels.
+    void configure(std::size_t components, std::size_t size, int depth);
+
+    /// Forgets all stored levels (keeps the configuration).
+    void clear();
+
+    /// Stores a new most-recent level, evicting the oldest when full.
+    /// `fields` must hold `components` vectors of `size` entries.
+    void push(std::vector<std::vector<double>> fields);
+
+    /// Number of levels currently stored (<= depth).
+    [[nodiscard]] int available() const noexcept { return stored_; }
+    [[nodiscard]] int depth() const noexcept { return depth_; }
+
+    /// Component `c` of the level `age` steps back (age in [1, available()]).
+    [[nodiscard]] const std::vector<double>& level(int age, std::size_t c) const;
+
+private:
+    std::size_t components_ = 0;
+    std::size_t size_ = 0;
+    int depth_ = 0;
+    int stored_ = 0;
+    int head_ = -1; ///< ring slot of the most recent level
+    std::vector<std::vector<std::vector<double>>> ring_; ///< [slot][component]
+};
+
+/// Lazily built per-effective-order sets of direct Helmholtz operators.
+/// During the startup ramp the effective gamma0 differs from the requested
+/// order's, so the velocity operator lambda = gamma0/(nu dt) (+ beta_k^2)
+/// must be rebuilt to match the explicit weights; this cache builds each
+/// order's operator set once, on first use.
+class HelmholtzOrderCache {
+public:
+    /// Builds the full operator set (one per Fourier mode; a single entry
+    /// for the 2-D solvers) for the given effective gamma0.
+    using Factory = std::function<std::vector<HelmholtzDirect>(double gamma0)>;
+
+    void configure(Factory factory);
+
+    /// The operator set for integration order `je`, built on first use.
+    [[nodiscard]] const std::vector<HelmholtzDirect>& get(int je) const;
+
+private:
+    Factory factory_;
+    mutable std::array<std::optional<std::vector<HelmholtzDirect>>, kMaxTimeOrder + 1> cache_;
+};
+
+/// The shared stage pipeline: owns the clock, the step counter, the stage
+/// breakdown, the velocity/nonlinear histories, and the stage-3 stiffly-
+/// stable extrapolation; derived solvers supply the variant-specific stages
+/// through the protected hooks.  One advance() is one time step split into
+/// the paper's 7 instrumented stages (Figure 12):
+///   1 transform modal -> quadrature    5 Poisson (pressure) solve
+///   2 nonlinear terms                  6 Helmholtz RHS setup
+///   3 extrapolation weighting          7 Helmholtz (viscous) solve
+///   4 Poisson RHS setup
+class SolverCore {
+public:
+    [[nodiscard]] double time() const noexcept { return time_; }
+    [[nodiscard]] int steps_taken() const noexcept { return steps_taken_; }
+    [[nodiscard]] int time_order() const noexcept { return time_order_; }
+
+    [[nodiscard]] const perf::StageBreakdown& breakdown() const noexcept { return breakdown_; }
+    perf::StageBreakdown& breakdown() noexcept { return breakdown_; }
+
+    /// Effective integration order of the upcoming step: the requested order
+    /// capped by the available history (the startup ramp 1, 2, ..., Je, or
+    /// Je immediately after prime_history()).
+    [[nodiscard]] int effective_order() const noexcept;
+
+    /// Integration order the most recent step actually ran at (0 before any
+    /// step has been taken).
+    [[nodiscard]] int last_step_order() const noexcept { return last_step_order_; }
+
+    /// The Helmholtz lambda = gamma0_eff/(nu dt) (plus the beta_k^2 shift of
+    /// the mean mode, where applicable) used by the most recent velocity
+    /// solve; NaN before any step.  Regression hook: this must always match
+    /// the explicit weights of the same step.
+    [[nodiscard]] double last_velocity_lambda() const noexcept {
+        return last_velocity_lambda_;
+    }
+
+protected:
+    /// `num_fields` advected velocity components (2 for the 2-D solvers,
+    /// 3 for NekTar-F); `field_size` entries per component.
+    SolverCore(int time_order, double dt, std::size_t num_fields);
+    ~SolverCore() = default;
+
+    /// Per-step context handed to every hook.
+    struct StepContext {
+        int step;                      ///< 0-based index of this step
+        const SplittingCoeffs& scheme; ///< effective coefficients this step
+        double dt;
+        double t_new;                  ///< time at the end of this step
+    };
+
+    /// Runs one full splitting step through the stage pipeline.
+    void advance();
+
+    /// Resets the clock, the step counter, and both histories; call from
+    /// set_initial once the per-component field size is known.
+    void reset_state(std::size_t field_size);
+
+    /// Seeds one history level (oldest first) of velocity quad fields and
+    /// their nonlinear terms, so the first step can run at full order
+    /// instead of ramping; used by the exact-start paths of the solvers.
+    void push_history(std::vector<std::vector<double>> vel,
+                      std::vector<std::vector<double>> nl);
+
+    /// Derived stage-7 implementations report the lambda they solved with.
+    void record_velocity_lambda(double lambda) noexcept { last_velocity_lambda_ = lambda; }
+
+    // --- per-solver hooks, called in pipeline order ---
+    /// Work preceding stage 1 (the ALE mesh-velocity solve and mesh update);
+    /// charges its own StageScopes.
+    virtual void begin_step(const StepContext& ctx);
+    /// Stage 1: transform modal -> quadrature for every field.
+    virtual void stage_transform(const StepContext& ctx) = 0;
+    /// Stage 2: nonlinear terms at quadrature points, one vector per field.
+    virtual void stage_nonlinear(const StepContext& ctx,
+                                 std::vector<std::vector<double>>& nl) = 0;
+    /// Stage 4: pressure Poisson RHS from the extrapolated fields.
+    virtual void stage_pressure_rhs(const StepContext& ctx,
+                                    const std::vector<std::vector<double>>& hat) = 0;
+    /// Stage 5: the pressure solve.
+    virtual void stage_pressure_solve(const StepContext& ctx) = 0;
+    /// Stage 6: viscous Helmholtz RHS; updates `hat` in place.
+    virtual void stage_viscous_rhs(const StepContext& ctx,
+                                   std::vector<std::vector<double>>& hat) = 0;
+    /// Stage 7: the velocity solves; must call record_velocity_lambda().
+    virtual void stage_viscous_solve(const StepContext& ctx) = 0;
+    /// Work following stage 7 (transform the new solution back to
+    /// quadrature space).
+    virtual void end_step(const StepContext& ctx);
+
+    /// Quadrature values of advected field `c` as of the last stage-1
+    /// transform; feeds the extrapolation and the velocity history.
+    [[nodiscard]] virtual const std::vector<double>& quad_field(std::size_t c) const = 0;
+
+private:
+    /// Stage 3: hat_c = sum_q alpha_q u_c^{n-q} + dt sum_q beta_q N_c^{n-q},
+    /// identical across the three solvers.
+    void extrapolate(const StepContext& ctx, const std::vector<std::vector<double>>& nl_new,
+                     std::vector<std::vector<double>>& hat);
+
+    int time_order_;
+    double dt_;
+    std::size_t num_fields_;
+    std::size_t field_size_ = 0;
+
+    double time_ = 0.0;
+    int steps_taken_ = 0;
+    int last_step_order_ = 0;
+    double last_velocity_lambda_ = std::numeric_limits<double>::quiet_NaN();
+
+    FieldHistory vel_hist_; ///< u^{n-1}, u^{n-2}, ...
+    FieldHistory nl_hist_;  ///< N^{n-1}, N^{n-2}, ...
+    std::vector<std::vector<double>> nl_scratch_, hat_scratch_;
+
+    perf::StageBreakdown breakdown_;
+};
+
+} // namespace nektar

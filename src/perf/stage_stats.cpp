@@ -80,4 +80,40 @@ std::string stage_name(std::size_t stage) {
     }
 }
 
+std::string stage_short_name(std::size_t stage) {
+    switch (stage) {
+        case 1: return "transform";
+        case 2: return "nonlinear";
+        case 3: return "extrapolate";
+        case 4: return "Poisson RHS";
+        case 5: return "Poisson slv";
+        case 6: return "Helm. RHS";
+        case 7: return "Helm. slv";
+        default: return "unknown";
+    }
+}
+
+StageGroup stage_group(std::size_t stage) {
+    switch (stage) {
+        case 5: return StageGroup::PressureSolve;
+        case 7: return StageGroup::ViscousSolve;
+        default: return StageGroup::Setup;
+    }
+}
+
+std::string stage_group_label(StageGroup group) {
+    switch (group) {
+        case StageGroup::PressureSolve: return "b";
+        case StageGroup::ViscousSolve: return "c";
+        default: return "a";
+    }
+}
+
+std::vector<std::size_t> stages_in_group(StageGroup group) {
+    std::vector<std::size_t> out;
+    for (std::size_t s = 1; s <= kNumStages; ++s)
+        if (stage_group(s) == group) out.push_back(s);
+    return out;
+}
+
 } // namespace perf

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "blaslite/counters.hpp"
 #include "machine/machine_model.hpp"
@@ -88,5 +89,22 @@ private:
 
 /// Stage names as the paper labels them.
 [[nodiscard]] std::string stage_name(std::size_t stage);
+
+/// Compact stage labels for table columns ("transform", "nonlinear", ...).
+[[nodiscard]] std::string stage_short_name(std::size_t stage);
+
+/// The paper's coarse stage grouping (Figures 15-16): group a is the setup
+/// work (stages 1-4 and 6), b the pressure solve (stage 5), c the viscous +
+/// mesh-velocity solves (stage 7).  Shared by every solver's reporting so
+/// the three codes bucket identically.
+enum class StageGroup { Setup, PressureSolve, ViscousSolve };
+
+[[nodiscard]] StageGroup stage_group(std::size_t stage);
+
+/// The paper's one-letter label for a group: "a", "b" or "c".
+[[nodiscard]] std::string stage_group_label(StageGroup group);
+
+/// The stages belonging to `group`, in ascending order.
+[[nodiscard]] std::vector<std::size_t> stages_in_group(StageGroup group);
 
 } // namespace perf

@@ -256,8 +256,10 @@ TEST(FourierNS, StageBreakdownAndCommLog) {
     std::uint64_t alltoalls = 0;
     for (const auto& [key, count] : log.at(2))
         if (key.kind == simmpi::CommKind::Alltoall) alltoalls += count;
-    // set_initial evaluates the nonlinear term once, plus two steps: 3 * 9.
-    EXPECT_EQ(alltoalls, 27u);
+    // Two steps, each transposing 3 components out and 6 products back: 2 * 9
+    // (set_initial no longer evaluates the nonlinear term; the first step
+    // runs at order 1 and never reads a seeded history level).
+    EXPECT_EQ(alltoalls, 18u);
 }
 
 TEST(FourierNS, RejectsIndivisibleModeCount) {

@@ -99,6 +99,33 @@ TEST(StageStats, StageNamesMatchThePaper) {
     EXPECT_EQ(perf::stage_name(99), "unknown");
 }
 
+TEST(StageStats, ShortNamesCoverEveryStage) {
+    for (std::size_t s = 1; s <= perf::kNumStages; ++s) {
+        EXPECT_NE(perf::stage_short_name(s), "unknown");
+        EXPECT_LE(perf::stage_short_name(s).size(), 12u); // fits table columns
+    }
+    EXPECT_EQ(perf::stage_short_name(0), "unknown");
+    EXPECT_EQ(perf::stage_short_name(8), "unknown");
+}
+
+TEST(StageStats, GroupsPartitionTheStagesLikeFigures15And16) {
+    using perf::StageGroup;
+    EXPECT_EQ(perf::stages_in_group(StageGroup::Setup),
+              (std::vector<std::size_t>{1, 2, 3, 4, 6}));
+    EXPECT_EQ(perf::stages_in_group(StageGroup::PressureSolve),
+              (std::vector<std::size_t>{5}));
+    EXPECT_EQ(perf::stages_in_group(StageGroup::ViscousSolve),
+              (std::vector<std::size_t>{7}));
+    // Every stage lands in exactly one group.
+    std::size_t covered = 0;
+    for (auto g : {StageGroup::Setup, StageGroup::PressureSolve, StageGroup::ViscousSolve})
+        covered += perf::stages_in_group(g).size();
+    EXPECT_EQ(covered, perf::kNumStages);
+    EXPECT_EQ(perf::stage_group_label(StageGroup::Setup), "a");
+    EXPECT_EQ(perf::stage_group_label(StageGroup::PressureSolve), "b");
+    EXPECT_EQ(perf::stage_group_label(StageGroup::ViscousSolve), "c");
+}
+
 TEST(StageStats, ThreadLocalCountersAreIndependent) {
     StageBreakdown main_bd;
     std::vector<double> x(64, 1.0), y(64, 0.0);
