@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <string>
 #include <vector>
@@ -65,6 +66,35 @@ struct Platform {
     // Events outside an explicit stage (setup, diagnostics) are ignored: the
     // paper times the steady time-stepping loop.
     return out;
+}
+
+/// Per-stage communication splits (blocking vs overlapped events).
+[[nodiscard]] inline std::array<simmpi::SplitSeconds, perf::kNumStages + 1> comm_stage_splits(
+    const simmpi::CommLog& log, const netsim::NetworkModel& net, int nprocs) {
+    std::array<simmpi::SplitSeconds, perf::kNumStages + 1> out{};
+    for (std::size_t s = 1; s <= perf::kNumStages; ++s)
+        out[s] = simmpi::price_stage_split(log, static_cast<int>(s), net, nprocs);
+    return out;
+}
+
+/// Fraction of the overlapped-comm price the probe run actually hid behind
+/// computation: hidden seconds from the rank's overlap log over the price of
+/// the same events on the probe network, clamped to [0, 1].  This ratio is a
+/// property of the *schedule* (how much compute sat between post and wait),
+/// so it transfers to the target networks.
+[[nodiscard]] inline double overlap_efficiency(double hidden_seconds,
+                                               double overlapped_price_probe) {
+    if (overlapped_price_probe <= 0.0) return 0.0;
+    return std::clamp(hidden_seconds / overlapped_price_probe, 0.0, 1.0);
+}
+
+/// Wall seconds a target network recovers from the overlapped events: the
+/// hidden fraction of their price, scaled by the CPU-free share of comm time
+/// — a polling stack (cpu_poll_fraction = 1) burns the CPU during transfers
+/// and cannot overlap, kernel-offloaded stacks recover (1 - poll) of it.
+[[nodiscard]] inline double recovered_seconds(double rho, double overlapped_price,
+                                              double cpu_poll_fraction) {
+    return rho * overlapped_price * (1.0 - cpu_poll_fraction);
 }
 
 struct CpuWall {

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_hotpath.
+
+Compares a freshly measured BENCH_hotpath.json against the committed baseline
+(bench/BENCH_hotpath_baseline.json) and fails when any kernel of any case got
+more than --threshold slower.
+
+CI machines are not the baseline machine, so raw milliseconds are not
+comparable across runs.  The gate therefore self-normalises: for every
+(order, elements, planes) case and kernel it forms
+
+    batched_ms_current / batched_ms_baseline
+
+and divides out the *median* of those ratios across the whole sweep.  A
+uniformly faster or slower host moves every ratio together and cancels in the
+median; a regression in one code path (the way perf bugs actually land)
+sticks out against it.  Any kernel more than --threshold above the median is
+a failure.
+
+Single smoke runs are noisy at microsecond kernel sizes, so --current may be
+given several times: the gate takes the elementwise minimum over the runs
+(minima are far more stable than means under scheduler noise).  The committed
+baseline should be produced the same way.
+
+Usage:
+  compare_bench.py --baseline bench/BENCH_hotpath_baseline.json \
+                   --current run1.json --current run2.json [--threshold 0.15]
+  compare_bench.py --update --baseline ... --current ...   # re-baseline
+  compare_bench.py --self-test --baseline ...              # gate sanity check
+
+Re-baselining (after an intentional perf change): run the Release
+bench_hotpath locally or grab the BENCH_hotpath.json artifact from a green
+main build, then
+  python3 bench/compare_bench.py --update \
+      --baseline bench/BENCH_hotpath_baseline.json --current BENCH_hotpath.json
+and commit the updated baseline together with the change that moved it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import shutil
+import statistics
+import sys
+
+KERNELS = ("to_quad", "weak_inner", "grad")
+
+
+def case_key(case: dict) -> tuple:
+    return (case["order"], case["elements"], case["planes"])
+
+
+def elementwise_min(runs: list[dict]) -> dict:
+    """Merge several runs of the same sweep into one with per-entry minima."""
+    merged = copy.deepcopy(runs[0])
+    cases = {case_key(c): c for c in merged["cases"]}
+    for run in runs[1:]:
+        run_keys = {case_key(c) for c in run["cases"]}
+        if run_keys != set(cases):
+            raise SystemExit("cannot merge runs: case sets differ "
+                             f"({sorted(set(cases) ^ run_keys)})")
+        for c in run["cases"]:
+            dst = cases[case_key(c)]
+            for group in ("per_element_ms", "batched_ms"):
+                for k in KERNELS:
+                    dst[group][k] = min(dst[group][k], c[group][k])
+    return merged
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    base_cases = {case_key(c): c for c in baseline["cases"]}
+    cur_cases = {case_key(c): c for c in current["cases"]}
+    failures = []
+    missing = sorted(set(base_cases) - set(cur_cases))
+    for key in missing:
+        failures.append(f"case {key} present in baseline but missing from current run")
+
+    shared = sorted(set(base_cases) & set(cur_cases))
+    entries = []  # (key, kernel, current/baseline ratio)
+    for key in shared:
+        for k in KERNELS:
+            base_ms = base_cases[key]["batched_ms"][k]
+            if base_ms <= 0.0:
+                raise SystemExit(f"corrupt baseline: batched_ms[{k}] = {base_ms}")
+            entries.append((key, k, cur_cases[key]["batched_ms"][k] / base_ms))
+    if not entries:
+        return failures
+
+    # Host-speed normalisation: the median ratio is "how fast this machine is
+    # relative to the baseline machine"; per-kernel regressions stand out
+    # against it.
+    scale = statistics.median(r for _, _, r in entries)
+    for key, k, r in entries:
+        slowdown = r / scale - 1.0
+        if slowdown > threshold:
+            failures.append(
+                f"case (order={key[0]}, elems={key[1]}, planes={key[2]}) kernel {k}: "
+                f"{slowdown:+.0%} vs the run median (limit {threshold:+.0%}; "
+                f"raw ratio {r:.3f}, median {scale:.3f})")
+    return failures
+
+
+def self_test(baseline_path: str, threshold: float) -> int:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    # Identical data must pass.
+    if compare(baseline, baseline, threshold):
+        print("self-test FAILED: baseline does not compare clean against itself")
+        return 1
+    # A 1.3x slowdown injected into one batched kernel must be caught.
+    perturbed = copy.deepcopy(baseline)
+    perturbed["cases"][0]["batched_ms"]["weak_inner"] *= 1.30
+    failures = compare(baseline, perturbed, threshold)
+    if not failures:
+        print("self-test FAILED: injected 30% slowdown was not flagged")
+        return 1
+    # A dropped case must be caught too.
+    truncated = copy.deepcopy(baseline)
+    truncated["cases"] = truncated["cases"][1:]
+    if not compare(baseline, truncated, threshold):
+        print("self-test FAILED: missing case was not flagged")
+        return 1
+    print(f"self-test OK: clean pass, injected regression and missing case both "
+          f"flagged at threshold {threshold:.0%}")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--current", action="append",
+                    help="freshly measured JSON (repeat for min-of-N)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed relative slowdown per kernel (default 0.15)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy --current over --baseline instead of comparing")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate flags an injected regression")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.baseline, args.threshold)
+    if not args.current:
+        ap.error("--current is required unless --self-test")
+    runs = []
+    for path in args.current:
+        with open(path) as f:
+            runs.append(json.load(f))
+    current = elementwise_min(runs)
+
+    if args.update:
+        if len(runs) == 1:
+            shutil.copyfile(args.current[0], args.baseline)
+        else:
+            with open(args.baseline, "w") as f:
+                json.dump(current, f, indent=2)
+                f.write("\n")
+        print(f"baseline updated from {len(runs)} run(s)")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print(f"perf regression gate FAILED ({len(failures)} finding(s)):")
+        for msg in failures:
+            print(f"  - {msg}")
+        print("\nIf the slowdown is intentional, re-baseline (see --help).")
+        return 1
+    print(f"perf gate OK: {len(current['cases'])} case(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

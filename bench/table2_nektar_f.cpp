@@ -21,25 +21,30 @@ struct RunData {
     perf::StageBreakdown bd;       ///< steady-state steps only
     simmpi::CommLog log;           ///< cumulative (normalised separately)
     double comm_groups = 1.0;      ///< nonlinear evaluations covered by log
+    double hidden_seconds = 0.0;   ///< probe-priced comm hidden behind compute
     std::size_t field_bytes = 0;
     std::size_t solver_bytes = 0;
 };
 
-RunData run_fourier(int nprocs) {
+netsim::NetworkModel probe_net() {
+    netsim::NetworkModel probe; // any model; timings are re-priced later
+    probe.name = "probe";
+    probe.latency_us = 10.0;
+    probe.bandwidth_mbps = 100.0;
+    return probe;
+}
+
+RunData run_fourier(int nprocs, bool overlap) {
     mesh::BluffBodyParams p;
     p.n_upstream = 4;
     p.n_wake = 6;
     p.n_body = 2;
     p.n_side = 3;
     const auto base_mesh = std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p));
-    netsim::NetworkModel probe; // any model; timings are re-priced later
-    probe.name = "probe";
-    probe.latency_us = 10.0;
-    probe.bandwidth_mbps = 100.0;
 
     RunData data;
     const int bootstrap = 1, steady = 2;
-    simmpi::World world(nprocs, probe);
+    simmpi::World world(nprocs, probe_net());
     std::vector<perf::StageBreakdown> bds(static_cast<std::size_t>(nprocs));
     const auto reports = world.run([&](simmpi::Comm& c) {
         const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
@@ -47,6 +52,7 @@ RunData run_fourier(int nprocs) {
         opts.dt = 2e-3;
         opts.nu = 0.01;
         opts.num_modes = static_cast<std::size_t>(c.size()); // 2 planes per proc
+        opts.overlap_transpose = overlap;
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
             return body ? 0.0 : 1.0;
@@ -67,6 +73,10 @@ RunData run_fourier(int nprocs) {
     });
     data.bd = bds[0];
     data.log = reports[0].log;
+    for (const auto& [stage, hidden] : reports[0].overlap_log) {
+        data.bd.add_comm_overlap(static_cast<std::size_t>(stage), hidden);
+        data.hidden_seconds += hidden;
+    }
     // The log covers set_initial's nonlinear evaluation plus every step.
     data.comm_groups = static_cast<double>(1 + bootstrap + steady);
     return data;
@@ -103,7 +113,7 @@ int main() {
     table.print_header();
 
     for (int nprocs : {2, 4, 8, 16, 32, 64}) {
-        const RunData data = run_fourier(nprocs);
+        const RunData data = run_fourier(nprocs, /*overlap=*/false);
         const auto shapes = app_model::solver_shapes(data.field_bytes, data.solver_bytes);
         std::vector<std::string> row = {std::to_string(nprocs)};
         for (const auto& pl : platforms()) {
@@ -129,5 +139,50 @@ int main() {
     }
     std::printf("\n(values are predicted 1999-machine seconds for the reduced workload;\n"
                 "compare trends across P and platforms with the paper's Table 2)\n");
+
+    // Overlap ablation: the pipelined transpose (isend/irecv slices of the
+    // alltoall overlapped against the z-line FFT work) against the blocking
+    // exchange.  Only networks whose MPI stack frees the CPU during
+    // transfers (cpu_poll_fraction < 1) can recover wall time.
+    std::printf("\nCommunication/computation overlap in the nonlinear transposes\n");
+    std::printf("(blocking vs overlapped CPU/wall s per step; 'recov' = wall seconds\n"
+                "recovered per step = hidden fraction x comm price x (1 - poll))\n\n");
+    for (int nprocs : {4, 16}) {
+        const RunData blk = run_fourier(nprocs, /*overlap=*/false);
+        const RunData ovl = run_fourier(nprocs, /*overlap=*/true);
+        const auto shapes = app_model::solver_shapes(ovl.field_bytes, ovl.solver_bytes);
+        const double rho = app_model::overlap_efficiency(
+            ovl.hidden_seconds,
+            simmpi::price_log_split(ovl.log, probe_net(), nprocs).overlapped);
+        std::printf("P = %d  (hidden fraction of overlapped comm: %.0f%%)\n", nprocs,
+                    100.0 * rho);
+        benchutil::Table table2({"network", "blocking", "overlapped", "recov"}, 16);
+        table2.print_header();
+        for (const auto& pl : platforms()) {
+            if (pl.label == "Muses" && nprocs > 4) continue;
+            const auto& m = machine::by_name(pl.machine);
+            const auto& net = netsim::by_name(pl.network);
+            const auto comp = app_model::compute_stage_seconds(ovl.bd, m, shapes);
+            double cpu = 0.0;
+            for (std::size_t s = 1; s <= perf::kNumStages; ++s) cpu += comp[s];
+            cpu /= ovl.bd.steps;
+            const double comm_blk =
+                simmpi::price_log(blk.log, net, nprocs) / blk.comm_groups;
+            const auto split = simmpi::price_log_split(ovl.log, net, nprocs);
+            const double comm_ovl = split.total() / ovl.comm_groups;
+            const double recov = app_model::recovered_seconds(
+                rho, split.overlapped / ovl.comm_groups, net.cpu_poll_fraction);
+            const double wall_blk = cpu + comm_blk;
+            const double wall_ovl = cpu + comm_ovl - recov;
+            table2.print_row(
+                {pl.label,
+                 benchutil::fmt(cpu + comm_blk * net.cpu_poll_fraction, "%.2f") + "/" +
+                     benchutil::fmt(wall_blk, "%.2f"),
+                 benchutil::fmt(cpu + comm_ovl * net.cpu_poll_fraction, "%.2f") + "/" +
+                     benchutil::fmt(wall_ovl, "%.2f"),
+                 benchutil::fmt(recov, "%.2f")});
+        }
+        std::printf("\n");
+    }
     return 0;
 }

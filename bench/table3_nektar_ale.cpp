@@ -18,24 +18,30 @@ namespace {
 struct AleRun {
     std::vector<perf::StageBreakdown> bds; ///< per rank
     simmpi::CommLog log;                   ///< rank 0
+    double hidden_seconds = 0.0;           ///< probe-priced comm hidden behind compute
     std::size_t field_bytes = 0;
     std::size_t solver_bytes = 0;
 };
 
-AleRun run_ale(int nprocs, const mesh::Mesh& m, const std::vector<int>& part) {
+netsim::NetworkModel probe_net() {
     netsim::NetworkModel probe;
     probe.name = "probe";
     probe.latency_us = 10.0;
     probe.bandwidth_mbps = 100.0;
+    return probe;
+}
 
+AleRun run_ale(int nprocs, const mesh::Mesh& m, const std::vector<int>& part,
+               bool gs_nonblocking) {
     AleRun out;
     out.bds.resize(static_cast<std::size_t>(nprocs));
-    simmpi::World world(nprocs, probe);
+    simmpi::World world(nprocs, probe_net());
     const auto reports = world.run([&](simmpi::Comm& c) {
         nektar::AleOptions opts;
         opts.dt = 2e-3;
         opts.nu = 0.01;
         opts.cg.tolerance = 1e-8;
+        opts.gs_nonblocking = gs_nonblocking;
         opts.body_velocity = [](double t) { return 0.3 * std::sin(4.0 * t); };
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
@@ -65,6 +71,10 @@ AleRun run_ale(int nprocs, const mesh::Mesh& m, const std::vector<int>& part) {
         }
     });
     out.log = reports[0].log;
+    for (const auto& [stage, hidden] : reports[0].overlap_log) {
+        out.bds[0].add_comm_overlap(static_cast<std::size_t>(stage), hidden);
+        out.hidden_seconds += hidden;
+    }
     return out;
 }
 
@@ -100,7 +110,7 @@ int main() {
 
     for (int nprocs : {4, 8, 16, 32}) {
         const auto part = partition::partition_graph(g, nprocs);
-        const AleRun run = run_ale(nprocs, m, part);
+        const AleRun run = run_ale(nprocs, m, part, /*gs_nonblocking=*/false);
         const auto shapes = app_model::solver_shapes(run.field_bytes, run.solver_bytes);
         std::vector<std::string> row = {std::to_string(nprocs)};
         for (const auto& pl : platforms()) {
@@ -127,5 +137,58 @@ int main() {
     }
     std::printf("\n(reduced mesh; compare the scaling trend and platform ordering with\n"
                 "the paper's Table 3, where timings drop with P at fixed dof count)\n");
+
+    // Overlap ablation: the gather-scatter pairwise stage over posted
+    // irecvs (per-neighbour packing overlapped with transfers in flight)
+    // against the blocking sendrecv loop.  Ethernet included here because a
+    // kernel-TCP stack (poll < 1) is exactly where overlap pays off.
+    std::printf("\nNonblocking gather-scatter exchange vs blocking sendrecv\n");
+    std::printf("(CPU/wall s per step; 'recov' = wall seconds recovered per step)\n\n");
+    const std::vector<app_model::Platform> ablation_plats = {
+        {"NCSA", "NCSA", "NCSA"},
+        {"RoadRunner eth.", "RoadRunner", "RoadRunner eth."},
+        {"RoadRunner myr.", "RoadRunner", "RoadRunner myr."},
+    };
+    for (int nprocs : {8, 16}) {
+        const auto part = partition::partition_graph(g, nprocs);
+        const AleRun blk = run_ale(nprocs, m, part, /*gs_nonblocking=*/false);
+        const AleRun ovl = run_ale(nprocs, m, part, /*gs_nonblocking=*/true);
+        const auto shapes = app_model::solver_shapes(ovl.field_bytes, ovl.solver_bytes);
+        const double rho = app_model::overlap_efficiency(
+            ovl.hidden_seconds,
+            simmpi::price_log_split(ovl.log, probe_net(), nprocs).overlapped);
+        std::printf("P = %d  (hidden fraction of overlapped comm: %.0f%%)\n", nprocs,
+                    100.0 * rho);
+        benchutil::Table table2({"network", "blocking", "overlapped", "recov"}, 16);
+        table2.print_header();
+        for (const auto& pl : ablation_plats) {
+            const auto& mm = machine::by_name(pl.machine);
+            const auto& net = netsim::by_name(pl.network);
+            double mean_cpu = 0.0, max_cpu = 0.0;
+            for (const auto& bd : ovl.bds) {
+                const auto comp = app_model::compute_stage_seconds(bd, mm, shapes);
+                double c = 0.0;
+                for (std::size_t s = 1; s <= perf::kNumStages; ++s) c += comp[s];
+                c /= bd.steps;
+                mean_cpu += c;
+                max_cpu = std::max(max_cpu, c);
+            }
+            mean_cpu /= static_cast<double>(ovl.bds.size());
+            const double comm_blk =
+                simmpi::price_log(blk.log, net, nprocs) / blk.bds[0].steps;
+            const auto split = simmpi::price_log_split(ovl.log, net, nprocs);
+            const double comm_ovl = split.total() / ovl.bds[0].steps;
+            const double recov = app_model::recovered_seconds(
+                rho, split.overlapped / ovl.bds[0].steps, net.cpu_poll_fraction);
+            table2.print_row(
+                {pl.label,
+                 benchutil::fmt(mean_cpu + comm_blk * net.cpu_poll_fraction, "%.2f") + "/" +
+                     benchutil::fmt(max_cpu + comm_blk, "%.2f"),
+                 benchutil::fmt(mean_cpu + comm_ovl * net.cpu_poll_fraction, "%.2f") + "/" +
+                     benchutil::fmt(max_cpu + comm_ovl - recov, "%.2f"),
+                 benchutil::fmt(recov, "%.2f")});
+        }
+        std::printf("\n");
+    }
     return 0;
 }

@@ -7,7 +7,8 @@
 namespace gs {
 
 GatherScatter::GatherScatter(simmpi::Comm& comm, std::span<const std::int64_t> global_ids,
-                             Strategy strategy) {
+                             Strategy strategy, Exchange exchange)
+    : exchange_(exchange) {
     const int p = comm.size();
     const int me = comm.rank();
 
@@ -77,13 +78,42 @@ GatherScatter::GatherScatter(simmpi::Comm& comm, std::span<const std::int64_t> g
 
 void GatherScatter::sum(simmpi::Comm& comm, std::span<double> values) const {
     // Pairwise stage.
-    std::vector<double> sendbuf, recvbuf;
-    for (const Partner& pt : partners_) {
-        sendbuf.resize(pt.indices.size());
-        recvbuf.resize(pt.indices.size());
-        for (std::size_t i = 0; i < pt.indices.size(); ++i) sendbuf[i] = values[pt.indices[i]];
-        comm.sendrecv(pt.rank, /*tag=*/917, sendbuf, recvbuf);
-        for (std::size_t i = 0; i < pt.indices.size(); ++i) values[pt.indices[i]] += recvbuf[i];
+    if (exchange_ == Exchange::Nonblocking && !partners_.empty()) {
+        // Post every partner's receive, then pack and ship each payload —
+        // packing partner k+1 overlaps the transfers already in flight.
+        // Sums apply in partners_ order, exactly like the blocking loop, so
+        // the two modes are bit-identical.
+        const std::size_t np = partners_.size();
+        std::vector<std::vector<double>> send(np), recv(np);
+        std::vector<simmpi::Request> reqs(np);
+        for (std::size_t k = 0; k < np; ++k) {
+            recv[k].resize(partners_[k].indices.size());
+            reqs[k] = comm.irecv(partners_[k].rank, /*tag=*/917, recv[k]);
+        }
+        for (std::size_t k = 0; k < np; ++k) {
+            const Partner& pt = partners_[k];
+            send[k].resize(pt.indices.size());
+            for (std::size_t i = 0; i < pt.indices.size(); ++i)
+                send[k][i] = values[pt.indices[i]];
+            comm.isend(pt.rank, /*tag=*/917, send[k]);
+        }
+        for (std::size_t k = 0; k < np; ++k) {
+            const Partner& pt = partners_[k];
+            comm.wait(reqs[k]);
+            for (std::size_t i = 0; i < pt.indices.size(); ++i)
+                values[pt.indices[i]] += recv[k][i];
+        }
+    } else {
+        std::vector<double> sendbuf, recvbuf;
+        for (const Partner& pt : partners_) {
+            sendbuf.resize(pt.indices.size());
+            recvbuf.resize(pt.indices.size());
+            for (std::size_t i = 0; i < pt.indices.size(); ++i)
+                sendbuf[i] = values[pt.indices[i]];
+            comm.sendrecv(pt.rank, /*tag=*/917, sendbuf, recvbuf);
+            for (std::size_t i = 0; i < pt.indices.size(); ++i)
+                values[pt.indices[i]] += recvbuf[i];
+        }
     }
     // Tree stage: packed allreduce over the widely shared dofs.
     if (tree_size_ > 0) {

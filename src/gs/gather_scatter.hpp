@@ -30,11 +30,22 @@ public:
     /// the mix is measured against.
     enum class Strategy { Auto, TreeOnly };
 
+    /// How the pairwise stage moves its payloads: Blocking runs one
+    /// sendrecv per partner; Nonblocking posts every partner's receive up
+    /// front and overlaps each partner's packing with the transfers already
+    /// in flight (isend/irecv).  Both orders apply the neighbour sums
+    /// identically, so the results are bit-identical.
+    enum class Exchange { Blocking, Nonblocking };
+
     /// Collective: every rank of `comm` must call this with its own id list.
     /// Ids may be any non-negative 64-bit values; a rank must not list the
     /// same id twice.
     GatherScatter(simmpi::Comm& comm, std::span<const std::int64_t> global_ids,
-                  Strategy strategy = Strategy::Auto);
+                  Strategy strategy = Strategy::Auto,
+                  Exchange exchange = Exchange::Nonblocking);
+
+    void set_exchange(Exchange e) noexcept { exchange_ = e; }
+    [[nodiscard]] Exchange exchange() const noexcept { return exchange_; }
 
     /// Collective in-place assembly: values[i] becomes the global sum over
     /// every rank holding global_ids[i].
@@ -52,6 +63,7 @@ private:
         std::vector<std::size_t> indices;
     };
 
+    Exchange exchange_ = Exchange::Nonblocking;
     std::vector<Partner> partners_;          ///< pairwise exchange lists
     std::vector<std::size_t> tree_local_;    ///< local index of each tree dof
     std::vector<std::size_t> tree_slot_;     ///< its slot in the packed tree vector

@@ -72,4 +72,186 @@ void FourierTranspose::to_planes(simmpi::Comm* comm, std::span<const double> lin
     }
 }
 
+// ---------------------------------------------------------------------------
+// Overlapped (pipelined) mode
+// ---------------------------------------------------------------------------
+
+void FourierTranspose::pack_forward_slice(std::span<const double> planes,
+                                          std::span<double> send, std::size_t pb,
+                                          std::size_t pe) const {
+    const std::size_t block = nplanes_ * chunk_;
+    for (std::size_t d = 0; d < nranks_; ++d) {
+        for (std::size_t c = pb; c < pe; ++c) {
+            const std::size_t i = d * chunk_ + c;
+            for (std::size_t lp = 0; lp < nplanes_; ++lp)
+                send[d * block + c * nplanes_ + lp] = i < nq_ ? planes[lp * nq_ + i] : 0.0;
+        }
+    }
+}
+
+void FourierTranspose::unpack_forward_slice(std::span<const double> recv,
+                                            std::span<double> lines, std::size_t pb,
+                                            std::size_t pe) const {
+    const std::size_t block = nplanes_ * chunk_;
+    const std::size_t tp = total_planes();
+    for (std::size_t r = 0; r < nranks_; ++r)
+        for (std::size_t c = pb; c < pe; ++c)
+            for (std::size_t lp = 0; lp < nplanes_; ++lp)
+                lines[c * tp + r * nplanes_ + lp] = recv[r * block + c * nplanes_ + lp];
+}
+
+void FourierTranspose::pack_reverse_slice(std::span<const double> lines,
+                                          std::span<double> send, std::size_t pb,
+                                          std::size_t pe) const {
+    const std::size_t block = nplanes_ * chunk_;
+    const std::size_t tp = total_planes();
+    for (std::size_t d = 0; d < nranks_; ++d)
+        for (std::size_t c = pb; c < pe; ++c)
+            for (std::size_t lp = 0; lp < nplanes_; ++lp)
+                send[d * block + c * nplanes_ + lp] = lines[c * tp + d * nplanes_ + lp];
+}
+
+void FourierTranspose::unpack_reverse_slice(std::span<const double> recv,
+                                            std::span<double> planes, std::size_t pb,
+                                            std::size_t pe) const {
+    const std::size_t block = nplanes_ * chunk_;
+    for (std::size_t s = 0; s < nranks_; ++s) {
+        for (std::size_t c = pb; c < pe; ++c) {
+            const std::size_t i = s * chunk_ + c;
+            if (i >= nq_) continue;
+            for (std::size_t lp = 0; lp < nplanes_; ++lp)
+                planes[lp * nq_ + i] = recv[s * block + c * nplanes_ + lp];
+        }
+    }
+}
+
+void FourierTranspose::to_lines_overlapped(
+    simmpi::Comm* comm, std::span<const double> planes, std::span<double> lines,
+    std::size_t nslices, const std::function<void(std::size_t, std::size_t)>& on_ready) const {
+    assert(planes.size() == planes_buffer_size());
+    assert(lines.size() == lines_buffer_size());
+    if (!comm || nranks_ == 1) {
+        to_lines(comm, planes, lines);
+        if (on_ready) on_ready(0, chunk_);
+        return;
+    }
+    const std::size_t block = nplanes_ * chunk_;
+    std::vector<double> send(block * nranks_), recv(block * nranks_);
+    simmpi::Ialltoall h = comm->ialltoall(recv, block, nslices, nplanes_);
+    // Ship every slice up front; the transfers accrue in the background.
+    for (std::size_t s = 0; s < h.num_slices(); ++s) {
+        const std::size_t pb = h.slice_offset(s) / nplanes_;
+        pack_forward_slice(planes, send, pb, pb + h.slice_len(s) / nplanes_);
+        h.send_slice(s, send);
+    }
+    for (std::size_t s = 0; s < h.num_slices(); ++s) {
+        const std::size_t pb = h.slice_offset(s) / nplanes_;
+        const std::size_t pe = pb + h.slice_len(s) / nplanes_;
+        h.wait_slice(s);
+        unpack_forward_slice(recv, lines, pb, pe);
+        if (on_ready) on_ready(pb, pe);
+    }
+}
+
+void FourierTranspose::to_planes_overlapped(
+    simmpi::Comm* comm, std::span<const double> lines, std::span<double> planes,
+    std::size_t nslices, const std::function<void(std::size_t, std::size_t)>& produce) const {
+    assert(planes.size() == planes_buffer_size());
+    assert(lines.size() == lines_buffer_size());
+    if (!comm || nranks_ == 1) {
+        if (produce) produce(0, chunk_);
+        to_planes(comm, lines, planes);
+        return;
+    }
+    const std::size_t block = nplanes_ * chunk_;
+    std::vector<double> send(block * nranks_), recv(block * nranks_);
+    simmpi::Ialltoall h = comm->ialltoall(recv, block, nslices, nplanes_);
+    for (std::size_t s = 0; s < h.num_slices(); ++s) {
+        const std::size_t pb = h.slice_offset(s) / nplanes_;
+        const std::size_t pe = pb + h.slice_len(s) / nplanes_;
+        if (produce) produce(pb, pe);
+        pack_reverse_slice(lines, send, pb, pe);
+        h.send_slice(s, send);
+    }
+    for (std::size_t s = 0; s < h.num_slices(); ++s) {
+        const std::size_t pb = h.slice_offset(s) / nplanes_;
+        h.wait_slice(s);
+        unpack_reverse_slice(recv, planes, pb, pb + h.slice_len(s) / nplanes_);
+    }
+}
+
+void FourierTranspose::roundtrip_overlapped(
+    simmpi::Comm* comm, const std::vector<std::span<const double>>& planes_in,
+    const std::vector<std::span<double>>& lines_in,
+    const std::vector<std::span<const double>>& lines_out,
+    const std::vector<std::span<double>>& planes_out, std::size_t nslices,
+    const std::function<void(std::size_t, std::size_t)>& compute) const {
+    assert(planes_in.size() == lines_in.size());
+    assert(lines_out.size() == planes_out.size());
+    if (!comm || nranks_ == 1) {
+        for (std::size_t f = 0; f < planes_in.size(); ++f)
+            to_lines(comm, planes_in[f], lines_in[f]);
+        compute(0, chunk_);
+        for (std::size_t f = 0; f < lines_out.size(); ++f)
+            to_planes(comm, lines_out[f], planes_out[f]);
+        return;
+    }
+    const std::size_t block = nplanes_ * chunk_;
+    const std::size_t nf_in = planes_in.size();
+    const std::size_t nf_out = lines_out.size();
+    if (nf_in == 0 && nf_out == 0) {
+        compute(0, chunk_);
+        return;
+    }
+    std::vector<std::vector<double>> send_in(nf_in), recv_in(nf_in);
+    std::vector<std::vector<double>> send_out(nf_out), recv_out(nf_out);
+    std::vector<simmpi::Ialltoall> hin(nf_in), hout(nf_out);
+    for (std::size_t f = 0; f < nf_in; ++f) {
+        send_in[f].resize(block * nranks_);
+        recv_in[f].resize(block * nranks_);
+        hin[f] = comm->ialltoall(recv_in[f], block, nslices, nplanes_);
+    }
+    for (std::size_t f = 0; f < nf_out; ++f) {
+        send_out[f].resize(block * nranks_);
+        recv_out[f].resize(block * nranks_);
+        hout[f] = comm->ialltoall(recv_out[f], block, nslices, nplanes_);
+    }
+    const simmpi::Ialltoall& geom = nf_in ? hin[0] : hout[0];
+    const std::size_t ns = geom.num_slices();
+    const auto point_range = [&](std::size_t s) {
+        const std::size_t pb = geom.slice_offset(s) / nplanes_;
+        return std::pair{pb, pb + geom.slice_len(s) / nplanes_};
+    };
+    // Ship every forward slice up front, then drain them one at a time:
+    // compute on slice s runs while slices s+1.. are still in flight, and
+    // each slice's results ship immediately, overlapping the reverse
+    // exchange against the remaining computation.
+    for (std::size_t s = 0; s < ns; ++s) {
+        const auto [pb, pe] = point_range(s);
+        for (std::size_t f = 0; f < nf_in; ++f) {
+            pack_forward_slice(planes_in[f], send_in[f], pb, pe);
+            hin[f].send_slice(s, send_in[f]);
+        }
+    }
+    for (std::size_t s = 0; s < ns; ++s) {
+        const auto [pb, pe] = point_range(s);
+        for (std::size_t f = 0; f < nf_in; ++f) {
+            hin[f].wait_slice(s);
+            unpack_forward_slice(recv_in[f], lines_in[f], pb, pe);
+        }
+        compute(pb, pe);
+        for (std::size_t f = 0; f < nf_out; ++f) {
+            pack_reverse_slice(lines_out[f], send_out[f], pb, pe);
+            hout[f].send_slice(s, send_out[f]);
+        }
+    }
+    for (std::size_t s = 0; s < ns; ++s) {
+        const auto [pb, pe] = point_range(s);
+        for (std::size_t f = 0; f < nf_out; ++f) {
+            hout[f].wait_slice(s);
+            unpack_reverse_slice(recv_out[f], planes_out[f], pb, pe);
+        }
+    }
+}
+
 } // namespace nektar

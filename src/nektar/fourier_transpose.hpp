@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -42,6 +43,39 @@ public:
     void to_planes(simmpi::Comm* comm, std::span<const double> lines,
                    std::span<double> planes) const;
 
+    /// Pipelined to_lines over the chunked nonblocking alltoall: the per-peer
+    /// block is cut into `nslices` point-aligned slices that ship up front
+    /// and land one at a time, so the caller's per-point work can start on
+    /// early points while later ones are still in flight.  `on_ready(b, e)`
+    /// (optional) is invoked as soon as lines for points [b, e) are complete.
+    /// The line values are bit-identical to to_lines.
+    void to_lines_overlapped(simmpi::Comm* comm, std::span<const double> planes,
+                             std::span<double> lines, std::size_t nslices,
+                             const std::function<void(std::size_t, std::size_t)>& on_ready =
+                                 {}) const;
+
+    /// Pipelined inverse: `produce(b, e)` (optional) must fill lines for
+    /// points [b, e) right before that slice ships, letting production
+    /// overlap the transfers.  Bit-identical to to_planes.
+    void to_planes_overlapped(simmpi::Comm* comm, std::span<const double> lines,
+                              std::span<double> planes, std::size_t nslices,
+                              const std::function<void(std::size_t, std::size_t)>& produce =
+                                  {}) const;
+
+    /// The nonlinear step's full pipelined exchange: forward-transposes every
+    /// `planes_in` field into the matching `lines_in` buffer, calls
+    /// `compute(b, e)` as each slice of points [b, e) arrives (it must fill
+    /// that point range of every `lines_out` field), and reverse-transposes
+    /// `lines_out` into `planes_out` — both exchanges overlapped against the
+    /// per-slice computation.  Results are bit-identical to the blocking
+    /// to_lines / compute(0, chunk) / to_planes sequence.
+    void roundtrip_overlapped(
+        simmpi::Comm* comm, const std::vector<std::span<const double>>& planes_in,
+        const std::vector<std::span<double>>& lines_in,
+        const std::vector<std::span<const double>>& lines_out,
+        const std::vector<std::span<double>>& planes_out, std::size_t nslices,
+        const std::function<void(std::size_t, std::size_t)>& compute) const;
+
     /// Physical point index of local line i (may be >= nq for padding).
     [[nodiscard]] std::size_t global_point(std::size_t i, int rank) const noexcept {
         return static_cast<std::size_t>(rank) * chunk_ + i;
@@ -53,6 +87,19 @@ public:
     }
 
 private:
+    // The overlapped exchanges use a point-major per-peer block layout
+    // (point, then plane) so a slice of points is contiguous on the wire;
+    // the blocking path keeps its plane-major layout.  Both carry the same
+    // values, so the two modes stay bit-identical.
+    void pack_forward_slice(std::span<const double> planes, std::span<double> send,
+                            std::size_t pb, std::size_t pe) const;
+    void unpack_forward_slice(std::span<const double> recv, std::span<double> lines,
+                              std::size_t pb, std::size_t pe) const;
+    void pack_reverse_slice(std::span<const double> lines, std::span<double> send,
+                            std::size_t pb, std::size_t pe) const;
+    void unpack_reverse_slice(std::span<const double> recv, std::span<double> planes,
+                              std::size_t pb, std::size_t pe) const;
+
     std::size_t nq_;
     std::size_t nplanes_;
     std::size_t nranks_;

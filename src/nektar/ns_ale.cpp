@@ -105,7 +105,10 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
                 assert(fmap[i].sign == lmap[i].sign && "orientation must be preserved");
             }
         }
-        gs_ = std::make_unique<gs::GatherScatter>(*comm_, gids);
+        gs_ = std::make_unique<gs::GatherScatter>(*comm_, gids, gs::GatherScatter::Strategy::Auto,
+                                                  opts_.gs_nonblocking
+                                                      ? gs::GatherScatter::Exchange::Nonblocking
+                                                      : gs::GatherScatter::Exchange::Blocking);
     }
 
     // Dot-product weights: 1 / multiplicity so shared dofs count once.

@@ -45,6 +45,9 @@ struct AleOptions {
     VelocityBC u_bc = [](double, double, double) { return 0.0; };
     VelocityBC v_bc = [](double, double, double) { return 0.0; };
     la::CgOptions cg{.max_iterations = 2000, .tolerance = 1e-9};
+    /// Run the gather-scatter pairwise stage over posted irecvs with
+    /// per-neighbour packing overlapped (bit-identical to blocking).
+    bool gs_nonblocking = true;
 };
 
 class AleNS2d : public SolverCore {

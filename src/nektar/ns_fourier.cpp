@@ -148,46 +148,72 @@ void FourierNS::nonlinear(std::vector<std::vector<double>>& nl) {
     const std::size_t chunk = transpose_.chunk();
     if (comm_) comm_->set_stage(kStageTranspose);
 
-    // 1. Transpose the three velocity components to z-line layout.
-    std::vector<std::vector<double>> lines(3, std::vector<double>(transpose_.lines_buffer_size()));
-    for (int c = 0; c < 3; ++c) transpose_.to_lines(comm_, quad_[c], lines[c]);
-
-    // 2. Inverse FFT each point's spectrum, form the six quadratic products
-    //    in physical z, forward FFT back.  Divergence form:
+    // 1./2./3. Transpose the three velocity components to z-line layout,
+    // inverse FFT each point's spectrum, form the six quadratic products in
+    // physical z, forward FFT back, and transpose the products to plane
+    // layout.  Divergence form:
     //    N_i = -(d/dx (u u_i) + d/dy (v u_i) + d/dz (w u_i)).
     static constexpr int prod_of[6][2] = {{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}};
+    std::vector<std::vector<double>> lines(3, std::vector<double>(transpose_.lines_buffer_size()));
     std::vector<std::vector<double>> plines(
         6, std::vector<double>(transpose_.lines_buffer_size(), 0.0));
+    std::vector<std::vector<double>> pplanes(
+        6, std::vector<double>(transpose_.planes_buffer_size()));
     std::vector<std::vector<double>> phys(3, std::vector<double>(nz));
     std::vector<fft::cplx> spec(opts_.num_modes + 1);
     std::vector<double> prod(nz);
-    for (std::size_t i = 0; i < chunk; ++i) {
-        for (int c = 0; c < 3; ++c) {
-            for (std::size_t k = 0; k < opts_.num_modes; ++k)
-                spec[k] = fft::cplx{lines[c][i * tp + 2 * k], lines[c][i * tp + 2 * k + 1]} *
-                          static_cast<double>(nz);
-            spec[opts_.num_modes] = fft::cplx{0.0, 0.0}; // Nyquist
-            phys[static_cast<std::size_t>(c)] = fft::irfft(zplan_, spec);
-        }
-        for (int pr = 0; pr < 6; ++pr) {
-            const auto& a = phys[static_cast<std::size_t>(prod_of[pr][0])];
-            const auto& b = phys[static_cast<std::size_t>(prod_of[pr][1])];
-            for (std::size_t j = 0; j < nz; ++j) prod[j] = a[j] * b[j];
-            const auto pspec = fft::rfft(zplan_, prod);
-            for (std::size_t k = 0; k < opts_.num_modes; ++k) {
-                plines[static_cast<std::size_t>(pr)][i * tp + 2 * k] =
-                    pspec[k].real() / static_cast<double>(nz);
-                plines[static_cast<std::size_t>(pr)][i * tp + 2 * k + 1] =
-                    pspec[k].imag() / static_cast<double>(nz);
+    // The z-line work for points [b, e); in overlapped mode it runs slice by
+    // slice between the pipelined exchanges' waits.
+    const auto compute_lines = [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+            for (int c = 0; c < 3; ++c) {
+                for (std::size_t k = 0; k < opts_.num_modes; ++k)
+                    spec[k] = fft::cplx{lines[c][i * tp + 2 * k], lines[c][i * tp + 2 * k + 1]} *
+                              static_cast<double>(nz);
+                spec[opts_.num_modes] = fft::cplx{0.0, 0.0}; // Nyquist
+                phys[static_cast<std::size_t>(c)] = fft::irfft(zplan_, spec);
+            }
+            for (int pr = 0; pr < 6; ++pr) {
+                const auto& a = phys[static_cast<std::size_t>(prod_of[pr][0])];
+                const auto& b2 = phys[static_cast<std::size_t>(prod_of[pr][1])];
+                for (std::size_t j = 0; j < nz; ++j) prod[j] = a[j] * b2[j];
+                const auto pspec = fft::rfft(zplan_, prod);
+                for (std::size_t k = 0; k < opts_.num_modes; ++k) {
+                    plines[static_cast<std::size_t>(pr)][i * tp + 2 * k] =
+                        pspec[k].real() / static_cast<double>(nz);
+                    plines[static_cast<std::size_t>(pr)][i * tp + 2 * k + 1] =
+                        pspec[k].imag() / static_cast<double>(nz);
+                }
             }
         }
-    }
+        if (comm_ && opts_.virtual_compute_flops > 0.0 && e > b) {
+            // 9 z-FFTs (~5 nz log2 nz flops each) plus 6 pointwise products
+            // per line, charged at the nominal rate.
+            const double flops_per_line =
+                (45.0 * std::log2(static_cast<double>(nz)) + 6.0) * static_cast<double>(nz);
+            comm_->advance_compute(static_cast<double>(e - b) * flops_per_line /
+                                   opts_.virtual_compute_flops);
+        }
+    };
 
-    // 3. Transpose the products back to plane layout.
-    std::vector<std::vector<double>> pplanes(
-        6, std::vector<double>(transpose_.planes_buffer_size()));
-    for (int pr = 0; pr < 6; ++pr) transpose_.to_planes(comm_, plines[static_cast<std::size_t>(pr)],
-                                                        pplanes[static_cast<std::size_t>(pr)]);
+    if (opts_.overlap_transpose && comm_ && comm_->size() > 1) {
+        const std::vector<std::span<const double>> pin = {quad_[0], quad_[1], quad_[2]};
+        const std::vector<std::span<double>> lin = {lines[0], lines[1], lines[2]};
+        std::vector<std::span<const double>> lout;
+        std::vector<std::span<double>> pout;
+        for (int pr = 0; pr < 6; ++pr) {
+            lout.emplace_back(plines[static_cast<std::size_t>(pr)]);
+            pout.emplace_back(pplanes[static_cast<std::size_t>(pr)]);
+        }
+        transpose_.roundtrip_overlapped(comm_, pin, lin, lout, pout, opts_.overlap_slices,
+                                        compute_lines);
+    } else {
+        for (int c = 0; c < 3; ++c) transpose_.to_lines(comm_, quad_[c], lines[c]);
+        compute_lines(0, chunk);
+        for (int pr = 0; pr < 6; ++pr)
+            transpose_.to_planes(comm_, plines[static_cast<std::size_t>(pr)],
+                                 pplanes[static_cast<std::size_t>(pr)]);
+    }
     if (comm_) comm_->set_stage(-1);
 
     // 4. Differentiate in plane space: N_c = -(dx P_xc + dy P_yc + i beta P_zc).

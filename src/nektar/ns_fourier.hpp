@@ -36,6 +36,16 @@ struct FourierNsOptions {
     VelocityBC u_bc = [](double, double, double) { return 0.0; };
     VelocityBC v_bc = [](double, double, double) { return 0.0; };
     VelocityBC w_bc = [](double, double, double) { return 0.0; };
+    /// Pipeline the nonlinear step's transpositions against the z-line FFT
+    /// work through the chunked nonblocking alltoall.  Bit-identical to the
+    /// blocking path — only the virtual-clock accounting changes.
+    bool overlap_transpose = true;
+    std::size_t overlap_slices = 4; ///< pipeline depth (slices per exchange)
+    /// Nominal FPU rate (flop/s) used to charge the z-line work to the
+    /// simmpi virtual clocks, giving the pipelined exchange computation to
+    /// hide transfers under.  Accounting only — results never depend on it;
+    /// 0 disables the charge.
+    double virtual_compute_flops = 150e6;
 };
 
 /// 3-D initial condition f(x, y, z).

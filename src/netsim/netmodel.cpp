@@ -72,6 +72,15 @@ double NetworkModel::alltoall_bandwidth_mbps(int nprocs, std::size_t m_bytes) co
     return static_cast<double>(p - 1) * static_cast<double>(m_bytes) / t / 1e6;
 }
 
+double NetworkModel::alltoall_share_seconds(int nprocs, std::size_t block_bytes,
+                                            std::size_t part_bytes) const noexcept {
+    const int p = std::max(nprocs, 1);
+    if (p == 1 || block_bytes == 0) return 0.0;
+    const double whole = alltoall_seconds(p, block_bytes);
+    return whole * static_cast<double>(part_bytes) /
+           (static_cast<double>(block_bytes) * static_cast<double>(p - 1));
+}
+
 double NetworkModel::allreduce_seconds(int nprocs, std::size_t m_bytes) const noexcept {
     const int p = std::max(nprocs, 1);
     if (p == 1) return 0.0;

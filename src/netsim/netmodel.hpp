@@ -78,6 +78,15 @@ struct NetworkModel {
     /// (P-1)*m bytes each rank ships divided by the collective's duration.
     [[nodiscard]] double alltoall_bandwidth_mbps(int nprocs, std::size_t m_bytes) const noexcept;
 
+    /// Cost share of one peer message of `part_bytes` inside a P-rank
+    /// alltoall whose per-rank block is `block_bytes`.  The nonblocking
+    /// chunked exchange charges each of its (P-1) x slices messages this
+    /// share, so its background total equals alltoall_seconds(P, block):
+    /// pipelining changes when the cost can be hidden, not how much the
+    /// network works.
+    [[nodiscard]] double alltoall_share_seconds(int nprocs, std::size_t block_bytes,
+                                                std::size_t part_bytes) const noexcept;
+
     /// Time for a recursive-doubling allreduce of m bytes across P ranks.
     [[nodiscard]] double allreduce_seconds(int nprocs, std::size_t m_bytes) const noexcept;
 

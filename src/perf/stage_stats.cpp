@@ -8,6 +8,7 @@ StageBreakdown& StageBreakdown::operator+=(const StageBreakdown& o) {
         host_seconds[s] += o.host_seconds[s];
         retransmits[s] += o.retransmits[s];
         fault_seconds[s] += o.fault_seconds[s];
+        overlap_seconds[s] += o.overlap_seconds[s];
     }
     steps += o.steps;
     return *this;
@@ -20,6 +21,11 @@ void StageBreakdown::add_comm_faults(std::size_t stage, std::uint64_t retransmit
     fault_seconds[s] += extra_seconds;
 }
 
+void StageBreakdown::add_comm_overlap(std::size_t stage, double hidden_seconds) {
+    const std::size_t s = stage <= kNumStages ? stage : 0;
+    overlap_seconds[s] += hidden_seconds;
+}
+
 std::uint64_t StageBreakdown::total_retransmits() const {
     std::uint64_t t = 0;
     for (std::size_t s = 0; s <= kNumStages; ++s) t += retransmits[s];
@@ -29,6 +35,12 @@ std::uint64_t StageBreakdown::total_retransmits() const {
 double StageBreakdown::total_fault_seconds() const {
     double t = 0.0;
     for (std::size_t s = 0; s <= kNumStages; ++s) t += fault_seconds[s];
+    return t;
+}
+
+double StageBreakdown::total_overlap_seconds() const {
+    double t = 0.0;
+    for (std::size_t s = 0; s <= kNumStages; ++s) t += overlap_seconds[s];
     return t;
 }
 

@@ -43,6 +43,10 @@ struct StageBreakdown {
     /// unfaulted communication costs.  Zero for serial or perfect-network runs.
     std::array<std::uint64_t, kNumStages + 1> retransmits{};
     std::array<double, kNumStages + 1> fault_seconds{};
+    /// Virtual comm seconds the nonblocking exchanges hid under computation
+    /// per stage (simmpi::OverlapLog) — the "overlapped comm" column of the
+    /// application tables.  Zero for blocking-only or serial runs.
+    std::array<double, kNumStages + 1> overlap_seconds{};
     int steps = 0;
 
     StageBreakdown& operator+=(const StageBreakdown& o);
@@ -52,10 +56,15 @@ struct StageBreakdown {
     void add_comm_faults(std::size_t stage, std::uint64_t retransmit_count,
                          double extra_seconds);
 
+    /// Credits `stage` with comm seconds the nonblocking path hid under
+    /// computation.  Same slot rule as add_comm_faults.
+    void add_comm_overlap(std::size_t stage, double hidden_seconds);
+
     [[nodiscard]] blaslite::OpCounts total_counts() const;
     [[nodiscard]] double total_host_seconds() const;
     [[nodiscard]] std::uint64_t total_retransmits() const;
     [[nodiscard]] double total_fault_seconds() const;
+    [[nodiscard]] double total_overlap_seconds() const;
 
     /// Predicted seconds a machine spends in `stage` over the recorded run.
     [[nodiscard]] double predict_stage_seconds(const machine::MachineModel& m,

@@ -55,6 +55,29 @@ double price_log(const CommLog& log, const netsim::NetworkModel& net, int nprocs
     return t;
 }
 
+SplitSeconds price_stage_split(const CommLog& log, int stage, const netsim::NetworkModel& net,
+                               int nprocs) {
+    SplitSeconds out;
+    const auto it = log.find(stage);
+    if (it == log.end()) return out;
+    for (const auto& [key, count] : it->second) {
+        const double t = static_cast<double>(count) * event_seconds(key, net, nprocs);
+        (key.overlapped ? out.overlapped : out.blocking) += t;
+    }
+    return out;
+}
+
+SplitSeconds price_log_split(const CommLog& log, const netsim::NetworkModel& net, int nprocs) {
+    SplitSeconds out;
+    for (const auto& [stage, events] : log) {
+        (void)events;
+        const SplitSeconds s = price_stage_split(log, stage, net, nprocs);
+        out.blocking += s.blocking;
+        out.overlapped += s.overlapped;
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------------------
 // Comm
 // ---------------------------------------------------------------------------
@@ -110,6 +133,218 @@ void Comm::sendrecv(int partner, int tag, std::span<const double> send_data,
     // send-then-recv order cannot deadlock.
     send(partner, tag, send_data);
     recv(partner, tag, recv_data);
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking point-to-point
+// ---------------------------------------------------------------------------
+
+double Comm::overlapped_seconds() const noexcept {
+    double t = 0.0;
+    for (const auto& [stage, s] : overlap_log_) {
+        (void)stage;
+        t += s;
+    }
+    return t;
+}
+
+void Comm::post_background(int dest, int tag, std::span<const double> data, double base_cost) {
+    World::Message msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.payload.assign(data.begin(), data.end());
+    const double cost = faulted_cost(base_cost);
+    // Posted transfers queue on this rank's NIC: a burst of isends costs
+    // what serialized transfers cost, it just accrues while the rank works.
+    const double start = std::max(wall_, nic_busy_);
+    msg.avail_time = start + cost;
+    msg.cost = cost;
+    nic_busy_ = msg.avail_time;
+    world_->deliver(dest, std::move(msg));
+}
+
+Request Comm::isend(int dest, int tag, std::span<const double> data) {
+    assert(dest >= 0 && dest < size_ && dest != rank_);
+    const std::size_t bytes = data.size_bytes();
+    record(CommKind::Ptp, bytes, /*overlapped=*/true);
+    post_background(dest, tag, data, world_->net_.ptp_seconds(bytes));
+    // The sender pays the same injection overhead as a blocking send; the
+    // payload is buffered, so the request is complete at once.
+    const double overhead = 0.5 * world_->net_.latency_us * 1e-6;
+    wall_ += overhead;
+    cpu_ += overhead * world_->net_.cpu_poll_fraction;
+    Request r;
+    r.kind_ = Request::Kind::Send;
+    r.done_ = true;
+    r.peer_ = dest;
+    r.tag_ = tag;
+    return r;
+}
+
+Request Comm::irecv(int src, int tag, std::span<double> data) {
+    assert(src >= 0 && src < size_ && src != rank_);
+    Request r;
+    r.kind_ = Request::Kind::Recv;
+    r.peer_ = src;
+    r.tag_ = tag;
+    r.buf_ = data;
+    r.post_wall_ = wall_;
+    ++pending_recvs_;
+    return r;
+}
+
+void Comm::absorb(Request& r, detail::Message&& msg) {
+    if (msg.payload.size() != r.buf_.size())
+        throw std::runtime_error("simmpi: irecv size mismatch");
+    assert(r.post_wall_ <= wall_);
+    std::copy(msg.payload.begin(), msg.payload.end(), r.buf_.begin());
+    const double before = wall_;
+    wall_ = std::max(wall_, msg.avail_time);
+    const double idle = wall_ - before;
+    cpu_ += idle * world_->net_.cpu_poll_fraction;
+    // Whatever part of the background transfer did not surface as idle was
+    // hidden under this rank's own work since the post: that is the
+    // "overlapped comm" the application tables report.
+    overlap_log_[stage_] += std::max(0.0, msg.cost - idle);
+    r.done_ = true;
+    --pending_recvs_;
+}
+
+void Comm::wait(Request& r) {
+    if (!r.valid()) throw std::runtime_error("simmpi: wait on an empty Request");
+    if (r.done_) return;
+    absorb(r, world_->take(rank_, r.peer_, r.tag_));
+}
+
+void Comm::waitall(std::span<Request> rs) {
+    for (Request& r : rs)
+        if (r.valid()) wait(r);
+}
+
+bool Comm::test(Request& r) {
+    if (!r.valid()) throw std::runtime_error("simmpi: test on an empty Request");
+    if (r.done_) return true;
+    World::Message msg;
+    if (!world_->try_take(rank_, r.peer_, r.tag_, wall_, msg)) return false;
+    absorb(r, std::move(msg));
+    return true;
+}
+
+void Comm::check_no_pending() const {
+    if (pending_recvs_ != 0)
+        throw std::runtime_error("simmpi: rank " + std::to_string(rank_) + " finished with " +
+                                 std::to_string(pending_recvs_) +
+                                 " pending nonblocking request(s) never waited on");
+}
+
+// ---------------------------------------------------------------------------
+// Chunked nonblocking alltoall
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Tags at and above kCollTagBase are reserved for nonblocking collectives;
+/// application point-to-point traffic must stay below it.
+constexpr int kCollTagBase = 1 << 20;
+constexpr int kCollTagRange = 1 << 19;
+} // namespace
+
+std::size_t Ialltoall::slice_offset(std::size_t s) const noexcept {
+    const std::size_t units = granule_ ? block_ / granule_ : 0;
+    const std::size_t base = nslices_ ? units / nslices_ : 0;
+    const std::size_t rem = nslices_ ? units % nslices_ : 0;
+    return (s * base + std::min(s, rem)) * granule_;
+}
+
+std::size_t Ialltoall::slice_len(std::size_t s) const noexcept {
+    const std::size_t units = granule_ ? block_ / granule_ : 0;
+    const std::size_t base = nslices_ ? units / nslices_ : 0;
+    const std::size_t rem = nslices_ ? units % nslices_ : 0;
+    return (base + (s < rem ? 1 : 0)) * granule_;
+}
+
+Ialltoall Comm::ialltoall(std::span<double> recv, std::size_t block, std::size_t nslices,
+                          std::size_t granule) {
+    const std::size_t p = static_cast<std::size_t>(size_);
+    if (recv.size() != p * block) throw std::runtime_error("simmpi: ialltoall size mismatch");
+    if (granule == 0 || block % granule != 0)
+        throw std::runtime_error("simmpi: ialltoall block must divide into granules");
+    const std::size_t units = block / granule;
+    Ialltoall h;
+    h.comm_ = this;
+    h.recv_ = recv;
+    h.block_ = block;
+    h.granule_ = granule;
+    h.nslices_ = std::min(std::max<std::size_t>(nslices, 1), std::max<std::size_t>(units, 1));
+    h.tag_ = kCollTagBase + coll_seq_;
+    coll_seq_ = (coll_seq_ + 1) % kCollTagRange;
+    record(CommKind::Alltoall, block * sizeof(double), /*overlapped=*/true);
+    if (p > 1) {
+        // Post every (peer, slice) receive up front so any arrival order of
+        // the peers' sends queues cleanly.
+        h.recvs_.resize(h.nslices_ * p);
+        for (std::size_t s = 0; s < h.nslices_; ++s) {
+            const std::size_t off = h.slice_offset(s);
+            const std::size_t len = h.slice_len(s);
+            for (std::size_t src = 0; src < p; ++src) {
+                if (src == static_cast<std::size_t>(rank_)) continue;
+                h.recvs_[s * p + src] =
+                    irecv(static_cast<int>(src), h.tag_, recv.subspan(src * block + off, len));
+            }
+        }
+    }
+    return h;
+}
+
+void Ialltoall::send_slice(std::size_t s, std::span<const double> send) {
+    if (!comm_) throw std::runtime_error("simmpi: send_slice on an empty Ialltoall");
+    if (s != next_send_ || s >= nslices_)
+        throw std::runtime_error("simmpi: ialltoall slices must be sent in ascending order");
+    ++next_send_;
+    Comm& c = *comm_;
+    const std::size_t p = static_cast<std::size_t>(c.size_);
+    if (send.size() != p * block_)
+        throw std::runtime_error("simmpi: ialltoall send size mismatch");
+    const std::size_t off = slice_offset(s);
+    const std::size_t len = slice_len(s);
+    const std::size_t me = static_cast<std::size_t>(c.rank_);
+    // The self block bypasses the network.
+    std::copy(send.begin() + static_cast<std::ptrdiff_t>(me * block_ + off),
+              send.begin() + static_cast<std::ptrdiff_t>(me * block_ + off + len),
+              recv_.begin() + static_cast<std::ptrdiff_t>(me * block_ + off));
+    if (p == 1) return;
+    const netsim::NetworkModel& net = c.world_->network();
+    // Each peer message carries its share of the blocking collective's cost,
+    // so the background total matches what alltoall() would have charged.
+    const double share =
+        net.alltoall_share_seconds(c.size_, block_ * sizeof(double), len * sizeof(double));
+    // Staggered peer order (the classic pairwise schedule) so no rank is
+    // everyone's first target.
+    for (std::size_t d = 1; d < p; ++d) {
+        const int dest = static_cast<int>((me + d) % p);
+        c.post_background(dest, tag_,
+                          send.subspan(static_cast<std::size_t>(dest) * block_ + off, len),
+                          share);
+    }
+    const double overhead = 0.5 * net.latency_us * 1e-6;
+    c.wall_ += overhead;
+    c.cpu_ += overhead * net.cpu_poll_fraction;
+}
+
+void Ialltoall::wait_slice(std::size_t s) {
+    if (!comm_) throw std::runtime_error("simmpi: wait_slice on an empty Ialltoall");
+    if (s != next_wait_ || s >= nslices_)
+        throw std::runtime_error("simmpi: ialltoall slices must be waited in ascending order");
+    ++next_wait_;
+    Comm& c = *comm_;
+    const std::size_t p = static_cast<std::size_t>(c.size_);
+    for (std::size_t d = 1; d < p; ++d) {
+        const std::size_t src = (static_cast<std::size_t>(c.rank_) + d) % p;
+        c.wait(recvs_[s * p + src]);
+    }
+}
+
+void Ialltoall::finish() {
+    while (next_wait_ < nslices_) wait_slice(next_wait_);
 }
 
 double Comm::sync_and_charge(double coll_seconds) {
@@ -281,6 +516,21 @@ World::Message World::take(int self, int src, int tag) {
     }
 }
 
+bool World::try_take(int self, int src, int tag, double wall, Message& out) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    std::lock_guard lk(box.mtx);
+    // Only the first queued (src, tag) match is eligible: a later message on
+    // the same channel never jumps an earlier one, so test() preserves the
+    // sender's program order exactly like wait() does.
+    const auto it = std::find_if(box.queue.begin(), box.queue.end(), [&](const Message& m) {
+        return m.src == src && m.tag == tag;
+    });
+    if (it == box.queue.end() || it->avail_time > wall) return false;
+    out = std::move(*it);
+    box.queue.erase(it);
+    return true;
+}
+
 double World::rendezvous_max(double wall) {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::duration<double>(watchdog_seconds_);
@@ -324,6 +574,7 @@ std::vector<RankReport> World::run(const std::function<void(Comm&)>& fn) {
             Comm comm(*this, r, nprocs_);
             try {
                 fn(comm);
+                comm.check_no_pending();
             } catch (const Aborted&) {
                 // Woken by another rank's failure; unwind quietly.
             } catch (...) {
@@ -341,6 +592,7 @@ std::vector<RankReport> World::run(const std::function<void(Comm&)>& fn) {
             rep.wall_seconds = comm.wall_time();
             rep.log = comm.log();
             rep.fault_log = comm.fault_log();
+            rep.overlap_log = comm.overlap_log();
         });
     }
     for (auto& t : threads) t.join();

@@ -44,6 +44,17 @@
 /// so their peers accumulate idle time at the next synchronisation, and the
 /// per-stage FaultLog records the retransmit counts and the fault-attributed
 /// extra seconds.  Faults never touch payloads — only time.
+///
+/// Nonblocking point-to-point (isend/irecv returning a Request, plus
+/// wait/waitall/test and the chunked ialltoall) keeps the same honest
+/// semantics: the transfer cost accrues in the background from the moment
+/// the send is posted (consecutive posts queue behind one another on the
+/// sender's NIC), and only the part of that window not covered by the
+/// receiver's own work surfaces as idle time at wait().  The covered part is
+/// recorded per stage in the OverlapLog — the "overlapped comm" column of
+/// the application tables — and overlapped events carry a flag in the
+/// CommLog so a run can be re-priced per network with and without the
+/// overlap credit.  Faulted costs accrue in the background the same way.
 namespace simmpi {
 
 /// Communication operation categories for the event log.
@@ -55,6 +66,9 @@ enum class CommKind : std::uint8_t { Ptp, Alltoall, Allreduce, Gather, Bcast, Ba
 struct CommEventKey {
     CommKind kind;
     std::size_t bytes;  ///< ptp: message size; collectives: per-rank block size
+    /// Issued through the nonblocking API: the cost accrued in the
+    /// background and could be hidden under computation.
+    bool overlapped = false;
     auto operator<=>(const CommEventKey&) const = default;
 };
 
@@ -62,12 +76,29 @@ struct CommEventKey {
 /// everything issued outside an explicit stage.
 using CommLog = std::map<int, std::map<CommEventKey, std::uint64_t>>;
 
+/// stage id -> virtual comm seconds the nonblocking path hid under other
+/// work (the part of each in-flight window that did not surface as idle).
+using OverlapLog = std::map<int, double>;
+
 /// Prices a log on a given network for a run with `nprocs` ranks.
 [[nodiscard]] double price_log(const CommLog& log, const netsim::NetworkModel& net, int nprocs);
 
 /// Prices only the given stage.
 [[nodiscard]] double price_stage(const CommLog& log, int stage, const netsim::NetworkModel& net,
                                  int nprocs);
+
+/// A log's price split into the strictly blocking part and the part issued
+/// through the nonblocking API (the latter is what overlap can recover).
+struct SplitSeconds {
+    double blocking = 0.0;
+    double overlapped = 0.0;
+    [[nodiscard]] double total() const noexcept { return blocking + overlapped; }
+};
+
+[[nodiscard]] SplitSeconds price_stage_split(const CommLog& log, int stage,
+                                             const netsim::NetworkModel& net, int nprocs);
+[[nodiscard]] SplitSeconds price_log_split(const CommLog& log, const netsim::NetworkModel& net,
+                                           int nprocs);
 
 /// Fault accounting for one stage: how many transmissions were lost and how
 /// much virtual time the fault model added on top of the unfaulted costs.
@@ -98,9 +129,94 @@ struct RankReport {
     double wall_seconds = 0.0;
     CommLog log;
     FaultLog fault_log;
+    OverlapLog overlap_log;
 };
 
 class World;
+class Comm;
+
+namespace detail {
+/// An in-flight point-to-point payload with its virtual-time price tag.
+struct Message {
+    int src;
+    int tag;
+    std::vector<double> payload;
+    double avail_time; ///< virtual time at which the payload is deliverable
+    double cost = 0.0; ///< transfer seconds that accrued in the background
+};
+} // namespace detail
+
+/// Handle for one nonblocking operation (isend/irecv).  Move-only: a Request
+/// represents exactly one pending completion, and wait()/test() consume it.
+class Request {
+public:
+    Request() = default;
+    Request(const Request&) = delete;
+    Request& operator=(const Request&) = delete;
+    Request(Request&& o) noexcept { *this = std::move(o); }
+    Request& operator=(Request&& o) noexcept {
+        kind_ = o.kind_;
+        done_ = o.done_;
+        peer_ = o.peer_;
+        tag_ = o.tag_;
+        buf_ = o.buf_;
+        post_wall_ = o.post_wall_;
+        o.kind_ = Kind::None;
+        o.done_ = false;
+        return *this;
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return kind_ != Kind::None; }
+    [[nodiscard]] bool done() const noexcept { return done_; }
+
+private:
+    friend class Comm;
+    enum class Kind : std::uint8_t { None, Send, Recv };
+    Kind kind_ = Kind::None;
+    bool done_ = false;
+    int peer_ = -1;
+    int tag_ = 0;
+    std::span<double> buf_{};
+    double post_wall_ = 0.0; ///< wall clock when the receive was posted
+};
+
+/// A chunked nonblocking alltoall in flight (see Comm::ialltoall).  The
+/// per-peer block is divided into `num_slices()` contiguous sub-blocks
+/// (multiples of the construction-time granule); slices must be sent and
+/// waited in ascending order, but sends, waits, and the caller's computation
+/// interleave freely — that interleaving is the communication/computation
+/// overlap the pipelined exchanges are built on.
+class Ialltoall {
+public:
+    Ialltoall() = default;
+
+    [[nodiscard]] std::size_t num_slices() const noexcept { return nslices_; }
+    /// Offset/length of slice `s` within each per-peer block, in doubles.
+    [[nodiscard]] std::size_t slice_offset(std::size_t s) const noexcept;
+    [[nodiscard]] std::size_t slice_len(std::size_t s) const noexcept;
+
+    /// Ships slice `s` of every peer's block out of `send` (same size/layout
+    /// as the recv buffer: size() blocks of `block` doubles).  The self
+    /// block's slice is copied straight into the recv buffer.
+    void send_slice(std::size_t s, std::span<const double> send);
+    /// Blocks until slice `s` has arrived from every peer; the payload lands
+    /// in the recv buffer given at ialltoall().
+    void wait_slice(std::size_t s);
+    /// Waits for every slice not yet waited on.
+    void finish();
+
+private:
+    friend class Comm;
+    Comm* comm_ = nullptr;
+    std::span<double> recv_{};
+    std::size_t block_ = 0;
+    std::size_t granule_ = 1;
+    std::size_t nslices_ = 0;
+    int tag_ = 0;
+    std::vector<Request> recvs_; ///< slice-major, size() entries per slice (self unused)
+    std::size_t next_send_ = 0;
+    std::size_t next_wait_ = 0;
+};
 
 /// Per-rank communicator handle, valid for the duration of World::run.
 class Comm {
@@ -124,8 +240,47 @@ public:
     void sendrecv(int partner, int tag, std::span<const double> send_data,
                   std::span<double> recv_data);
 
+    /// Nonblocking send: the payload is buffered immediately (the request
+    /// completes at once), but the transfer cost accrues in the background —
+    /// consecutive posts queue behind one another on this rank's NIC, so a
+    /// burst of isends to P-1 peers costs what P-1 serialized transfers
+    /// cost, only hideable under whatever the rank computes meanwhile.
+    Request isend(int dest, int tag, std::span<const double> data);
+
+    /// Posts a receive; `data` must stay valid until wait()/test() completes
+    /// the request.  Posting is free — matching, payload delivery, idle
+    /// charging, and overlap accounting all happen at completion.
+    Request irecv(int src, int tag, std::span<double> data);
+
+    /// Completes a request.  For a receive this blocks (host-side, watchdog
+    /// bounded) until the matching message exists, then advances the wall
+    /// clock only by the *uncovered* remainder of the transfer window: the
+    /// part already covered by work done since the post is credited to the
+    /// stage's OverlapLog instead of becoming idle time.
+    void wait(Request& r);
+    void waitall(std::span<Request> rs);
+
+    /// Nonblocking completion probe.  Returns true (and completes the
+    /// request exactly like wait) only when the matching message has arrived
+    /// in *virtual* time as well as host time; a false result is always safe
+    /// to retry.  Solvers that must stay bit-deterministic should branch on
+    /// wait(), not test() — host scheduling may delay a true result.
+    [[nodiscard]] bool test(Request& r);
+
     /// MPI_Alltoall: `send` and `recv` hold size() blocks of `block` doubles.
     void alltoall(std::span<const double> send, std::span<double> recv, std::size_t block);
+
+    /// Chunked nonblocking alltoall.  Posts receives for every (peer, slice)
+    /// sub-block up front; the caller ships slices with send_slice() and
+    /// claims them with wait_slice(), computing in between.  Each per-peer
+    /// message is priced as its share of the equivalent blocking collective
+    /// (netsim::NetworkModel::alltoall_share_seconds), so the background
+    /// total matches what alltoall() would have charged — the overlap
+    /// changes who pays, not how much the network works.  Blocks must divide
+    /// into `granule`-sized units; slices are near-equal runs of units.
+    /// Logged as one overlapped Alltoall event.
+    Ialltoall ialltoall(std::span<double> recv, std::size_t block, std::size_t nslices = 1,
+                        std::size_t granule = 1);
 
     /// MPI_Allreduce(SUM) in place.
     void allreduce_sum(std::span<double> data);
@@ -146,12 +301,21 @@ public:
     [[nodiscard]] double idle_time() const noexcept { return wall_ - cpu_; }
     [[nodiscard]] const CommLog& log() const noexcept { return log_; }
     [[nodiscard]] const FaultLog& fault_log() const noexcept { return fault_log_; }
+    [[nodiscard]] const OverlapLog& overlap_log() const noexcept { return overlap_log_; }
+    /// Total virtual comm seconds hidden by the nonblocking path.
+    [[nodiscard]] double overlapped_seconds() const noexcept;
+    /// Receives posted but not yet completed; a rank finishing with pending
+    /// requests is a bug World::run reports.
+    [[nodiscard]] int pending_requests() const noexcept { return pending_recvs_; }
 
 private:
     friend class World;
+    friend class Ialltoall;
     Comm(World& world, int rank, int size) : world_(&world), rank_(rank), size_(size) {}
 
-    void record(CommKind kind, std::size_t bytes) { ++log_[stage_][{kind, bytes}]; }
+    void record(CommKind kind, std::size_t bytes, bool overlapped = false) {
+        ++log_[stage_][{kind, bytes, overlapped}];
+    }
     /// Applies the fault model to one comm event of unfaulted cost
     /// `base_seconds`, consuming this rank's next message index; records the
     /// perturbation in the fault log and returns the faulted cost.  With no
@@ -162,15 +326,30 @@ private:
     /// wall time.
     double sync_and_charge(double coll_seconds);
 
+    /// Queues a background transfer of unfaulted cost `base_cost` on this
+    /// rank's NIC (posts serialize); fills the message's avail/cost fields
+    /// and charges the sender-side injection overhead.
+    void post_background(int dest, int tag, std::span<const double> data, double base_cost);
+    /// Completion accounting shared by wait()/test(): delivers the payload,
+    /// charges the uncovered remainder as idle, credits the covered part to
+    /// the overlap log.
+    void absorb(Request& r, detail::Message&& msg);
+    /// Called by World::run after the rank function returns cleanly.
+    void check_no_pending() const;
+
     World* world_;
     int rank_;
     int size_;
     int stage_ = -1;
     double cpu_ = 0.0;
     double wall_ = 0.0;
+    double nic_busy_ = 0.0; ///< virtual time the NIC finishes its posted queue
+    int pending_recvs_ = 0;
+    int coll_seq_ = 0; ///< nonblocking-collective sequence number (tag space)
     std::uint64_t msg_index_ = 0; ///< per-rank deterministic fault stream position
     CommLog log_;
     FaultLog fault_log_;
+    OverlapLog overlap_log_;
 };
 
 /// A simulated cluster: N ranks over one interconnect model.
@@ -195,12 +374,7 @@ public:
 private:
     friend class Comm;
 
-    struct Message {
-        int src;
-        int tag;
-        std::vector<double> payload;
-        double avail_time; ///< virtual time at which the payload is deliverable
-    };
+    using Message = detail::Message;
 
     struct Mailbox {
         std::mutex mtx;
@@ -223,6 +397,10 @@ private:
 
     void deliver(int dest, Message msg);
     Message take(int self, int src, int tag);
+    /// Nonblocking probe: pops the first (src, tag) match only if it exists
+    /// AND its avail_time has passed in the receiver's virtual time `wall`.
+    /// A later-queued match never jumps an earlier one (FIFO per channel).
+    [[nodiscard]] bool try_take(int self, int src, int tag, double wall, Message& out);
     /// Enters the rendezvous with this rank's wall clock; returns max over all.
     double rendezvous_max(double wall);
     /// Wakes every blocked rank; they unwind with Aborted.

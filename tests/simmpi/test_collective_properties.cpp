@@ -67,6 +67,72 @@ TEST_P(CollectiveProps, AlltoallMatchesSerialTranspose) {
     });
 }
 
+TEST_P(CollectiveProps, ChunkedIalltoallIsBitIdenticalToAlltoall) {
+    const int p = nprocs();
+    const std::size_t block = count();
+    // Sweep slice counts: a single slice, a few, and (for small blocks) one
+    // slice per unit, in both schedules — ship-everything-then-wait and a
+    // fully interleaved send/wait pipeline.
+    for (std::size_t nslices : {std::size_t{1}, std::size_t{2}, std::size_t{5}, block}) {
+        for (const bool interleave : {false, true}) {
+            simmpi::World world(p, make_net(seed()));
+            world.run([&](simmpi::Comm& c) {
+                std::vector<double> send(static_cast<std::size_t>(p) * block);
+                std::vector<double> recv(send.size());
+                std::vector<double> blocking(send.size());
+                for (int j = 0; j < p; ++j)
+                    for (std::size_t k = 0; k < block; ++k)
+                        send[static_cast<std::size_t>(j) * block + k] = value(c.rank(), j, k);
+                c.alltoall(send, blocking, block);
+                simmpi::Ialltoall h = c.ialltoall(recv, block, nslices);
+                if (interleave) {
+                    for (std::size_t s = 0; s < h.num_slices(); ++s) {
+                        h.send_slice(s, send);
+                        c.advance_compute(1e-6); // pipelined compute between slices
+                        h.wait_slice(s);
+                    }
+                } else {
+                    for (std::size_t s = 0; s < h.num_slices(); ++s) h.send_slice(s, send);
+                    h.finish();
+                }
+                for (std::size_t i = 0; i < recv.size(); ++i)
+                    ASSERT_EQ(recv[i], blocking[i])
+                        << "p=" << p << " rank=" << c.rank() << " nslices=" << nslices
+                        << " interleave=" << interleave << " i=" << i;
+            });
+        }
+    }
+}
+
+TEST_P(CollectiveProps, BackToBackIalltoallsDoNotCrossTalk) {
+    const int p = nprocs();
+    const std::size_t block = count();
+    simmpi::World world(p, make_net(seed()));
+    world.run([&](simmpi::Comm& c) {
+        // Two collectives in flight at once: distinct reserved tags keep the
+        // payloads apart even though the peers and sizes are identical.
+        std::vector<double> s1(static_cast<std::size_t>(p) * block);
+        std::vector<double> s2(s1.size()), r1(s1.size()), r2(s1.size());
+        for (int j = 0; j < p; ++j)
+            for (std::size_t k = 0; k < block; ++k) {
+                s1[static_cast<std::size_t>(j) * block + k] = value(c.rank(), j, k);
+                s2[static_cast<std::size_t>(j) * block + k] = -value(c.rank(), j, k) - 1.0;
+            }
+        simmpi::Ialltoall h1 = c.ialltoall(r1, block);
+        simmpi::Ialltoall h2 = c.ialltoall(r2, block);
+        h1.send_slice(0, s1);
+        h2.send_slice(0, s2);
+        h2.finish();
+        h1.finish();
+        for (int j = 0; j < p; ++j)
+            for (std::size_t k = 0; k < block; ++k) {
+                ASSERT_EQ(r1[static_cast<std::size_t>(j) * block + k], value(j, c.rank(), k));
+                ASSERT_EQ(r2[static_cast<std::size_t>(j) * block + k],
+                          -value(j, c.rank(), k) - 1.0);
+            }
+    });
+}
+
 TEST_P(CollectiveProps, AllreduceSumMatchesSerialSum) {
     const int p = nprocs();
     const std::size_t n = count();

@@ -90,6 +90,40 @@ TEST(Watchdog, RankExceptionReleasesBlockedPeers) {
     EXPECT_LT(t, 5.0); // far below the 10 s watchdog: peers were woken, not timed out
 }
 
+TEST(Watchdog, WaitOnANeverCompletedRequestTripsTheWatchdog) {
+    simmpi::World world(2, net());
+    world.set_watchdog_seconds(0.2);
+    const double t = host_seconds([&] {
+        EXPECT_THROW(world.run([](simmpi::Comm& c) {
+                         if (c.rank() == 1) {
+                             std::vector<double> buf(4);
+                             simmpi::Request r = c.irecv(0, 7, buf);
+                             c.wait(r); // rank 0 never isends
+                         }
+                     }),
+                     simmpi::DeadlockError);
+    });
+    EXPECT_LT(t, 5.0);
+}
+
+TEST(Watchdog, TestNeverCompletesButNeverHangsEither) {
+    simmpi::World world(2, net());
+    world.set_watchdog_seconds(0.2);
+    // test() must stay honest for a message that will never arrive: always
+    // false, never blocking — the leak is then reported at rank exit.
+    EXPECT_THROW(world.run([](simmpi::Comm& c) {
+                     if (c.rank() == 1) {
+                         std::vector<double> buf(4);
+                         simmpi::Request r = c.irecv(0, 7, buf);
+                         for (int i = 0; i < 50; ++i) {
+                             EXPECT_FALSE(c.test(r));
+                             c.advance_compute(1e-6);
+                         }
+                     }
+                 }),
+                 std::runtime_error);
+}
+
 TEST(Watchdog, WorldIsReusableAfterADeadlock) {
     simmpi::World world(2, net());
     world.set_watchdog_seconds(0.2);
