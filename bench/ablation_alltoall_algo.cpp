@@ -8,10 +8,14 @@
 #include "bench_util.hpp"
 #include "netsim/netmodel.hpp"
 
-int main() {
-    const int nprocs = 16;
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("ablation_alltoall_algo", argc, argv);
+    const int nprocs = cli.ranks > 0 ? cli.ranks : 16;
     std::printf("Ablation: MPI_Alltoall schedule, pairwise vs Bruck, P = %d\n\n", nprocs);
+    perf::RunReport rep = perf::report("ablation_alltoall_algo");
+    rep.meta["nprocs"] = std::to_string(nprocs);
     for (const char* name : {"Muses", "RoadRunner eth.", "RoadRunner myr.", "T3E"}) {
+        if (!cli.net_selected(name)) continue;
         const auto& net = netsim::by_name(name);
         std::printf("%s (latency %.0f us, bandwidth %.1f MB/s)\n", name, net.latency_us,
                     net.bandwidth_mbps);
@@ -24,6 +28,13 @@ int main() {
             if (tb < tp) crossover = m;
             table.print_row({std::to_string(m), benchutil::fmt(tp, "%.3f"),
                              benchutil::fmt(tb, "%.3f"), tb < tp ? "Bruck" : "pairwise"});
+            perf::Case kase;
+            kase.labels["network"] = name;
+            kase.values["msg_bytes"] = static_cast<double>(m);
+            kase.values["pairwise_ms"] = tp;
+            kase.values["bruck_ms"] = tb;
+            kase.labels["winner"] = tb < tp ? "Bruck" : "pairwise";
+            rep.cases.push_back(std::move(kase));
         }
         if (crossover)
             std::printf("  -> Bruck wins up to ~%zu-byte messages on this network.\n\n",
@@ -34,5 +45,6 @@ int main() {
     std::printf("High-latency links (the PC clusters) benefit from fewer rounds at\n"
                 "small sizes; bandwidth-rich fabrics always prefer pairwise.  This is\n"
                 "the free-MPI tuning space (MPICH vs LAM) the paper alludes to.\n");
+    cli.finish(std::move(rep));
     return 0;
 }

@@ -6,8 +6,9 @@
 /// seeded fault layer injects packet loss and per-rank slowdowns, then
 /// reports per-stage wall-time inflation versus the fault-free baseline.
 ///
-/// Output is JSON (one document on stdout) so downstream tooling can plot
-/// inflation-vs-loss-rate curves per network.
+/// The sweep lands in the RunReport (one case per run, with per-stage
+/// "stageN.*" keys) so downstream tooling can plot inflation-vs-loss-rate
+/// curves per network; stdout gets a human-readable summary table.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "app_model.hpp"
+#include "bench_util.hpp"
 #include "mesh/generators.hpp"
 #include "nektar/ns_fourier.hpp"
 
@@ -44,7 +46,7 @@ FaultRun run_fourier(int nprocs, const netsim::NetworkModel& net) {
         const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
         nektar::FourierNsOptions opts;
         opts.dt = 2e-3;
-        opts.nu = 0.01;
+        opts.viscosity = 0.01;
         opts.num_modes = static_cast<std::size_t>(c.size()); // 2 planes per proc
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
@@ -73,10 +75,10 @@ FaultRun run_fourier(int nprocs, const netsim::NetworkModel& net) {
     return data;
 }
 
-netsim::NetworkModel with_faults(const netsim::NetworkModel& base, double loss,
-                                 double straggler_factor) {
+netsim::NetworkModel with_faults(const netsim::NetworkModel& base, unsigned long seed,
+                                 double loss, double straggler_factor) {
     netsim::NetworkModel n = base;
-    n.fault.seed = 1999; // the paper's year; any fixed seed keeps runs reproducible
+    n.fault.seed = seed;
     n.fault.loss_probability = loss;
     // Loss detection on a kernel TCP stack costs a timeout ~an order of
     // magnitude above the base latency before the resend goes out.
@@ -86,71 +88,89 @@ netsim::NetworkModel with_faults(const netsim::NetworkModel& base, double loss,
     return n;
 }
 
-void emit_run(const char* net_name, double loss, double straggler, const FaultRun& r,
-              const FaultRun& baseline, const netsim::NetworkModel& net, int nprocs,
-              bool first) {
-    std::printf("%s\n    {\"network\": \"%s\", \"loss_rate\": %g, "
-                "\"straggler_factor\": %g,\n",
-                first ? "" : ",", net_name, loss, straggler);
-    std::printf("     \"wall_seconds\": %.6e, \"baseline_wall_seconds\": %.6e, "
-                "\"wall_inflation\": %.4f,\n",
-                r.max_wall, baseline.max_wall, r.max_wall / baseline.max_wall);
-    std::printf("     \"cpu_seconds\": %.6e, \"idle_seconds\": %.6e,\n", r.mean_cpu,
-                r.max_wall - r.mean_cpu);
-    std::printf("     \"retransmits\": %llu, \"fault_seconds\": %.6e,\n",
-                static_cast<unsigned long long>(r.bd.total_retransmits()),
-                r.bd.total_fault_seconds());
-    std::printf("     \"stages\": [");
+perf::Case make_case(const std::string& net_name, double loss, double straggler,
+                     const FaultRun& r, const FaultRun& baseline,
+                     const netsim::NetworkModel& net, int nprocs) {
+    // Run totals via the one perf entry point (the per-subsystem total_*
+    // getters this bench used to call are gone).
+    perf::RunReport totals = perf::report("ablation_fault_tolerance", &r.bd);
+    perf::Case c;
+    c.labels["network"] = net_name;
+    c.values["loss_rate"] = loss;
+    c.values["straggler_factor"] = straggler;
+    c.values["wall_seconds"] = r.max_wall;
+    c.values["baseline_wall_seconds"] = baseline.max_wall;
+    c.values["wall_inflation"] = r.max_wall / baseline.max_wall;
+    c.values["cpu_seconds"] = r.mean_cpu;
+    c.values["idle_seconds"] = r.max_wall - r.mean_cpu;
+    c.values["retransmits"] = totals.metrics.counters["comm.retransmits"];
+    c.values["fault_seconds"] = totals.metrics.counters["comm.fault_seconds"];
     for (std::size_t s = 1; s <= perf::kNumStages; ++s) {
         const double comm = simmpi::price_stage(r.log, static_cast<int>(s), net, nprocs) /
                             r.comm_groups;
         const double fault = r.bd.fault_seconds[s] / r.comm_groups;
-        const double inflation = comm > 0.0 ? (comm + fault) / comm : 1.0;
-        std::printf("%s\n        {\"stage\": %zu, \"name\": \"%s\", "
-                    "\"comm_seconds\": %.6e, \"fault_seconds\": %.6e, "
-                    "\"retransmits\": %llu, \"wall_inflation\": %.4f}",
-                    s == 1 ? "" : ",", s, perf::stage_name(s).c_str(), comm, fault,
-                    static_cast<unsigned long long>(r.bd.retransmits[s]), inflation);
+        const std::string prefix = "stage" + std::to_string(s) + ".";
+        c.values[prefix + "comm_seconds"] = comm;
+        c.values[prefix + "fault_seconds"] = fault;
+        c.values[prefix + "retransmits"] = static_cast<double>(r.bd.retransmits[s]);
+        c.values[prefix + "wall_inflation"] = comm > 0.0 ? (comm + fault) / comm : 1.0;
     }
-    std::printf("]}");
+    return c;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    const int nprocs = argc > 1 ? std::atoi(argv[1]) : 8;
+    const benchutil::Cli cli = benchutil::Cli::parse("ablation_fault_tolerance", argc, argv);
+    const int nprocs = cli.ranks > 0 ? cli.ranks : 8;
     if (nprocs < 2) {
-        std::fprintf(stderr, "usage: %s [nprocs >= 2]  (got \"%s\")\n", argv[0],
-                     argc > 1 ? argv[1] : "");
+        std::fprintf(stderr, "%s: --ranks must be >= 2 (got %d)\n", argv[0], nprocs);
         return 2;
     }
+    // The paper's year as the default seed; any fixed seed keeps runs
+    // reproducible.
+    const unsigned long seed = cli.seed != 0 ? cli.seed : 1999;
     const std::vector<std::string> networks = {"RoadRunner eth.", "RoadRunner myr.", "T3E"};
     const std::vector<double> loss_rates = {0.0, 0.001, 0.01, 0.05};
     const std::vector<double> straggler_factors = {2.0, 4.0};
 
-    std::printf("{\n  \"bench\": \"ablation_fault_tolerance\",\n"
-                "  \"nprocs\": %d,\n  \"fault_seed\": 1999,\n  \"runs\": [",
-                nprocs);
-    bool first = true;
+    std::printf("Fault-tolerance ablation: NekTar-F wall-time inflation under packet\n"
+                "loss and stragglers (P = %d, seed = %lu)\n\n", nprocs, seed);
+    benchutil::Table table({"network", "loss", "straggler", "inflation", "retrans"}, 16);
+    table.print_header();
+
+    perf::RunReport rep = perf::report("ablation_fault_tolerance");
+    rep.meta["nprocs"] = std::to_string(nprocs);
+    rep.meta["fault_seed"] = std::to_string(seed);
+
+    const auto run_point = [&](const std::string& name, const netsim::NetworkModel& base,
+                               const FaultRun& baseline, const FaultRun& r, double loss,
+                               double sf) {
+        const perf::Case c = make_case(name, loss, sf, r, baseline, base, nprocs);
+        table.print_row({name, benchutil::fmt(loss, "%g"), benchutil::fmt(sf, "%g"),
+                         benchutil::fmt(c.values.at("wall_inflation"), "%.3f"),
+                         benchutil::fmt(c.values.at("retransmits"), "%.0f")});
+        rep.cases.push_back(c);
+    };
+
     for (const auto& name : networks) {
+        if (!cli.net_selected(name)) continue;
         const netsim::NetworkModel& base = netsim::by_name(name);
         // Fault-free baseline for this network.
-        const FaultRun baseline = run_fourier(nprocs, with_faults(base, 0.0, 1.0));
+        const FaultRun baseline = run_fourier(nprocs, with_faults(base, seed, 0.0, 1.0));
         // Loss-rate sweep at no straggling.
         for (const double loss : loss_rates) {
-            const FaultRun r = loss == 0.0
-                                   ? baseline
-                                   : run_fourier(nprocs, with_faults(base, loss, 1.0));
-            emit_run(name.c_str(), loss, 1.0, r, baseline, base, nprocs, first);
-            first = false;
+            const FaultRun r =
+                loss == 0.0 ? baseline
+                            : run_fourier(nprocs, with_faults(base, seed, loss, 1.0));
+            run_point(name, base, baseline, r, loss, 1.0);
         }
         // Straggler-severity sweep at a fixed modest loss rate.
         for (const double sf : straggler_factors) {
-            const FaultRun r = run_fourier(nprocs, with_faults(base, 0.01, sf));
-            emit_run(name.c_str(), 0.01, sf, r, baseline, base, nprocs, first);
-            first = false;
+            const FaultRun r = run_fourier(nprocs, with_faults(base, seed, 0.01, sf));
+            run_point(name, base, baseline, r, 0.01, sf);
         }
     }
-    std::printf("\n  ]\n}\n");
+    cli.finish(std::move(rep));
     return 0;
 }

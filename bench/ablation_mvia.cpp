@@ -9,7 +9,8 @@
 #include "bench_util.hpp"
 #include "netsim/netmodel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("ablation_mvia", argc, argv);
     netsim::NetworkModel lam = netsim::by_name("Muses, LAM");
     netsim::NetworkModel mvia = lam;
     mvia.name = "Muses, M-VIA (projected)";
@@ -23,11 +24,18 @@ int main() {
 
     benchutil::Table table({"msg bytes", "LAM a2a MB/s", "M-VIA a2a MB/s", "gain"}, 16);
     table.print_header();
+    perf::RunReport rep = perf::report("ablation_mvia");
     for (std::size_t m = 8; m <= (1u << 20); m *= 8) {
         const double a = lam.alltoall_bandwidth_mbps(4, m);
         const double b = mvia.alltoall_bandwidth_mbps(4, m);
         table.print_row({std::to_string(m), benchutil::fmt(a, "%.2f"),
                          benchutil::fmt(b, "%.2f"), benchutil::fmt(b / a, "%.2fx")});
+        perf::Case kase;
+        kase.values["msg_bytes"] = static_cast<double>(m);
+        kase.values["lam_alltoall_mbps"] = a;
+        kase.values["mvia_alltoall_mbps"] = b;
+        kase.values["gain"] = b / a;
+        rep.cases.push_back(std::move(kase));
     }
     std::printf("\nSmall-message collectives gain ~%.1fx; the Fast-Ethernet wire still\n"
                 "caps large transfers, so M-VIA helps latency-bound stages (GS\n"
@@ -35,5 +43,6 @@ int main() {
                 "consistent with the paper's assessment that bandwidth, not just\n"
                 "latency, separates ethernet from Myrinet.\n",
                 mvia.alltoall_bandwidth_mbps(4, 64) / lam.alltoall_bandwidth_mbps(4, 64));
+    cli.finish(std::move(rep));
     return 0;
 }

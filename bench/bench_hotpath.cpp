@@ -100,46 +100,29 @@ CaseResult run_case(std::size_t order, std::size_t nside, std::size_t planes,
     return r;
 }
 
-void write_json(const std::vector<CaseResult>& results, const char* path) {
-    std::FILE* f = std::fopen(path, "w");
-    if (!f) {
-        std::fprintf(stderr, "bench_hotpath: cannot write %s\n", path);
-        return;
+perf::Case to_case(const CaseResult& r) {
+    perf::Case c;
+    c.values["order"] = static_cast<double>(r.order);
+    c.values["elements"] = static_cast<double>(r.elements);
+    c.values["planes"] = static_cast<double>(r.planes);
+    static const char* kKernels[3] = {"to_quad", "weak_inner", "grad"};
+    for (int k = 0; k < 3; ++k) {
+        c.values[std::string("per_element_ms.") + kKernels[k]] = r.per_elem_ms[k];
+        c.values[std::string("batched_ms.") + kKernels[k]] = r.batched_ms[k];
     }
-    std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n  \"threads\": %u,\n  \"cases\": [\n",
-                 parallel::num_threads());
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const CaseResult& r = results[i];
-        std::fprintf(f,
-                     "    {\"order\": %zu, \"elements\": %zu, \"planes\": %zu,\n"
-                     "     \"per_element_ms\": {\"to_quad\": %.4f, \"weak_inner\": %.4f, "
-                     "\"grad\": %.4f},\n"
-                     "     \"batched_ms\": {\"to_quad\": %.4f, \"weak_inner\": %.4f, "
-                     "\"grad\": %.4f},\n"
-                     "     \"speedup\": %.3f}%s\n",
-                     r.order, r.elements, r.planes, r.per_elem_ms[0], r.per_elem_ms[1],
-                     r.per_elem_ms[2], r.batched_ms[0], r.batched_ms[1], r.batched_ms[2],
-                     r.speedup(), i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path);
+    c.values["speedup"] = r.speedup();
+    return c;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    bool smoke = false;
-    double min_override = 0.0;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-        // Timing window per measurement; the CI perf gate raises it above the
-        // smoke default so microsecond kernels average out scheduler noise.
-        if (std::strcmp(argv[i], "--min-seconds") == 0 && i + 1 < argc)
-            min_override = std::atof(argv[++i]);
-    }
-
-    const double min_seconds = min_override > 0.0 ? min_override : (smoke ? 0.002 : 0.05);
+    const benchutil::Cli cli = benchutil::Cli::parse("bench_hotpath", argc, argv);
+    const bool smoke = cli.smoke;
+    // Timing window per measurement; the CI perf gate raises it above the
+    // smoke default so microsecond kernels average out scheduler noise.
+    const double min_seconds =
+        cli.min_seconds > 0.0 ? cli.min_seconds : (smoke ? 0.002 : 0.05);
     const std::vector<std::size_t> orders = smoke ? std::vector<std::size_t>{4, 8}
                                                   : std::vector<std::size_t>{4, 6, 8};
     const std::vector<std::size_t> sides = smoke ? std::vector<std::size_t>{8}
@@ -166,6 +149,9 @@ int main(int argc, char** argv) {
             }
         }
     }
-    write_json(results, "BENCH_hotpath.json");
+    perf::RunReport rep = perf::report("bench_hotpath");
+    rep.meta["threads"] = std::to_string(parallel::num_threads());
+    for (const CaseResult& r : results) rep.cases.push_back(to_case(r));
+    cli.finish(std::move(rep), "BENCH_hotpath.json");
     return 0;
 }

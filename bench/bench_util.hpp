@@ -2,13 +2,19 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+#include "perf/report.hpp"
+
 /// \file bench_util.hpp
-/// Shared helpers for the paper-reproduction benchmark binaries: simple
-/// aligned-column table printing and a repeat-until-stable host timer.
+/// Shared helpers for the paper-reproduction benchmark binaries: the common
+/// command line (every bench accepts the same flags), RunReport emission,
+/// aligned-column table printing, and a repeat-until-stable host timer.
 namespace benchutil {
 
 /// Prints a header followed by rows of fixed-width columns.
@@ -40,6 +46,111 @@ private:
     std::snprintf(buf, sizeof(buf), spec, v);
     return buf;
 }
+
+/// The shared benchmark command line.  Every bench accepts:
+///   --out <path>          RunReport destination (default <bench>_report.json)
+///   --trace               enable obs tracing; write Chrome trace_event JSON
+///   --trace-out <path>    trace destination (default <bench>_trace.json)
+///   --machine <name>      restrict platform sweeps to matching machines
+///   --net <name>          restrict platform sweeps to matching networks
+///   --ranks <N>           restrict processor-count sweeps to N
+///   --seed <N>            seed for fault models / synthetic inputs
+///   --smoke               shrink the sweep for per-commit CI
+///   --min-seconds <s>     timing window per measurement
+/// Flags a bench has no use for still parse (and land in the report's meta)
+/// so the CLI is uniform across binaries.
+struct Cli {
+    std::string bench;     ///< benchmark id (RunReport::bench)
+    std::string out;       ///< "" = the bench's default path
+    bool trace = false;
+    std::string trace_out; ///< "" = "<bench>_trace.json"
+    std::string machine;   ///< "" = all machines
+    std::string net;       ///< "" = all networks
+    int ranks = 0;         ///< 0 = the bench's default sweep
+    unsigned long seed = 0;
+    bool smoke = false;
+    double min_seconds = 0.0; ///< 0 = the bench's default window
+
+    static Cli parse(const char* bench_name, int argc, char** argv) {
+        Cli cli;
+        cli.bench = bench_name;
+        const auto need = [&](int& i) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", bench_name, argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        for (int i = 1; i < argc; ++i) {
+            const char* a = argv[i];
+            if (std::strcmp(a, "--out") == 0) cli.out = need(i);
+            else if (std::strcmp(a, "--trace") == 0) cli.trace = true;
+            else if (std::strcmp(a, "--trace-out") == 0) cli.trace_out = need(i);
+            else if (std::strcmp(a, "--machine") == 0) cli.machine = need(i);
+            else if (std::strcmp(a, "--net") == 0) cli.net = need(i);
+            else if (std::strcmp(a, "--ranks") == 0) cli.ranks = std::atoi(need(i));
+            else if (std::strcmp(a, "--seed") == 0)
+                cli.seed = std::strtoul(need(i), nullptr, 10);
+            else if (std::strcmp(a, "--smoke") == 0) cli.smoke = true;
+            else if (std::strcmp(a, "--min-seconds") == 0) cli.min_seconds = std::atof(need(i));
+            else {
+                std::fprintf(stderr, "%s: unknown flag %s\n", bench_name, a);
+                std::exit(2);
+            }
+        }
+        if (cli.trace) obs::tracer().enable();
+        return cli;
+    }
+
+    /// Case-insensitive-ish substring filter used by the platform sweeps:
+    /// true when no filter is set or `name` contains it.
+    [[nodiscard]] static bool matches(const std::string& filter, const std::string& name) {
+        return filter.empty() || name.find(filter) != std::string::npos;
+    }
+    [[nodiscard]] bool machine_selected(const std::string& name) const {
+        return matches(machine, name);
+    }
+    [[nodiscard]] bool net_selected(const std::string& name) const { return matches(net, name); }
+
+    /// Processor-count sweep after the --ranks restriction.
+    [[nodiscard]] std::vector<int> rank_sweep(std::vector<int> defaults) const {
+        if (ranks > 0) return {ranks};
+        return defaults;
+    }
+
+    /// Stamps the shared flags into the report's meta block.
+    void stamp(perf::RunReport& rep) const {
+        rep.bench = bench;
+        if (!machine.empty()) rep.meta["machine_filter"] = machine;
+        if (!net.empty()) rep.meta["net_filter"] = net;
+        if (ranks > 0) rep.meta["ranks"] = std::to_string(ranks);
+        if (seed != 0) rep.meta["seed"] = std::to_string(seed);
+        rep.meta["smoke"] = smoke ? "1" : "0";
+        rep.meta["trace"] = trace ? "1" : "0";
+    }
+
+    /// Writes the RunReport (to --out or `default_path`), plus the Chrome
+    /// trace JSON when --trace was given, and prints where they went.
+    void finish(perf::RunReport rep, const std::string& default_path = "") const {
+        stamp(rep);
+        const std::string path =
+            !out.empty() ? out : (!default_path.empty() ? default_path : bench + "_report.json");
+        rep.write_json(path);
+        std::printf("\nwrote %s\n", path.c_str());
+        if (trace) {
+            const std::string tpath = !trace_out.empty() ? trace_out : bench + "_trace.json";
+            const std::string json = obs::tracer().chrome_json();
+            if (std::FILE* f = std::fopen(tpath.c_str(), "w")) {
+                std::fwrite(json.data(), 1, json.size(), f);
+                std::fclose(f);
+                std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                            tpath.c_str());
+            } else {
+                std::fprintf(stderr, "%s: cannot write %s\n", bench.c_str(), tpath.c_str());
+            }
+        }
+    }
+};
 
 /// Times `fn` by repeating it until at least `min_seconds` has elapsed;
 /// returns seconds per call.

@@ -5,6 +5,10 @@ Compares a freshly measured BENCH_hotpath.json against the committed baseline
 (bench/BENCH_hotpath_baseline.json) and fails when any kernel of any case got
 more than --threshold slower.
 
+Both files are RunReports (see bench/run_report_schema.json): the sweep lives
+in the top-level "cases" array as flat objects whose kernel timings use
+dotted keys ("batched_ms.to_quad", "per_element_ms.grad", ...).
+
 CI machines are not the baseline machine, so raw milliseconds are not
 comparable across runs.  The gate therefore self-normalises: for every
 (order, elements, planes) case and kernel it forms
@@ -49,7 +53,7 @@ KERNELS = ("to_quad", "weak_inner", "grad")
 
 
 def case_key(case: dict) -> tuple:
-    return (case["order"], case["elements"], case["planes"])
+    return (int(case["order"]), int(case["elements"]), int(case["planes"]))
 
 
 def elementwise_min(runs: list[dict]) -> dict:
@@ -65,7 +69,8 @@ def elementwise_min(runs: list[dict]) -> dict:
             dst = cases[case_key(c)]
             for group in ("per_element_ms", "batched_ms"):
                 for k in KERNELS:
-                    dst[group][k] = min(dst[group][k], c[group][k])
+                    key = f"{group}.{k}"
+                    dst[key] = min(dst[key], c[key])
     return merged
 
 
@@ -81,10 +86,10 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     entries = []  # (key, kernel, current/baseline ratio)
     for key in shared:
         for k in KERNELS:
-            base_ms = base_cases[key]["batched_ms"][k]
+            base_ms = base_cases[key][f"batched_ms.{k}"]
             if base_ms <= 0.0:
-                raise SystemExit(f"corrupt baseline: batched_ms[{k}] = {base_ms}")
-            entries.append((key, k, cur_cases[key]["batched_ms"][k] / base_ms))
+                raise SystemExit(f"corrupt baseline: batched_ms.{k} = {base_ms}")
+            entries.append((key, k, cur_cases[key][f"batched_ms.{k}"] / base_ms))
     if not entries:
         return failures
 
@@ -111,7 +116,7 @@ def self_test(baseline_path: str, threshold: float) -> int:
         return 1
     # A 1.3x slowdown injected into one batched kernel must be caught.
     perturbed = copy.deepcopy(baseline)
-    perturbed["cases"][0]["batched_ms"]["weak_inner"] *= 1.30
+    perturbed["cases"][0]["batched_ms.weak_inner"] *= 1.30
     failures = compare(baseline, perturbed, threshold)
     if not failures:
         print("self-test FAILED: injected 30% slowdown was not flagged")

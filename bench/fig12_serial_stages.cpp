@@ -10,7 +10,8 @@
 #include "mesh/generators.hpp"
 #include "nektar/ns_serial.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("fig12_serial_stages", argc, argv);
     mesh::BluffBodyParams p;
     p.n_upstream = 6;
     p.n_wake = 10;
@@ -18,9 +19,10 @@ int main() {
     p.n_side = 4;
     const auto disc = std::make_shared<nektar::Discretization>(
         std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p)), 6);
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.01;
+    opts.viscosity = 0.01;
+    opts.trace = cli.trace;
     opts.u_bc = [](double x, double y, double) {
         const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
         return body ? 0.0 : 1.0;
@@ -37,10 +39,12 @@ int main() {
     const auto shapes = app_model::solver_shapes(field_bytes, solver_bytes);
 
     std::printf("Figure 12: CPU time percentage of each stage within a time step\n\n");
+    perf::RunReport rep = perf::report("fig12_serial_stages", &ns.breakdown());
     // Paper's pie values for reference.
     const double paper_onyx[8] = {0, 4, 11, 3, 9, 30, 12, 31};
     const double paper_pii[8] = {0, 3, 10, 5, 8, 31, 11, 32};
     for (const char* machine : {"Onyx2", "Muses"}) {
+        if (!cli.machine_selected(machine)) continue;
         const auto comp = app_model::compute_stage_seconds(ns.breakdown(),
                                                            machine::by_name(machine), shapes);
         double total = 0.0;
@@ -54,8 +58,16 @@ int main() {
             table.print_row({std::to_string(s), perf::stage_name(s),
                              benchutil::fmt(100.0 * comp[s] / total, "%.0f"),
                              benchutil::fmt(ref[s], "%.0f")});
+            perf::Case kase;
+            kase.labels["machine"] = machine;
+            kase.labels["stage_name"] = perf::stage_name(s);
+            kase.values["stage"] = static_cast<double>(s);
+            kase.values["cpu_percent"] = 100.0 * comp[s] / total;
+            kase.values["paper_percent"] = ref[s];
+            rep.cases.push_back(std::move(kase));
         }
         std::printf("\n");
     }
+    cli.finish(std::move(rep));
     return 0;
 }

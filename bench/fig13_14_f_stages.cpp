@@ -14,8 +14,9 @@
 #include "mesh/generators.hpp"
 #include "nektar/ns_fourier.hpp"
 
-int main() {
-    const int nprocs = 4;
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("fig13_14_f_stages", argc, argv);
+    const int nprocs = cli.ranks > 0 ? cli.ranks : 4;
     mesh::BluffBodyParams p;
     p.n_upstream = 4;
     p.n_wake = 6;
@@ -36,8 +37,9 @@ int main() {
         const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
         nektar::FourierNsOptions opts;
         opts.dt = 2e-3;
-        opts.nu = 0.01;
+        opts.viscosity = 0.01;
         opts.num_modes = static_cast<std::size_t>(nprocs);
+        opts.trace = cli.trace;
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
             return body ? 0.0 : 1.0;
@@ -81,7 +83,10 @@ int main() {
         rho[s] = app_model::overlap_efficiency(bd.overlap_seconds[s],
                                                probe_splits[s].overlapped);
 
+    perf::RunReport rep = perf::report("fig13_14_f_stages", &bd);
+    rep.meta["nprocs"] = std::to_string(nprocs);
     for (const auto& pl : plats) {
+        if (!cli.machine_selected(pl.machine) || !cli.net_selected(pl.network)) continue;
         const auto& m = machine::by_name(pl.machine);
         const auto& net = netsim::by_name(pl.network);
         const auto comp = app_model::compute_stage_seconds(bd, m, shapes);
@@ -102,14 +107,25 @@ int main() {
         std::printf("%s\n", pl.label.c_str());
         benchutil::Table table({"stage", "CPU %", "wall %", "ovl comm %", "recov ms"}, 14);
         table.print_header();
-        for (std::size_t s = 1; s <= perf::kNumStages; ++s)
+        for (std::size_t s = 1; s <= perf::kNumStages; ++s) {
             table.print_row({std::to_string(s) + " " + perf::stage_short_name(s),
                              benchutil::fmt(100.0 * cpu[s] / cpu_total, "%.0f"),
                              benchutil::fmt(100.0 * wall[s] / wall_total, "%.0f"),
                              benchutil::fmt(100.0 * ovl[s] / wall_total, "%.0f"),
                              benchutil::fmt(1e3 * recov[s] / bd.steps, "%.1f")});
+            perf::Case kase;
+            kase.labels["platform"] = pl.label;
+            kase.labels["stage_name"] = perf::stage_short_name(s);
+            kase.values["stage"] = static_cast<double>(s);
+            kase.values["cpu_percent"] = 100.0 * cpu[s] / cpu_total;
+            kase.values["wall_percent"] = 100.0 * wall[s] / wall_total;
+            kase.values["overlapped_comm_percent"] = 100.0 * ovl[s] / wall_total;
+            kase.values["recovered_ms_per_step"] = 1e3 * recov[s] / bd.steps;
+            rep.cases.push_back(std::move(kase));
+        }
         std::printf("wall time recovered by overlap: %.1f ms/step\n\n",
                     1e3 * recov_total / bd.steps);
     }
+    cli.finish(std::move(rep));
     return 0;
 }

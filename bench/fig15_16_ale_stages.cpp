@@ -15,7 +15,8 @@
 #include "nektar/ns_ale.hpp"
 #include "partition/partition.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("fig15_16_ale_stages", argc, argv);
     const auto m = mesh::flapping_body_mesh(3);
     partition::Graph g;
     m.dual_graph(g.xadj, g.adjncy);
@@ -29,7 +30,10 @@ int main() {
     std::printf("Paper: 16 procs NCSA 9/41/50, RR-myr 6/42/53;  64 procs NCSA 8/40/52, "
                 "RR-myr 3/42/55.\n\n");
 
-    for (int nprocs : {4, 16}) {
+    perf::RunReport rep = perf::report("fig15_16_ale_stages");
+    perf::StageBreakdown last_bd;
+    bool traced = false; // --trace records the first (smallest-P) run only
+    for (int nprocs : cli.rank_sweep({4, 16})) {
         const auto part = partition::partition_graph(g, nprocs);
         perf::StageBreakdown bd;
         simmpi::CommLog log;
@@ -38,8 +42,9 @@ int main() {
         const auto reports = world.run([&](simmpi::Comm& c) {
             nektar::AleOptions opts;
             opts.dt = 2e-3;
-            opts.nu = 0.01;
+            opts.viscosity = 0.01;
             opts.cg.tolerance = 1e-8;
+            opts.trace = cli.trace && !traced;
             opts.body_velocity = [](double t) { return 0.3 * std::sin(4.0 * t); };
             opts.u_bc = [](double x, double y, double) {
                 const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
@@ -68,6 +73,9 @@ int main() {
             }
         });
         log = reports[0].log;
+        if (cli.trace && !traced) obs::tracer().disable(); // one traced run only
+        traced = true;
+        last_bd = bd;
         // The solver defaults to the nonblocking GS exchange: fold the hidden
         // comm seconds (priced on the probe network) into the breakdown.
         for (const auto& [stage, hidden] : reports[0].overlap_log)
@@ -78,6 +86,8 @@ int main() {
         for (const auto& pl : std::vector<app_model::Platform>{
                  {"NCSA", "NCSA", "NCSA"},
                  {"RoadRunner myr.", "RoadRunner", "RoadRunner myr."}}) {
+            if (!cli.machine_selected(pl.machine) || !cli.net_selected(pl.network))
+                continue;
             const auto& mm = machine::by_name(pl.machine);
             const auto& net = netsim::by_name(pl.network);
             const auto comp = app_model::compute_stage_seconds(bd, mm, shapes);
@@ -120,8 +130,23 @@ int main() {
                         nprocs, pl.label.c_str(), 100.0 * a_cpu / tc, 100.0 * b_cpu / tc,
                         100.0 * c_cpu / tc, 100.0 * a_wall / tw, 100.0 * b_wall / tw,
                         100.0 * c_wall / tw, 1e3 * recov_total / bd.steps);
+            perf::Case kase;
+            kase.labels["platform"] = pl.label;
+            kase.values["nprocs"] = static_cast<double>(nprocs);
+            kase.values["cpu_percent.setup"] = 100.0 * a_cpu / tc;
+            kase.values["cpu_percent.pressure"] = 100.0 * b_cpu / tc;
+            kase.values["cpu_percent.viscous"] = 100.0 * c_cpu / tc;
+            kase.values["wall_percent.setup"] = 100.0 * a_wall / tw;
+            kase.values["wall_percent.pressure"] = 100.0 * b_wall / tw;
+            kase.values["wall_percent.viscous"] = 100.0 * c_wall / tw;
+            kase.values["recovered_ms_per_step"] = 1e3 * recov_total / bd.steps;
+            rep.cases.push_back(std::move(kase));
         }
         std::printf("\n");
     }
+    // Stage rows come from rank 0 of the last sweep run.
+    perf::RunReport out = perf::report("fig15_16_ale_stages", &last_bd);
+    out.cases = std::move(rep.cases);
+    cli.finish(std::move(out));
     return 0;
 }

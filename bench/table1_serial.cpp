@@ -13,7 +13,8 @@
 #include "mesh/generators.hpp"
 #include "nektar/ns_serial.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("table1_serial", argc, argv);
     // Reduced bluff-body workload (the paper's full 230k-dof problem at the
     // same physics); the relative machine ordering is scale-independent.
     mesh::BluffBodyParams p;
@@ -24,9 +25,10 @@ int main() {
     const auto disc = std::make_shared<nektar::Discretization>(
         std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p)), 6);
 
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.01;
+    opts.viscosity = 0.01;
+    opts.trace = cli.trace;
     opts.u_bc = [](double x, double y, double) {
         const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
         return body ? 0.0 : 1.0;
@@ -58,15 +60,25 @@ int main() {
 
     benchutil::Table table({"Machine", "s/step", "vs PC", "paper s/step", "paper vs PC"}, 22);
     table.print_header();
+    perf::RunReport rep = perf::report("table1_serial", &ns.breakdown());
     const auto pc = app_model::price_run(ns.breakdown(), {}, {"", "Muses", ""}, 1, shapes);
     for (const auto& [label, key] : rows) {
+        if (!cli.machine_selected(key)) continue;
         const auto t = app_model::price_run(ns.breakdown(), {}, {"", key, ""}, 1, shapes);
         table.print_row({label, benchutil::fmt(t.cpu, "%.3f"),
                          benchutil::fmt(t.cpu / pc.cpu, "%.2f"),
                          benchutil::fmt(paper.at(key), "%.2f"),
                          benchutil::fmt(paper.at(key) / 0.81, "%.2f")});
+        perf::Case kase;
+        kase.labels["machine"] = key;
+        kase.values["cpu_seconds_per_step"] = t.cpu;
+        kase.values["vs_pc"] = t.cpu / pc.cpu;
+        kase.values["paper_seconds_per_step"] = paper.at(key);
+        kase.values["paper_vs_pc"] = paper.at(key) / 0.81;
+        rep.cases.push_back(std::move(kase));
     }
     std::printf("\nHost-measured time on this machine: %.3f s/step\n",
                 ns.breakdown().total_host_seconds() / ns.breakdown().steps);
+    cli.finish(std::move(rep));
     return 0;
 }

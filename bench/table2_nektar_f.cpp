@@ -34,7 +34,7 @@ netsim::NetworkModel probe_net() {
     return probe;
 }
 
-RunData run_fourier(int nprocs, bool overlap) {
+RunData run_fourier(int nprocs, bool overlap, bool trace = false) {
     mesh::BluffBodyParams p;
     p.n_upstream = 4;
     p.n_wake = 6;
@@ -50,9 +50,10 @@ RunData run_fourier(int nprocs, bool overlap) {
         const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
         nektar::FourierNsOptions opts;
         opts.dt = 2e-3;
-        opts.nu = 0.01;
+        opts.viscosity = 0.01;
         opts.num_modes = static_cast<std::size_t>(c.size()); // 2 planes per proc
         opts.overlap_transpose = overlap;
+        opts.trace = trace;
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
             return body ? 0.0 : 1.0;
@@ -97,7 +98,8 @@ const std::vector<app_model::Platform>& platforms() {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("table2_nektar_f", argc, argv);
     std::printf("Table 2: NekTar-F bluff-body run, CPU/wall-clock seconds per step.\n");
     std::printf("Weak scaling: 2 Fourier planes per processor (paper: 461k dof/proc\n");
     std::printf("class workload; here a reduced mesh, same algorithm and comm pattern).\n\n");
@@ -107,16 +109,36 @@ int main() {
                 "Thin2 5.91/5.98\n            RR-eth 6.99/8.27  RR-myr 4.15/4.15  "
                 "Muses 5.59/6.2\n\n");
 
+    std::vector<app_model::Platform> selected;
+    for (const auto& pl : platforms())
+        if (cli.machine_selected(pl.machine) && cli.net_selected(pl.network))
+            selected.push_back(pl);
+    if (selected.empty()) {
+        std::fprintf(stderr, "table2_nektar_f: no platform matches the given "
+                             "--machine/--net filters\n");
+        return 2;
+    }
+
     std::vector<std::string> headers = {"P"};
-    for (const auto& pl : platforms()) headers.push_back(pl.label);
+    for (const auto& pl : selected) headers.push_back(pl.label);
     benchutil::Table table(headers, 17);
     table.print_header();
 
-    for (int nprocs : {2, 4, 8, 16, 32, 64}) {
-        const RunData data = run_fourier(nprocs, /*overlap=*/false);
+    perf::RunReport rep = perf::report("table2_nektar_f");
+    perf::StageBreakdown last_bd;
+    bool traced = false; // --trace records the first (smallest-P) run only
+    for (int nprocs : cli.rank_sweep({2, 4, 8, 16, 32, 64})) {
+        const bool trace_this = cli.trace && !traced;
+        const RunData data = run_fourier(nprocs, /*overlap=*/false, trace_this);
+        // Stop recording after the dedicated traced run so the Perfetto file
+        // holds exactly one clean sweep (the comm-layer spans are gated only
+        // by the global tracer, not per-run).
+        if (trace_this) obs::tracer().disable();
+        traced = true;
+        last_bd = data.bd;
         const auto shapes = app_model::solver_shapes(data.field_bytes, data.solver_bytes);
         std::vector<std::string> row = {std::to_string(nprocs)};
-        for (const auto& pl : platforms()) {
+        for (const auto& pl : selected) {
             // Muses is a 4-PC cluster; the paper has n/a beyond P=4.
             if (pl.label == "Muses" && nprocs > 4) {
                 row.push_back("n/a");
@@ -134,6 +156,13 @@ int main() {
             const double cpu_total = cpu + comm * net.cpu_poll_fraction;
             row.push_back(benchutil::fmt(cpu_total, "%.2f") + "/" +
                           benchutil::fmt(wall, "%.2f"));
+            perf::Case kase;
+            kase.labels["platform"] = pl.label;
+            kase.values["nprocs"] = static_cast<double>(nprocs);
+            kase.values["cpu_seconds_per_step"] = cpu_total;
+            kase.values["wall_seconds_per_step"] = wall;
+            kase.values["comm_seconds_per_step"] = comm;
+            rep.cases.push_back(std::move(kase));
         }
         table.print_row(row);
     }
@@ -158,7 +187,7 @@ int main() {
                     100.0 * rho);
         benchutil::Table table2({"network", "blocking", "overlapped", "recov"}, 16);
         table2.print_header();
-        for (const auto& pl : platforms()) {
+        for (const auto& pl : selected) {
             if (pl.label == "Muses" && nprocs > 4) continue;
             const auto& m = machine::by_name(pl.machine);
             const auto& net = netsim::by_name(pl.network);
@@ -181,8 +210,22 @@ int main() {
                  benchutil::fmt(cpu + comm_ovl * net.cpu_poll_fraction, "%.2f") + "/" +
                      benchutil::fmt(wall_ovl, "%.2f"),
                  benchutil::fmt(recov, "%.2f")});
+            perf::Case kase;
+            kase.labels["platform"] = pl.label;
+            kase.labels["ablation"] = "overlap_transpose";
+            kase.values["nprocs"] = static_cast<double>(nprocs);
+            kase.values["hidden_fraction"] = rho;
+            kase.values["blocking_wall_seconds_per_step"] = wall_blk;
+            kase.values["overlapped_wall_seconds_per_step"] = wall_ovl;
+            kase.values["recovered_seconds_per_step"] = recov;
+            rep.cases.push_back(std::move(kase));
         }
         std::printf("\n");
     }
+    // Stage rows come from the last Table-2 sweep run; the cases collected
+    // above carry the per-platform numbers.
+    perf::RunReport out = perf::report("table2_nektar_f", &last_bd);
+    out.cases = std::move(rep.cases);
+    cli.finish(std::move(out));
     return 0;
 }

@@ -32,16 +32,17 @@ netsim::NetworkModel probe_net() {
 }
 
 AleRun run_ale(int nprocs, const mesh::Mesh& m, const std::vector<int>& part,
-               bool gs_nonblocking) {
+               bool overlap_gs, bool trace = false) {
     AleRun out;
     out.bds.resize(static_cast<std::size_t>(nprocs));
     simmpi::World world(nprocs, probe_net());
     const auto reports = world.run([&](simmpi::Comm& c) {
         nektar::AleOptions opts;
         opts.dt = 2e-3;
-        opts.nu = 0.01;
+        opts.viscosity = 0.01;
         opts.cg.tolerance = 1e-8;
-        opts.gs_nonblocking = gs_nonblocking;
+        opts.overlap_gs = overlap_gs;
+        opts.trace = trace;
         opts.body_velocity = [](double t) { return 0.3 * std::sin(4.0 * t); };
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
@@ -91,7 +92,8 @@ const std::vector<app_model::Platform>& platforms() {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const benchutil::Cli cli = benchutil::Cli::parse("table3_nektar_ale", argc, argv);
     std::printf("Table 3: NekTar-ALE flapping-body run, CPU/wall seconds per step.\n");
     std::printf("Strong scaling on a fixed mesh; PCG + gather-scatter communications\n");
     std::printf("(no MPI_Alltoall), exactly the paper's §4.2.2 configuration.\n\n");
@@ -103,17 +105,36 @@ int main() {
     m.dual_graph(g.xadj, g.adjncy);
     std::printf("Mesh: %s, order 4\n\n", m.summary().c_str());
 
+    std::vector<app_model::Platform> selected;
+    for (const auto& pl : platforms())
+        if (cli.machine_selected(pl.machine) && cli.net_selected(pl.network))
+            selected.push_back(pl);
+    if (selected.empty()) {
+        std::fprintf(stderr, "table3_nektar_ale: no platform matches the given "
+                             "--machine/--net filters\n");
+        return 2;
+    }
+
     std::vector<std::string> headers = {"P"};
-    for (const auto& pl : platforms()) headers.push_back(pl.label);
+    for (const auto& pl : selected) headers.push_back(pl.label);
     benchutil::Table table(headers, 16);
     table.print_header();
 
-    for (int nprocs : {4, 8, 16, 32}) {
+    perf::RunReport rep = perf::report("table3_nektar_ale");
+    perf::StageBreakdown last_bd;
+    bool traced = false; // --trace records the first (smallest-P) run only
+    for (int nprocs : cli.rank_sweep({4, 8, 16, 32})) {
         const auto part = partition::partition_graph(g, nprocs);
-        const AleRun run = run_ale(nprocs, m, part, /*gs_nonblocking=*/false);
+        const bool trace_this = cli.trace && !traced;
+        const AleRun run = run_ale(nprocs, m, part, /*overlap_gs=*/false, trace_this);
+        // One clean traced sweep: the comm-layer spans are gated only by the
+        // global tracer, so stop recording after the dedicated run.
+        if (trace_this) obs::tracer().disable();
+        traced = true;
+        last_bd = run.bds[0];
         const auto shapes = app_model::solver_shapes(run.field_bytes, run.solver_bytes);
         std::vector<std::string> row = {std::to_string(nprocs)};
-        for (const auto& pl : platforms()) {
+        for (const auto& pl : selected) {
             const auto& mm = machine::by_name(pl.machine);
             const auto& net = netsim::by_name(pl.network);
             // CPU: mean across ranks; wall: slowest rank + communication.
@@ -132,6 +153,13 @@ int main() {
             const double wall = max_cpu + comm;
             const double cpu = mean_cpu + comm * net.cpu_poll_fraction;
             row.push_back(benchutil::fmt(cpu, "%.2f") + "/" + benchutil::fmt(wall, "%.2f"));
+            perf::Case kase;
+            kase.labels["platform"] = pl.label;
+            kase.values["nprocs"] = static_cast<double>(nprocs);
+            kase.values["cpu_seconds_per_step"] = cpu;
+            kase.values["wall_seconds_per_step"] = wall;
+            kase.values["comm_seconds_per_step"] = comm;
+            rep.cases.push_back(std::move(kase));
         }
         table.print_row(row);
     }
@@ -151,8 +179,8 @@ int main() {
     };
     for (int nprocs : {8, 16}) {
         const auto part = partition::partition_graph(g, nprocs);
-        const AleRun blk = run_ale(nprocs, m, part, /*gs_nonblocking=*/false);
-        const AleRun ovl = run_ale(nprocs, m, part, /*gs_nonblocking=*/true);
+        const AleRun blk = run_ale(nprocs, m, part, /*overlap_gs=*/false);
+        const AleRun ovl = run_ale(nprocs, m, part, /*overlap_gs=*/true);
         const auto shapes = app_model::solver_shapes(ovl.field_bytes, ovl.solver_bytes);
         const double rho = app_model::overlap_efficiency(
             ovl.hidden_seconds,
@@ -187,8 +215,21 @@ int main() {
                  benchutil::fmt(mean_cpu + comm_ovl * net.cpu_poll_fraction, "%.2f") + "/" +
                      benchutil::fmt(max_cpu + comm_ovl - recov, "%.2f"),
                  benchutil::fmt(recov, "%.2f")});
+            perf::Case kase;
+            kase.labels["platform"] = pl.label;
+            kase.labels["ablation"] = "overlap_gs";
+            kase.values["nprocs"] = static_cast<double>(nprocs);
+            kase.values["hidden_fraction"] = rho;
+            kase.values["blocking_wall_seconds_per_step"] = max_cpu + comm_blk;
+            kase.values["overlapped_wall_seconds_per_step"] = max_cpu + comm_ovl - recov;
+            kase.values["recovered_seconds_per_step"] = recov;
+            rep.cases.push_back(std::move(kase));
         }
         std::printf("\n");
     }
+    // Stage rows come from rank 0 of the last Table-3 sweep run.
+    perf::RunReport out = perf::report("table3_nektar_ale", &last_bd);
+    out.cases = std::move(rep.cases);
+    cli.finish(std::move(out));
     return 0;
 }

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate RunReport JSON files against bench/run_report_schema.json.
+
+The CI container has no jsonschema package, so this implements the small
+subset of JSON Schema the committed schema actually uses: type (including
+type lists), required, properties, additionalProperties (false or a schema),
+items, const, minimum, minLength.  Fail loudly on any schema keyword outside
+that subset rather than silently skipping it.
+
+Usage:
+  validate_run_report.py --schema bench/run_report_schema.json report.json ...
+  validate_run_report.py --schema bench/run_report_schema.json --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+
+HANDLED = {"$schema", "title", "description", "type", "required", "properties",
+           "additionalProperties", "items", "const", "minimum", "minLength"}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def check_type(value, expected: str) -> bool:
+    if expected == "number" and isinstance(value, bool):
+        return False  # bool is an int subclass in Python; JSON says otherwise
+    return isinstance(value, TYPES[expected])
+
+
+def validate(value, schema: dict, path: str, errors: list[str]) -> None:
+    unknown = set(schema) - HANDLED
+    if unknown:
+        raise SystemExit(f"schema uses unsupported keywords at {path or '$'}: "
+                         f"{sorted(unknown)} (extend validate_run_report.py)")
+
+    if "type" in schema:
+        expected = schema["type"]
+        expected = expected if isinstance(expected, list) else [expected]
+        if not any(check_type(value, t) for t in expected):
+            errors.append(f"{path or '$'}: expected {' or '.join(expected)}, "
+                          f"got {type(value).__name__}")
+            return
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path or '$'}: expected constant {schema['const']!r}, got {value!r}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path or '$'}: {value} below minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str) and len(value) < schema["minLength"]:
+        errors.append(f"{path or '$'}: string shorter than {schema['minLength']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path or '$'}: missing required key \"{key}\"")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path or '$'}: unexpected key \"{key}\"")
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_file(path: str, schema: dict) -> list[str]:
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return [f"not valid JSON: {e}"]
+    errors: list[str] = []
+    validate(doc, schema, "", errors)
+    return errors
+
+
+GOOD = {
+    "schema_version": 1,
+    "bench": "self_test",
+    "meta": {"threads": "1", "smoke": "1", "trace": "0"},
+    "steps": 2,
+    "stages": [{"stage": 1, "name": "transform", "group": "a", "flops": 10.0,
+                "bytes": 80.0, "calls": 1, "host_seconds": 0.01,
+                "fault_seconds": 0.0, "overlap_seconds": 0.0, "retransmits": 0}],
+    "metrics": {"counters": {"ops.flops": 10.0}, "gauges": {},
+                "histograms": {"h": {"count": 1, "sum": 2.0, "min": 2.0,
+                                     "max": 2.0, "buckets": {"1": 1}}}},
+    "cases": [{"platform": "NCSA", "wall_s": 4.96}],
+}
+
+
+def self_test(schema: dict) -> int:
+    errors: list[str] = []
+    validate(GOOD, schema, "", errors)
+    if errors:
+        print("self-test FAILED: known-good report rejected:")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    broken = [
+        ("missing bench", lambda d: d.pop("bench")),
+        ("wrong schema_version", lambda d: d.update(schema_version=99)),
+        ("non-string meta value", lambda d: d["meta"].update(threads=1)),
+        ("negative stage seconds", lambda d: d["stages"][0].update(host_seconds=-1.0)),
+        ("stray stage key", lambda d: d["stages"][0].update(extra=1)),
+        ("non-scalar case value", lambda d: d["cases"][0].update(bad=[1, 2])),
+    ]
+    for label, mutate in broken:
+        doc = copy.deepcopy(GOOD)
+        mutate(doc)
+        errs: list[str] = []
+        validate(doc, schema, "", errs)
+        if not errs:
+            print(f"self-test FAILED: mutation \"{label}\" was not flagged")
+            return 1
+    print(f"self-test OK: good report accepted, {len(broken)} mutations all flagged")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--schema", required=True, help="path to run_report_schema.json")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the validator flags known-bad reports")
+    ap.add_argument("reports", nargs="*", help="RunReport JSON files to validate")
+    args = ap.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    if args.self_test:
+        return self_test(schema)
+    if not args.reports:
+        ap.error("no report files given (or use --self-test)")
+
+    failed = 0
+    for path in args.reports:
+        errors = validate_file(path, schema)
+        if errors:
+            failed += 1
+            print(f"{path}: INVALID ({len(errors)} error(s))")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

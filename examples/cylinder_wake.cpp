@@ -23,9 +23,9 @@ int main() {
     std::printf("Bluff-body DNS: %s, order %zu, %zu global dof\n\n",
                 disc->mesh().summary().c_str(), disc->order(), disc->dofmap().num_global());
 
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = 4e-3;
-    opts.nu = 1.0 / 100.0; // Re = 100 on the body scale
+    opts.viscosity = 1.0 / 100.0; // Re = 100 on the body scale
     opts.time_order = 3;   // third-order stiffly-stable splitting (Je = 3)
     opts.u_bc = [](double x, double y, double) {
         const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
@@ -59,7 +59,7 @@ int main() {
             std::vector<double> um(disc->modal_size()), vm(disc->modal_size());
             disc->project(ns.u_quad(), um);
             disc->project(ns.v_quad(), vm);
-            const auto f = nektar::body_force(*disc, um, vm, ns.p_modal(), opts.nu,
+            const auto f = nektar::body_force(*disc, um, vm, ns.p_modal(), opts.viscosity,
                                               mesh::BoundaryTag::Body);
             std::printf("%8d %10.3f %14.4f %12.4f %12.4f %12.3e\n", s, ns.time(),
                         probe_wake(), f.fx, f.fy, ns.divergence_norm());

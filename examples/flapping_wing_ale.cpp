@@ -16,7 +16,7 @@ int main() {
 
     nektar::AleOptions opts;
     opts.dt = 4e-3;
-    opts.nu = 0.01;
+    opts.viscosity = 0.01;
     // Heave amplitude stays below the near-body cell size so the deforming
     // mesh never inverts.
     const double amp = 0.05, omega = 4.0;

@@ -29,7 +29,7 @@ int main() {
         const auto disc = std::make_shared<nektar::Discretization>(base_mesh, 4);
         nektar::FourierNsOptions opts;
         opts.dt = 4e-3;
-        opts.nu = 0.01;
+        opts.viscosity = 0.01;
         opts.num_modes = static_cast<std::size_t>(nprocs); // one mode per rank
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;

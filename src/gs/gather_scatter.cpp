@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace gs {
 
@@ -77,6 +80,17 @@ GatherScatter::GatherScatter(simmpi::Comm& comm, std::span<const std::int64_t> g
 }
 
 void GatherScatter::sum(simmpi::Comm& comm, std::span<double> values) const {
+    // The whole exchange as one span on this rank's lane; the Comm spans of
+    // the sends/waits/allreduce nest inside it.
+    obs::Lane* trace_lane = nullptr;
+    std::uint32_t trace_name = 0;
+    if (obs::active()) {
+        obs::Tracer& tr = obs::tracer();
+        trace_lane = tr.lane("rank " + std::to_string(comm.rank()));
+        trace_name = tr.intern(exchange_ == Exchange::Nonblocking ? "gs.sum.nonblocking"
+                                                                  : "gs.sum.blocking");
+        tr.begin(trace_lane, trace_name, comm.wall_time(), /*virtual_time=*/true);
+    }
     // Pairwise stage.
     if (exchange_ == Exchange::Nonblocking && !partners_.empty()) {
         // Post every partner's receive, then pack and ship each payload —
@@ -124,6 +138,8 @@ void GatherScatter::sum(simmpi::Comm& comm, std::span<double> values) const {
         for (std::size_t i = 0; i < tree_local_.size(); ++i)
             values[tree_local_[i]] = packed[tree_slot_[i]];
     }
+    if (trace_lane != nullptr && obs::active())
+        obs::tracer().end(trace_lane, trace_name, comm.wall_time(), /*virtual_time=*/true);
 }
 
 } // namespace gs

@@ -2,8 +2,40 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace nektar {
+
+namespace {
+
+/// Span on the calling rank's lane for one transpose entry point, stamped on
+/// the virtual clock; inert without a comm or with tracing off.
+class TransposeSpan {
+public:
+    TransposeSpan(simmpi::Comm* comm, const char* name) {
+        if (comm == nullptr || !obs::active()) return;
+        obs::Tracer& tr = obs::tracer();
+        lane_ = tr.lane("rank " + std::to_string(comm->rank()));
+        name_ = tr.intern(name);
+        comm_ = comm;
+        tr.begin(lane_, name_, comm_->wall_time(), /*virtual_time=*/true);
+    }
+    TransposeSpan(const TransposeSpan&) = delete;
+    TransposeSpan& operator=(const TransposeSpan&) = delete;
+    ~TransposeSpan() {
+        if (comm_ != nullptr && obs::active())
+            obs::tracer().end(lane_, name_, comm_->wall_time(), /*virtual_time=*/true);
+    }
+
+private:
+    simmpi::Comm* comm_ = nullptr;
+    obs::Lane* lane_ = nullptr;
+    std::uint32_t name_ = 0;
+};
+
+} // namespace
 
 FourierTranspose::FourierTranspose(simmpi::Comm* comm, std::size_t nq, std::size_t nplanes)
     : nq_(nq),
@@ -15,6 +47,7 @@ void FourierTranspose::to_lines(simmpi::Comm* comm, std::span<const double> plan
                                 std::span<double> lines) const {
     assert(planes.size() == planes_buffer_size());
     assert(lines.size() == lines_buffer_size());
+    const TransposeSpan span(comm, "transpose.to_lines");
     const std::size_t tp = total_planes();
     if (nranks_ == 1) {
         for (std::size_t i = 0; i < chunk_; ++i)
@@ -48,6 +81,7 @@ void FourierTranspose::to_planes(simmpi::Comm* comm, std::span<const double> lin
                                  std::span<double> planes) const {
     assert(planes.size() == planes_buffer_size());
     assert(lines.size() == lines_buffer_size());
+    const TransposeSpan span(comm, "transpose.to_planes");
     const std::size_t tp = total_planes();
     if (nranks_ == 1) {
         for (std::size_t lp = 0; lp < nplanes_; ++lp)
@@ -130,6 +164,7 @@ void FourierTranspose::to_lines_overlapped(
     std::size_t nslices, const std::function<void(std::size_t, std::size_t)>& on_ready) const {
     assert(planes.size() == planes_buffer_size());
     assert(lines.size() == lines_buffer_size());
+    const TransposeSpan span(comm, "transpose.to_lines_overlapped");
     if (!comm || nranks_ == 1) {
         to_lines(comm, planes, lines);
         if (on_ready) on_ready(0, chunk_);
@@ -158,6 +193,7 @@ void FourierTranspose::to_planes_overlapped(
     std::size_t nslices, const std::function<void(std::size_t, std::size_t)>& produce) const {
     assert(planes.size() == planes_buffer_size());
     assert(lines.size() == lines_buffer_size());
+    const TransposeSpan span(comm, "transpose.to_planes_overlapped");
     if (!comm || nranks_ == 1) {
         if (produce) produce(0, chunk_);
         to_planes(comm, lines, planes);
@@ -188,6 +224,7 @@ void FourierTranspose::roundtrip_overlapped(
     const std::function<void(std::size_t, std::size_t)>& compute) const {
     assert(planes_in.size() == lines_in.size());
     assert(lines_out.size() == planes_out.size());
+    const TransposeSpan span(comm, "transpose.roundtrip_overlapped");
     if (!comm || nranks_ == 1) {
         for (std::size_t f = 0; f < planes_in.size(); ++f)
             to_lines(comm, planes_in[f], lines_in[f]);

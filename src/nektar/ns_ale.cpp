@@ -106,7 +106,7 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
             }
         }
         gs_ = std::make_unique<gs::GatherScatter>(*comm_, gids, gs::GatherScatter::Strategy::Auto,
-                                                  opts_.gs_nonblocking
+                                                  opts_.overlap_gs
                                                       ? gs::GatherScatter::Exchange::Nonblocking
                                                       : gs::GatherScatter::Exchange::Blocking);
     }
@@ -142,6 +142,16 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
     vq_.assign(nq, 0.0);
     wq_.assign(nq, 0.0);
     reset_state(nq);
+    if (opts_.trace) {
+        std::string lane = opts_.trace_lane;
+        if (lane.empty()) lane = comm_ ? "rank " + std::to_string(comm_->rank()) : "solver";
+        // Comm-backed ranks stamp stage spans on the seeded virtual clock so
+        // the trace stream is bit-deterministic; serial runs use host time.
+        if (comm_ != nullptr)
+            configure_trace(lane, [c = comm_]() { return c->wall_time(); });
+        else
+            configure_trace(lane);
+    }
 }
 
 void AleNS2d::rebuild_discretization() {
@@ -406,7 +416,7 @@ void AleNS2d::stage_viscous_rhs(const StepContext& ctx,
             disc_->quad_block(std::span<double>(py), e));
     blaslite::daxpy(-ctx.dt, px, uhat);
     blaslite::daxpy(-ctx.dt, py, vhat);
-    const double scale = 1.0 / (opts_.nu * ctx.dt);
+    const double scale = 1.0 / (opts_.viscosity * ctx.dt);
     blaslite::dscal(scale, uhat);
     blaslite::dscal(scale, vhat);
     urhs_ = weak_rhs(uhat);
@@ -418,7 +428,7 @@ void AleNS2d::stage_viscous_rhs(const StepContext& ctx,
 void AleNS2d::stage_viscous_solve(const StepContext& ctx) {
     const double tn1 = ctx.t_new;
     if (comm_) comm_->set_stage(7);
-    const double lambda = ctx.scheme.gamma0 / (opts_.nu * ctx.dt);
+    const double lambda = ctx.scheme.gamma0 / (opts_.viscosity * ctx.dt);
     record_velocity_lambda(lambda);
     auto xu = dirichlet_x(opts_.velocity_bc,
                           [&](double x, double y) { return opts_.u_bc(x, y, tn1); });

@@ -33,22 +33,8 @@
 /// gather-scatter assembly inside PCG.
 namespace nektar {
 
-struct AleOptions {
-    double dt = 1e-3;
-    double nu = 0.01;
-    int time_order = 2;         ///< 1..3 (stiffly-stable)
-    /// Vertical velocity of the body boundary at time t (heave/flap motion).
-    std::function<double(double)> body_velocity = [](double) { return 0.0; };
-    HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
-                                          mesh::BoundaryTag::Body}};
-    HelmholtzBC pressure_bc{.dirichlet = {mesh::BoundaryTag::Outflow}};
-    VelocityBC u_bc = [](double, double, double) { return 0.0; };
-    VelocityBC v_bc = [](double, double, double) { return 0.0; };
-    la::CgOptions cg{.max_iterations = 2000, .tolerance = 1e-9};
-    /// Run the gather-scatter pairwise stage over posted irecvs with
-    /// per-neighbour packing overlapped (bit-identical to blocking).
-    bool gs_nonblocking = true;
-};
+// AleOptions (the SolverOptions extension for this solver) lives in
+// solver_options.hpp with the rest of the unified configuration API.
 
 class AleNS2d : public SolverCore {
 public:

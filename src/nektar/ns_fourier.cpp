@@ -46,7 +46,7 @@ FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOption
         v.reserve(mloc_);
         for (std::size_t j = 0; j < mloc_; ++j) {
             const double bk = beta(global_mode(j));
-            v.emplace_back(disc_, gamma0 / (opts_.nu * opts_.dt) + bk * bk,
+            v.emplace_back(disc_, gamma0 / (opts_.viscosity * opts_.dt) + bk * bk,
                            opts_.velocity_bc);
         }
         return v;
@@ -62,6 +62,16 @@ FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOption
     }
     p_modal_.assign(nm, 0.0);
     reset_state(nq);
+    if (opts_.trace) {
+        std::string lane = opts_.trace_lane;
+        if (lane.empty()) lane = comm_ ? "rank " + std::to_string(comm_->rank()) : "solver";
+        // Comm-backed ranks stamp stage spans on the seeded virtual clock so
+        // the trace stream is bit-deterministic; serial runs use host time.
+        if (comm_ != nullptr)
+            configure_trace(lane, [c = comm_]() { return c->wall_time(); });
+        else
+            configure_trace(lane);
+    }
 }
 
 std::size_t FourierNS::global_mode(std::size_t local) const noexcept {
@@ -314,7 +324,7 @@ void FourierNS::stage_viscous_rhs(const StepContext& ctx,
     const std::size_t nq = disc_->quad_size();
     vrhs_.assign(3 * nplanes_, std::vector<double>(disc_->dofmap().num_global(), 0.0));
     const double dt = ctx.dt;
-    const double scale = 1.0 / (opts_.nu * dt);
+    const double scale = 1.0 / (opts_.viscosity * dt);
     // Batched over every plane at once: the in-plane pressure gradient,
     // the plane interpolation for dp/dz, and the weak inner products.
     std::vector<double> px(nplanes_ * nq), py(nplanes_ * nq), pquad(nplanes_ * nq);

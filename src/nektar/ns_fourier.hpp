@@ -24,29 +24,8 @@
 /// through the shared stiffly-stable core (splitting.hpp) at order 1..3.
 namespace nektar {
 
-struct FourierNsOptions {
-    double dt = 1e-3;
-    double nu = 0.01;
-    int time_order = 2;          ///< 1..3 (stiffly-stable)
-    std::size_t num_modes = 4;   ///< complex Fourier modes M (Nz = 2M physical planes)
-    double lz = 2.0 * 3.14159265358979323846; ///< spanwise length (paper uses 2*pi)
-    HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
-                                          mesh::BoundaryTag::Body}};
-    HelmholtzBC pressure_bc{.dirichlet = {mesh::BoundaryTag::Outflow}};
-    VelocityBC u_bc = [](double, double, double) { return 0.0; };
-    VelocityBC v_bc = [](double, double, double) { return 0.0; };
-    VelocityBC w_bc = [](double, double, double) { return 0.0; };
-    /// Pipeline the nonlinear step's transpositions against the z-line FFT
-    /// work through the chunked nonblocking alltoall.  Bit-identical to the
-    /// blocking path — only the virtual-clock accounting changes.
-    bool overlap_transpose = true;
-    std::size_t overlap_slices = 4; ///< pipeline depth (slices per exchange)
-    /// Nominal FPU rate (flop/s) used to charge the z-line work to the
-    /// simmpi virtual clocks, giving the pipelined exchange computation to
-    /// hide transfers under.  Accounting only — results never depend on it;
-    /// 0 disables the charge.
-    double virtual_compute_flops = 150e6;
-};
+// FourierNsOptions (the SolverOptions extension for this solver) lives in
+// solver_options.hpp with the rest of the unified configuration API.
 
 /// 3-D initial condition f(x, y, z).
 using Field3Fn = std::function<double(double, double, double)>;

@@ -8,14 +8,14 @@
 
 namespace nektar {
 
-SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opts)
+SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, SerialNsOptions opts)
     : SolverCore(opts.time_order, opts.dt, /*num_fields=*/2),
       disc_(std::move(disc)),
       opts_(opts),
       pressure_solver_(disc_, 0.0, opts.pressure_bc) {
     velocity_solvers_.configure([this](double gamma0) {
         std::vector<HelmholtzDirect> v;
-        v.emplace_back(disc_, gamma0 / (opts_.nu * opts_.dt), opts_.velocity_bc);
+        v.emplace_back(disc_, gamma0 / (opts_.viscosity * opts_.dt), opts_.velocity_bc);
         return v;
     });
     // Warm the steady-state operator (the startup orders build on first use).
@@ -28,6 +28,8 @@ SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opt
     uq_.assign(nq, 0.0);
     vq_.assign(nq, 0.0);
     reset_state(nq);
+    if (opts_.trace)
+        configure_trace(opts_.trace_lane.empty() ? "solver" : opts_.trace_lane);
 }
 
 void SerialNS2d::load_state(const std::function<double(double, double)>& u0,
@@ -137,7 +139,7 @@ void SerialNS2d::stage_viscous_rhs(const StepContext& ctx,
     disc_->grad_from_modal(p_modal_, px, py);
     blaslite::daxpy(-ctx.dt, px, hat[0]);
     blaslite::daxpy(-ctx.dt, py, hat[1]);
-    const double scale = 1.0 / (opts_.nu * ctx.dt);
+    const double scale = 1.0 / (opts_.viscosity * ctx.dt);
     blaslite::dscal(scale, hat[0]);
     blaslite::dscal(scale, hat[1]);
     urhs_.assign(disc_->dofmap().num_global(), 0.0);

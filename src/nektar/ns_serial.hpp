@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nektar/helmholtz.hpp"
+#include "nektar/solver_options.hpp"
 #include "nektar/splitting.hpp"
 
 /// \file ns_serial.hpp
@@ -23,23 +24,9 @@
 ///   7  banded direct solves of the Helmholtz equations
 namespace nektar {
 
-/// Time-dependent Dirichlet velocity data g(x, y, t).
-using VelocityBC = std::function<double(double, double, double)>;
-
-struct NsOptions {
-    double dt = 1e-3;
-    double nu = 0.01;           ///< kinematic viscosity (1/Re)
-    int time_order = 2;         ///< 1..3 (stiffly-stable)
-    HelmholtzBC velocity_bc{.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Wall,
-                                          mesh::BoundaryTag::Body}};
-    HelmholtzBC pressure_bc{.dirichlet = {mesh::BoundaryTag::Outflow}};
-    VelocityBC u_bc = [](double, double, double) { return 0.0; };
-    VelocityBC v_bc = [](double, double, double) { return 0.0; };
-};
-
 class SerialNS2d : public SolverCore {
 public:
-    SerialNS2d(std::shared_ptr<const Discretization> disc, NsOptions opts);
+    SerialNS2d(std::shared_ptr<const Discretization> disc, SerialNsOptions opts);
 
     /// Sets the initial velocity field (evaluated at quadrature points and
     /// projected); resets the history ring buffers and the clock.  The first
@@ -93,7 +80,7 @@ private:
                     const std::function<double(double, double)>& v0);
 
     std::shared_ptr<const Discretization> disc_;
-    NsOptions opts_;
+    SerialNsOptions opts_;
     HelmholtzDirect pressure_solver_;
     /// Velocity Helmholtz operators keyed on the *effective* startup order,
     /// so the implicit lambda = gamma0/(nu dt) always matches the explicit

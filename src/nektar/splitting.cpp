@@ -90,6 +90,19 @@ int SolverCore::effective_order() const noexcept {
     return time_order_ < from_history ? time_order_ : from_history;
 }
 
+void SolverCore::configure_trace(const std::string& lane_name, std::function<double()> clock) {
+    if constexpr (obs::kTraceCompiled) {
+        trace_clock_ = std::move(clock);
+        trace_lane_ = obs::tracer().lane(lane_name);
+        trace_ids_[0] = obs::tracer().intern("step");
+        for (std::size_t s = 1; s <= perf::kNumStages; ++s)
+            trace_ids_[s] = obs::tracer().intern(perf::stage_short_name(s));
+    } else {
+        (void)lane_name;
+        (void)clock;
+    }
+}
+
 void SolverCore::begin_step(const StepContext&) {}
 
 void SolverCore::end_step(const StepContext&) {}
@@ -140,36 +153,30 @@ void SolverCore::advance() {
     breakdown_.steps += 1;
     last_step_order_ = je;
 
+    // Stage spans bracket the StageScope accounting, on the virtual clock
+    // for comm-backed solvers (bit-deterministic) or the host clock.
+    const bool tracing = obs::active() && trace_lane_ != nullptr;
+    const bool virtual_time = static_cast<bool>(trace_clock_);
+    const auto now = [&]() { return virtual_time ? trace_clock_() : obs::tracer().host_now(); };
+    const auto run_stage = [&](std::size_t s, auto&& body) {
+        if (tracing) obs::tracer().begin(trace_lane_, trace_ids_[s], now(), virtual_time);
+        {
+            perf::StageScope scope(breakdown_, s);
+            body();
+        }
+        if (tracing) obs::tracer().end(trace_lane_, trace_ids_[s], now(), virtual_time);
+    };
+
+    if (tracing) obs::tracer().begin(trace_lane_, trace_ids_[0], now(), virtual_time);
     begin_step(ctx);
 
-    {
-        perf::StageScope scope(breakdown_, 1);
-        stage_transform(ctx);
-    }
-    {
-        perf::StageScope scope(breakdown_, 2);
-        stage_nonlinear(ctx, nl_scratch_);
-    }
-    {
-        perf::StageScope scope(breakdown_, 3);
-        extrapolate(ctx, nl_scratch_, hat_scratch_);
-    }
-    {
-        perf::StageScope scope(breakdown_, 4);
-        stage_pressure_rhs(ctx, hat_scratch_);
-    }
-    {
-        perf::StageScope scope(breakdown_, 5);
-        stage_pressure_solve(ctx);
-    }
-    {
-        perf::StageScope scope(breakdown_, 6);
-        stage_viscous_rhs(ctx, hat_scratch_);
-    }
-    {
-        perf::StageScope scope(breakdown_, 7);
-        stage_viscous_solve(ctx);
-    }
+    run_stage(1, [&] { stage_transform(ctx); });
+    run_stage(2, [&] { stage_nonlinear(ctx, nl_scratch_); });
+    run_stage(3, [&] { extrapolate(ctx, nl_scratch_, hat_scratch_); });
+    run_stage(4, [&] { stage_pressure_rhs(ctx, hat_scratch_); });
+    run_stage(5, [&] { stage_pressure_solve(ctx); });
+    run_stage(6, [&] { stage_viscous_rhs(ctx, hat_scratch_); });
+    run_stage(7, [&] { stage_viscous_solve(ctx); });
 
     // Rotate the histories: the pre-solve quadrature fields become u^{n-1},
     // this step's nonlinear terms become N^{n-1}.
@@ -183,6 +190,7 @@ void SolverCore::advance() {
     }
 
     end_step(ctx);
+    if (tracing) obs::tracer().end(trace_lane_, trace_ids_[0], now(), virtual_time);
     time_ = ctx.t_new;
     ++steps_taken_;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nektar/helmholtz.hpp"
+#include "obs/trace.hpp"
 #include "perf/stage_stats.hpp"
 
 /// \file splitting.hpp
@@ -165,6 +166,14 @@ protected:
     /// Derived stage-7 implementations report the lambda they solved with.
     void record_velocity_lambda(double lambda) noexcept { last_velocity_lambda_ = lambda; }
 
+    /// Routes per-step/per-stage spans of advance() to obs lane `lane_name`,
+    /// stamped by `clock` (a simmpi virtual wall clock for comm-backed
+    /// solvers; empty = the host clock).  No-op with tracing compiled out;
+    /// with it compiled in, events only record while obs::tracer() is
+    /// enabled.  Derived solvers call this when their options ask for
+    /// tracing (SolverOptions::trace).
+    void configure_trace(const std::string& lane_name, std::function<double()> clock = {});
+
     // --- per-solver hooks, called in pipeline order ---
     /// Work preceding stage 1 (the ALE mesh-velocity solve and mesh update);
     /// charges its own StageScopes.
@@ -213,6 +222,12 @@ private:
     std::vector<std::vector<double>> nl_scratch_, hat_scratch_;
 
     perf::StageBreakdown breakdown_;
+
+    // Tracing: the lane advance() stamps stage spans on, its clock, and the
+    // pre-interned event names ([0] = "step", [s] = stage s's short name).
+    obs::Lane* trace_lane_ = nullptr;
+    std::function<double()> trace_clock_;
+    std::array<std::uint32_t, perf::kNumStages + 1> trace_ids_{};
 };
 
 } // namespace nektar

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+/// \file metrics.hpp
+/// Process-wide metrics registry: named counters, gauges and power-of-two
+/// histograms with deterministic (name-sorted) ordering, so snapshots can be
+/// embedded in a RunReport and diffed across runs.  The registry absorbs the
+/// op-counter and stage-stat style accounting that used to be scattered per
+/// subsystem; `perf::report()` folds a snapshot into every RunReport.
+namespace obs {
+
+/// Power-of-two bucketed histogram: each sample lands in the bucket of its
+/// binary exponent (frexp), so merging and serialising are exact and the
+/// bucket set is deterministic for a deterministic sample stream.
+struct Histogram {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::map<int, std::uint64_t> buckets; ///< binary exponent -> samples
+
+    void observe(double v);
+    [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+class MetricsRegistry {
+public:
+    /// Adds `delta` to counter `name` (creates it at zero).
+    void add(std::string_view name, double delta = 1.0);
+    /// Sets gauge `name` to `value` (last write wins).
+    void set(std::string_view name, double value);
+    /// Records one sample into histogram `name`.
+    void observe(std::string_view name, double value);
+
+    struct Snapshot {
+        std::map<std::string, double> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, Histogram> histograms;
+    };
+    [[nodiscard]] Snapshot snapshot() const;
+
+    void reset();
+
+private:
+    mutable std::mutex mu_;
+    Snapshot data_;
+};
+
+/// The process-global registry.
+[[nodiscard]] MetricsRegistry& metrics();
+
+} // namespace obs

@@ -1,19 +1,25 @@
 #include "parallel/thread_pool.hpp"
 
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "blaslite/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace parallel {
 
 namespace {
 thread_local bool in_parallel_region = false;
+/// Which pool thread this is: 0 = the calling (external) thread, 1.. = the
+/// pool's own workers.  Names the per-thread obs lane.
+thread_local unsigned worker_index = 0;
 } // namespace
 
 struct ThreadPool::Impl {
@@ -32,8 +38,9 @@ struct ThreadPool::Impl {
     bool stop = false;
     std::vector<std::thread> workers;
 
-    void worker_loop() {
+    void worker_loop(unsigned index) {
         in_parallel_region = true; // nested parallel_for from a body runs inline
+        worker_index = index;
         for (;;) {
             std::function<void()> task;
             {
@@ -56,7 +63,7 @@ ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
     threads_ = threads == 0 ? 1 : threads;
     impl_->workers.reserve(threads_ - 1);
     for (unsigned t = 1; t < threads_; ++t)
-        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+        impl_->workers.emplace_back([this, t] { impl_->worker_loop(t); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -93,6 +100,18 @@ void ThreadPool::parallel_for(std::size_t n,
     };
     const auto run_chunk = [&](std::size_t c) {
         const auto [b, e] = chunk_bounds(c);
+        // Host-clock chunk span on the executing thread's lane (dropped in
+        // virtual_only mode; the chunk->thread mapping is scheduler noise).
+        obs::Lane* lane = nullptr;
+        std::uint32_t span_name = 0;
+        if (obs::active() && !obs::tracer().virtual_only()) {
+            obs::Tracer& tr = obs::tracer();
+            lane = tr.lane("worker " + std::to_string(worker_index));
+            span_name = tr.intern("pool.chunk");
+            char args[96];
+            std::snprintf(args, sizeof(args), "\"chunk\":%zu,\"begin\":%zu,\"end\":%zu", c, b, e);
+            tr.begin(lane, span_name, tr.host_now(), /*virtual_time=*/false, tr.intern(args));
+        }
         blaslite::CountScope scope;
         try {
             body(b, e);
@@ -100,6 +119,8 @@ void ThreadPool::parallel_for(std::size_t n,
             results[c].error = std::current_exception();
         }
         results[c].counts = scope.delta();
+        if (lane != nullptr && obs::active())
+            obs::tracer().end(lane, span_name, obs::tracer().host_now(), /*virtual_time=*/false);
     };
 
     {

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "perf/stage_stats.hpp"
+#include "simmpi/simmpi.hpp"
+
+/// \file report.hpp
+/// The RunReport: one versioned JSON schema every benchmark emits
+/// (bench/run_report_schema.json is the committed contract), and
+/// perf::report() — the single entry point that folds a StageBreakdown,
+/// a rank's comm fault/overlap logs and the global obs metrics registry
+/// into it.  This replaces both the per-bench hand-rolled JSON emitters
+/// and the per-subsystem total_* getters that used to live on
+/// StageBreakdown / simmpi::Comm.
+namespace perf {
+
+/// One stage of the 7-stage splitting pipeline (row 0 collects comm events
+/// issued outside an explicit stage and appears only when it is nonempty).
+struct StageRow {
+    std::size_t stage = 0;
+    std::string name;  ///< stage_short_name()
+    std::string group; ///< paper grouping "a"/"b"/"c" ("" for row 0)
+    double flops = 0.0;
+    double bytes = 0.0;
+    std::uint64_t calls = 0;
+    double host_seconds = 0.0;
+    double fault_seconds = 0.0;
+    double overlap_seconds = 0.0;
+    std::uint64_t retransmits = 0;
+};
+
+/// One benchmark data point: a flat bag of numeric values plus string
+/// labels (platform names, network names, ...).  Serialised as a single
+/// JSON object with the two maps merged; keys must not collide.
+struct Case {
+    std::map<std::string, std::string> labels;
+    std::map<std::string, double> values;
+};
+
+struct RunReport {
+    static constexpr int kSchemaVersion = 1;
+
+    std::string bench;                       ///< benchmark id, e.g. "table2_nektar_f"
+    std::map<std::string, std::string> meta; ///< machine/net/ranks/seed/threads/...
+    int steps = 0;                           ///< solver time steps covered (0 = n/a)
+    std::vector<StageRow> stages;            ///< empty for kernel micro-benches
+    obs::MetricsRegistry::Snapshot metrics;
+    std::vector<Case> cases;
+
+    [[nodiscard]] std::string to_json() const;
+    void write_json(const std::string& path) const;
+};
+
+/// Builds a RunReport for `bench`.  When `bd` is given, its per-stage
+/// accounting becomes the `stages` rows and the run totals land in
+/// metrics.counters ("stage.host_seconds", "ops.flops", "ops.bytes",
+/// "comm.retransmits", "comm.fault_seconds", "comm.overlap_hidden_seconds").
+/// When `rank` is also given, its fault and overlap logs are folded on top
+/// first (pass rank = nullptr if the breakdown already absorbed them via
+/// add_comm_faults/add_comm_overlap).  The global obs::metrics() snapshot
+/// is always included.
+[[nodiscard]] RunReport report(std::string bench, const StageBreakdown* bd = nullptr,
+                               const simmpi::RankReport* rank = nullptr);
+
+} // namespace perf

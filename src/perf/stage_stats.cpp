@@ -26,24 +26,6 @@ void StageBreakdown::add_comm_overlap(std::size_t stage, double hidden_seconds) 
     overlap_seconds[s] += hidden_seconds;
 }
 
-std::uint64_t StageBreakdown::total_retransmits() const {
-    std::uint64_t t = 0;
-    for (std::size_t s = 0; s <= kNumStages; ++s) t += retransmits[s];
-    return t;
-}
-
-double StageBreakdown::total_fault_seconds() const {
-    double t = 0.0;
-    for (std::size_t s = 0; s <= kNumStages; ++s) t += fault_seconds[s];
-    return t;
-}
-
-double StageBreakdown::total_overlap_seconds() const {
-    double t = 0.0;
-    for (std::size_t s = 0; s <= kNumStages; ++s) t += overlap_seconds[s];
-    return t;
-}
-
 blaslite::OpCounts StageBreakdown::total_counts() const {
     blaslite::OpCounts t;
     for (std::size_t s = 1; s <= kNumStages; ++s) t += counts[s];

@@ -62,9 +62,9 @@ struct StageBreakdown {
 
     [[nodiscard]] blaslite::OpCounts total_counts() const;
     [[nodiscard]] double total_host_seconds() const;
-    [[nodiscard]] std::uint64_t total_retransmits() const;
-    [[nodiscard]] double total_fault_seconds() const;
-    [[nodiscard]] double total_overlap_seconds() const;
+    // Fault/overlap/retransmit run totals deliberately have no getters here:
+    // perf::report() (report.hpp) is the one entry point folding them into a
+    // RunReport's metrics ("comm.retransmits", "comm.fault_seconds", ...).
 
     /// Predicted seconds a machine spends in `stage` over the recorded run.
     [[nodiscard]] double predict_stage_seconds(const machine::MachineModel& m,

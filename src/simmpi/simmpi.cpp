@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -87,6 +88,49 @@ void Comm::advance_compute(double seconds) noexcept {
     wall_ += seconds;
 }
 
+namespace {
+
+/// Preformatted trace_event argument fragment for one comm op.  Interning
+/// dedups: a run touches few distinct (kind, bytes) pairs.
+std::uint32_t comm_args(CommKind kind, std::size_t bytes, bool overlapped) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"kind\":\"%s\",\"bytes\":%zu,\"overlapped\":%s",
+                  to_string(kind).c_str(), bytes, overlapped ? "true" : "false");
+    return obs::tracer().intern(buf);
+}
+
+} // namespace
+
+std::uint32_t Comm::trace_begin(const char* name, CommKind kind, std::size_t bytes,
+                                bool overlapped) {
+    if (!obs::active()) return 0;
+    obs::Tracer& tr = obs::tracer();
+    if (trace_lane_ == nullptr) trace_lane_ = tr.lane("rank " + std::to_string(rank_));
+    const std::uint32_t id = tr.intern(name);
+    tr.begin(trace_lane_, id, wall_, /*virtual_time=*/true, comm_args(kind, bytes, overlapped));
+    return id;
+}
+
+void Comm::trace_end(std::uint32_t name_id) {
+    if (name_id == 0 || !obs::active() || trace_lane_ == nullptr) return;
+    obs::tracer().end(trace_lane_, name_id, wall_, /*virtual_time=*/true);
+}
+
+void Comm::trace_instant(const char* name, CommKind kind, std::size_t bytes, bool overlapped) {
+    if (!obs::active()) return;
+    obs::Tracer& tr = obs::tracer();
+    if (trace_lane_ == nullptr) trace_lane_ = tr.lane("rank " + std::to_string(rank_));
+    tr.instant(trace_lane_, tr.intern(name), wall_, /*virtual_time=*/true,
+               comm_args(kind, bytes, overlapped));
+}
+
+void Comm::trace_counter(const char* name, double value) {
+    if (!obs::active()) return;
+    obs::Tracer& tr = obs::tracer();
+    if (trace_lane_ == nullptr) trace_lane_ = tr.lane("rank " + std::to_string(rank_));
+    tr.counter(trace_lane_, tr.intern(name), wall_, value, /*virtual_time=*/true);
+}
+
 double Comm::faulted_cost(double base_seconds) {
     const netsim::FaultModel& fm = world_->net_.fault;
     const std::uint64_t idx = msg_index_++;
@@ -96,12 +140,15 @@ double Comm::faulted_cost(double base_seconds) {
     FaultStageStats& fs = fault_log_[stage_];
     fs.retransmits += static_cast<std::uint64_t>(p.retransmits);
     fs.extra_seconds += cost - base_seconds;
+    if (p.retransmits > 0) trace_counter("fault.retransmits", static_cast<double>(p.retransmits));
+    if (cost != base_seconds) trace_counter("fault.extra_s", cost - base_seconds);
     return cost;
 }
 
 void Comm::send(int dest, int tag, std::span<const double> data) {
     assert(dest >= 0 && dest < size_ && dest != rank_);
     const std::size_t bytes = data.size_bytes();
+    const std::uint32_t span = trace_begin("send", CommKind::Ptp, bytes);
     World::Message msg;
     msg.src = rank_;
     msg.tag = tag;
@@ -114,9 +161,11 @@ void Comm::send(int dest, int tag, std::span<const double> data) {
     wall_ += overhead;
     cpu_ += overhead * world_->net_.cpu_poll_fraction;
     world_->deliver(dest, std::move(msg));
+    trace_end(span);
 }
 
 void Comm::recv(int src, int tag, std::span<double> data) {
+    const std::uint32_t span = trace_begin("recv", CommKind::Ptp, data.size_bytes());
     World::Message msg = world_->take(rank_, src, tag);
     if (msg.payload.size() != data.size())
         throw std::runtime_error("simmpi: recv size mismatch");
@@ -125,6 +174,7 @@ void Comm::recv(int src, int tag, std::span<double> data) {
     wall_ = std::max(wall_, msg.avail_time);
     // TCP stacks block (pure idle); polling stacks burn CPU while waiting.
     cpu_ += (wall_ - before) * world_->net_.cpu_poll_fraction;
+    trace_end(span);
 }
 
 void Comm::sendrecv(int partner, int tag, std::span<const double> send_data,
@@ -138,15 +188,6 @@ void Comm::sendrecv(int partner, int tag, std::span<const double> send_data,
 // ---------------------------------------------------------------------------
 // Nonblocking point-to-point
 // ---------------------------------------------------------------------------
-
-double Comm::overlapped_seconds() const noexcept {
-    double t = 0.0;
-    for (const auto& [stage, s] : overlap_log_) {
-        (void)stage;
-        t += s;
-    }
-    return t;
-}
 
 void Comm::post_background(int dest, int tag, std::span<const double> data, double base_cost) {
     World::Message msg;
@@ -167,6 +208,7 @@ Request Comm::isend(int dest, int tag, std::span<const double> data) {
     assert(dest >= 0 && dest < size_ && dest != rank_);
     const std::size_t bytes = data.size_bytes();
     record(CommKind::Ptp, bytes, /*overlapped=*/true);
+    trace_instant("isend", CommKind::Ptp, bytes, /*overlapped=*/true);
     post_background(dest, tag, data, world_->net_.ptp_seconds(bytes));
     // The sender pays the same injection overhead as a blocking send; the
     // payload is buffered, so the request is complete at once.
@@ -205,7 +247,9 @@ void Comm::absorb(Request& r, detail::Message&& msg) {
     // Whatever part of the background transfer did not surface as idle was
     // hidden under this rank's own work since the post: that is the
     // "overlapped comm" the application tables report.
-    overlap_log_[stage_] += std::max(0.0, msg.cost - idle);
+    const double hidden = std::max(0.0, msg.cost - idle);
+    overlap_log_[stage_] += hidden;
+    if (hidden > 0.0) trace_counter("overlap.hidden_s", hidden);
     r.done_ = true;
     --pending_recvs_;
 }
@@ -213,7 +257,10 @@ void Comm::absorb(Request& r, detail::Message&& msg) {
 void Comm::wait(Request& r) {
     if (!r.valid()) throw std::runtime_error("simmpi: wait on an empty Request");
     if (r.done_) return;
+    const std::uint32_t span =
+        trace_begin("wait", CommKind::Ptp, r.buf_.size_bytes(), /*overlapped=*/true);
     absorb(r, world_->take(rank_, r.peer_, r.tag_));
+    trace_end(span);
 }
 
 void Comm::waitall(std::span<Request> rs) {
@@ -226,7 +273,10 @@ bool Comm::test(Request& r) {
     if (r.done_) return true;
     World::Message msg;
     if (!world_->try_take(rank_, r.peer_, r.tag_, wall_, msg)) return false;
+    const std::uint32_t span =
+        trace_begin("wait", CommKind::Ptp, r.buf_.size_bytes(), /*overlapped=*/true);
     absorb(r, std::move(msg));
+    trace_end(span);
     return true;
 }
 
@@ -278,6 +328,7 @@ Ialltoall Comm::ialltoall(std::span<double> recv, std::size_t block, std::size_t
     h.tag_ = kCollTagBase + coll_seq_;
     coll_seq_ = (coll_seq_ + 1) % kCollTagRange;
     record(CommKind::Alltoall, block * sizeof(double), /*overlapped=*/true);
+    trace_instant("ialltoall", CommKind::Alltoall, block * sizeof(double), /*overlapped=*/true);
     if (p > 1) {
         // Post every (peer, slice) receive up front so any arrival order of
         // the peers' sends queues cleanly.
@@ -306,12 +357,17 @@ void Ialltoall::send_slice(std::size_t s, std::span<const double> send) {
         throw std::runtime_error("simmpi: ialltoall send size mismatch");
     const std::size_t off = slice_offset(s);
     const std::size_t len = slice_len(s);
+    const std::uint32_t span = c.trace_begin("ialltoall.send", CommKind::Alltoall,
+                                             len * sizeof(double), /*overlapped=*/true);
     const std::size_t me = static_cast<std::size_t>(c.rank_);
     // The self block bypasses the network.
     std::copy(send.begin() + static_cast<std::ptrdiff_t>(me * block_ + off),
               send.begin() + static_cast<std::ptrdiff_t>(me * block_ + off + len),
               recv_.begin() + static_cast<std::ptrdiff_t>(me * block_ + off));
-    if (p == 1) return;
+    if (p == 1) {
+        c.trace_end(span);
+        return;
+    }
     const netsim::NetworkModel& net = c.world_->network();
     // Each peer message carries its share of the blocking collective's cost,
     // so the background total matches what alltoall() would have charged.
@@ -328,6 +384,7 @@ void Ialltoall::send_slice(std::size_t s, std::span<const double> send) {
     const double overhead = 0.5 * net.latency_us * 1e-6;
     c.wall_ += overhead;
     c.cpu_ += overhead * net.cpu_poll_fraction;
+    c.trace_end(span);
 }
 
 void Ialltoall::wait_slice(std::size_t s) {
@@ -337,10 +394,13 @@ void Ialltoall::wait_slice(std::size_t s) {
     ++next_wait_;
     Comm& c = *comm_;
     const std::size_t p = static_cast<std::size_t>(c.size_);
+    const std::uint32_t span = c.trace_begin("ialltoall.wait", CommKind::Alltoall,
+                                             slice_len(s) * sizeof(double), /*overlapped=*/true);
     for (std::size_t d = 1; d < p; ++d) {
         const std::size_t src = (static_cast<std::size_t>(c.rank_) + d) % p;
         c.wait(recvs_[s * p + src]);
     }
+    c.trace_end(span);
 }
 
 void Ialltoall::finish() {
@@ -365,6 +425,7 @@ void Comm::alltoall(std::span<const double> send, std::span<double> recv, std::s
         throw std::runtime_error("simmpi: alltoall size mismatch");
     const std::size_t bytes = block * sizeof(double);
     record(CommKind::Alltoall, bytes);
+    const std::uint32_t span = trace_begin("alltoall", CommKind::Alltoall, bytes);
 
     // Stage the data: rank r owns rows [r*p*block, (r+1)*p*block).
     {
@@ -380,12 +441,14 @@ void Comm::alltoall(std::span<const double> send, std::span<double> recv, std::s
         std::copy(srcp, srcp + block, recv.begin() + static_cast<std::ptrdiff_t>(j * block));
     }
     sync_and_charge(world_->net_.alltoall_seconds(size_, bytes));
+    trace_end(span);
 }
 
 void Comm::allreduce_sum(std::span<double> data) {
     const std::size_t n = data.size();
     const std::size_t p = static_cast<std::size_t>(size_);
     record(CommKind::Allreduce, n * sizeof(double));
+    const std::uint32_t span = trace_begin("allreduce", CommKind::Allreduce, n * sizeof(double));
     {
         std::lock_guard lk(world_->exch_mtx_);
         if (world_->exchange_.size() < p * n) world_->exchange_.resize(p * n);
@@ -400,6 +463,7 @@ void Comm::allreduce_sum(std::span<double> data) {
         data[i] = s;
     }
     sync_and_charge(world_->net_.allreduce_seconds(size_, n * sizeof(double)));
+    trace_end(span);
 }
 
 double Comm::allreduce_sum(double v) {
@@ -411,6 +475,7 @@ double Comm::allreduce_sum(double v) {
 double Comm::allreduce_max(double v) {
     const std::size_t p = static_cast<std::size_t>(size_);
     record(CommKind::Allreduce, sizeof(double));
+    const std::uint32_t span = trace_begin("allreduce", CommKind::Allreduce, sizeof(double));
     {
         std::lock_guard lk(world_->exch_mtx_);
         if (world_->exchange_.size() < p) world_->exchange_.resize(p);
@@ -421,6 +486,7 @@ double Comm::allreduce_max(double v) {
     double m = world_->exchange_[0];
     for (std::size_t r = 1; r < p; ++r) m = std::max(m, world_->exchange_[r]);
     sync_and_charge(world_->net_.allreduce_seconds(size_, sizeof(double)));
+    trace_end(span);
     return m;
 }
 
@@ -430,6 +496,7 @@ void Comm::gather(std::span<const double> send, std::vector<double>& recv, int r
     const std::size_t n = send.size();
     const std::size_t p = static_cast<std::size_t>(size_);
     record(CommKind::Gather, n * sizeof(double));
+    const std::uint32_t span = trace_begin("gather", CommKind::Gather, n * sizeof(double));
     {
         std::lock_guard lk(world_->exch_mtx_);
         if (world_->exchange_.size() < p * n) world_->exchange_.resize(p * n);
@@ -443,11 +510,13 @@ void Comm::gather(std::span<const double> send, std::vector<double>& recv, int r
                     world_->exchange_.begin() + static_cast<std::ptrdiff_t>(p * n));
     }
     sync_and_charge(world_->net_.gather_seconds(size_, n * sizeof(double)));
+    trace_end(span);
 }
 
 void Comm::bcast(std::span<double> data, int root) {
     const std::size_t n = data.size();
     record(CommKind::Bcast, n * sizeof(double));
+    const std::uint32_t span = trace_begin("bcast", CommKind::Bcast, n * sizeof(double));
     {
         std::lock_guard lk(world_->exch_mtx_);
         if (world_->exchange_.size() < n) world_->exchange_.resize(n);
@@ -460,11 +529,14 @@ void Comm::bcast(std::span<double> data, int root) {
         std::copy(world_->exchange_.begin(),
                   world_->exchange_.begin() + static_cast<std::ptrdiff_t>(n), data.begin());
     sync_and_charge(world_->net_.gather_seconds(size_, n * sizeof(double)));
+    trace_end(span);
 }
 
 void Comm::barrier() {
     record(CommKind::Barrier, 0);
+    const std::uint32_t span = trace_begin("barrier", CommKind::Barrier, 0);
     sync_and_charge(world_->net_.barrier_seconds(size_));
+    trace_end(span);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "netsim/netmodel.hpp"
+#include "obs/trace.hpp"
 
 /// \file simmpi.hpp
 /// A simulated MPI: the message-passing runtime the parallel solvers run on.
@@ -302,8 +303,6 @@ public:
     [[nodiscard]] const CommLog& log() const noexcept { return log_; }
     [[nodiscard]] const FaultLog& fault_log() const noexcept { return fault_log_; }
     [[nodiscard]] const OverlapLog& overlap_log() const noexcept { return overlap_log_; }
-    /// Total virtual comm seconds hidden by the nonblocking path.
-    [[nodiscard]] double overlapped_seconds() const noexcept;
     /// Receives posted but not yet completed; a rank finishing with pending
     /// requests is a bug World::run reports.
     [[nodiscard]] int pending_requests() const noexcept { return pending_recvs_; }
@@ -337,6 +336,22 @@ private:
     /// Called by World::run after the rank function returns cleanly.
     void check_no_pending() const;
 
+    // --- obs tracing (vanish under REPRO_TRACING=0; one relaxed atomic load
+    //     while the tracer is disabled) ---
+    /// Opens a span named `name` on this rank's lane ("rank N", created on
+    /// first use) at the current virtual wall clock, tagged with a
+    /// kind/bytes/overlapped argument fragment.  Returns the interned name
+    /// id, or 0 when tracing is inactive (trace_end(0) is a no-op).
+    std::uint32_t trace_begin(const char* name, CommKind kind, std::size_t bytes,
+                              bool overlapped = false);
+    /// Closes the span opened by the matching trace_begin at the current
+    /// virtual wall clock.
+    void trace_end(std::uint32_t name_id);
+    /// Marks a zero-duration event (nonblocking posts).
+    void trace_instant(const char* name, CommKind kind, std::size_t bytes, bool overlapped);
+    /// Samples a per-rank counter track (fault extra seconds, overlap credit).
+    void trace_counter(const char* name, double value);
+
     World* world_;
     int rank_;
     int size_;
@@ -350,6 +365,7 @@ private:
     CommLog log_;
     FaultLog fault_log_;
     OverlapLog overlap_log_;
+    obs::Lane* trace_lane_ = nullptr; ///< this rank's obs lane, resolved lazily
 };
 
 /// A simulated cluster: N ranks over one interconnect model.

@@ -36,11 +36,22 @@ double jacobi_derivative(std::size_t n, double alpha, double beta, double x) noe
 
 namespace {
 
+/// std::lgamma writes the global `signgam`, which races when several simmpi
+/// rank threads build quadrature rules at once; the reentrant variant
+/// returns bit-identical values without the global.  Declared here because
+/// -std=c++20 (strict ANSI) hides the libc prototype.
+extern "C" double lgamma_r(double, int*);
+
+double lgamma_ts(double x) {
+    int sign = 0;
+    return lgamma_r(x, &sign);
+}
+
 /// Gamma-function-free zeroth moment of the Jacobi weight via the Beta
 /// function identity mu0 = 2^(a+b+1) * B(a+1, b+1).
 double mu0(double a, double b) {
-    return std::pow(2.0, a + b + 1.0) * std::exp(std::lgamma(a + 1.0) + std::lgamma(b + 1.0) -
-                                                 std::lgamma(a + b + 2.0));
+    return std::pow(2.0, a + b + 1.0) *
+           std::exp(lgamma_ts(a + 1.0) + lgamma_ts(b + 1.0) - lgamma_ts(a + b + 2.0));
 }
 
 /// Recurrence coefficients (Gautschi): diagonal ak, off-diagonal sqrt(bk).

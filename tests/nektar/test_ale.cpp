@@ -29,7 +29,7 @@ mesh::Mesh flap_mesh() { return mesh::flapping_body_mesh(1); }
 TEST(AleNS, FreeStreamPreservationUnderMeshMotion) {
     AleOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.body_velocity = [](double t) { return 0.4 * std::cos(8.0 * t); };
     opts.velocity_bc.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Side,
                                   mesh::BoundaryTag::Body, mesh::BoundaryTag::Wall};
@@ -68,7 +68,7 @@ TEST(AleNS, ZeroMotionMatchesFixedMeshPhysics) {
     m.tag_boundary(mesh::BoundaryTag::Outflow, [](double x, double) { return x > 1.0 - 1e-9; });
     AleOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 1.0 / re;
+    opts.viscosity = 1.0 / re;
     opts.u_bc = [&](double x, double y, double) { return ku(x, y); };
     opts.v_bc = [&](double x, double y, double) { return kv(x, y); };
     AleNS2d ns(m, 6, opts);
@@ -92,7 +92,7 @@ TEST_P(AleRanks, ParallelMatchesSerialEnergy) {
     const auto m = flap_mesh();
     AleOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.body_velocity = [](double t) { return 0.3 * std::sin(5.0 * t); };
     opts.cg.tolerance = 1e-12; // tight so serial/parallel iterates agree
     opts.u_bc = [](double x, double y, double) {
@@ -129,7 +129,7 @@ INSTANTIATE_TEST_SUITE_P(Ranks, AleRanks, ::testing::Values(2, 4));
 TEST(AleNS, PcgIterationCountsReported) {
     AleOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.u_bc = [](double x, double y, double) {
         const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
         return body ? 0.0 : 1.0;
@@ -147,7 +147,7 @@ TEST(AleNS, StageBreakdownWeightsOnSolves) {
     // Paper Figures 15-16: stages (b) pressure and (c) Helmholtz dominate.
     AleOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.body_velocity = [](double t) { return 0.2 * std::sin(4.0 * t); };
     opts.u_bc = [](double x, double y, double) {
         const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;

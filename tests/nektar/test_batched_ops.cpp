@@ -237,7 +237,7 @@ TEST(BatchedOps, FourierStepIsBitwiseThreadCountIndependent) {
 
     nektar::FourierNsOptions o;
     o.dt = 1e-3;
-    o.nu = 0.05;
+    o.viscosity = 0.05;
     o.num_modes = 4;
     o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
     o.pressure_bc.dirichlet.clear();

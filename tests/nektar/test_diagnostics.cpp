@@ -9,7 +9,7 @@
 namespace {
 
 using nektar::Discretization;
-using nektar::NsOptions;
+using nektar::SerialNsOptions;
 using nektar::SerialNS2d;
 
 TEST(Diagnostics, VorticityOfTaylorGreenField) {
@@ -19,9 +19,9 @@ TEST(Diagnostics, VorticityOfTaylorGreenField) {
     m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
     const auto disc =
         std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 8);
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 1e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.pressure_bc.dirichlet.clear();
     opts.pressure_bc.pin_first_dof = true;
     SerialNS2d ns(disc, opts);
@@ -47,9 +47,9 @@ TEST(Diagnostics, UnforcedDecayingFlowLosesEnergy) {
     m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
     const auto disc =
         std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 7);
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.pressure_bc.dirichlet.clear();
     opts.pressure_bc.pin_first_dof = true;
     SerialNS2d ns(disc, opts);
@@ -80,9 +80,9 @@ TEST(Diagnostics, TimeAdvancesByDt) {
     m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
     const auto disc =
         std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 3);
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 0.25;
-    opts.nu = 0.1;
+    opts.viscosity = 0.1;
     opts.pressure_bc.dirichlet.clear();
     opts.pressure_bc.pin_first_dof = true;
     SerialNS2d ns(disc, opts);
@@ -98,9 +98,9 @@ TEST(Diagnostics, ZeroFieldStaysZero) {
     m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
     const auto disc =
         std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 4);
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 1e-2;
-    opts.nu = 0.1;
+    opts.viscosity = 0.1;
     opts.pressure_bc.dirichlet.clear();
     opts.pressure_bc.pin_first_dof = true;
     SerialNS2d ns(disc, opts);

@@ -80,7 +80,7 @@ std::shared_ptr<Discretization> shear_disc(std::size_t order) {
 FourierNsOptions shear_opts(double nu, double dt) {
     FourierNsOptions o;
     o.dt = dt;
-    o.nu = nu;
+    o.viscosity = nu;
     o.num_modes = 4;
     o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
     o.pressure_bc.dirichlet.clear();
@@ -162,7 +162,7 @@ TEST(FourierNS, KovasznayHoldsThroughTheNonlinearPath) {
         std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 7);
     FourierNsOptions o;
     o.dt = 2e-3;
-    o.nu = 1.0 / re;
+    o.viscosity = 1.0 / re;
     o.num_modes = 2;
     o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
     o.pressure_bc.dirichlet = {mesh::BoundaryTag::Outflow};

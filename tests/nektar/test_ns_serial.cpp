@@ -10,7 +10,7 @@
 namespace {
 
 using nektar::Discretization;
-using nektar::NsOptions;
+using nektar::SerialNsOptions;
 using nektar::SerialNS2d;
 
 /// Kovasznay flow: an exact steady Navier-Stokes solution.
@@ -38,9 +38,9 @@ std::shared_ptr<Discretization> kovasznay_disc(std::size_t order) {
 
 TEST(SerialNS, KovasznaySteadyStateAccuracy) {
     const Kovasznay k{40.0};
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 1.0 / k.re;
+    opts.viscosity = 1.0 / k.re;
     opts.time_order = 2;
     opts.u_bc = [&](double x, double y, double) { return k.u(x, y); };
     opts.v_bc = [&](double x, double y, double) { return k.v(x, y); };
@@ -61,9 +61,9 @@ TEST(SerialNS, KovasznaySteadyStateAccuracy) {
 
 TEST(SerialNS, DivergenceStaysSmall) {
     const Kovasznay k{40.0};
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 1.0 / k.re;
+    opts.viscosity = 1.0 / k.re;
     const auto disc = kovasznay_disc(6);
     opts.u_bc = [&](double x, double y, double) { return k.u(x, y); };
     opts.v_bc = [&](double x, double y, double) { return k.v(x, y); };
@@ -92,9 +92,9 @@ TEST(SerialNS, TaylorGreenDecayRate) {
     m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
     const auto disc =
         std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 8);
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 1e-3;
-    opts.nu = nu;
+    opts.viscosity = nu;
     opts.u_bc = [&](double x, double y, double t) { return uex(x, y, t); };
     opts.v_bc = [&](double x, double y, double t) { return vex(x, y, t); };
     opts.pressure_bc.pin_first_dof = true;
@@ -126,9 +126,9 @@ TEST(SerialNS, SecondOrderBeatsFirstOrderInTime) {
         m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
         const auto disc =
             std::make_shared<Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 8);
-        NsOptions opts;
+        SerialNsOptions opts;
         opts.dt = dt;
-        opts.nu = nu;
+        opts.viscosity = nu;
         opts.time_order = order;
         opts.u_bc = [&](double x, double y, double t) { return uex(x, y, t); };
         opts.v_bc = [&](double x, double y, double t) { return vex(x, y, t); };
@@ -149,9 +149,9 @@ TEST(SerialNS, SecondOrderBeatsFirstOrderInTime) {
 
 TEST(SerialNS, StageBreakdownRecordsAllSevenStages) {
     const Kovasznay k{40.0};
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 1e-3;
-    opts.nu = 1.0 / k.re;
+    opts.viscosity = 1.0 / k.re;
     const auto disc = kovasznay_disc(5);
     opts.u_bc = [&](double x, double y, double) { return k.u(x, y); };
     opts.v_bc = [&](double x, double y, double) { return k.v(x, y); };
@@ -180,9 +180,9 @@ TEST(SerialNS, BluffBodyShortRunStaysFinite) {
     p.n_body = 2;
     const auto disc = std::make_shared<Discretization>(
         std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p)), 4);
-    NsOptions opts;
+    SerialNsOptions opts;
     opts.dt = 5e-3;
-    opts.nu = 0.01;
+    opts.viscosity = 0.01;
     opts.u_bc = [](double, double, double) { return 1.0; }; // inflow of 1
     opts.v_bc = [](double, double, double) { return 0.0; };
     // No-slip on the body, free inflow value u=1 elsewhere: handled by tags —

@@ -47,6 +47,16 @@ netsim::NetworkModel make_net(std::uint64_t fault_seed) {
     return n;
 }
 
+/// Total virtual comm seconds this rank hid so far, summed over stages.
+double hidden_total(const simmpi::Comm& c) {
+    double t = 0.0;
+    for (const auto& [stage, s] : c.overlap_log()) {
+        (void)stage;
+        t += s;
+    }
+    return t;
+}
+
 /// (rank count, slice count, fault seed; 0 = perfect network).
 class TransposeOverlap
     : public ::testing::TestWithParam<std::tuple<int, std::size_t, std::uint64_t>> {
@@ -213,7 +223,7 @@ TEST(TransposeOverlap, PipelineRecoversWallTimeWhenComputeCoversComm) {
         const double overlapped = c.wall_time() - w1;
 
         EXPECT_LT(overlapped, blocking) << "rank " << c.rank();
-        EXPECT_GT(c.overlapped_seconds(), 0.0);
+        EXPECT_GT(hidden_total(c), 0.0);
     });
     for (const auto& rep : reports) EXPECT_FALSE(rep.overlap_log.empty());
 }
@@ -262,7 +272,7 @@ std::shared_ptr<Discretization> shear_disc(std::size_t order) {
 FourierNsOptions shear_opts(double nu, double dt) {
     FourierNsOptions o;
     o.dt = dt;
-    o.nu = nu;
+    o.viscosity = nu;
     o.num_modes = 4;
     o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
     o.pressure_bc.dirichlet.clear();
@@ -353,8 +363,8 @@ TEST(AleOverlap, NonblockingGsSolverIsBitIdenticalToBlocking) {
     const auto run_fields = [&](bool nonblocking) {
         AleOptions opts;
         opts.dt = 2e-3;
-        opts.nu = 0.05;
-        opts.gs_nonblocking = nonblocking;
+        opts.viscosity = 0.05;
+        opts.overlap_gs = nonblocking;
         opts.body_velocity = [](double t) { return 0.3 * std::sin(5.0 * t); };
         opts.u_bc = [](double x, double y, double) {
             const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;

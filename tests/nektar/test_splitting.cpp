@@ -136,9 +136,9 @@ double serial_decay_error(int je, double dt, double T, double nu) {
     const auto exact = [nu](double, double y, double t) {
         return std::sin(kPi * y) * std::exp(-nu * kPi * kPi * t);
     };
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = dt;
-    opts.nu = nu;
+    opts.viscosity = nu;
     opts.time_order = je;
     opts.u_bc = exact;
     opts.v_bc = [](double, double, double) { return 0.0; };
@@ -160,9 +160,9 @@ double observed_order(double err_coarse, double err_fine) {
 // Startup ramp and the effective-gamma0 operator cache.
 
 TEST(SolverCoreRamp, StartupOrdersRampToRequested) {
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = 1e-3;
-    opts.nu = 0.1;
+    opts.viscosity = 0.1;
     opts.time_order = 3;
     nektar::SerialNS2d ns(decay_disc(4), opts);
     ns.set_initial([](double, double y) { return std::sin(kPi * y); },
@@ -184,9 +184,9 @@ TEST(SolverCoreRamp, ExactStartSkipsTheRamp) {
     const auto exact = [](double, double y, double t) {
         return std::sin(kPi * y) * std::exp(-0.1 * kPi * kPi * t);
     };
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = 1e-3;
-    opts.nu = nu;
+    opts.viscosity = nu;
     opts.time_order = 3;
     opts.u_bc = exact;
     nektar::SerialNS2d ns(decay_disc(4), opts);
@@ -200,18 +200,18 @@ TEST(SolverCoreRamp, FirstStepLambdaMatchesEffectiveGamma0) {
     // Regression for the old first-step gamma0 mismatch: the velocity
     // Helmholtz operator of a ramped step must use the *effective* order's
     // gamma0, not the requested order's.
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.time_order = 2;
     nektar::SerialNS2d ns(decay_disc(4), opts);
     ns.set_initial([](double, double y) { return std::sin(kPi * y); },
                    [](double, double) { return 0.0; });
     EXPECT_TRUE(std::isnan(ns.last_velocity_lambda()));
     ns.step(); // effective order 1: gamma0 = 1
-    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.0 / (opts.nu * opts.dt));
+    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.0 / (opts.viscosity * opts.dt));
     ns.step(); // full order 2: gamma0 = 3/2
-    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.5 / (opts.nu * opts.dt));
+    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.5 / (opts.viscosity * opts.dt));
 }
 
 TEST(SolverCoreRamp, FirstOrder2StepEqualsFirstOrder1Step) {
@@ -220,9 +220,9 @@ TEST(SolverCoreRamp, FirstOrder2StepEqualsFirstOrder1Step) {
     const auto u0 = [](double x, double y) { return std::sin(kPi * y) + 0.1 * x; };
     const auto v0 = [](double x, double y) { return 0.05 * std::sin(kPi * x) * y; };
     auto run_one_step = [&](int je) {
-        nektar::NsOptions opts;
+        nektar::SerialNsOptions opts;
         opts.dt = 1e-3;
-        opts.nu = 0.05;
+        opts.viscosity = 0.05;
         opts.time_order = je;
         nektar::SerialNS2d ns(decay_disc(5), opts);
         ns.set_initial(u0, v0);
@@ -242,7 +242,7 @@ TEST(SolverCoreRamp, FourierFirstStepLambdaMatchesEffectiveGamma0) {
         std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 4);
     nektar::FourierNsOptions o;
     o.dt = 1e-3;
-    o.nu = 0.05;
+    o.viscosity = 0.05;
     o.num_modes = 2;
     o.time_order = 2;
     o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
@@ -253,16 +253,16 @@ TEST(SolverCoreRamp, FourierFirstStepLambdaMatchesEffectiveGamma0) {
                    [](double, double, double) { return 0.0; },
                    [](double, double, double) { return 0.0; });
     ns.step(); // mean mode (beta = 0): lambda = gamma0_eff/(nu dt) = 1/(nu dt)
-    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.0 / (o.nu * o.dt));
+    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.0 / (o.viscosity * o.dt));
     ns.step();
-    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.5 / (o.nu * o.dt));
+    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.5 / (o.viscosity * o.dt));
 }
 
 TEST(SolverCoreRamp, AleLambdaFollowsTheRamp) {
     const auto m = mesh::flapping_body_mesh(1);
     nektar::AleOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.time_order = 3;
     opts.body_velocity = [](double t) { return 0.1 * std::sin(5.0 * t); };
     opts.u_bc = [](double x, double y, double) {
@@ -273,13 +273,13 @@ TEST(SolverCoreRamp, AleLambdaFollowsTheRamp) {
     ns.set_initial([](double, double) { return 1.0; }, [](double, double) { return 0.0; });
     ns.step();
     EXPECT_EQ(ns.last_step_order(), 1);
-    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.0 / (opts.nu * opts.dt));
+    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.0 / (opts.viscosity * opts.dt));
     ns.step();
     EXPECT_EQ(ns.last_step_order(), 2);
-    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.5 / (opts.nu * opts.dt));
+    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), 1.5 / (opts.viscosity * opts.dt));
     ns.step();
     EXPECT_EQ(ns.last_step_order(), 3);
-    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), (11.0 / 6.0) / (opts.nu * opts.dt));
+    EXPECT_DOUBLE_EQ(ns.last_velocity_lambda(), (11.0 / 6.0) / (opts.viscosity * opts.dt));
 }
 
 // ---------------------------------------------------------------------------
@@ -303,9 +303,9 @@ TEST(SplittingGolden, SerialKovasznayMatchesPreRefactorSteps) {
     m.tag_boundary(mesh::BoundaryTag::Outflow, [](double x, double) { return x > 1.0 - 1e-9; });
     const auto disc =
         std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 5);
-    nektar::NsOptions opts;
+    nektar::SerialNsOptions opts;
     opts.dt = 1e-3;
-    opts.nu = 1.0 / re;
+    opts.viscosity = 1.0 / re;
     opts.time_order = 2;
     opts.u_bc = [&](double x, double y, double) { return ku(x, y); };
     opts.v_bc = [&](double x, double y, double) { return kv(x, y); };
@@ -336,7 +336,7 @@ TEST(SplittingGolden, FourierShearMatchesPreRefactorSteps) {
         std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 4);
     nektar::FourierNsOptions o;
     o.dt = 1e-3;
-    o.nu = 0.05;
+    o.viscosity = 0.05;
     o.num_modes = 4;
     o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
     o.pressure_bc.dirichlet.clear();
@@ -374,7 +374,7 @@ TEST(SplittingGolden, AleFlappingBodyMatchesPreRefactorSteps) {
     const auto m = mesh::flapping_body_mesh(1);
     nektar::AleOptions opts;
     opts.dt = 2e-3;
-    opts.nu = 0.05;
+    opts.viscosity = 0.05;
     opts.body_velocity = [](double t) { return 0.3 * std::sin(5.0 * t); };
     opts.cg.tolerance = 1e-12;
     opts.u_bc = [](double x, double y, double) {
@@ -449,7 +449,7 @@ double fourier_shear_error(int je, double dt, double T, double nu, double w0) {
         std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)), 8);
     nektar::FourierNsOptions o;
     o.dt = dt;
-    o.nu = nu;
+    o.viscosity = nu;
     o.num_modes = 4;
     o.time_order = je;
     o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
@@ -492,7 +492,7 @@ double ale_decay_error(int je, double dt, double T, double nu) {
     m.tag_boundary(mesh::BoundaryTag::Outflow, [](double x, double) { return x > 1.0 - 1e-9; });
     nektar::AleOptions opts;
     opts.dt = dt;
-    opts.nu = nu;
+    opts.viscosity = nu;
     opts.time_order = je;
     opts.cg.tolerance = 1e-13;
     opts.u_bc = exact;
