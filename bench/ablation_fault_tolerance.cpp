@@ -9,7 +9,16 @@
 /// The sweep lands in the RunReport (one case per run, with per-stage
 /// "stageN.*" keys) so downstream tooling can plot inflation-vs-loss-rate
 /// curves per network; stdout gets a human-readable summary table.
+///
+/// A second sweep prices outright node *death*: a seeded kill event fells
+/// one rank mid-run and the checkpoint/rollback harness (DESIGN.md §5.6)
+/// replays from the last globally complete checkpoint.  The sweep varies
+/// the checkpoint cadence and reports the virtual seconds thrown away,
+/// plus a byte-identity check of the recovered state against the
+/// failure-free run.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -17,6 +26,7 @@
 
 #include "app_model.hpp"
 #include "bench_util.hpp"
+#include "ckpt/recovery.hpp"
 #include "mesh/generators.hpp"
 #include "nektar/ns_fourier.hpp"
 
@@ -118,6 +128,67 @@ perf::Case make_case(const std::string& net_name, double loss, double straggler,
     return c;
 }
 
+struct RecoveryRun {
+    ckpt::RecoveryStats stats;
+    std::vector<std::vector<std::uint8_t>> final_ckpt; ///< per rank
+    /// Per-rank comm-event counter after each completed step (failure-free
+    /// probe use: indexes the kill placement).
+    std::vector<std::vector<std::uint64_t>> events_after_step;
+    double max_wall = 0.0; ///< slowest rank's wall clock, successful attempt only
+};
+
+/// Runs `nsteps` of NekTar-F on the same bluff-body problem as run_fourier,
+/// checkpointing every `cadence` steps into a Store and recovering from any
+/// seeded kill the network model carries.
+RecoveryRun run_recoverable(int nprocs, const netsim::NetworkModel& net, int cadence,
+                            int nsteps) {
+    mesh::BluffBodyParams p;
+    p.n_upstream = 3;
+    p.n_wake = 4;
+    p.n_body = 2;
+    p.n_side = 2;
+    const auto disc = std::make_shared<nektar::Discretization>(
+        std::make_shared<mesh::Mesh>(mesh::bluff_body_mesh(p)), 4);
+
+    nektar::FourierNsOptions opts;
+    opts.dt = 2e-3;
+    opts.viscosity = 0.01;
+    opts.num_modes = static_cast<std::size_t>(nprocs); // 2 planes per proc
+    opts.checkpoint_every = cadence;
+    opts.u_bc = [](double x, double y, double) {
+        const bool body = std::abs(x) <= 0.5 + 1e-6 && std::abs(y) <= 0.5 + 1e-6;
+        return body ? 0.0 : 1.0;
+    };
+
+    simmpi::World world(nprocs, net);
+    ckpt::Store store;
+    RecoveryRun out;
+    out.final_ckpt.assign(static_cast<std::size_t>(nprocs), {});
+    out.events_after_step.assign(static_cast<std::size_t>(nprocs), {});
+    out.stats = ckpt::run_with_recovery(world, store, [&](simmpi::Comm& c, int from) {
+        const auto r = static_cast<std::size_t>(c.rank());
+        nektar::FourierNS ns(disc, opts, &c);
+        ns.set_checkpoint_sink([&](const ckpt::Checkpoint& ck) {
+            store.put(c.rank(), ns.steps_taken(), c.wall_time(), ck);
+        });
+        if (from >= 0)
+            ns.restore(store.load(c.rank(), from));
+        else
+            ns.set_initial([](double, double, double z) { return 1.0 + 0.05 * std::sin(z); },
+                           [](double, double, double) { return 0.0; },
+                           [](double, double, double z) { return 0.05 * std::cos(z); });
+        out.events_after_step[r].clear();
+        while (ns.steps_taken() < nsteps) {
+            ns.step();
+            out.events_after_step[r].push_back(c.comm_events());
+        }
+        out.final_ckpt[r] = ns.checkpoint().serialize();
+    });
+    for (const auto& rep : out.stats.reports)
+        out.max_wall = std::max(out.max_wall, rep.wall_seconds);
+    return out;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +240,58 @@ int main(int argc, char** argv) {
         for (const double sf : straggler_factors) {
             const FaultRun r = run_fourier(nprocs, with_faults(base, seed, 0.01, sf));
             run_point(name, base, baseline, r, 0.01, sf);
+        }
+    }
+
+    // Kill/recovery sweep: the last rank dies inside the *final* step, so
+    // each cadence rolls back to a different checkpoint (cadence 1 loses
+    // one step, cadence 4 loses three).  The cadence trades checkpoint
+    // frequency against the virtual seconds a kill throws away, and the
+    // recovered state must stay byte-identical to the failure-free run.
+    const netsim::NetworkModel recovery_base =
+        with_faults(netsim::by_name("RoadRunner myr."), seed, 0.01, 1.0);
+    const std::vector<int> cadences = cli.smoke ? std::vector<int>{2}
+                                                : std::vector<int>{1, 2, 4};
+    const int nsteps = 8;
+    const int kill_rank = nprocs - 1;
+    const RecoveryRun probe = run_recoverable(nprocs, recovery_base, /*cadence=*/1, nsteps);
+    // First comm event of the final step, off the failure-free probe.
+    const std::uint64_t kill_events =
+        probe.events_after_step[static_cast<std::size_t>(kill_rank)]
+                               [static_cast<std::size_t>(nsteps - 2)] + 1;
+
+    std::printf("\nKill/recovery sweep: rank %d dies in step %d, rollback + replay from\n"
+                "the last complete checkpoint (P = %d)\n\n",
+                kill_rank, nsteps, nprocs);
+    benchutil::Table rtable({"cadence", "restart", "attempts", "lost_sec", "identical"}, 12);
+    rtable.print_header();
+    for (const int cadence : cadences) {
+        netsim::NetworkModel net = recovery_base;
+        net.fault.kill_rank = kill_rank;
+        net.fault.kill_after_events = kill_events;
+        const RecoveryRun r = run_recoverable(nprocs, net, cadence, nsteps);
+        const bool identical = r.final_ckpt == probe.final_ckpt;
+        rtable.print_row({std::to_string(cadence), std::to_string(r.stats.restart_step),
+                          std::to_string(r.stats.attempts),
+                          benchutil::fmt(r.stats.lost_virtual_seconds, "%.3e"),
+                          identical ? "yes" : "NO"});
+        perf::Case c;
+        c.labels["network"] = recovery_base.name;
+        c.labels["sweep"] = "kill_recovery";
+        c.values["checkpoint_cadence"] = static_cast<double>(cadence);
+        c.values["kills"] = static_cast<double>(r.stats.kills);
+        c.values["attempts"] = static_cast<double>(r.stats.attempts);
+        c.values["restart_step"] = static_cast<double>(r.stats.restart_step);
+        c.values["lost_virtual_seconds"] = r.stats.lost_virtual_seconds;
+        c.values["wall_seconds"] = r.max_wall;
+        c.values["failure_free_wall_seconds"] = probe.max_wall;
+        c.values["recovered_identical"] = identical ? 1.0 : 0.0;
+        rep.cases.push_back(c);
+        r.stats.stamp(rep);
+        if (!identical) {
+            std::fprintf(stderr, "%s: recovered state diverged from the failure-free run "
+                                 "(cadence %d)\n", argv[0], cadence);
+            return 1;
         }
     }
     cli.finish(std::move(rep));

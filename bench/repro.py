@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""One-command regeneration of every paper table/figure in figure_map.json.
+
+Runs each mapped bench out of an existing build tree, collects the
+RunReports into an output directory, validates them against the committed
+schema, checks the map's expectations (bench id, case count), and writes a
+deterministic manifest.json (sorted keys, no timestamps) so two runs of
+
+  bench/repro.py --smoke --out-dir runA
+  bench/repro.py --smoke --out-dir runB
+  bench/check_determinism.py runA runB --normalize-host-times
+
+prove the whole harness byte-reproducible.  Stdlib only.
+
+Usage:
+  repro.py [--build-dir build] [--out-dir reports] [--map bench/figure_map.json]
+           [--schema bench/run_report_schema.json] [--smoke] [--only ID]... [--list]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def load_map(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        m = json.load(f)
+    if m.get("schema_version") != 1:
+        raise SystemExit(f"{path}: unsupported figure-map schema_version")
+    for fig in m["figures"]:
+        for key in ("id", "paper", "bench", "args", "report", "deterministic", "expect"):
+            if key not in fig:
+                raise SystemExit(f"{path}: figure entry {fig.get('id', '?')} lacks '{key}'")
+    return m
+
+
+def bench_path(build_dir: str, bench: str) -> str:
+    p = os.path.join(build_dir, "bench", bench)
+    if not os.path.isfile(p):
+        raise SystemExit(f"bench binary not found: {p} (build the repo first)")
+    return p
+
+
+def run_figure(fig: dict, build_dir: str, out_dir: str, smoke: bool) -> str:
+    out = os.path.join(out_dir, fig["report"])
+    cmd = [bench_path(build_dir, fig["bench"])] + list(fig["args"])
+    if smoke:
+        cmd += list(fig.get("smoke_args", [])) + ["--smoke"]
+    cmd += ["--out", out]
+    print(f"[repro] {fig['id']} ({fig['paper']}): {' '.join(cmd)}")
+    r = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if r.returncode != 0:
+        sys.stdout.write(r.stdout)
+        raise SystemExit(f"{fig['id']}: bench exited with {r.returncode}")
+    return out
+
+
+def check_expectations(fig: dict, report_path: str) -> None:
+    with open(report_path, "r", encoding="utf-8") as f:
+        rep = json.load(f)
+    exp = fig["expect"]
+    if rep.get("bench") != exp["bench"]:
+        raise SystemExit(
+            f"{fig['id']}: report names bench '{rep.get('bench')}', expected '{exp['bench']}'")
+    ncases = len(rep.get("cases", []))
+    if ncases < exp.get("min_cases", 0):
+        raise SystemExit(
+            f"{fig['id']}: report holds {ncases} cases, expected >= {exp['min_cases']}")
+
+
+def validate_reports(schema: str, paths: list[str]) -> None:
+    cmd = [sys.executable, os.path.join(HERE, "validate_run_report.py"),
+           "--schema", schema] + paths
+    r = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    sys.stdout.write(r.stdout)
+    if r.returncode != 0:
+        raise SystemExit("schema validation failed")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out-dir", default="reports")
+    ap.add_argument("--map", default=os.path.join(HERE, "figure_map.json"))
+    ap.add_argument("--schema", default=os.path.join(HERE, "run_report_schema.json"))
+    ap.add_argument("--smoke", action="store_true",
+                    help="shrink every sweep for per-commit CI")
+    ap.add_argument("--only", action="append", default=[],
+                    help="regenerate only these figure ids (repeatable)")
+    ap.add_argument("--list", action="store_true",
+                    help="list the mapped figures and exit (also validates the map)")
+    args = ap.parse_args()
+
+    fmap = load_map(args.map)
+    figures = fmap["figures"]
+    if args.only:
+        known = {f["id"] for f in figures}
+        for fid in args.only:
+            if fid not in known:
+                raise SystemExit(f"unknown figure id '{fid}' (have: {', '.join(sorted(known))})")
+        figures = [f for f in figures if f["id"] in args.only]
+
+    if args.list:
+        for f in figures:
+            det = "deterministic" if f["deterministic"] else "host-dependent"
+            print(f"{f['id']:10s} {f['paper']:40s} {f['bench']} ({det})")
+        for h in fmap.get("host_microbenches", []):
+            print(f"{h['id']:10s} {h['paper']:40s} [excluded: {h['why_excluded']}]")
+        return 0
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    manifest = {"schema_version": 1, "smoke": bool(args.smoke), "reports": {}}
+    paths = []
+    for fig in figures:
+        path = run_figure(fig, args.build_dir, args.out_dir, args.smoke)
+        check_expectations(fig, path)
+        paths.append(path)
+        manifest["reports"][fig["report"]] = {
+            "id": fig["id"],
+            "paper": fig["paper"],
+            "deterministic": fig["deterministic"],
+        }
+    validate_reports(args.schema, paths)
+
+    manifest_path = os.path.join(args.out_dir, "manifest.json")
+    with open(manifest_path, "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[repro] {len(paths)} reports regenerated into {args.out_dir} "
+          f"(manifest: {manifest_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

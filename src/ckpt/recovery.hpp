@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "perf/report.hpp"
+#include "simmpi/simmpi.hpp"
+
+/// \file recovery.hpp
+/// Rank-failure recovery over the checkpoint subsystem (DESIGN.md §5.6).
+///
+/// The failure model is the paper's practical worry about commodity
+/// clusters: a node dies mid-run (here: netsim::FaultModel's seeded kill
+/// event, surfacing as simmpi::RankKilledError).  Recovery is classic
+/// coordinated checkpoint/rollback: every rank checkpoints into a Store at
+/// the same step cadence, and on a kill the run rolls back to the last step
+/// *every* rank completed a checkpoint for, replaces the dead node with a
+/// spare (World::disarm_kill) and replays.  Because solver state, comm
+/// clocks and the fault-stream position are all in the checkpoint, the
+/// replay is bit-identical to a failure-free run — what the run *pays* is
+/// virtual time, priced here as the killed rank's wall-clock distance from
+/// its last checkpoint and surfaced through RecoveryStats::stamp into the
+/// RunReport.
+namespace ckpt {
+
+/// Thread-safe in-memory checkpoint archive keyed (step, rank).  Ranks put
+/// concurrently from inside World::run; the harness reads between attempts.
+class Store {
+public:
+    /// Archives `rank`'s serialized checkpoint for `step`, with the rank's
+    /// virtual wall clock at checkpoint time (the rollback price anchor).
+    /// Re-putting the same (step, rank) overwrites (replays re-checkpoint
+    /// the steps they replay; byte-identical by construction).
+    void put(int rank, int step, double wall_seconds, const Checkpoint& c) {
+        std::vector<std::uint8_t> bytes = c.serialize();
+        const std::lock_guard<std::mutex> lock(mu_);
+        Entry& e = entries_[{step, rank}];
+        e.bytes = std::move(bytes);
+        e.wall_seconds = wall_seconds;
+    }
+
+    /// The highest step all `nranks` ranks hold a checkpoint for (-1 none):
+    /// the only consistent rollback targets are globally complete steps.
+    [[nodiscard]] int last_complete_step(int nranks) const {
+        const std::lock_guard<std::mutex> lock(mu_);
+        int best = -1;
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            const int step = it->first.first;
+            int count = 0;
+            while (it != entries_.end() && it->first.first == step) {
+                ++count;
+                ++it;
+            }
+            if (count == nranks) best = step;
+        }
+        return best;
+    }
+
+    [[nodiscard]] Checkpoint load(int rank, int step) const {
+        return Checkpoint::deserialize(raw(rank, step));
+    }
+
+    /// The serialized bytes as archived (test hook for byte comparisons).
+    [[nodiscard]] std::vector<std::uint8_t> raw(int rank, int step) const {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return find(rank, step).bytes;
+    }
+
+    /// The rank's virtual wall clock when it took the step's checkpoint.
+    [[nodiscard]] double wall_at(int rank, int step) const {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return find(rank, step).wall_seconds;
+    }
+
+    [[nodiscard]] bool has(int rank, int step) const {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return entries_.find({step, rank}) != entries_.end();
+    }
+
+private:
+    struct Entry {
+        std::vector<std::uint8_t> bytes;
+        double wall_seconds = 0.0;
+    };
+
+    const Entry& find(int rank, int step) const {
+        const auto it = entries_.find({step, rank});
+        if (it == entries_.end())
+            throw Error("store", "no checkpoint for rank " + std::to_string(rank) +
+                                     " at step " + std::to_string(step));
+        return it->second;
+    }
+
+    mutable std::mutex mu_;
+    std::map<std::pair<int, int>, Entry> entries_; ///< (step, rank) -> entry
+};
+
+/// What a recovered run cost, on the virtual clocks.
+struct RecoveryStats {
+    int kills = 0;    ///< rank deaths absorbed
+    int attempts = 0; ///< World::run launches (kills + 1 on success)
+    /// Checkpoint step the final (successful) attempt restarted from
+    /// (-1 = it ran cold from set_initial).
+    int restart_step = -1;
+    /// Virtual seconds of work thrown away across all kills: for each kill,
+    /// the killed rank's wall clock at death minus its wall clock at the
+    /// rollback checkpoint.  Monotone in (kill step - last checkpoint step)
+    /// — the cadence/overhead trade the kill-matrix tests assert.
+    double lost_virtual_seconds = 0.0;
+    /// Per-rank reports of the successful attempt.
+    std::vector<simmpi::RankReport> reports;
+
+    /// Surfaces the recovery price in a RunReport.
+    void stamp(perf::RunReport& rep) const {
+        rep.metrics.counters["recovery.kills"] += static_cast<double>(kills);
+        rep.metrics.counters["recovery.attempts"] += static_cast<double>(attempts);
+        rep.metrics.counters["recovery.lost_virtual_seconds"] += lost_virtual_seconds;
+        rep.metrics.gauges["recovery.restart_step"] = static_cast<double>(restart_step);
+    }
+};
+
+/// Runs `body(comm, from_step)` across the world until it completes without
+/// a rank dying, rolling back to the Store's last globally complete
+/// checkpoint between attempts.  `from_step` is that checkpoint's step
+/// (-1 = start cold); the body restores its solver from the Store when
+/// from_step >= 0 and must checkpoint into the Store at its cadence.
+/// Non-kill exceptions (solver bugs, deadlocks) propagate unchanged.
+template <typename Body>
+RecoveryStats run_with_recovery(simmpi::World& world, Store& store, Body&& body,
+                                int max_attempts = 8) {
+    RecoveryStats stats;
+    for (;;) {
+        if (stats.attempts >= max_attempts)
+            throw std::runtime_error("ckpt: recovery gave up after " +
+                                     std::to_string(stats.attempts) + " attempts");
+        const int from = store.last_complete_step(world.size());
+        ++stats.attempts;
+        try {
+            stats.restart_step = from;
+            stats.reports = world.run([&](simmpi::Comm& c) { body(c, from); });
+            return stats;
+        } catch (const simmpi::RankKilledError& e) {
+            ++stats.kills;
+            // Price the loss against the checkpoint the *next* attempt will
+            // roll back to — work archived during this attempt (checkpoints
+            // taken before the kill landed) is not thrown away.
+            const int to = store.last_complete_step(world.size());
+            const double at_ckpt = to >= 0 ? store.wall_at(e.rank(), to) : 0.0;
+            stats.lost_virtual_seconds += e.wall_seconds() - at_ckpt;
+            // The dead node is replaced by a spare: the kill event is
+            // disarmed, every other perturbation replays bit-identically
+            // (they are pure functions of (seed, rank, msg_index)).
+            world.disarm_kill();
+        }
+    }
+}
+
+} // namespace ckpt

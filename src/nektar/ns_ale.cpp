@@ -142,6 +142,7 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
     vq_.assign(nq, 0.0);
     wq_.assign(nq, 0.0);
     reset_state(nq);
+    set_checkpoint_cadence(opts_.checkpoint_every);
     if (opts_.trace) {
         std::string lane = opts_.trace_lane;
         if (lane.empty()) lane = comm_ ? "rank " + std::to_string(comm_->rank()) : "solver";
@@ -156,6 +157,75 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
 
 void AleNS2d::rebuild_discretization() {
     disc_ = std::make_shared<Discretization>(local_mesh_, order_, /*renumber=*/false);
+}
+
+std::uint64_t AleNS2d::options_fingerprint() const {
+    ckpt::Fingerprint fp;
+    fp.add("AleNS2d")
+        .add(opts_.dt)
+        .add(opts_.viscosity)
+        .add(static_cast<std::uint64_t>(opts_.time_order))
+        .add(static_cast<std::uint64_t>(order_))
+        .add(static_cast<std::uint64_t>(local_mesh_->num_vertices()))
+        .add(static_cast<std::uint64_t>(local_mesh_->num_elements()))
+        .add(opts_.cg.tolerance)
+        .add(static_cast<std::uint64_t>(opts_.cg.max_iterations))
+        .add(static_cast<std::uint64_t>(comm_ ? comm_->size() : 1));
+    return fp.value();
+}
+
+void AleNS2d::save_state(ckpt::Checkpoint& c) const {
+    auto& w = c.add("fields");
+    w.f64v(u_modal_);
+    w.f64v(v_modal_);
+    w.f64v(p_modal_);
+    w.f64v(uq_);
+    w.f64v(vq_);
+    w.f64v(wq_);
+    // Vertex positions: the mesh moves every step, so the geometry is state.
+    // The topology (elements, tags, gather-scatter pattern, Dirichlet masks)
+    // is construction-time constant and fingerprinted instead.
+    auto& m = c.add("mesh");
+    m.u64(local_mesh_->num_vertices());
+    for (std::size_t i = 0; i < local_mesh_->num_vertices(); ++i) {
+        const auto& v = local_mesh_->vertex(i);
+        m.f64(v.x);
+        m.f64(v.y);
+    }
+    if (comm_ != nullptr) comm_->save_state(c.add("comm"));
+}
+
+void AleNS2d::restore_state(const ckpt::Checkpoint& c) {
+    auto r = c.open("fields");
+    auto take = [&](std::vector<double>& dst) {
+        std::vector<double> v = r.f64v();
+        if (v.size() != dst.size()) r.fail("field size out of range");
+        dst = std::move(v);
+    };
+    take(u_modal_);
+    take(v_modal_);
+    take(p_modal_);
+    take(uq_);
+    take(vq_);
+    take(wq_);
+    r.expect_end();
+
+    auto m = c.open("mesh");
+    if (m.u64() != local_mesh_->num_vertices()) m.fail("vertex count out of range");
+    for (std::size_t i = 0; i < local_mesh_->num_vertices(); ++i) {
+        mesh::Vertex v = local_mesh_->vertex(i);
+        v.x = m.f64();
+        v.y = m.f64();
+        local_mesh_->set_vertex(i, v);
+    }
+    m.expect_end();
+    // Geometry factors and operators follow the restored vertex positions.
+    rebuild_discretization();
+
+    if (comm_ != nullptr) {
+        auto cr = c.open("comm");
+        comm_->restore_state(cr);
+    }
 }
 
 void AleNS2d::gs_assemble(std::span<double> global) const {

@@ -83,6 +83,9 @@ protected:
     [[nodiscard]] const std::vector<double>& quad_field(std::size_t c) const override {
         return c == 0 ? uq_ : vq_;
     }
+    void save_state(ckpt::Checkpoint& c) const override;
+    void restore_state(const ckpt::Checkpoint& c) override;
+    [[nodiscard]] std::uint64_t options_fingerprint() const override;
 
 private:
     void rebuild_discretization();

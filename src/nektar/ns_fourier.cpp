@@ -52,7 +52,7 @@ FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOption
         return v;
     });
     // Warm the steady-state operators (startup orders build on first use).
-    velocity_solvers_.get(opts_.time_order);
+    (void)velocity_solvers_.get(opts_.time_order);
 
     const std::size_t nm = nplanes_ * disc_->modal_size();
     const std::size_t nq = nplanes_ * disc_->quad_size();
@@ -62,6 +62,7 @@ FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOption
     }
     p_modal_.assign(nm, 0.0);
     reset_state(nq);
+    set_checkpoint_cadence(opts_.checkpoint_every);
     if (opts_.trace) {
         std::string lane = opts_.trace_lane;
         if (lane.empty()) lane = comm_ ? "rank " + std::to_string(comm_->rank()) : "solver";
@@ -71,6 +72,48 @@ FourierNS::FourierNS(std::shared_ptr<const Discretization> disc, FourierNsOption
             configure_trace(lane, [c = comm_]() { return c->wall_time(); });
         else
             configure_trace(lane);
+    }
+}
+
+std::uint64_t FourierNS::options_fingerprint() const {
+    ckpt::Fingerprint fp;
+    fp.add("FourierNS")
+        .add(opts_.dt)
+        .add(opts_.viscosity)
+        .add(static_cast<std::uint64_t>(opts_.time_order))
+        .add(static_cast<std::uint64_t>(opts_.num_modes))
+        .add(opts_.lz)
+        .add(static_cast<std::uint64_t>(mloc_))
+        .add(static_cast<std::uint64_t>(comm_ ? comm_->size() : 1))
+        .add(static_cast<std::uint64_t>(disc_->modal_size()))
+        .add(static_cast<std::uint64_t>(disc_->quad_size()));
+    return fp.value();
+}
+
+void FourierNS::save_state(ckpt::Checkpoint& c) const {
+    auto& w = c.add("fields");
+    for (int comp = 0; comp < 3; ++comp) w.f64v(modal_[comp]);
+    for (int comp = 0; comp < 3; ++comp) w.f64v(quad_[comp]);
+    w.f64v(p_modal_);
+    // The rank's virtual clocks, comm logs and fault-stream position: a
+    // restored rank replays the remaining steps with identical message costs.
+    if (comm_ != nullptr) comm_->save_state(c.add("comm"));
+}
+
+void FourierNS::restore_state(const ckpt::Checkpoint& c) {
+    auto r = c.open("fields");
+    auto take = [&](std::vector<double>& dst) {
+        std::vector<double> v = r.f64v();
+        if (v.size() != dst.size()) r.fail("field size out of range");
+        dst = std::move(v);
+    };
+    for (int comp = 0; comp < 3; ++comp) take(modal_[comp]);
+    for (int comp = 0; comp < 3; ++comp) take(quad_[comp]);
+    take(p_modal_);
+    r.expect_end();
+    if (comm_ != nullptr) {
+        auto cr = c.open("comm");
+        comm_->restore_state(cr);
     }
 }
 

@@ -74,6 +74,12 @@ public:
         return 2 * mloc_ * disc_->modal_size();
     }
 
+    /// The per-effective-order velocity operator cache (restart regression
+    /// hook: a run resumed mid-ramp must rebuild the ramp orders' operators).
+    [[nodiscard]] const HelmholtzOrderCache& velocity_solver_cache() const noexcept {
+        return velocity_solvers_;
+    }
+
 protected:
     void stage_transform(const StepContext& ctx) override;
     void stage_nonlinear(const StepContext& ctx,
@@ -88,6 +94,9 @@ protected:
     [[nodiscard]] const std::vector<double>& quad_field(std::size_t c) const override {
         return quad_[c];
     }
+    void save_state(ckpt::Checkpoint& c) const override;
+    void restore_state(const ckpt::Checkpoint& c) override;
+    [[nodiscard]] std::uint64_t options_fingerprint() const override;
 
 private:
     [[nodiscard]] double beta(std::size_t global_mode) const noexcept;

@@ -19,7 +19,7 @@ SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, SerialNsOptio
         return v;
     });
     // Warm the steady-state operator (the startup orders build on first use).
-    velocity_solvers_.get(opts_.time_order);
+    (void)velocity_solvers_.get(opts_.time_order);
     const std::size_t nm = disc_->modal_size();
     const std::size_t nq = disc_->quad_size();
     u_modal_.assign(nm, 0.0);
@@ -28,8 +28,48 @@ SerialNS2d::SerialNS2d(std::shared_ptr<const Discretization> disc, SerialNsOptio
     uq_.assign(nq, 0.0);
     vq_.assign(nq, 0.0);
     reset_state(nq);
+    set_checkpoint_cadence(opts_.checkpoint_every);
     if (opts_.trace)
         configure_trace(opts_.trace_lane.empty() ? "solver" : opts_.trace_lane);
+}
+
+std::uint64_t SerialNS2d::options_fingerprint() const {
+    ckpt::Fingerprint fp;
+    fp.add("SerialNS2d")
+        .add(opts_.dt)
+        .add(opts_.viscosity)
+        .add(static_cast<std::uint64_t>(opts_.time_order))
+        .add(static_cast<std::uint64_t>(disc_->modal_size()))
+        .add(static_cast<std::uint64_t>(disc_->quad_size()))
+        .add(static_cast<std::uint64_t>(disc_->num_elements()))
+        .add(static_cast<std::uint64_t>(disc_->dofmap().num_global()));
+    return fp.value();
+}
+
+void SerialNS2d::save_state(ckpt::Checkpoint& c) const {
+    // prhs_/urhs_/vrhs_ are intra-step scratch, reassigned before use — the
+    // state vector is the modal fields plus their quadrature images.
+    auto& w = c.add("fields");
+    w.f64v(u_modal_);
+    w.f64v(v_modal_);
+    w.f64v(p_modal_);
+    w.f64v(uq_);
+    w.f64v(vq_);
+}
+
+void SerialNS2d::restore_state(const ckpt::Checkpoint& c) {
+    auto r = c.open("fields");
+    auto take = [&](std::vector<double>& dst) {
+        std::vector<double> v = r.f64v();
+        if (v.size() != dst.size()) r.fail("field size out of range");
+        dst = std::move(v);
+    };
+    take(u_modal_);
+    take(v_modal_);
+    take(p_modal_);
+    take(uq_);
+    take(vq_);
+    r.expect_end();
 }
 
 void SerialNS2d::load_state(const std::function<double(double, double)>& u0,

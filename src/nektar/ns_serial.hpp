@@ -57,6 +57,12 @@ public:
     /// primary observable).
     [[nodiscard]] std::vector<double> vorticity_quad() const;
 
+    /// The per-effective-order velocity operator cache (restart regression
+    /// hook: a run resumed mid-ramp must rebuild the ramp orders' operators).
+    [[nodiscard]] const HelmholtzOrderCache& velocity_solver_cache() const noexcept {
+        return velocity_solvers_;
+    }
+
 protected:
     void stage_transform(const StepContext& ctx) override;
     void stage_nonlinear(const StepContext& ctx,
@@ -71,6 +77,9 @@ protected:
     [[nodiscard]] const std::vector<double>& quad_field(std::size_t c) const override {
         return c == 0 ? uq_ : vq_;
     }
+    void save_state(ckpt::Checkpoint& c) const override;
+    void restore_state(const ckpt::Checkpoint& c) override;
+    [[nodiscard]] std::uint64_t options_fingerprint() const override;
 
 private:
     void nonlinear(const std::vector<double>& uq, const std::vector<double>& vq,

@@ -42,6 +42,9 @@ struct SolverOptions {
     bool trace = false;
     /// Lane name override for the trace spans ("" = automatic).
     std::string trace_lane;
+    /// Checkpoint the full solver state every N steps through the sink set
+    /// with SolverCore::set_checkpoint_sink() (0 = never, the default).
+    int checkpoint_every = 0;
 };
 
 struct SerialNsOptions : SolverOptions {};

@@ -50,6 +50,43 @@ const std::vector<double>& FieldHistory::level(int age, std::size_t c) const {
     return ring_[static_cast<std::size_t>(slot)][c];
 }
 
+void FieldHistory::save(ckpt::SectionWriter& w) const {
+    w.u64(components_);
+    w.u64(size_);
+    w.i64(depth_);
+    w.i64(stored_);
+    w.i64(head_);
+    for (const auto& slot : ring_) {
+        w.u64(slot.size()); // 0 for a never-filled slot
+        for (const auto& field : slot) w.f64v(field);
+    }
+}
+
+void FieldHistory::restore(ckpt::SectionReader& r) {
+    if (r.u64() != components_ || r.u64() != size_)
+        r.fail("history shape does not match this solver's configuration");
+    const auto depth = r.i64();
+    if (depth != depth_) r.fail("history depth does not match this solver's time order");
+    const auto stored = r.i64();
+    const auto head = r.i64();
+    if (stored < 0 || stored > depth_ || head < -1 || head >= depth_)
+        r.fail("history ring position out of range");
+    stored_ = static_cast<int>(stored);
+    head_ = static_cast<int>(head);
+    for (auto& slot : ring_) {
+        const std::uint64_t nfields = r.u64();
+        if (nfields != 0 && nfields != components_)
+            r.fail("history slot component count out of range");
+        slot.clear();
+        slot.reserve(nfields);
+        for (std::uint64_t c = 0; c < nfields; ++c) {
+            std::vector<double> field = r.f64v();
+            if (field.size() != size_) r.fail("history field size out of range");
+            slot.push_back(std::move(field));
+        }
+    }
+}
+
 void HelmholtzOrderCache::configure(Factory factory) {
     factory_ = std::move(factory);
     for (auto& c : cache_) c.reset();
@@ -59,6 +96,13 @@ const std::vector<HelmholtzDirect>& HelmholtzOrderCache::get(int je) const {
     auto& slot = cache_.at(static_cast<std::size_t>(je));
     if (!slot) slot = factory_(stiffly_stable(je).gamma0);
     return *slot;
+}
+
+std::vector<int> HelmholtzOrderCache::built_orders() const {
+    std::vector<int> orders;
+    for (std::size_t je = 0; je < cache_.size(); ++je)
+        if (cache_[je]) orders.push_back(static_cast<int>(je));
+    return orders;
 }
 
 SolverCore::SolverCore(int time_order, double dt, std::size_t num_fields)
@@ -101,6 +145,102 @@ void SolverCore::configure_trace(const std::string& lane_name, std::function<dou
         (void)lane_name;
         (void)clock;
     }
+}
+
+ckpt::Checkpoint SolverCore::checkpoint() const {
+    ckpt::Checkpoint c;
+    c.add("meta").u64(options_fingerprint());
+
+    auto& core = c.add("core");
+    core.f64(time_);
+    core.i64(steps_taken_);
+    core.i64(last_step_order_);
+    core.f64(last_velocity_lambda_); // raw bits: the pre-first-step NaN round-trips
+    core.u64(field_size_);
+    core.i64(time_order_);
+    core.u64(num_fields_);
+
+    auto& hist = c.add("history");
+    vel_hist_.save(hist);
+    nl_hist_.save(hist);
+
+    // The stage breakdown's deterministic counters.  host_seconds is
+    // deliberately NOT part of the state vector: it measures this process's
+    // wall time, which no restart can (or should) reproduce.  A restored run
+    // restarts it at zero, and RunReport::to_canonical_json() masks it, so
+    // full-report byte comparisons remain meaningful.
+    auto& bd = c.add("breakdown");
+    bd.i64(breakdown_.steps);
+    for (std::size_t s = 0; s <= perf::kNumStages; ++s) {
+        bd.u64(breakdown_.counts[s].flops);
+        bd.u64(breakdown_.counts[s].bytes_read);
+        bd.u64(breakdown_.counts[s].bytes_written);
+        bd.u64(breakdown_.counts[s].calls);
+        bd.u64(breakdown_.retransmits[s]);
+        bd.f64(breakdown_.fault_seconds[s]);
+        bd.f64(breakdown_.overlap_seconds[s]);
+    }
+
+    save_state(c);
+    return c;
+}
+
+void SolverCore::restore(const ckpt::Checkpoint& c) {
+    {
+        auto meta = c.open("meta");
+        const std::uint64_t fp = meta.u64();
+        if (fp != options_fingerprint())
+            meta.fail("options fingerprint mismatch: the checkpoint was taken "
+                      "under a different solver configuration");
+        meta.expect_end();
+    }
+
+    auto core = c.open("core");
+    const double time = core.f64();
+    const std::int64_t steps = core.i64();
+    const std::int64_t last_order = core.i64();
+    const double lambda = core.f64();
+    if (core.u64() != field_size_)
+        core.fail("field size does not match this solver's (set_initial must "
+                  "run with the same resolution before restore)");
+    if (core.i64() != time_order_ || core.u64() != num_fields_)
+        core.fail("time order / field count does not match this solver's");
+    if (steps < 0 || last_order < 0 || last_order > kMaxTimeOrder)
+        core.fail("step counter or step order out of range");
+    core.expect_end();
+    time_ = time;
+    steps_taken_ = static_cast<int>(steps);
+    last_step_order_ = static_cast<int>(last_order);
+    last_velocity_lambda_ = lambda;
+
+    auto hist = c.open("history");
+    vel_hist_.restore(hist);
+    nl_hist_.restore(hist);
+    hist.expect_end();
+
+    auto bd = c.open("breakdown");
+    breakdown_ = perf::StageBreakdown{}; // zeroes host_seconds (see checkpoint())
+    const std::int64_t bd_steps = bd.i64();
+    if (bd_steps < 0) bd.fail("breakdown step count out of range");
+    breakdown_.steps = static_cast<int>(bd_steps);
+    for (std::size_t s = 0; s <= perf::kNumStages; ++s) {
+        breakdown_.counts[s].flops = bd.u64();
+        breakdown_.counts[s].bytes_read = bd.u64();
+        breakdown_.counts[s].bytes_written = bd.u64();
+        breakdown_.counts[s].calls = bd.u64();
+        breakdown_.retransmits[s] = bd.u64();
+        breakdown_.fault_seconds[s] = bd.f64();
+        breakdown_.overlap_seconds[s] = bd.f64();
+    }
+    bd.expect_end();
+
+    restore_state(c);
+}
+
+void SolverCore::maybe_checkpoint() const {
+    if (checkpoint_every_ > 0 && checkpoint_sink_ &&
+        steps_taken_ % checkpoint_every_ == 0)
+        checkpoint_sink_(checkpoint());
 }
 
 void SolverCore::begin_step(const StepContext&) {}
@@ -193,6 +333,7 @@ void SolverCore::advance() {
     if (tracing) obs::tracer().end(trace_lane_, trace_ids_[0], now(), virtual_time);
     time_ = ctx.t_new;
     ++steps_taken_;
+    maybe_checkpoint();
 }
 
 } // namespace nektar

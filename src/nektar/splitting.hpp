@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "nektar/helmholtz.hpp"
 #include "obs/trace.hpp"
 #include "perf/stage_stats.hpp"
@@ -71,6 +72,14 @@ public:
     /// Component `c` of the level `age` steps back (age in [1, available()]).
     [[nodiscard]] const std::vector<double>& level(int age, std::size_t c) const;
 
+    /// Serializes configuration, ring position (head/stored — the startup
+    /// ramp lives here) and every slot's contents.
+    void save(ckpt::SectionWriter& w) const;
+    /// Restores the state written by save(); the stored configuration must
+    /// match this buffer's (reconfiguring through a checkpoint would mean
+    /// the solver options changed — that is a fingerprint failure upstream).
+    void restore(ckpt::SectionReader& r);
+
 private:
     std::size_t components_ = 0;
     std::size_t size_ = 0;
@@ -95,6 +104,11 @@ public:
 
     /// The operator set for integration order `je`, built on first use.
     [[nodiscard]] const std::vector<HelmholtzDirect>& get(int je) const;
+
+    /// The orders whose operator sets have been built, ascending.  The
+    /// restart regression tests use this to assert a run resumed mid-ramp
+    /// rebuilds the ramp orders' operators, not just the steady-state one.
+    [[nodiscard]] std::vector<int> built_orders() const;
 
 private:
     Factory factory_;
@@ -135,6 +149,32 @@ public:
     [[nodiscard]] double last_velocity_lambda() const noexcept {
         return last_velocity_lambda_;
     }
+
+    // --- checkpoint/restart -------------------------------------------------
+    /// Snapshots the full integration state — clock, step counter, both
+    /// history ring buffers (so a restart lands at the exact startup-ramp
+    /// position), the stage breakdown's deterministic counters, the solver's
+    /// fields, and a fingerprint of the solver options.  Serializing the
+    /// result twice from the same state yields identical bytes.
+    [[nodiscard]] ckpt::Checkpoint checkpoint() const;
+
+    /// Restores the state written by checkpoint().  Throws ckpt::Error if the
+    /// checkpoint's options fingerprint does not match this solver's (same
+    /// section-named diagnostics as a corrupt file), or if any section is
+    /// malformed.  After restore() the next advance() reproduces, bit for
+    /// bit, the step the checkpointed run took next.
+    void restore(const ckpt::Checkpoint& c);
+
+    /// Called with the fresh checkpoint every cadence steps (see
+    /// set_checkpoint_cadence); typically writes it to a file or a
+    /// ckpt::Store.
+    using CheckpointSink = std::function<void(const ckpt::Checkpoint&)>;
+    void set_checkpoint_sink(CheckpointSink sink) { checkpoint_sink_ = std::move(sink); }
+
+    /// Checkpoints after every `every` steps (0 disables, the default).
+    /// SolverOptions::checkpoint_every seeds this at construction.
+    void set_checkpoint_cadence(int every) noexcept { checkpoint_every_ = every; }
+    [[nodiscard]] int checkpoint_cadence() const noexcept { return checkpoint_every_; }
 
 protected:
     /// `num_fields` advected velocity components (2 for the 2-D solvers,
@@ -201,11 +241,27 @@ protected:
     /// transform; feeds the extrapolation and the velocity history.
     [[nodiscard]] virtual const std::vector<double>& quad_field(std::size_t c) const = 0;
 
+    // --- checkpoint hooks ---------------------------------------------------
+    /// Adds the solver-specific sections ("fields", and e.g. "mesh"/"comm")
+    /// to the checkpoint; the core sections are already present.
+    virtual void save_state(ckpt::Checkpoint& c) const = 0;
+    /// Restores the sections written by save_state().  The core state is
+    /// restored before this is called, so steps_taken()/time() are already
+    /// the checkpoint's.
+    virtual void restore_state(const ckpt::Checkpoint& c) = 0;
+    /// Stable hash of every option that shapes the state vector (scheme,
+    /// resolution, dt, rank layout); restore() refuses a checkpoint whose
+    /// fingerprint differs.
+    [[nodiscard]] virtual std::uint64_t options_fingerprint() const = 0;
+
 private:
     /// Stage 3: hat_c = sum_q alpha_q u_c^{n-q} + dt sum_q beta_q N_c^{n-q},
     /// identical across the three solvers.
     void extrapolate(const StepContext& ctx, const std::vector<std::vector<double>>& nl_new,
                      std::vector<std::vector<double>>& hat);
+
+    /// Fires the checkpoint sink when the cadence divides steps_taken_.
+    void maybe_checkpoint() const;
 
     int time_order_;
     double dt_;
@@ -222,6 +278,9 @@ private:
     std::vector<std::vector<double>> nl_scratch_, hat_scratch_;
 
     perf::StageBreakdown breakdown_;
+
+    int checkpoint_every_ = 0;
+    CheckpointSink checkpoint_sink_;
 
     // Tracing: the lane advance() stamps stage spans on, its clock, and the
     // pre-interned event names ([0] = "step", [s] = stage s's short name).

@@ -52,6 +52,25 @@ struct FaultModel {
     double straggler_fraction = 0.0;    ///< fraction of ranks that run slow
     double straggler_factor = 1.0;      ///< comm-cost multiplier for stragglers (>= 1)
 
+    /// Kill event: rank `kill_rank` dies (its Comm throws
+    /// simmpi::RankKilledError) the moment its per-rank comm-event counter
+    /// reaches `kill_after_events`.  Anchoring the death to the fault-stream
+    /// position — not host time — makes node failure a bit-deterministic
+    /// event: the same seed and event index kill at the same virtual instant
+    /// on every run, which is what lets the recovery tests compare a
+    /// kill-then-recover run byte-for-byte against a failure-free one.
+    /// `kill_rank < 0` (the default) disables the event.
+    int kill_rank = -1;
+    std::uint64_t kill_after_events = 0;
+
+    /// Whether the kill event is armed at all.
+    [[nodiscard]] bool kill_armed() const noexcept { return kill_rank >= 0; }
+
+    /// Whether `rank`'s comm event number `msg_index` is where it dies.
+    [[nodiscard]] bool should_kill(int rank, std::uint64_t msg_index) const noexcept {
+        return kill_rank == rank && msg_index >= kill_after_events;
+    }
+
     /// True if any mechanism can perturb a cost.  A disabled model is
     /// guaranteed to leave every message cost bit-identical to no model.
     [[nodiscard]] bool enabled() const noexcept;

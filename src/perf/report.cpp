@@ -142,6 +142,18 @@ std::string RunReport::to_json() const {
     return out;
 }
 
+std::string RunReport::to_canonical_json() const {
+    RunReport masked = *this;
+    for (StageRow& r : masked.stages) r.host_seconds = 0.0;
+    const auto mask = [](std::map<std::string, double>& m) {
+        for (auto& [k, v] : m)
+            if (k.find("host_seconds") != std::string::npos) v = 0.0;
+    };
+    mask(masked.metrics.counters);
+    mask(masked.metrics.gauges);
+    return masked.to_json();
+}
+
 void RunReport::write_json(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) throw std::runtime_error("cannot write RunReport to " + path);

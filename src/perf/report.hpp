@@ -54,6 +54,13 @@ struct RunReport {
 
     [[nodiscard]] std::string to_json() const;
     void write_json(const std::string& path) const;
+
+    /// to_json() with every host-measured time zeroed: the per-stage
+    /// host_seconds column and any metric key naming host_seconds.  The
+    /// result is bit-deterministic for deterministic runs, so the restart
+    /// and repro tests compare it byte-for-byte (bench/check_determinism.py
+    /// applies the same masking to report files).
+    [[nodiscard]] std::string to_canonical_json() const;
 };
 
 /// Builds a RunReport for `bench`.  When `bd` is given, its per-stage

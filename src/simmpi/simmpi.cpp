@@ -133,6 +133,10 @@ void Comm::trace_counter(const char* name, double value) {
 
 double Comm::faulted_cost(double base_seconds) {
     const netsim::FaultModel& fm = world_->net_.fault;
+    // The kill event fires *before* the event index is consumed, so a replay
+    // restored to an earlier msg_index walks through the same position again
+    // (and dies again unless the kill has been disarmed).
+    if (fm.should_kill(rank_, msg_index_)) throw RankKilledError(rank_, msg_index_, wall_);
     const std::uint64_t idx = msg_index_++;
     if (!fm.enabled()) return base_seconds;
     const netsim::FaultPerturbation p = fm.perturb(rank_, idx, base_seconds);
@@ -285,6 +289,81 @@ void Comm::check_no_pending() const {
         throw std::runtime_error("simmpi: rank " + std::to_string(rank_) + " finished with " +
                                  std::to_string(pending_recvs_) +
                                  " pending nonblocking request(s) never waited on");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointable rank state
+// ---------------------------------------------------------------------------
+
+void Comm::save_state(ckpt::SectionWriter& w) const {
+    if (pending_recvs_ != 0)
+        throw std::logic_error("simmpi: checkpoint with " + std::to_string(pending_recvs_) +
+                               " pending nonblocking request(s); checkpoint between steps");
+    w.f64(cpu_);
+    w.f64(wall_);
+    w.f64(nic_busy_);
+    w.u64(msg_index_);
+    w.i64(coll_seq_);
+    w.i64(stage_);
+    w.u64(log_.size());
+    for (const auto& [stage, events] : log_) {
+        w.i64(stage);
+        w.u64(events.size());
+        for (const auto& [key, count] : events) {
+            w.u32(static_cast<std::uint32_t>(key.kind));
+            w.u64(key.bytes);
+            w.u32(key.overlapped ? 1 : 0);
+            w.u64(count);
+        }
+    }
+    w.u64(fault_log_.size());
+    for (const auto& [stage, fs] : fault_log_) {
+        w.i64(stage);
+        w.u64(fs.retransmits);
+        w.f64(fs.extra_seconds);
+    }
+    w.u64(overlap_log_.size());
+    for (const auto& [stage, hidden] : overlap_log_) {
+        w.i64(stage);
+        w.f64(hidden);
+    }
+}
+
+void Comm::restore_state(ckpt::SectionReader& r) {
+    cpu_ = r.f64();
+    wall_ = r.f64();
+    nic_busy_ = r.f64();
+    msg_index_ = r.u64();
+    coll_seq_ = static_cast<int>(r.i64());
+    stage_ = static_cast<int>(r.i64());
+    log_.clear();
+    for (std::uint64_t i = 0, nstages = r.u64(); i < nstages; ++i) {
+        const int stage = static_cast<int>(r.i64());
+        auto& events = log_[stage];
+        for (std::uint64_t j = 0, nkeys = r.u64(); j < nkeys; ++j) {
+            CommEventKey key;
+            const std::uint32_t kind = r.u32();
+            if (kind > static_cast<std::uint32_t>(CommKind::Barrier))
+                r.fail("comm event kind " + std::to_string(kind) + " out of range");
+            key.kind = static_cast<CommKind>(kind);
+            key.bytes = static_cast<std::size_t>(r.u64());
+            key.overlapped = r.u32() != 0;
+            events[key] = r.u64();
+        }
+    }
+    fault_log_.clear();
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+        const int stage = static_cast<int>(r.i64());
+        FaultStageStats& fs = fault_log_[stage];
+        fs.retransmits = r.u64();
+        fs.extra_seconds = r.f64();
+    }
+    overlap_log_.clear();
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+        const int stage = static_cast<int>(r.i64());
+        overlap_log_[stage] = r.f64();
+    }
+    r.expect_end();
 }
 
 // ---------------------------------------------------------------------------
@@ -640,6 +719,7 @@ std::vector<RankReport> World::run(const std::function<void(Comm&)>& fn) {
     threads.reserve(static_cast<std::size_t>(nprocs_));
     std::mutex err_mtx;
     std::exception_ptr first_error;
+    std::exception_ptr kill_error;
 
     for (int r = 0; r < nprocs_; ++r) {
         threads.emplace_back([&, r] {
@@ -649,6 +729,16 @@ std::vector<RankReport> World::run(const std::function<void(Comm&)>& fn) {
                 comm.check_no_pending();
             } catch (const Aborted&) {
                 // Woken by another rank's failure; unwind quietly.
+            } catch (const RankKilledError&) {
+                // A fault-model node death.  Keep it separate from the
+                // generic first_error slot: under host-scheduling races a
+                // peer's watchdog DeadlockError can land first, but the kill
+                // is the root cause and is what run() must surface.
+                {
+                    std::lock_guard lk(err_mtx);
+                    if (!kill_error) kill_error = std::current_exception();
+                }
+                abort_world();
             } catch (...) {
                 {
                     std::lock_guard lk(err_mtx);
@@ -668,14 +758,16 @@ std::vector<RankReport> World::run(const std::function<void(Comm&)>& fn) {
         });
     }
     for (auto& t : threads) t.join();
-    if (first_error) {
+    if (kill_error || first_error) {
         // Scrub the half-finished run so the world is reusable: drop stale
         // messages and rewind the rendezvous (deserters left `waiting` high).
+        // A recovery harness relies on this to roll back and replay on the
+        // same World after a kill.
         aborted_.store(false);
         for (auto& box : mailboxes_) box.queue.clear();
         rdv_.waiting = 0;
         rdv_.max_wall = 0.0;
-        std::rethrow_exception(first_error);
+        std::rethrow_exception(kill_error ? kill_error : first_error);
     }
     return reports;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "netsim/netmodel.hpp"
 #include "obs/trace.hpp"
 
@@ -122,6 +123,35 @@ using FaultLog = std::map<int, FaultStageStats>;
 class DeadlockError : public std::runtime_error {
 public:
     using std::runtime_error::runtime_error;
+};
+
+/// Thrown inside a rank when the fault model's kill event fires: the "node"
+/// dies at a deterministic position of its comm-event stream.  World::run
+/// rethrows it in preference over the DeadlockErrors the dead rank's
+/// now-abandoned peers may hit first (the watchdog is the detection backstop
+/// when the death itself is silent), so a recovery harness can catch one
+/// exception type, roll back to the last checkpoint and replay.
+class RankKilledError : public std::runtime_error {
+public:
+    RankKilledError(int rank, std::uint64_t msg_index, double wall_seconds)
+        : std::runtime_error("simmpi: rank " + std::to_string(rank) +
+                             " killed by the fault model at comm event " +
+                             std::to_string(msg_index) + " (virtual wall " +
+                             std::to_string(wall_seconds) + " s)"),
+          rank_(rank),
+          msg_index_(msg_index),
+          wall_seconds_(wall_seconds) {}
+
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] std::uint64_t msg_index() const noexcept { return msg_index_; }
+    /// The killed rank's virtual wall clock at the moment of death — the
+    /// upper end of the recovery window a checkpoint rolls back from.
+    [[nodiscard]] double wall_seconds() const noexcept { return wall_seconds_; }
+
+private:
+    int rank_;
+    std::uint64_t msg_index_;
+    double wall_seconds_;
 };
 
 struct RankReport {
@@ -307,6 +337,21 @@ public:
     /// requests is a bug World::run reports.
     [[nodiscard]] int pending_requests() const noexcept { return pending_recvs_; }
 
+    /// This rank's comm-event counter (the deterministic fault/RNG stream
+    /// position).  Tests use it to place a kill event at an exact step.
+    [[nodiscard]] std::uint64_t comm_events() const noexcept { return msg_index_; }
+
+    /// Serializes this rank's full virtual state — both clocks, the NIC
+    /// queue horizon, the fault-stream position (the "RNG stream"), the
+    /// collective tag sequence, and the comm/fault/overlap logs — into a
+    /// checkpoint section.  Requires no pending nonblocking receives (a
+    /// checkpoint mid-exchange is a caller bug, reported loudly).
+    void save_state(ckpt::SectionWriter& w) const;
+    /// Restores the state written by save_state; with every rank restored
+    /// from the same checkpoint step, a replay is bit-identical to the
+    /// original run — clocks, logs and fault draws included.
+    void restore_state(ckpt::SectionReader& r);
+
 private:
     friend class World;
     friend class Ialltoall;
@@ -386,6 +431,12 @@ public:
     /// throws DeadlockError instead of hanging the harness.
     void set_watchdog_seconds(double s) noexcept { watchdog_seconds_ = s; }
     [[nodiscard]] double watchdog_seconds() const noexcept { return watchdog_seconds_; }
+
+    /// Clears an armed fault-model kill event: the failed node has been
+    /// "replaced by a spare" ahead of a recovery replay.  The fault model's
+    /// cost perturbations are untouched — they are a pure function of
+    /// (seed, rank, msg_index), so the replay re-draws them bit-identically.
+    void disarm_kill() noexcept { net_.fault.kill_rank = -1; }
 
 private:
     friend class Comm;

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "mesh/generators.hpp"
+#include "nektar/ns_ale.hpp"
+#include "nektar/ns_fourier.hpp"
+#include "nektar/ns_serial.hpp"
+#include "perf/report.hpp"
+
+/// The checkpoint/restart property: run N steps; or run k, checkpoint,
+/// restore into a fresh solver, run N - k.  Both must end in *byte-identical*
+/// state — fields, history ring buffers (the startup-ramp position
+/// included), virtual clocks and fault streams for comm-backed solvers, and
+/// the canonicalized RunReport — for every solver and every time order.
+namespace {
+
+using ckpt::Checkpoint;
+
+netsim::NetworkModel test_net(std::uint64_t fault_seed = 0) {
+    netsim::NetworkModel n;
+    n.name = "test";
+    n.latency_us = 10.0;
+    n.bandwidth_mbps = 100.0;
+    if (fault_seed != 0) {
+        n.fault.seed = fault_seed;
+        n.fault.latency_jitter_us = 15.0;
+        n.fault.loss_probability = 0.05;
+        n.fault.retransmit_timeout_us = 200.0;
+    }
+    return n;
+}
+
+// --- serial ----------------------------------------------------------------
+
+std::shared_ptr<nektar::Discretization> cavity_disc(std::size_t order) {
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Wall, [](double, double) { return true; });
+    return std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)),
+                                                    order);
+}
+
+nektar::SerialNsOptions serial_opts(int time_order, double dt = 2e-3) {
+    nektar::SerialNsOptions o;
+    o.dt = dt;
+    o.viscosity = 0.02;
+    o.time_order = time_order;
+    o.pressure_bc.dirichlet.clear(); // all-wall cavity: pin the pressure
+    o.pressure_bc.pin_first_dof = true;
+    return o;
+}
+
+void taylor_initial(nektar::SerialNS2d& ns) {
+    constexpr double pi = std::numbers::pi;
+    ns.set_initial([](double x, double y) { return std::sin(pi * x) * std::cos(pi * y); },
+                   [](double x, double y) { return -std::cos(pi * x) * std::sin(pi * y); });
+}
+
+class SerialRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerialRoundTrip, RestartIsByteIdentical) {
+    const int order = GetParam();
+    const int n = 6;
+    const auto disc = cavity_disc(4);
+
+    // Uninterrupted reference.
+    nektar::SerialNS2d a(disc, serial_opts(order));
+    taylor_initial(a);
+    for (int s = 0; s < n; ++s) a.step();
+
+    for (const int k : {1, 3}) { // k = 1 lands mid-ramp for order 3
+        nektar::SerialNS2d b(disc, serial_opts(order));
+        taylor_initial(b);
+        for (int s = 0; s < k; ++s) b.step();
+        const auto bytes = b.checkpoint().serialize();
+        // Serializing the same state twice is byte-deterministic.
+        EXPECT_EQ(b.checkpoint().serialize(), bytes);
+
+        nektar::SerialNS2d c(disc, serial_opts(order));
+        c.restore(Checkpoint::deserialize(bytes));
+        EXPECT_EQ(c.steps_taken(), k);
+        for (int s = k; s < n; ++s) c.step();
+
+        EXPECT_EQ(c.checkpoint().serialize(), a.checkpoint().serialize())
+            << "order " << order << ", restart at step " << k;
+        EXPECT_EQ(c.u_quad(), a.u_quad());
+        EXPECT_EQ(c.v_quad(), a.v_quad());
+        EXPECT_EQ(c.time(), a.time());
+        EXPECT_EQ(c.last_step_order(), a.last_step_order());
+        EXPECT_EQ(c.last_velocity_lambda(), a.last_velocity_lambda());
+
+        // Canonicalized RunReports (host-measured wall time masked) agree
+        // byte-for-byte.  Both are built back-to-back so the global metrics
+        // snapshot folded into each is the same.
+        const perf::StageBreakdown bda = a.breakdown();
+        const perf::StageBreakdown bdc = c.breakdown();
+        const auto repa = perf::report("roundtrip", &bda);
+        const auto repc = perf::report("roundtrip", &bdc);
+        EXPECT_EQ(repc.to_canonical_json(), repa.to_canonical_json());
+        EXPECT_NE(repa.to_canonical_json().find("\"host_seconds\":0"), std::string::npos);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SerialRoundTrip, ::testing::Values(1, 2, 3));
+
+TEST(SerialRoundTrip, FingerprintMismatchIsRefusedWithDiagnostic) {
+    const auto disc = cavity_disc(4);
+    nektar::SerialNS2d a(disc, serial_opts(2));
+    taylor_initial(a);
+    a.step();
+    const auto bytes = a.checkpoint().serialize();
+
+    nektar::SerialNS2d other_dt(disc, serial_opts(2, /*dt=*/1e-3));
+    try {
+        other_dt.restore(Checkpoint::deserialize(bytes));
+        FAIL() << "restore under different options must be refused";
+    } catch (const ckpt::Error& e) {
+        EXPECT_EQ(e.section(), "meta");
+        EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos) << e.what();
+    }
+
+    nektar::SerialNsOptions o3 = serial_opts(3);
+    nektar::SerialNS2d other_order(disc, o3);
+    EXPECT_THROW(other_order.restore(Checkpoint::deserialize(bytes)), ckpt::Error);
+}
+
+TEST(SerialRoundTrip, CadenceFiresTheSink) {
+    const auto disc = cavity_disc(4);
+    nektar::SerialNsOptions o = serial_opts(2);
+    o.checkpoint_every = 2;
+    nektar::SerialNS2d ns(disc, o);
+    taylor_initial(ns);
+    std::vector<int> at_steps;
+    ns.set_checkpoint_sink([&](const Checkpoint& c) {
+        auto r = c.open("core");
+        (void)r.f64(); // time
+        at_steps.push_back(static_cast<int>(r.i64()));
+    });
+    for (int s = 0; s < 5; ++s) ns.step();
+    EXPECT_EQ(at_steps, (std::vector<int>{2, 4}));
+}
+
+/// The regression the startup ramp demands of restart: a run restored
+/// mid-ramp (Je still climbing 1, 2, ..., time_order) must run its next
+/// step at the *ramp's* effective order — rebuilding that order's Helmholtz
+/// operators with the matching gamma0 — not at the steady-state order the
+/// constructor warms.
+TEST(SerialRoundTrip, MidRampRestartRebuildsEffectiveOrderOperators) {
+    const auto disc = cavity_disc(4);
+    nektar::SerialNS2d a(disc, serial_opts(3));
+    taylor_initial(a);
+    a.step(); // ramp step 1 runs at order 1
+    EXPECT_EQ(a.velocity_solver_cache().built_orders(), (std::vector<int>{1, 3}));
+    const auto bytes = a.checkpoint().serialize();
+    a.step(); // ramp step 2 runs at order 2
+    EXPECT_EQ(a.last_step_order(), 2);
+    EXPECT_EQ(a.velocity_solver_cache().built_orders(), (std::vector<int>{1, 2, 3}));
+
+    nektar::SerialNS2d c(disc, serial_opts(3));
+    c.restore(Checkpoint::deserialize(bytes));
+    // Fresh solver: only the constructor-warmed steady-state operators yet.
+    EXPECT_EQ(c.velocity_solver_cache().built_orders(), (std::vector<int>{3}));
+    EXPECT_EQ(c.effective_order(), 2) << "one history level restored -> order 2 next";
+    c.step();
+    EXPECT_EQ(c.last_step_order(), 2);
+    EXPECT_EQ(c.velocity_solver_cache().built_orders(), (std::vector<int>{2, 3}))
+        << "the restart must build the ramp order's operators, not reuse order 3's";
+    // Same effective lambda, same fields as the uninterrupted ramp.
+    EXPECT_EQ(c.last_velocity_lambda(), a.last_velocity_lambda());
+    EXPECT_EQ(c.u_quad(), a.u_quad());
+    EXPECT_EQ(c.v_quad(), a.v_quad());
+}
+
+// --- Fourier (comm-backed, with fault streams) -----------------------------
+
+std::shared_ptr<nektar::Discretization> shear_disc(std::size_t order) {
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Side, [](double, double) { return true; });
+    m.tag_boundary(mesh::BoundaryTag::Wall,
+                   [](double, double y) { return y < 1e-9 || y > 1.0 - 1e-9; });
+    return std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)),
+                                                    order);
+}
+
+nektar::FourierNsOptions fourier_opts(int time_order) {
+    nektar::FourierNsOptions o;
+    o.dt = 2e-3;
+    o.viscosity = 0.05;
+    o.time_order = time_order;
+    o.num_modes = 4;
+    o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
+    o.pressure_bc.dirichlet.clear();
+    o.pressure_bc.pin_first_dof = true;
+    return o;
+}
+
+void shear_initial(nektar::FourierNS& ns, double lz) {
+    constexpr double pi = std::numbers::pi;
+    ns.set_initial(
+        [=](double, double y, double z) {
+            return std::sin(pi * y) * (1.0 + 0.1 * std::cos(2.0 * pi * z / lz));
+        },
+        [=](double, double y, double z) {
+            return 0.05 * std::sin(pi * y) * std::sin(2.0 * pi * z / lz);
+        },
+        [=](double, double y, double) { return 0.02 * std::sin(pi * y); });
+}
+
+struct FourierParam {
+    int time_order;
+    std::uint64_t fault_seed;
+};
+
+class FourierRoundTrip : public ::testing::TestWithParam<FourierParam> {};
+
+TEST_P(FourierRoundTrip, RestartIsByteIdenticalAcrossRanks) {
+    const auto [order, seed] = GetParam();
+    const int nranks = 2, n = 5, k = 2;
+    const auto disc = shear_disc(3);
+    const auto opts = fourier_opts(order);
+
+    const auto run = [&](int steps, const std::vector<std::vector<std::uint8_t>>* from,
+                         std::vector<std::vector<std::uint8_t>>& out) {
+        simmpi::World world(nranks, test_net(seed));
+        out.assign(static_cast<std::size_t>(nranks), {});
+        world.run([&](simmpi::Comm& c) {
+            nektar::FourierNS ns(disc, opts, &c);
+            if (from != nullptr)
+                ns.restore(Checkpoint::deserialize((*from)[static_cast<std::size_t>(c.rank())]));
+            else
+                shear_initial(ns, opts.lz);
+            while (ns.steps_taken() < steps) ns.step();
+            out[static_cast<std::size_t>(c.rank())] = ns.checkpoint().serialize();
+        });
+    };
+
+    std::vector<std::vector<std::uint8_t>> ref, mid, resumed;
+    run(n, nullptr, ref);   // uninterrupted
+    run(k, nullptr, mid);   // first k steps
+    run(n, &mid, resumed);  // restored, remaining n - k steps
+
+    for (int r = 0; r < nranks; ++r)
+        EXPECT_EQ(resumed[static_cast<std::size_t>(r)], ref[static_cast<std::size_t>(r)])
+            << "rank " << r << ", order " << order << ", fault seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(OrdersAndSeeds, FourierRoundTrip,
+                         ::testing::Values(FourierParam{1, 0}, FourierParam{2, 0},
+                                           FourierParam{3, 0}, FourierParam{2, 1234},
+                                           FourierParam{3, 977}));
+
+// --- ALE (moving mesh) -----------------------------------------------------
+
+nektar::AleOptions ale_opts(int time_order) {
+    nektar::AleOptions o;
+    o.dt = 2e-3;
+    o.viscosity = 0.05;
+    o.time_order = time_order;
+    o.body_velocity = [](double t) { return 0.4 * std::cos(8.0 * t); };
+    o.velocity_bc.dirichlet = {mesh::BoundaryTag::Inflow, mesh::BoundaryTag::Side,
+                               mesh::BoundaryTag::Body, mesh::BoundaryTag::Wall};
+    o.u_bc = [](double, double, double) { return 1.0; };
+    o.v_bc = [](double, double, double) { return 0.0; };
+    return o;
+}
+
+class AleRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AleRoundTrip, RestartRestoresTheMovedMesh) {
+    const int order = GetParam();
+    const int n = 6, k = 3;
+    const mesh::Mesh m = mesh::flapping_body_mesh(1);
+
+    nektar::AleNS2d a(m, 3, ale_opts(order));
+    a.set_initial([](double, double) { return 1.0; }, [](double, double) { return 0.0; });
+    for (int s = 0; s < n; ++s) a.step();
+
+    nektar::AleNS2d b(m, 3, ale_opts(order));
+    b.set_initial([](double, double) { return 1.0; }, [](double, double) { return 0.0; });
+    for (int s = 0; s < k; ++s) b.step();
+    const auto bytes = b.checkpoint().serialize();
+
+    // The checkpoint must carry the deformed geometry, not just fields.
+    ASSERT_TRUE(Checkpoint::deserialize(bytes).has("mesh"));
+
+    nektar::AleNS2d c(m, 3, ale_opts(order));
+    c.restore(Checkpoint::deserialize(bytes));
+    for (int s = k; s < n; ++s) c.step();
+
+    EXPECT_EQ(c.checkpoint().serialize(), a.checkpoint().serialize()) << "order " << order;
+    EXPECT_EQ(c.u_quad(), a.u_quad());
+    EXPECT_EQ(c.v_quad(), a.v_quad());
+    EXPECT_EQ(c.mesh_velocity_quad(), a.mesh_velocity_quad());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AleRoundTrip, ::testing::Values(1, 2, 3));
+
+} // namespace

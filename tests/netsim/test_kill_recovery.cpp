@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "ckpt/recovery.hpp"
+#include "mesh/generators.hpp"
+#include "nektar/ns_fourier.hpp"
+
+/// Rank-failure recovery, end to end: a seeded kill event fells one rank
+/// mid-run, the harness rolls back to the last globally complete checkpoint
+/// and replays with the dead node's spare — and the recovered run must be
+/// *byte-identical* to a failure-free run (fields, history, virtual clocks,
+/// fault streams), with the recovery price on the virtual clocks monotone in
+/// how far past the checkpoint the kill landed.
+namespace {
+
+using ckpt::Checkpoint;
+using ckpt::RecoveryStats;
+using ckpt::Store;
+
+netsim::NetworkModel base_net() {
+    netsim::NetworkModel n;
+    n.name = "test";
+    n.latency_us = 10.0;
+    n.bandwidth_mbps = 100.0;
+    return n;
+}
+
+std::shared_ptr<nektar::Discretization> shear_disc() {
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Side, [](double, double) { return true; });
+    m.tag_boundary(mesh::BoundaryTag::Wall,
+                   [](double, double y) { return y < 1e-9 || y > 1.0 - 1e-9; });
+    return std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)),
+                                                    3);
+}
+
+nektar::FourierNsOptions fourier_opts(int cadence, std::size_t num_modes = 4) {
+    nektar::FourierNsOptions o;
+    o.dt = 2e-3;
+    o.viscosity = 0.05;
+    o.time_order = 2;
+    o.num_modes = num_modes;
+    o.checkpoint_every = cadence;
+    o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
+    o.pressure_bc.dirichlet.clear();
+    o.pressure_bc.pin_first_dof = true;
+    return o;
+}
+
+void shear_initial(nektar::FourierNS& ns, double lz) {
+    constexpr double pi = std::numbers::pi;
+    ns.set_initial(
+        [=](double, double y, double z) {
+            return std::sin(pi * y) * (1.0 + 0.1 * std::cos(2.0 * pi * z / lz));
+        },
+        [=](double, double y, double z) {
+            return 0.05 * std::sin(pi * y) * std::sin(2.0 * pi * z / lz);
+        },
+        [=](double, double y, double) { return 0.02 * std::sin(pi * y); });
+}
+
+struct RunOutput {
+    std::vector<std::vector<std::uint8_t>> final_ckpt; ///< per rank
+    /// Comm-event counter of each rank after each completed step (baseline
+    /// probe; indexes the kill placement).
+    std::vector<std::vector<std::uint64_t>> events_after_step;
+    RecoveryStats stats;
+};
+
+/// Runs `nsteps` of the Fourier solver across `world`, checkpointing into
+/// `store` at the solver's cadence and recovering from kills.
+RunOutput run_recoverable(simmpi::World& world, const nektar::FourierNsOptions& opts,
+                          int nsteps) {
+    const auto disc = shear_disc();
+    Store store;
+    RunOutput out;
+    const auto nranks = static_cast<std::size_t>(world.size());
+    out.final_ckpt.assign(nranks, {});
+    out.events_after_step.assign(nranks, {});
+    out.stats = ckpt::run_with_recovery(world, store, [&](simmpi::Comm& c, int from) {
+        const auto r = static_cast<std::size_t>(c.rank());
+        nektar::FourierNS ns(disc, opts, &c);
+        ns.set_checkpoint_sink([&](const Checkpoint& ck) {
+            store.put(c.rank(), ns.steps_taken(), c.wall_time(), ck);
+        });
+        if (from >= 0)
+            ns.restore(store.load(c.rank(), from));
+        else
+            shear_initial(ns, opts.lz);
+        out.events_after_step[r].clear();
+        while (ns.steps_taken() < nsteps) {
+            ns.step();
+            out.events_after_step[r].push_back(c.comm_events());
+        }
+        out.final_ckpt[r] = ns.checkpoint().serialize();
+    });
+    return out;
+}
+
+/// A comm-event threshold that lands inside step `kill_step` (1-based) of
+/// `rank`, derived from a failure-free probe of the same configuration.
+std::uint64_t events_into_step(const RunOutput& probe, int rank, int kill_step) {
+    const auto& ev = probe.events_after_step[static_cast<std::size_t>(rank)];
+    const std::uint64_t before =
+        kill_step >= 2 ? ev[static_cast<std::size_t>(kill_step - 2)] : 0;
+    return before + 1; // the step's first comm event
+}
+
+TEST(KillRecovery, RecoveredRunIsByteIdenticalToFailureFree) {
+    const int nranks = 2, nsteps = 6, cadence = 2, kill_step = 4;
+    const auto opts = fourier_opts(cadence);
+
+    simmpi::World clean(nranks, base_net());
+    const RunOutput baseline = run_recoverable(clean, opts, nsteps);
+    EXPECT_EQ(baseline.stats.kills, 0);
+    EXPECT_EQ(baseline.stats.attempts, 1);
+    EXPECT_EQ(baseline.stats.restart_step, -1);
+    EXPECT_EQ(baseline.stats.lost_virtual_seconds, 0.0);
+
+    netsim::NetworkModel net = base_net();
+    net.fault.kill_rank = 1;
+    net.fault.kill_after_events = events_into_step(baseline, 1, kill_step);
+    simmpi::World world(nranks, net);
+    const RunOutput recovered = run_recoverable(world, opts, nsteps);
+
+    EXPECT_EQ(recovered.stats.kills, 1);
+    EXPECT_EQ(recovered.stats.attempts, 2);
+    // Kill mid-step 4: step 4's own checkpoint never completed, so the
+    // rollback target is the cadence point before it.
+    EXPECT_EQ(recovered.stats.restart_step, 2);
+    EXPECT_GT(recovered.stats.lost_virtual_seconds, 0.0);
+
+    for (int r = 0; r < nranks; ++r)
+        EXPECT_EQ(recovered.final_ckpt[static_cast<std::size_t>(r)],
+                  baseline.final_ckpt[static_cast<std::size_t>(r)])
+            << "rank " << r;
+
+    // The priced overhead surfaces in a RunReport.
+    auto rep = perf::report("kill_recovery");
+    recovered.stats.stamp(rep);
+    EXPECT_EQ(rep.metrics.counters.at("recovery.kills"), 1.0);
+    EXPECT_GT(rep.metrics.counters.at("recovery.lost_virtual_seconds"), 0.0);
+    EXPECT_EQ(rep.metrics.gauges.at("recovery.restart_step"), 2.0);
+}
+
+TEST(KillRecovery, ColdRestartWhenNoCheckpointCompleted) {
+    const int nranks = 2, nsteps = 4;
+    const auto opts = fourier_opts(/*cadence=*/5); // no checkpoint before the kill
+
+    simmpi::World clean(nranks, base_net());
+    const RunOutput baseline = run_recoverable(clean, opts, nsteps);
+
+    netsim::NetworkModel net = base_net();
+    net.fault.kill_rank = 0;
+    net.fault.kill_after_events = events_into_step(baseline, 0, 3);
+    simmpi::World world(nranks, net);
+    const RunOutput recovered = run_recoverable(world, opts, nsteps);
+
+    EXPECT_EQ(recovered.stats.kills, 1);
+    EXPECT_EQ(recovered.stats.restart_step, -1) << "nothing to roll back to: replay from cold";
+    EXPECT_GT(recovered.stats.lost_virtual_seconds, 0.0);
+    for (int r = 0; r < nranks; ++r)
+        EXPECT_EQ(recovered.final_ckpt[static_cast<std::size_t>(r)],
+                  baseline.final_ckpt[static_cast<std::size_t>(r)]);
+}
+
+TEST(KillRecovery, LostWorkIsMonotoneInRollbackDistance) {
+    // Cadence 3 over 9 steps: kills during steps 4, 5, 6 all roll back to
+    // the step-3 checkpoint, at growing distance past it.  The virtual
+    // seconds thrown away must grow strictly with that distance.
+    const int nranks = 2, nsteps = 9, cadence = 3;
+    const auto opts = fourier_opts(cadence);
+
+    simmpi::World clean(nranks, base_net());
+    const RunOutput baseline = run_recoverable(clean, opts, nsteps);
+
+    std::vector<double> lost;
+    for (const int kill_step : {4, 5, 6}) {
+        netsim::NetworkModel net = base_net();
+        net.fault.kill_rank = 1;
+        net.fault.kill_after_events = events_into_step(baseline, 1, kill_step);
+        simmpi::World world(nranks, net);
+        const RunOutput recovered = run_recoverable(world, opts, nsteps);
+        ASSERT_EQ(recovered.stats.kills, 1) << "kill step " << kill_step;
+        EXPECT_EQ(recovered.stats.restart_step, 3) << "kill step " << kill_step;
+        for (int r = 0; r < nranks; ++r)
+            ASSERT_EQ(recovered.final_ckpt[static_cast<std::size_t>(r)],
+                      baseline.final_ckpt[static_cast<std::size_t>(r)])
+                << "kill step " << kill_step << ", rank " << r;
+        lost.push_back(recovered.stats.lost_virtual_seconds);
+    }
+    EXPECT_GT(lost[0], 0.0);
+    EXPECT_LT(lost[0], lost[1]) << "a kill one step deeper must waste more virtual time";
+    EXPECT_LT(lost[1], lost[2]);
+}
+
+/// The full sweep: ranks x kill step x checkpoint cadence (the `slow`
+/// label keeps it out of tier-1; the nightly workflow runs it).
+TEST(KillMatrix, SweepRecoversByteIdenticallyEverywhere) {
+    const int nsteps = 6;
+    for (const int nranks : {2, 4}) {
+        for (const int cadence : {1, 2, 3}) {
+            const auto opts = fourier_opts(cadence);
+            simmpi::World clean(nranks, base_net());
+            const RunOutput baseline = run_recoverable(clean, opts, nsteps);
+            for (const int kill_step : {2, 5}) {
+                const int kill_rank = nranks - 1;
+                netsim::NetworkModel net = base_net();
+                net.fault.kill_rank = kill_rank;
+                net.fault.kill_after_events = events_into_step(baseline, kill_rank, kill_step);
+                simmpi::World world(nranks, net);
+                const RunOutput recovered = run_recoverable(world, opts, nsteps);
+                ASSERT_EQ(recovered.stats.kills, 1)
+                    << nranks << " ranks, cadence " << cadence << ", kill " << kill_step;
+                const int expect_from = ((kill_step - 1) / cadence) * cadence;
+                EXPECT_EQ(recovered.stats.restart_step, expect_from == 0 ? -1 : expect_from)
+                    << nranks << " ranks, cadence " << cadence << ", kill " << kill_step;
+                // Loss is priced against the rollback checkpoint: with whole
+                // steps completed past it the kill must waste virtual time;
+                // a kill right at the checkpoint may waste (exactly) none.
+                const int steps_past_ckpt = (kill_step - 1) - std::max(expect_from, 0);
+                if (steps_past_ckpt > 0)
+                    EXPECT_GT(recovered.stats.lost_virtual_seconds, 0.0)
+                        << nranks << " ranks, cadence " << cadence << ", kill " << kill_step;
+                else
+                    EXPECT_GE(recovered.stats.lost_virtual_seconds, 0.0);
+                for (int r = 0; r < nranks; ++r)
+                    EXPECT_EQ(recovered.final_ckpt[static_cast<std::size_t>(r)],
+                              baseline.final_ckpt[static_cast<std::size_t>(r)])
+                        << nranks << " ranks, cadence " << cadence << ", kill " << kill_step
+                        << ", rank " << r;
+            }
+        }
+    }
+}
+
+TEST(KillRecovery, GivesUpAfterMaxAttempts) {
+    // A kill that is never disarmed (re-armed by the body every attempt)
+    // must not loop forever.
+    simmpi::World world(2, base_net());
+    Store store;
+    int calls = 0;
+    EXPECT_THROW(ckpt::run_with_recovery(
+                     world, store,
+                     [&](simmpi::Comm& c, int) {
+                         if (c.rank() == 0) ++calls;
+                         throw simmpi::RankKilledError(c.rank(), 0, 0.0);
+                     },
+                     /*max_attempts=*/3),
+                 std::runtime_error);
+    EXPECT_EQ(calls, 3);
+}
+
+} // namespace
