@@ -35,7 +35,9 @@
 namespace ckpt {
 
 /// Bump when the serialized layout of any section changes incompatibly.
-inline constexpr std::uint32_t kSchemaVersion = 1;
+/// v2: simmpi comm state gained the split() sequence number and per-event
+/// communicator size/sibling fields.
+inline constexpr std::uint32_t kSchemaVersion = 2;
 
 /// Any checkpoint format violation: truncation, CRC mismatch, schema-version
 /// mismatch, a missing/duplicate section, or a typed read past a section's

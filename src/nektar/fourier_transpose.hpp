@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "nektar/transpose.hpp"
 #include "simmpi/simmpi.hpp"
 
 /// \file fourier_transpose.hpp
@@ -20,28 +21,30 @@
 /// values, matching the paper's Gamma/P x Nz/P formula.
 namespace nektar {
 
-class FourierTranspose {
+class FourierTranspose : public Transpose {
 public:
     /// `comm` may be null for the serial (1-rank) case.  `nq` is the number
     /// of quadrature points per plane; `nplanes` the planes owned per rank
     /// (equal on all ranks).
     FourierTranspose(simmpi::Comm* comm, std::size_t nq, std::size_t nplanes);
 
-    [[nodiscard]] std::size_t num_ranks() const noexcept { return nranks_; }
+    [[nodiscard]] std::size_t num_ranks() const noexcept override { return nranks_; }
     /// Points this rank owns in line layout (last rank may see padding).
-    [[nodiscard]] std::size_t chunk() const noexcept { return chunk_; }
+    [[nodiscard]] std::size_t chunk() const noexcept override { return chunk_; }
     /// Global plane count (nplanes * ranks).
-    [[nodiscard]] std::size_t total_planes() const noexcept { return nplanes_ * nranks_; }
+    [[nodiscard]] std::size_t total_planes() const noexcept override {
+        return nplanes_ * nranks_;
+    }
 
     /// planes layout: planes[lp * nq + i], lp in [0, nplanes).
     /// lines layout: lines[i_local * total_planes + gp], i_local in [0, chunk).
     /// Points beyond nq (padding) produce zero lines.
     void to_lines(simmpi::Comm* comm, std::span<const double> planes,
-                  std::span<double> lines) const;
+                  std::span<double> lines) const override;
 
     /// Inverse of to_lines.
     void to_planes(simmpi::Comm* comm, std::span<const double> lines,
-                   std::span<double> planes) const;
+                   std::span<double> planes) const override;
 
     /// Pipelined to_lines over the chunked nonblocking alltoall: the per-peer
     /// block is cut into `nslices` point-aligned slices that ship up front
@@ -52,7 +55,7 @@ public:
     void to_lines_overlapped(simmpi::Comm* comm, std::span<const double> planes,
                              std::span<double> lines, std::size_t nslices,
                              const std::function<void(std::size_t, std::size_t)>& on_ready =
-                                 {}) const;
+                                 {}) const override;
 
     /// Pipelined inverse: `produce(b, e)` (optional) must fill lines for
     /// points [b, e) right before that slice ships, letting production
@@ -60,7 +63,7 @@ public:
     void to_planes_overlapped(simmpi::Comm* comm, std::span<const double> lines,
                               std::span<double> planes, std::size_t nslices,
                               const std::function<void(std::size_t, std::size_t)>& produce =
-                                  {}) const;
+                                  {}) const override;
 
     /// The nonlinear step's full pipelined exchange: forward-transposes every
     /// `planes_in` field into the matching `lines_in` buffer, calls
@@ -74,15 +77,17 @@ public:
         const std::vector<std::span<double>>& lines_in,
         const std::vector<std::span<const double>>& lines_out,
         const std::vector<std::span<double>>& planes_out, std::size_t nslices,
-        const std::function<void(std::size_t, std::size_t)>& compute) const;
+        const std::function<void(std::size_t, std::size_t)>& compute) const override;
 
     /// Physical point index of local line i (may be >= nq for padding).
-    [[nodiscard]] std::size_t global_point(std::size_t i, int rank) const noexcept {
+    [[nodiscard]] std::size_t global_point(std::size_t i, int rank) const noexcept override {
         return static_cast<std::size_t>(rank) * chunk_ + i;
     }
 
-    [[nodiscard]] std::size_t planes_buffer_size() const noexcept { return nplanes_ * nq_; }
-    [[nodiscard]] std::size_t lines_buffer_size() const noexcept {
+    [[nodiscard]] std::size_t planes_buffer_size() const noexcept override {
+        return nplanes_ * nq_;
+    }
+    [[nodiscard]] std::size_t lines_buffer_size() const noexcept override {
         return chunk_ * total_planes();
     }
 

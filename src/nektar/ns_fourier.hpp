@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "fft/fft.hpp"
-#include "nektar/fourier_transpose.hpp"
 #include "nektar/helmholtz.hpp"
+#include "nektar/transpose.hpp"
 #include "nektar/ns_serial.hpp"
 #include "nektar/splitting.hpp"
 
@@ -111,7 +111,9 @@ private:
     simmpi::Comm* comm_;
     std::size_t mloc_;       ///< complex modes per rank
     std::size_t nplanes_;    ///< 2 * mloc_
-    FourierTranspose transpose_;
+    /// Slab or pencil per opts_.transpose (construction derives the pencil's
+    /// subcommunicators collectively, so all ranks must agree on the kind).
+    std::unique_ptr<Transpose> transpose_;
     fft::Plan zplan_;        ///< length-Nz real FFT plan
 
     std::vector<HelmholtzDirect> pressure_;  ///< one per local mode

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "nektar/transpose.hpp"
+#include "simmpi/simmpi.hpp"
+
+/// \file pencil_transpose.hpp
+/// The 2-D pencil decomposition of the distributed transpose.
+///
+/// The paper's 1-D slab runs one P-wide alltoall whose latency term grows
+/// like P — fine at the paper's P <= 16, ruinous at P = 4096.  The pencil
+/// arranges the P ranks as a rows x cols grid and runs the exchange as two
+/// staged alltoalls over subcommunicators:
+///
+///   stage 1 (row comm, cols ranks):  every rank scatters its own planes to
+///     the point-sets owned by each *column* of the grid, leaving it with
+///     its row's planes at its column's points — a "pencil" of the data;
+///   stage 2 (column comm, rows ranks):  the pencil is re-scattered along
+///     the column so every rank ends with all planes for its final chunk of
+///     points.
+///
+/// Per-rank volume is the same as the slab's; what changes is the message
+/// count (rows + cols - 2 peers instead of P - 1), which is what the latency
+/// term of the network model prices.  The plane and point ownership maps are
+/// identical to FourierTranspose's, so the produced buffers — padding zeros
+/// included — are bit-identical to the slab's, and the two implementations
+/// can be A/B-tested at any rank count.
+namespace nektar {
+
+class PencilTranspose : public Transpose {
+public:
+    /// `comm` may be null for the serial (1-rank) case.  `rows` picks the
+    /// process-grid shape (must divide comm->size()); `rows` = 0 chooses the
+    /// largest divisor <= sqrt(P), the most square grid available.
+    /// Construction is collective: every rank of `comm` derives the row and
+    /// column subcommunicators via two split() calls.
+    PencilTranspose(simmpi::Comm* comm, std::size_t nq, std::size_t nplanes,
+                    std::size_t rows = 0);
+
+    [[nodiscard]] std::size_t num_ranks() const noexcept override { return nranks_; }
+    [[nodiscard]] std::size_t chunk() const noexcept override { return chunk_; }
+    [[nodiscard]] std::size_t total_planes() const noexcept override {
+        return nplanes_ * nranks_;
+    }
+    [[nodiscard]] std::size_t planes_buffer_size() const noexcept override {
+        return nplanes_ * nq_;
+    }
+    [[nodiscard]] std::size_t lines_buffer_size() const noexcept override {
+        return chunk_ * total_planes();
+    }
+    [[nodiscard]] std::size_t global_point(std::size_t i, int rank) const noexcept override {
+        return static_cast<std::size_t>(rank) * chunk_ + i;
+    }
+
+    /// The process grid: num_ranks() == grid_rows() * grid_cols().
+    [[nodiscard]] std::size_t grid_rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t grid_cols() const noexcept { return cols_; }
+
+    void to_lines(simmpi::Comm* comm, std::span<const double> planes,
+                  std::span<double> lines) const override;
+    void to_planes(simmpi::Comm* comm, std::span<const double> lines,
+                   std::span<double> planes) const override;
+
+    void to_lines_overlapped(simmpi::Comm* comm, std::span<const double> planes,
+                             std::span<double> lines, std::size_t nslices,
+                             const std::function<void(std::size_t, std::size_t)>& on_ready =
+                                 {}) const override;
+    void to_planes_overlapped(simmpi::Comm* comm, std::span<const double> lines,
+                              std::span<double> planes, std::size_t nslices,
+                              const std::function<void(std::size_t, std::size_t)>& produce =
+                                  {}) const override;
+    void roundtrip_overlapped(
+        simmpi::Comm* comm, const std::vector<std::span<const double>>& planes_in,
+        const std::vector<std::span<double>>& lines_in,
+        const std::vector<std::span<const double>>& lines_out,
+        const std::vector<std::span<double>>& planes_out, std::size_t nslices,
+        const std::function<void(std::size_t, std::size_t)>& compute) const override;
+
+    /// The subcommunicators carry checkpointable progress (collective tag and
+    /// split sequences); the solver saves/restores them around the world
+    /// comm's own state so a recovery replay reprices bit-identically.
+    [[nodiscard]] bool has_state() const noexcept override { return !row_.is_null(); }
+    void save_state(ckpt::SectionWriter& w) const override;
+    void restore_state(ckpt::SectionReader& r) override;
+
+private:
+    // Buffer geometry.  Stage-1 per-peer blocks are plane-major
+    // [rp * nplanes * chunk + lp * chunk + ck] (b1 = rows * nplanes * chunk
+    // doubles each, one per row peer); stage-2 blocks are point-major
+    // [ck * G + gl] with G = cols * nplanes row-local planes (b2 = chunk * G
+    // doubles each, one per column peer), so a contiguous run of points is a
+    // shippable slice — the granularity the overlapped pipeline cuts on.
+    void pack_stage1(std::span<const double> planes, std::span<double> send) const;
+    void unpack_planes(std::span<const double> recv, std::span<double> planes) const;
+    void stage1_to_m(std::span<const double> recv1, std::span<double> m) const;
+    void m_to_stage1(std::span<const double> m, std::span<double> send1) const;
+    void unpack_lines_slice(std::span<const double> recv2, std::span<double> lines,
+                            std::size_t pb, std::size_t pe) const;
+    void pack_lines_slice(std::span<const double> lines, std::span<double> send2,
+                          std::size_t pb, std::size_t pe) const;
+
+    std::size_t nq_;
+    std::size_t nplanes_;
+    std::size_t nranks_;
+    std::size_t chunk_;
+    std::size_t rows_ = 1;
+    std::size_t cols_ = 1;
+    std::size_t my_row_ = 0;
+    std::size_t my_col_ = 0;
+    std::size_t b1_ = 0; ///< stage-1 per-peer block, doubles
+    std::size_t b2_ = 0; ///< stage-2 per-peer block, doubles
+    // Mutable: the exchanges advance the owning rank's virtual clocks and
+    // logs; the decomposition itself never changes after construction.
+    mutable simmpi::Comm row_;
+    mutable simmpi::Comm col_;
+};
+
+} // namespace nektar

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -49,6 +50,12 @@ struct SolverOptions {
 
 struct SerialNsOptions : SolverOptions {};
 
+/// Which distributed-transpose decomposition FourierNS runs (transpose.hpp).
+enum class TransposeKind : std::uint8_t {
+    Slab,   ///< the paper's 1-D slab: one P-wide alltoall (golden reference)
+    Pencil, ///< 2-D pencil: two staged alltoalls over row/column subcomms
+};
+
 /// NekTar-F (Fourier-spectral, one mode per rank pair of planes).
 struct FourierNsOptions : SolverOptions {
     std::size_t num_modes = 4; ///< complex Fourier modes M (Nz = 2M physical planes)
@@ -64,6 +71,13 @@ struct FourierNsOptions : SolverOptions {
     /// hide transfers under.  Accounting only — results never depend on it;
     /// 0 disables the charge.
     double virtual_compute_flops = 150e6;
+    /// Distributed-transpose decomposition.  Every kind moves bit-identical
+    /// values; the choice changes only the message pattern the virtual clock
+    /// prices (slab latency grows like P, pencil like sqrt(P)).
+    TransposeKind transpose = TransposeKind::Slab;
+    /// Pencil process-grid rows (0 = the most square grid for the rank
+    /// count).  Must divide the communicator size; ignored for Slab.
+    std::size_t pencil_rows = 0;
 };
 
 /// NekTar-ALE (moving mesh, element decomposition, PCG + gather-scatter).
@@ -76,8 +90,5 @@ struct AleOptions : SolverOptions {
     /// Renamed from `gs_nonblocking` for the unified overlap_* convention.
     bool overlap_gs = true;
 };
-
-/// Pre-unification name, kept one release for mechanical migration.
-using NsOptions [[deprecated("use nektar::SerialNsOptions")]] = SerialNsOptions;
 
 } // namespace nektar

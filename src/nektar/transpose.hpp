@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "simmpi/simmpi.hpp"
+
+/// \file transpose.hpp
+/// The distributed transposition interface of NekTar-F.
+///
+/// The nonlinear step needs two layouts of the 3-D data: "planes" (each rank
+/// holds its Fourier planes at every quadrature point) and "lines" (each
+/// rank holds every plane for its chunk of points, so z-lines can be FFTed
+/// locally).  How the exchange between them is decomposed is a scaling
+/// decision, not a physics one, so FourierNS programs against this interface
+/// and FourierNsOptions selects the implementation:
+///
+///   * FourierTranspose — the paper's 1-D slab: one P-wide MPI_Alltoall
+///     (§4.2.1).  The golden reference; latency grows like P.
+///   * PencilTranspose — the 2-D pencil of the post-paper literature: the
+///     ranks form a rows x cols grid and the exchange runs as two staged
+///     sqrt(P)-wide alltoalls over row/column subcommunicators.
+///
+/// Every implementation moves bit-identical values — the choice changes the
+/// virtual-clock cost, never the numbers.
+namespace nektar {
+
+class Transpose {
+public:
+    virtual ~Transpose() = default;
+
+    [[nodiscard]] virtual std::size_t num_ranks() const noexcept = 0;
+    /// Points this rank owns in line layout (last rank may see padding).
+    [[nodiscard]] virtual std::size_t chunk() const noexcept = 0;
+    /// Global plane count across all ranks.
+    [[nodiscard]] virtual std::size_t total_planes() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t planes_buffer_size() const noexcept = 0;
+    [[nodiscard]] virtual std::size_t lines_buffer_size() const noexcept = 0;
+    /// Physical point index of local line i on `rank` (>= nq means padding).
+    [[nodiscard]] virtual std::size_t global_point(std::size_t i, int rank) const noexcept = 0;
+
+    /// planes layout: planes[lp * nq + i]; lines layout:
+    /// lines[i_local * total_planes + gp].  Points beyond nq produce zeros.
+    virtual void to_lines(simmpi::Comm* comm, std::span<const double> planes,
+                          std::span<double> lines) const = 0;
+    /// Inverse of to_lines.
+    virtual void to_planes(simmpi::Comm* comm, std::span<const double> lines,
+                           std::span<double> planes) const = 0;
+
+    /// Pipelined to_lines: `on_ready(b, e)` fires as soon as lines for
+    /// points [b, e) are complete.  Bit-identical values to to_lines.
+    virtual void to_lines_overlapped(
+        simmpi::Comm* comm, std::span<const double> planes, std::span<double> lines,
+        std::size_t nslices,
+        const std::function<void(std::size_t, std::size_t)>& on_ready = {}) const = 0;
+
+    /// Pipelined inverse: `produce(b, e)` must fill lines for points [b, e)
+    /// right before that range ships.  Bit-identical values to to_planes.
+    virtual void to_planes_overlapped(
+        simmpi::Comm* comm, std::span<const double> lines, std::span<double> planes,
+        std::size_t nslices,
+        const std::function<void(std::size_t, std::size_t)>& produce = {}) const = 0;
+
+    /// The nonlinear step's full pipelined exchange: forward-transposes every
+    /// `planes_in` field into the matching `lines_in` buffer, calls
+    /// `compute(b, e)` as each range of points [b, e) arrives (it must fill
+    /// that point range of every `lines_out` field), and reverse-transposes
+    /// `lines_out` into `planes_out`, overlapping exchanges against the
+    /// per-range computation.  Bit-identical to the blocking to_lines /
+    /// compute(0, chunk) / to_planes sequence.
+    virtual void roundtrip_overlapped(
+        simmpi::Comm* comm, const std::vector<std::span<const double>>& planes_in,
+        const std::vector<std::span<double>>& lines_in,
+        const std::vector<std::span<const double>>& lines_out,
+        const std::vector<std::span<double>>& planes_out, std::size_t nslices,
+        const std::function<void(std::size_t, std::size_t)>& compute) const = 0;
+
+    /// True when the implementation carries checkpointable state (the pencil
+    /// decomposition's subcommunicator progress); the solver then writes a
+    /// "transpose" section around save_state/restore_state.
+    [[nodiscard]] virtual bool has_state() const noexcept { return false; }
+    virtual void save_state(ckpt::SectionWriter& w) const { (void)w; }
+    virtual void restore_state(ckpt::SectionReader& r) { (void)r; }
+};
+
+} // namespace nektar

@@ -8,6 +8,12 @@ namespace netsim {
 
 namespace {
 constexpr double kUs = 1e-6;
+
+/// Sibling communicators sharing one collision domain serialise on the
+/// wire; every other topology carries them independently.
+double concurrency_factor(Topology topology, int concurrent) noexcept {
+    return topology == Topology::SharedBus ? static_cast<double>(std::max(concurrent, 1)) : 1.0;
+}
 } // namespace
 
 double NetworkModel::ptp_seconds(std::size_t m_bytes) const noexcept {
@@ -22,9 +28,11 @@ double NetworkModel::pingpong_bandwidth_mbps(std::size_t m_bytes) const noexcept
     return static_cast<double>(m_bytes) / ptp_seconds(m_bytes) / 1e6;
 }
 
-double NetworkModel::alltoall_seconds(int nprocs, std::size_t m_bytes) const noexcept {
+double NetworkModel::alltoall_seconds(int nprocs, std::size_t m_bytes,
+                                      int concurrent) const noexcept {
     const int p = std::max(nprocs, 1);
     if (p == 1) return 0.0;
+    const double conc = concurrency_factor(topology, concurrent);
     const double one = ptp_seconds(m_bytes);
     switch (topology) {
         case Topology::SharedBus: {
@@ -34,7 +42,7 @@ double NetworkModel::alltoall_seconds(int nprocs, std::size_t m_bytes) const noe
             if (m_bytes >= large_msg_bytes) bw *= large_msg_factor;
             const double wire = static_cast<double>(p) * (p - 1) *
                                 static_cast<double>(m_bytes) / (bw * 1e6);
-            return (p - 1) * latency_us * kUs + wire;
+            return ((p - 1) * latency_us * kUs + wire) * conc;
         }
         case Topology::PointToPoint:
             // Dedicated pairwise links: the P-1 exchange rounds each run at
@@ -73,22 +81,25 @@ double NetworkModel::alltoall_bandwidth_mbps(int nprocs, std::size_t m_bytes) co
 }
 
 double NetworkModel::alltoall_share_seconds(int nprocs, std::size_t block_bytes,
-                                            std::size_t part_bytes) const noexcept {
+                                            std::size_t part_bytes,
+                                            int concurrent) const noexcept {
     const int p = std::max(nprocs, 1);
     if (p == 1 || block_bytes == 0) return 0.0;
-    const double whole = alltoall_seconds(p, block_bytes);
+    const double whole = alltoall_seconds(p, block_bytes, concurrent);
     return whole * static_cast<double>(part_bytes) /
            (static_cast<double>(block_bytes) * static_cast<double>(p - 1));
 }
 
-double NetworkModel::allreduce_seconds(int nprocs, std::size_t m_bytes) const noexcept {
+double NetworkModel::allreduce_seconds(int nprocs, std::size_t m_bytes,
+                                       int concurrent) const noexcept {
     const int p = std::max(nprocs, 1);
     if (p == 1) return 0.0;
     const double rounds = std::ceil(std::log2(static_cast<double>(p)));
-    return rounds * ptp_seconds(m_bytes);
+    return rounds * ptp_seconds(m_bytes) * concurrency_factor(topology, concurrent);
 }
 
-double NetworkModel::gather_seconds(int nprocs, std::size_t m_bytes) const noexcept {
+double NetworkModel::gather_seconds(int nprocs, std::size_t m_bytes,
+                                    int concurrent) const noexcept {
     const int p = std::max(nprocs, 1);
     if (p == 1) return 0.0;
     // Binomial tree: round k ships 2^k ranks' worth of payload.
@@ -100,14 +111,31 @@ double NetworkModel::gather_seconds(int nprocs, std::size_t m_bytes) const noexc
         chunk *= 2;
         covered *= 2;
     }
-    return t;
+    return t * concurrency_factor(topology, concurrent);
 }
 
-double NetworkModel::barrier_seconds(int nprocs) const noexcept {
+double NetworkModel::bcast_tree_seconds(int nprocs, std::size_t m_bytes,
+                                        int concurrent) const noexcept {
     const int p = std::max(nprocs, 1);
     if (p == 1) return 0.0;
     const double rounds = std::ceil(std::log2(static_cast<double>(p)));
-    return 2.0 * rounds * latency_us * kUs;
+    return rounds * ptp_seconds(m_bytes) * concurrency_factor(topology, concurrent);
+}
+
+double NetworkModel::barrier_seconds(int nprocs, int concurrent) const noexcept {
+    const int p = std::max(nprocs, 1);
+    if (p == 1) return 0.0;
+    const double rounds = std::ceil(std::log2(static_cast<double>(p)));
+    return 2.0 * rounds * latency_us * kUs * concurrency_factor(topology, concurrent);
+}
+
+double NetworkModel::hierarchical_alltoall_seconds(int rows, int cols,
+                                                   std::size_t stage1_bytes,
+                                                   std::size_t stage2_bytes) const noexcept {
+    // Stage 1: `rows` concurrent row communicators of size `cols`;
+    // stage 2: `cols` concurrent column communicators of size `rows`.
+    return alltoall_seconds(cols, stage1_bytes, rows) +
+           alltoall_seconds(rows, stage2_bytes, cols);
 }
 
 const std::vector<NetworkModel>& pingpong_roster() {
@@ -182,8 +210,23 @@ const std::vector<NetworkModel>& alltoall_roster() {
     return nets;
 }
 
+const std::vector<NetworkModel>& scaling_roster() {
+    // The paper-era NIC characteristics behind an idealised full-bisection
+    // switch: per-link numbers from Figure 7 (RoadRunner Fast Ethernet, the
+    // Myrinet 2000 generation), Topology::Switched so the P=64..4096 sweep
+    // measures the decomposition rather than a 1999 switch radix.  Fast
+    // Ethernet keeps the blocking-TCP cpu_poll_fraction; Myrinet/GM polls.
+    static const std::vector<NetworkModel> nets = {
+        {"FastEther switched", 180.0, 11.2, 90.0, 16 * 1024, Topology::Switched, 1.0, 1 << 20,
+         1.0, 0.55},
+        {"Myrinet2000 switched", 18.0, 140.0, 10.0, 32 * 1024, Topology::Switched, 0.9, 1 << 20,
+         0.95, 1.0},
+    };
+    return nets;
+}
+
 const NetworkModel& by_name(const std::string& name) {
-    for (const auto* roster : {&pingpong_roster(), &alltoall_roster()}) {
+    for (const auto* roster : {&pingpong_roster(), &alltoall_roster(), &scaling_roster()}) {
         const auto it = std::find_if(roster->begin(), roster->end(),
                                      [&](const NetworkModel& m) { return m.name == name; });
         if (it != roster->end()) return *it;

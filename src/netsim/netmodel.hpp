@@ -66,7 +66,12 @@ struct NetworkModel {
 
     /// Time for MPI_Alltoall with P ranks each sending m bytes to every other
     /// rank, in seconds (pairwise-exchange schedule, topology-aware).
-    [[nodiscard]] double alltoall_seconds(int nprocs, std::size_t m_bytes) const noexcept;
+    /// `concurrent` is the number of sibling communicators (from one
+    /// Comm::split) running the collective at the same time: a shared
+    /// collision domain serialises them on the wire; switched and
+    /// point-to-point fabrics carry them independently.
+    [[nodiscard]] double alltoall_seconds(int nprocs, std::size_t m_bytes,
+                                          int concurrent = 1) const noexcept;
 
     /// Bruck's log-round Alltoall: ceil(log2 P) rounds shipping P/2 blocks
     /// each.  Fewer handshakes (wins at small messages on high-latency
@@ -85,16 +90,38 @@ struct NetworkModel {
     /// pipelining changes when the cost can be hidden, not how much the
     /// network works.
     [[nodiscard]] double alltoall_share_seconds(int nprocs, std::size_t block_bytes,
-                                                std::size_t part_bytes) const noexcept;
+                                                std::size_t part_bytes,
+                                                int concurrent = 1) const noexcept;
 
     /// Time for a recursive-doubling allreduce of m bytes across P ranks.
-    [[nodiscard]] double allreduce_seconds(int nprocs, std::size_t m_bytes) const noexcept;
+    [[nodiscard]] double allreduce_seconds(int nprocs, std::size_t m_bytes,
+                                           int concurrent = 1) const noexcept;
 
     /// Time for a binomial-tree gather of m bytes per rank to the root.
-    [[nodiscard]] double gather_seconds(int nprocs, std::size_t m_bytes) const noexcept;
+    [[nodiscard]] double gather_seconds(int nprocs, std::size_t m_bytes,
+                                        int concurrent = 1) const noexcept;
+
+    /// Binomial-tree broadcast of m bytes from the root: ceil(log2 P) rounds
+    /// of one full-payload hop each — the hierarchical schedule large-P MPI
+    /// implementations use (a root that sent to every rank directly would pay
+    /// (P-1) serial injections instead).
+    [[nodiscard]] double bcast_tree_seconds(int nprocs, std::size_t m_bytes,
+                                            int concurrent = 1) const noexcept;
 
     /// Barrier (tree up + tree down of empty messages).
-    [[nodiscard]] double barrier_seconds(int nprocs) const noexcept;
+    [[nodiscard]] double barrier_seconds(int nprocs, int concurrent = 1) const noexcept;
+
+    /// Cost of the 2-D pencil transpose's staged exchange on a rows x cols
+    /// process grid: every row communicator (there are `rows` of them, size
+    /// `cols`, running concurrently) exchanges `stage1_bytes` per peer, then
+    /// every column communicator (`cols` of size `rows`) exchanges
+    /// `stage2_bytes` per peer.  The 1-D slab equivalent is
+    /// alltoall_seconds(rows*cols, block): the pencil trades one P-wide
+    /// exchange (latency term ~P) for two sqrt(P)-wide ones (~2 sqrt(P)) —
+    /// the crossover behind strong scaling past the paper's P=16.
+    [[nodiscard]] double hierarchical_alltoall_seconds(int rows, int cols,
+                                                       std::size_t stage1_bytes,
+                                                       std::size_t stage2_bytes) const noexcept;
 };
 
 /// The twelve ping-pong configurations of Figure 7, in legend order:
@@ -107,7 +134,13 @@ struct NetworkModel {
 /// eth., RoadRunner myr., SP2-Silver inter/intranode, SP2-Thin2, NCSA, Muses.
 [[nodiscard]] const std::vector<NetworkModel>& alltoall_roster();
 
-/// Finds a model by name in either roster; throws std::out_of_range.
+/// Hypothetical large-cluster fabrics for the strong-scaling study beyond
+/// the paper's P=16: the paper-era NICs (Fast Ethernet, Myrinet 2000) behind
+/// an idealised full-bisection switch, so the P=64..4096 sweep isolates the
+/// decomposition's scaling from the 1999 switch sizes.
+[[nodiscard]] const std::vector<NetworkModel>& scaling_roster();
+
+/// Finds a model by name in any roster; throws std::out_of_range.
 [[nodiscard]] const NetworkModel& by_name(const std::string& name);
 
 } // namespace netsim

@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <stdexcept>
@@ -20,11 +21,15 @@
 /// \file simmpi.hpp
 /// A simulated MPI: the message-passing runtime the parallel solvers run on.
 ///
-/// Ranks are host threads.  Point-to-point messages really move through
-/// per-rank mailboxes (wrong tags or mismatched sizes fail loudly, and a
-/// missing send trips the deadlock watchdog — the semantics are honest),
-/// while a virtual clock per rank models what the transfer would have cost
-/// on a chosen 1999-era interconnect (see netsim).  Each rank tracks
+/// Ranks are run-to-completion tasks multiplexed over the deterministic host
+/// thread pool (Engine::Tasks, the default — thousands of simulated ranks
+/// cost fiber stacks, not OS threads), or classic one-thread-per-rank
+/// (Engine::Threads, kept as the A/B reference).  Point-to-point messages
+/// really move through per-rank mailboxes (wrong tags or mismatched sizes
+/// fail loudly, and a missing send is a detected deadlock — the semantics
+/// are honest), while a virtual clock per rank models what the transfer
+/// would have cost on a chosen 1999-era interconnect (see netsim).  Each
+/// rank tracks
 ///
 ///   * cpu time  — compute charged by the application via advance_compute(),
 ///   * wall time — cpu time plus communication and idle time,
@@ -35,9 +40,11 @@
 ///
 /// Collectives (alltoall, allreduce, gather, bcast, barrier) are built over
 /// a shared exchange area with real data movement and are charged from the
-/// network model's collective costs.  Every communication event is also
-/// recorded in a per-stage log so the benchmarks can re-price a run on every
-/// network without re-executing it.
+/// network model's collective costs.  Comm::split(color, key) derives
+/// subcommunicators (the row/column communicators of a 2-D pencil
+/// decomposition); every communication event records the communicator size
+/// and how many sibling communicators ran it concurrently, so a log can be
+/// re-priced on topologies where concurrent groups share the wire.
 ///
 /// If the network model carries an enabled netsim::FaultModel, every
 /// communication cost is perturbed deterministically (seed, rank, per-rank
@@ -60,7 +67,7 @@
 namespace simmpi {
 
 /// Communication operation categories for the event log.
-enum class CommKind : std::uint8_t { Ptp, Alltoall, Allreduce, Gather, Bcast, Barrier };
+enum class CommKind : std::uint8_t { Ptp, Alltoall, Allreduce, Gather, Bcast, Barrier, Split };
 
 [[nodiscard]] std::string to_string(CommKind k);
 
@@ -71,6 +78,13 @@ struct CommEventKey {
     /// Issued through the nonblocking API: the cost accrued in the
     /// background and could be hidden under computation.
     bool overlapped = false;
+    /// Communicator size the event ran on; 0 = the world communicator
+    /// (priced with the nprocs the pricing call supplies, which is what lets
+    /// one world log be re-priced across rank counts).
+    std::uint32_t group = 0;
+    /// Sibling communicators from the same split() executing the collective
+    /// concurrently; shared-medium topologies serialize them on the wire.
+    std::uint32_t groups = 1;
     auto operator<=>(const CommEventKey&) const = default;
 };
 
@@ -117,10 +131,33 @@ struct FaultStageStats {
 /// stage id -> fault accounting (same stage keys as CommLog).
 using FaultLog = std::map<int, FaultStageStats>;
 
-/// Thrown by World::run when a rank waits longer than the watchdog allows:
-/// a missing send, a mismatched tag, or a collective some rank never enters.
-/// Without the watchdog these bugs would hang the test harness forever.
+/// How World::run executes ranks on the host.
+enum class Engine : std::uint8_t {
+    /// One OS thread per rank.  Simple, but caps the simulable rank count at
+    /// what the host comfortably schedules; kept as the A/B determinism
+    /// reference for the task engine.
+    Threads,
+    /// Ranks are run-to-completion fiber tasks multiplexed over the
+    /// parallel::pool() workers, parking at comm points and resuming when
+    /// the virtual-clock event that unblocks them fires.  Bit-identical
+    /// results to Threads; scales to thousands of ranks.
+    Tasks,
+};
+
+/// Thrown by World::run when a rank waits on a comm event that can never
+/// arrive: a missing send, a mismatched tag, or a collective some rank never
+/// enters.  Under Engine::Tasks this is detected exactly (no runnable task,
+/// some still parked); under Engine::Threads a host-time watchdog bounds the
+/// wait.  Without it these bugs would hang the test harness forever.
 class DeadlockError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Thrown by World::run (before any rank starts) when the requested rank
+/// count exceeds the engine's configured task/thread limit — a clear
+/// diagnostic instead of an OOM or a scheduler hang.
+class OversubscriptionError : public std::runtime_error {
 public:
     using std::runtime_error::runtime_error;
 };
@@ -128,7 +165,7 @@ public:
 /// Thrown inside a rank when the fault model's kill event fires: the "node"
 /// dies at a deterministic position of its comm-event stream.  World::run
 /// rethrows it in preference over the DeadlockErrors the dead rank's
-/// now-abandoned peers may hit first (the watchdog is the detection backstop
+/// now-abandoned peers may hit first (deadlock detection is the backstop
 /// when the death itself is silent), so a recovery harness can catch one
 /// exception type, roll back to the last checkpoint and replay.
 class RankKilledError : public std::runtime_error {
@@ -167,14 +204,58 @@ class World;
 class Comm;
 
 namespace detail {
+
+class TaskScheduler;
+
 /// An in-flight point-to-point payload with its virtual-time price tag.
 struct Message {
-    int src;
+    int src;           ///< sender's rank *within the communicator* `ctx`
+    std::uint64_t ctx; ///< communicator context the message travels in
     int tag;
     std::vector<double> payload;
     double avail_time; ///< virtual time at which the payload is deliverable
     double cost = 0.0; ///< transfer seconds that accrued in the background
 };
+
+/// Everything a world rank owns exactly once, shared by every Comm view
+/// (world communicator and split() subcommunicators) that rank holds: the
+/// virtual clocks, the NIC horizon, the deterministic fault-stream position,
+/// and the per-stage logs.
+struct RankState {
+    int stage = -1;
+    double cpu = 0.0;
+    double wall = 0.0;
+    double nic_busy = 0.0; ///< virtual time the NIC finishes its posted queue
+    int pending_recvs = 0;
+    std::uint64_t msg_index = 0; ///< per-rank deterministic fault stream position
+    CommLog log;
+    FaultLog fault_log;
+    OverlapLog overlap_log;
+    obs::Lane* trace_lane = nullptr; ///< this rank's obs lane, resolved lazily
+};
+
+/// The shared half of one communicator: the member list, the rendezvous the
+/// members synchronise on, and the collective staging area.  The world
+/// communicator has ctx 0; split() interns one GroupState per derived
+/// context in the World registry (first arriver creates it).
+struct GroupState {
+    std::uint64_t ctx = 0;
+    std::vector<int> members; ///< world rank of each group rank, in group order
+    std::uint32_t siblings = 1; ///< concurrent communicators from the same split
+
+    /// Reusable sense-reversing rendezvous with a max-reduction slot.
+    std::mutex mtx;
+    std::condition_variable cv; ///< Engine::Threads waiters
+    int waiting = 0;
+    std::uint64_t generation = 0;
+    double max_wall = 0.0;
+    double result = 0.0; ///< snapshot of max_wall for the completed generation
+    std::vector<int> parked; ///< Engine::Tasks: task ids parked in this rendezvous
+
+    std::mutex exch_mtx;
+    std::vector<double> exchange; ///< collective staging area
+};
+
 } // namespace detail
 
 /// Handle for one nonblocking operation (isend/irecv).  Move-only: a Request
@@ -205,7 +286,7 @@ private:
     enum class Kind : std::uint8_t { None, Send, Recv };
     Kind kind_ = Kind::None;
     bool done_ = false;
-    int peer_ = -1;
+    int peer_ = -1; ///< peer rank within the issuing communicator
     int tag_ = 0;
     std::span<double> buf_{};
     double post_wall_ = 0.0; ///< wall clock when the receive was posted
@@ -249,20 +330,44 @@ private:
     std::size_t next_wait_ = 0;
 };
 
-/// Per-rank communicator handle, valid for the duration of World::run.
+/// A rank's view of one communicator, valid for the duration of World::run.
+/// The world communicator is handed to the rank function; split() derives
+/// subcommunicator views sharing the same per-rank clocks and logs.
+/// Move-only: a Comm is one rank's membership, not a value.
 class Comm {
 public:
-    [[nodiscard]] int rank() const noexcept { return rank_; }
-    [[nodiscard]] int size() const noexcept { return size_; }
+    Comm() = default; ///< null communicator until move-assigned
+    Comm(const Comm&) = delete;
+    Comm& operator=(const Comm&) = delete;
+    Comm(Comm&&) noexcept = default;
+    Comm& operator=(Comm&&) noexcept = default;
+
+    /// Rank within this communicator (-1 on a null communicator).
+    [[nodiscard]] int rank() const noexcept { return grank_; }
+    /// Number of ranks in this communicator (0 on a null communicator).
+    [[nodiscard]] int size() const noexcept { return gsize_; }
+    /// This rank's id in the world communicator (stable across splits).
+    [[nodiscard]] int world_rank() const noexcept { return wrank_; }
+    /// True for a default-constructed Comm and for the color < 0 result of
+    /// split(); every communication call on a null communicator throws.
+    [[nodiscard]] bool is_null() const noexcept { return group_ == nullptr; }
+
+    /// MPI_Comm_split: collective over this communicator.  Ranks passing the
+    /// same color >= 0 form a new communicator, ordered by (key, rank);
+    /// color < 0 yields a null Comm.  The derived context is a deterministic
+    /// function of (parent context, split sequence number, color), so
+    /// recovery replays rebuild identical communicators.  Charged as a small
+    /// allgather; logged as CommKind::Split.
+    [[nodiscard]] Comm split(int color, int key);
 
     /// Charges `seconds` of computation to both clocks.
     void advance_compute(double seconds) noexcept;
 
     /// Tags subsequent comm events with `stage` (paper stages 1-7; -1 none).
-    void set_stage(int stage) noexcept { stage_ = stage; }
+    void set_stage(int stage) noexcept { rs_->stage = stage; }
 
     /// Blocking tagged send/recv of doubles.  recv's span length must equal
-    /// the sent length (checked).
+    /// the sent length (checked).  Ranks are communicator-relative.
     void send(int dest, int tag, std::span<const double> data);
     void recv(int src, int tag, std::span<double> data);
 
@@ -283,11 +388,11 @@ public:
     /// charging, and overlap accounting all happen at completion.
     Request irecv(int src, int tag, std::span<double> data);
 
-    /// Completes a request.  For a receive this blocks (host-side, watchdog
-    /// bounded) until the matching message exists, then advances the wall
-    /// clock only by the *uncovered* remainder of the transfer window: the
-    /// part already covered by work done since the post is credited to the
-    /// stage's OverlapLog instead of becoming idle time.
+    /// Completes a request.  For a receive this blocks until the matching
+    /// message exists, then advances the wall clock only by the *uncovered*
+    /// remainder of the transfer window: the part already covered by work
+    /// done since the post is credited to the stage's OverlapLog instead of
+    /// becoming idle time.
     void wait(Request& r);
     void waitall(std::span<Request> rs);
 
@@ -327,47 +432,72 @@ public:
 
     void barrier();
 
-    [[nodiscard]] double cpu_time() const noexcept { return cpu_; }
-    [[nodiscard]] double wall_time() const noexcept { return wall_; }
-    [[nodiscard]] double idle_time() const noexcept { return wall_ - cpu_; }
-    [[nodiscard]] const CommLog& log() const noexcept { return log_; }
-    [[nodiscard]] const FaultLog& fault_log() const noexcept { return fault_log_; }
-    [[nodiscard]] const OverlapLog& overlap_log() const noexcept { return overlap_log_; }
-    /// Receives posted but not yet completed; a rank finishing with pending
-    /// requests is a bug World::run reports.
-    [[nodiscard]] int pending_requests() const noexcept { return pending_recvs_; }
+    [[nodiscard]] double cpu_time() const noexcept { return rs_->cpu; }
+    [[nodiscard]] double wall_time() const noexcept { return rs_->wall; }
+    [[nodiscard]] double idle_time() const noexcept { return rs_->wall - rs_->cpu; }
+    [[nodiscard]] const CommLog& log() const noexcept { return rs_->log; }
+    [[nodiscard]] const FaultLog& fault_log() const noexcept { return rs_->fault_log; }
+    [[nodiscard]] const OverlapLog& overlap_log() const noexcept { return rs_->overlap_log; }
+    /// Receives posted but not yet completed (across every communicator this
+    /// rank holds); a rank finishing with pending requests is a bug
+    /// World::run reports.
+    [[nodiscard]] int pending_requests() const noexcept { return rs_->pending_recvs; }
 
     /// This rank's comm-event counter (the deterministic fault/RNG stream
     /// position).  Tests use it to place a kill event at an exact step.
-    [[nodiscard]] std::uint64_t comm_events() const noexcept { return msg_index_; }
+    [[nodiscard]] std::uint64_t comm_events() const noexcept { return rs_->msg_index; }
 
     /// Serializes this rank's full virtual state — both clocks, the NIC
     /// queue horizon, the fault-stream position (the "RNG stream"), the
-    /// collective tag sequence, and the comm/fault/overlap logs — into a
-    /// checkpoint section.  Requires no pending nonblocking receives (a
-    /// checkpoint mid-exchange is a caller bug, reported loudly).
+    /// collective tag and split sequences, and the comm/fault/overlap logs —
+    /// into a checkpoint section.  World communicator only; requires no
+    /// pending nonblocking receives (a checkpoint mid-exchange is a caller
+    /// bug, reported loudly).
     void save_state(ckpt::SectionWriter& w) const;
     /// Restores the state written by save_state; with every rank restored
     /// from the same checkpoint step, a replay is bit-identical to the
     /// original run — clocks, logs and fault draws included.
     void restore_state(ckpt::SectionReader& r);
 
+    /// Serializes the communicator-local progress (collective tag sequence,
+    /// split counter) of this view.  A solver holding subcommunicators saves
+    /// one of these per subcomm next to the world comm's save_state; the
+    /// shared per-rank clocks and logs are not duplicated.
+    void save_group_state(ckpt::SectionWriter& w) const;
+    void restore_group_state(ckpt::SectionReader& r);
+
 private:
     friend class World;
     friend class Ialltoall;
-    Comm(World& world, int rank, int size) : world_(&world), rank_(rank), size_(size) {}
+    Comm(World& world, detail::RankState* rs, std::shared_ptr<detail::GroupState> group,
+         int grank, int wrank, std::uint64_t ctx)
+        : world_(&world),
+          rs_(rs),
+          group_(std::move(group)),
+          grank_(grank),
+          gsize_(group_ ? static_cast<int>(group_->members.size()) : 0),
+          wrank_(wrank),
+          ctx_(ctx) {}
+
+    /// Throws on a null communicator (every comm entry point calls this).
+    void require(const char* what) const {
+        if (group_ == nullptr)
+            throw std::logic_error(std::string("simmpi: ") + what + " on a null communicator");
+    }
 
     void record(CommKind kind, std::size_t bytes, bool overlapped = false) {
-        ++log_[stage_][{kind, bytes, overlapped}];
+        ++rs_->log[rs_->stage][{kind, bytes, overlapped,
+                                ctx_ == 0 ? 0u : static_cast<std::uint32_t>(gsize_),
+                                group_->siblings}];
     }
     /// Applies the fault model to one comm event of unfaulted cost
     /// `base_seconds`, consuming this rank's next message index; records the
     /// perturbation in the fault log and returns the faulted cost.  With no
     /// enabled fault model this returns `base_seconds` bit-exactly.
     double faulted_cost(double base_seconds);
-    /// Synchronises all ranks, sets every wall clock to the max, then adds
-    /// `coll_seconds` (fault-perturbed per rank); returns the post-collective
-    /// wall time.
+    /// Synchronises this communicator's ranks, sets every wall clock to the
+    /// max, then adds `coll_seconds` (fault-perturbed per rank); returns the
+    /// post-collective wall time.
     double sync_and_charge(double coll_seconds);
 
     /// Queues a background transfer of unfaulted cost `base_cost` on this
@@ -383,10 +513,10 @@ private:
 
     // --- obs tracing (vanish under REPRO_TRACING=0; one relaxed atomic load
     //     while the tracer is disabled) ---
-    /// Opens a span named `name` on this rank's lane ("rank N", created on
-    /// first use) at the current virtual wall clock, tagged with a
-    /// kind/bytes/overlapped argument fragment.  Returns the interned name
-    /// id, or 0 when tracing is inactive (trace_end(0) is a no-op).
+    /// Opens a span named `name` on this rank's lane ("rank N" by world
+    /// rank, created on first use) at the current virtual wall clock, tagged
+    /// with a kind/bytes/overlapped argument fragment.  Returns the interned
+    /// name id, or 0 when tracing is inactive (trace_end(0) is a no-op).
     std::uint32_t trace_begin(const char* name, CommKind kind, std::size_t bytes,
                               bool overlapped = false);
     /// Closes the span opened by the matching trace_begin at the current
@@ -397,38 +527,46 @@ private:
     /// Samples a per-rank counter track (fault extra seconds, overlap credit).
     void trace_counter(const char* name, double value);
 
-    World* world_;
-    int rank_;
-    int size_;
-    int stage_ = -1;
-    double cpu_ = 0.0;
-    double wall_ = 0.0;
-    double nic_busy_ = 0.0; ///< virtual time the NIC finishes its posted queue
-    int pending_recvs_ = 0;
-    int coll_seq_ = 0; ///< nonblocking-collective sequence number (tag space)
-    std::uint64_t msg_index_ = 0; ///< per-rank deterministic fault stream position
-    CommLog log_;
-    FaultLog fault_log_;
-    OverlapLog overlap_log_;
-    obs::Lane* trace_lane_ = nullptr; ///< this rank's obs lane, resolved lazily
+    World* world_ = nullptr;
+    detail::RankState* rs_ = nullptr;
+    std::shared_ptr<detail::GroupState> group_;
+    int grank_ = -1;
+    int gsize_ = 0;
+    int wrank_ = -1;
+    std::uint64_t ctx_ = 0;
+    int coll_seq_ = 0;  ///< nonblocking-collective sequence number (tag space)
+    int split_seq_ = 0; ///< split() calls issued through this communicator
 };
 
 /// A simulated cluster: N ranks over one interconnect model.
 class World {
 public:
-    World(int nprocs, netsim::NetworkModel net);
+    World(int nprocs, netsim::NetworkModel net, Engine engine = Engine::Tasks);
 
-    /// Runs `fn(comm)` on every rank (each on its own thread) and returns the
-    /// per-rank reports.  Any exception thrown by a rank is rethrown here;
-    /// the remaining ranks are woken and unwound instead of blocking forever.
+    /// Runs `fn(comm)` on every rank (fiber tasks or threads, per the
+    /// engine) and returns the per-rank reports.  Any exception thrown by a
+    /// rank is rethrown here; the remaining ranks are woken and unwound
+    /// instead of blocking forever.
     std::vector<RankReport> run(const std::function<void(Comm&)>& fn);
 
     [[nodiscard]] int size() const noexcept { return nprocs_; }
     [[nodiscard]] const netsim::NetworkModel& network() const noexcept { return net_; }
+    [[nodiscard]] Engine engine() const noexcept { return engine_; }
 
-    /// Host-time bound on any single blocking wait (recv matching, collective
-    /// rendezvous).  A wait exceeding it aborts the world and World::run
-    /// throws DeadlockError instead of hanging the harness.
+    /// Engine::Tasks rank ceiling (default 8192).  run() refuses more ranks
+    /// with OversubscriptionError instead of silently exhausting memory.
+    void set_max_tasks(int n) noexcept { max_tasks_ = n; }
+    [[nodiscard]] int max_tasks() const noexcept { return max_tasks_; }
+
+    /// Per-task fiber stack size for Engine::Tasks (default 2 MiB; the
+    /// mapping is MAP_NORESERVE, so mostly-idle ranks stay cheap).
+    void set_task_stack_bytes(std::size_t bytes) noexcept { stack_bytes_ = bytes; }
+
+    /// Host-time bound on any single blocking wait under Engine::Threads
+    /// (recv matching, collective rendezvous).  A wait exceeding it aborts
+    /// the world and World::run throws DeadlockError instead of hanging the
+    /// harness.  Engine::Tasks detects deadlock exactly (quiescence) and
+    /// does not need the timeout.
     void set_watchdog_seconds(double s) noexcept { watchdog_seconds_ = s; }
     [[nodiscard]] double watchdog_seconds() const noexcept { return watchdog_seconds_; }
 
@@ -440,47 +578,53 @@ public:
 
 private:
     friend class Comm;
+    friend class Ialltoall;
 
     using Message = detail::Message;
 
     struct Mailbox {
         std::mutex mtx;
-        std::condition_variable cv;
+        std::condition_variable cv; ///< Engine::Threads waiter
         std::deque<Message> queue;
-    };
-
-    /// Reusable sense-reversing barrier with a shared reduction slot.
-    struct Rendezvous {
-        std::mutex mtx;
-        std::condition_variable cv;
-        int waiting = 0;
-        std::uint64_t generation = 0;
-        double max_wall = 0.0;
-        double result_ = 0.0; ///< snapshot of max_wall for the completed generation
+        int waiting_task = -1; ///< Engine::Tasks: task parked on this mailbox
     };
 
     /// Internal unwind signal for ranks woken by an abort; never escapes run().
     struct Aborted {};
 
     void deliver(int dest, Message msg);
-    Message take(int self, int src, int tag);
-    /// Nonblocking probe: pops the first (src, tag) match only if it exists
-    /// AND its avail_time has passed in the receiver's virtual time `wall`.
-    /// A later-queued match never jumps an earlier one (FIFO per channel).
-    [[nodiscard]] bool try_take(int self, int src, int tag, double wall, Message& out);
-    /// Enters the rendezvous with this rank's wall clock; returns max over all.
-    double rendezvous_max(double wall);
+    Message take(int self, int src, std::uint64_t ctx, int tag);
+    /// Nonblocking probe: pops the first (src, ctx, tag) match only if it
+    /// exists AND its avail_time has passed in the receiver's virtual time
+    /// `wall`.  A later-queued match never jumps an earlier one (FIFO per
+    /// channel).
+    [[nodiscard]] bool try_take(int self, int src, std::uint64_t ctx, int tag, double wall,
+                                Message& out);
+    /// Enters the group's rendezvous with this rank's wall clock; returns
+    /// the max over all members.
+    double rendezvous_max(detail::GroupState& g, double wall);
     /// Wakes every blocked rank; they unwind with Aborted.
     void abort_world();
+    /// Registry lookup/create for a split()-derived group.  The first
+    /// arriving member creates the GroupState; late arrivers attach to it.
+    /// Cleared after every run() so recovery replays regenerate the same
+    /// contexts from scratch.
+    std::shared_ptr<detail::GroupState> intern_group(std::uint64_t ctx,
+                                                     std::vector<int> members,
+                                                     std::uint32_t siblings);
 
     int nprocs_;
     netsim::NetworkModel net_;
+    Engine engine_;
     double watchdog_seconds_ = 30.0;
+    int max_tasks_ = 8192;
+    std::size_t stack_bytes_ = std::size_t{2} << 20;
     std::atomic<bool> aborted_{false};
     std::vector<Mailbox> mailboxes_;
-    Rendezvous rdv_;
-    std::mutex exch_mtx_;
-    std::vector<double> exchange_; ///< collective staging area
+    std::shared_ptr<detail::GroupState> world_group_;
+    std::mutex groups_mtx_;
+    std::map<std::uint64_t, std::shared_ptr<detail::GroupState>> groups_;
+    detail::TaskScheduler* sched_ = nullptr; ///< live only inside a Tasks run
 };
 
 } // namespace simmpi

@@ -1,0 +1,326 @@
+#include "nektar/pencil_transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "mesh/generators.hpp"
+#include "nektar/fourier_transpose.hpp"
+#include "nektar/ns_fourier.hpp"
+
+/// The 2-D pencil transpose: bit-identity with the 1-D slab (the golden
+/// reference) at every rank count, the overlapped pipeline, the cost-model
+/// crossover that motivates it, and checkpoint/restart of a pencil solver
+/// under seeded faults.
+namespace {
+
+using nektar::FourierTranspose;
+using nektar::PencilTranspose;
+
+netsim::NetworkModel test_net(std::uint64_t fault_seed = 0) {
+    netsim::NetworkModel n;
+    n.name = "test";
+    n.latency_us = 10.0;
+    n.bandwidth_mbps = 100.0;
+    if (fault_seed != 0) {
+        n.fault.seed = fault_seed;
+        n.fault.latency_jitter_us = 25.0;
+        n.fault.degrade_probability = 0.2;
+        n.fault.degrade_factor = 2.5;
+    }
+    return n;
+}
+
+TEST(PencilTranspose, SerialRoundTrip) {
+    const std::size_t nq = 17, npl = 6;
+    PencilTranspose tr(nullptr, nq, npl);
+    EXPECT_FALSE(tr.has_state());
+    std::vector<double> planes(tr.planes_buffer_size());
+    for (std::size_t i = 0; i < planes.size(); ++i) planes[i] = static_cast<double>(i) * 0.25;
+    std::vector<double> lines(tr.lines_buffer_size());
+    tr.to_lines(nullptr, planes, lines);
+    std::vector<double> back(planes.size(), -1.0);
+    tr.to_planes(nullptr, lines, back);
+    for (std::size_t i = 0; i < planes.size(); ++i) EXPECT_DOUBLE_EQ(back[i], planes[i]);
+}
+
+TEST(PencilTranspose, GridShapeIsMostSquareByDefault) {
+    struct Case {
+        int p;
+        std::size_t rows;
+    };
+    for (const auto [p, rows] : {Case{4, 2}, Case{6, 2}, Case{8, 2}, Case{12, 3}, Case{16, 4},
+                                 Case{2, 1}, Case{7, 1}}) {
+        simmpi::World world(p, test_net());
+        world.run([&, rows = rows](simmpi::Comm& c) {
+            PencilTranspose tr(&c, 23, 2);
+            EXPECT_EQ(tr.grid_rows(), rows) << "p=" << tr.num_ranks();
+            EXPECT_EQ(tr.grid_rows() * tr.grid_cols(), tr.num_ranks());
+        });
+    }
+}
+
+TEST(PencilTranspose, RowsMustDivideTheRankCount) {
+    simmpi::World world(6, test_net());
+    EXPECT_THROW(world.run([](simmpi::Comm& c) { PencilTranspose tr(&c, 23, 2, 4); }),
+                 std::invalid_argument);
+}
+
+class PencilRanks : public ::testing::TestWithParam<int> {};
+
+/// The pencil must produce byte-identical planes/lines buffers to the slab —
+/// same point and plane ownership, same padding zeros — at every rank count,
+/// including prime counts that degenerate to a 1 x P grid.
+TEST_P(PencilRanks, MatchesSlabBitForBit) {
+    const int p = GetParam();
+    const std::size_t nq = 23, npl = 4; // nq not divisible by p: exercises padding
+    simmpi::World world(p, test_net());
+    world.run([&](simmpi::Comm& c) {
+        FourierTranspose slab(&c, nq, npl);
+        PencilTranspose pencil(&c, nq, npl);
+        ASSERT_EQ(pencil.chunk(), slab.chunk());
+        ASSERT_EQ(pencil.total_planes(), slab.total_planes());
+        EXPECT_TRUE(pencil.has_state());
+
+        std::vector<double> planes(slab.planes_buffer_size());
+        for (std::size_t lp = 0; lp < npl; ++lp)
+            for (std::size_t i = 0; i < nq; ++i)
+                planes[lp * nq + i] =
+                    1000.0 * static_cast<double>(c.rank() * npl + lp) + static_cast<double>(i);
+
+        std::vector<double> slab_lines(slab.lines_buffer_size());
+        std::vector<double> pencil_lines(pencil.lines_buffer_size(), -1.0);
+        slab.to_lines(&c, planes, slab_lines);
+        pencil.to_lines(&c, planes, pencil_lines);
+        EXPECT_EQ(pencil_lines, slab_lines);
+
+        std::vector<double> back(planes.size(), -1.0);
+        pencil.to_planes(&c, pencil_lines, back);
+        EXPECT_EQ(back, planes);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PencilRanks, ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+TEST(PencilTranspose, OverlappedModesMatchBlockingBitForBit) {
+    const int p = 6;
+    const std::size_t nq = 29, npl = 4, nslices = 3;
+    simmpi::World world(p, test_net());
+    world.run([&](simmpi::Comm& c) {
+        PencilTranspose tr(&c, nq, npl);
+        std::vector<double> planes(tr.planes_buffer_size());
+        for (std::size_t i = 0; i < planes.size(); ++i)
+            planes[i] = std::sin(0.37 * static_cast<double>(i) + c.rank());
+
+        std::vector<double> blocking(tr.lines_buffer_size());
+        tr.to_lines(&c, planes, blocking);
+
+        std::vector<double> overlapped(tr.lines_buffer_size(), -1.0);
+        std::size_t covered = 0;
+        tr.to_lines_overlapped(&c, planes, overlapped, nslices,
+                               [&](std::size_t b, std::size_t e) { covered += e - b; });
+        EXPECT_EQ(covered, tr.chunk());
+        EXPECT_EQ(overlapped, blocking);
+
+        std::vector<double> back(planes.size(), -1.0);
+        tr.to_planes_overlapped(&c, overlapped, back, nslices);
+        EXPECT_EQ(back, planes);
+    });
+}
+
+TEST(PencilTranspose, RoundtripOverlappedMatchesBlockingSequence) {
+    const int p = 4;
+    const std::size_t nq = 18, npl = 2, nslices = 2;
+    simmpi::World world(p, test_net());
+    world.run([&](simmpi::Comm& c) {
+        PencilTranspose tr(&c, nq, npl);
+        const std::size_t tp = tr.total_planes();
+        std::vector<double> pin(tr.planes_buffer_size());
+        for (std::size_t i = 0; i < pin.size(); ++i)
+            pin[i] = 0.5 * static_cast<double>(i + 1) + 10.0 * c.rank();
+
+        // Reference: blocking to_lines / compute / to_planes.
+        std::vector<double> ref_lines(tr.lines_buffer_size());
+        tr.to_lines(&c, pin, ref_lines);
+        std::vector<double> ref_out_lines(ref_lines);
+        for (double& v : ref_out_lines) v *= 2.0;
+        std::vector<double> ref_planes(tr.planes_buffer_size(), -1.0);
+        tr.to_planes(&c, ref_out_lines, ref_planes);
+
+        std::vector<double> lines(tr.lines_buffer_size()), out_lines(tr.lines_buffer_size());
+        std::vector<double> planes(tr.planes_buffer_size(), -1.0);
+        tr.roundtrip_overlapped(
+            &c, {std::span<const double>(pin)}, {std::span<double>(lines)},
+            {std::span<const double>(out_lines)}, {std::span<double>(planes)}, nslices,
+            [&](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    for (std::size_t gp = 0; gp < tp; ++gp)
+                        out_lines[i * tp + gp] = 2.0 * lines[i * tp + gp];
+            });
+        EXPECT_EQ(lines, ref_lines);
+        EXPECT_EQ(planes, ref_planes);
+    });
+}
+
+/// The motivation in one inequality: on a latency-bound 1999 network the
+/// staged sqrt(P)-wide exchanges beat the P-wide slab alltoall once P is
+/// large, and the netsim cost models must reproduce that crossover.
+TEST(PencilTranspose, CostModelCrossesOverAtScale) {
+    const netsim::NetworkModel* fast = nullptr;
+    for (const auto& n : netsim::scaling_roster())
+        if (n.name.find("FastEther") != std::string::npos) fast = &n;
+    ASSERT_NE(fast, nullptr);
+
+    // Table-2-like volume: per-rank slab block of (Nq/P) * (Nz/P) doubles.
+    const std::size_t nq = 2048, tp = 4096;
+    const auto slab_seconds = [&](int p) {
+        const std::size_t block = ((nq + p - 1) / p) * (tp / static_cast<std::size_t>(p));
+        return fast->alltoall_seconds(p, block * sizeof(double));
+    };
+    const auto pencil_seconds = [&](int p) {
+        int rows = 1;
+        for (int r = 1; r * r <= p; ++r)
+            if (p % r == 0) rows = r;
+        const int cols = p / rows;
+        const std::size_t chunk = (nq + p - 1) / p;
+        const std::size_t npl = tp / static_cast<std::size_t>(p);
+        const std::size_t s1 = static_cast<std::size_t>(rows) * npl * chunk * sizeof(double);
+        const std::size_t s2 = static_cast<std::size_t>(cols) * npl * chunk * sizeof(double);
+        return fast->hierarchical_alltoall_seconds(rows, cols, s1, s2);
+    };
+    // Small P: the slab's single exchange wins (no staged double-shipping).
+    EXPECT_LT(slab_seconds(16), pencil_seconds(16));
+    // Large P: the slab's P-wide latency term loses badly.
+    EXPECT_GT(slab_seconds(1024), pencil_seconds(1024));
+    EXPECT_GT(slab_seconds(4096), pencil_seconds(4096));
+}
+
+// --- FourierNS integration --------------------------------------------------
+
+std::shared_ptr<nektar::Discretization> shear_disc(std::size_t order) {
+    auto m = mesh::rectangle_quads(2, 2, 0.0, 1.0, 0.0, 1.0);
+    m.tag_boundary(mesh::BoundaryTag::Side, [](double, double) { return true; });
+    m.tag_boundary(mesh::BoundaryTag::Wall,
+                   [](double, double y) { return y < 1e-9 || y > 1.0 - 1e-9; });
+    return std::make_shared<nektar::Discretization>(std::make_shared<mesh::Mesh>(std::move(m)),
+                                                    order);
+}
+
+nektar::FourierNsOptions fourier_opts(nektar::TransposeKind kind) {
+    nektar::FourierNsOptions o;
+    o.dt = 2e-3;
+    o.viscosity = 0.05;
+    o.time_order = 2;
+    o.num_modes = 4;
+    o.velocity_bc.dirichlet = {mesh::BoundaryTag::Wall};
+    o.pressure_bc.dirichlet.clear();
+    o.pressure_bc.pin_first_dof = true;
+    o.transpose = kind;
+    return o;
+}
+
+void shear_initial(nektar::FourierNS& ns, double lz) {
+    constexpr double pi = std::numbers::pi;
+    ns.set_initial(
+        [=](double, double y, double z) {
+            return std::sin(pi * y) * (1.0 + 0.1 * std::cos(2.0 * pi * z / lz));
+        },
+        [=](double, double y, double z) {
+            return 0.05 * std::sin(pi * y) * std::sin(2.0 * pi * z / lz);
+        },
+        [=](double, double y, double) { return 0.02 * std::sin(pi * y); });
+}
+
+/// Runs `steps` of the shear problem and returns every rank's quadrature
+/// planes of every component — the physics, independent of comm accounting.
+std::vector<std::vector<double>> run_fourier(int nranks, nektar::TransposeKind kind,
+                                             int steps) {
+    const auto disc = shear_disc(3);
+    const auto opts = fourier_opts(kind);
+    std::vector<std::vector<double>> fields(static_cast<std::size_t>(nranks));
+    simmpi::World world(nranks, test_net());
+    world.run([&](simmpi::Comm& c) {
+        nektar::FourierNS ns(disc, opts, &c);
+        shear_initial(ns, opts.lz);
+        for (int s = 0; s < steps; ++s) ns.step();
+        auto& out = fields[static_cast<std::size_t>(c.rank())];
+        for (int comp = 0; comp < 3; ++comp)
+            for (std::size_t p = 0; p < 2 * ns.local_modes(); ++p) {
+                const auto plane = ns.plane_quad(comp, p);
+                out.insert(out.end(), plane.begin(), plane.end());
+            }
+    });
+    return fields;
+}
+
+TEST(FourierNsPencil, SolverFieldsMatchSlabBitForBit) {
+    for (const int p : {2, 4}) {
+        const auto slab = run_fourier(p, nektar::TransposeKind::Slab, 3);
+        const auto pencil = run_fourier(p, nektar::TransposeKind::Pencil, 3);
+        for (int r = 0; r < p; ++r)
+            EXPECT_EQ(pencil[static_cast<std::size_t>(r)], slab[static_cast<std::size_t>(r)])
+                << "p=" << p << " rank " << r;
+    }
+}
+
+/// Restart bit-identity for a pencil solver under an active fault model: the
+/// transpose's subcommunicator state (and the re-derived split contexts)
+/// must replay exactly.
+TEST(FourierNsPencil, CheckpointRestartIsByteIdenticalUnderFaults) {
+    const int nranks = 4, n = 5, k = 2;
+    const std::uint64_t seed = 1234;
+    const auto disc = shear_disc(3);
+    const auto opts = fourier_opts(nektar::TransposeKind::Pencil);
+
+    const auto run = [&](int steps, const std::vector<std::vector<std::uint8_t>>* from,
+                         std::vector<std::vector<std::uint8_t>>& out) {
+        simmpi::World world(nranks, test_net(seed));
+        out.assign(static_cast<std::size_t>(nranks), {});
+        world.run([&](simmpi::Comm& c) {
+            nektar::FourierNS ns(disc, opts, &c);
+            if (from != nullptr)
+                ns.restore(ckpt::Checkpoint::deserialize(
+                    (*from)[static_cast<std::size_t>(c.rank())]));
+            else
+                shear_initial(ns, opts.lz);
+            while (ns.steps_taken() < steps) ns.step();
+            out[static_cast<std::size_t>(c.rank())] = ns.checkpoint().serialize();
+        });
+    };
+
+    std::vector<std::vector<std::uint8_t>> ref, mid, resumed;
+    run(n, nullptr, ref);
+    run(k, nullptr, mid);
+    ASSERT_TRUE(ckpt::Checkpoint::deserialize(mid[0]).has("transpose"));
+    run(n, &mid, resumed);
+    for (int r = 0; r < nranks; ++r)
+        EXPECT_EQ(resumed[static_cast<std::size_t>(r)], ref[static_cast<std::size_t>(r)])
+            << "rank " << r;
+}
+
+/// A slab checkpoint must not restore into a pencil solver (or vice versa):
+/// the options fingerprint covers the transpose kind.
+TEST(FourierNsPencil, SlabCheckpointIsRefusedByAPencilSolver) {
+    const int nranks = 2;
+    const auto disc = shear_disc(3);
+    std::vector<std::vector<std::uint8_t>> slab_ck(nranks);
+    {
+        simmpi::World world(nranks, test_net());
+        world.run([&](simmpi::Comm& c) {
+            nektar::FourierNS ns(disc, fourier_opts(nektar::TransposeKind::Slab), &c);
+            shear_initial(ns, 2.0 * std::numbers::pi);
+            ns.step();
+            slab_ck[static_cast<std::size_t>(c.rank())] = ns.checkpoint().serialize();
+        });
+    }
+    simmpi::World world(nranks, test_net());
+    EXPECT_THROW(world.run([&](simmpi::Comm& c) {
+        nektar::FourierNS ns(disc, fourier_opts(nektar::TransposeKind::Pencil), &c);
+        ns.restore(ckpt::Checkpoint::deserialize(slab_ck[static_cast<std::size_t>(c.rank())]));
+    }),
+                 ckpt::Error);
+}
+
+} // namespace

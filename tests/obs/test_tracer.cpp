@@ -358,24 +358,14 @@ TEST_F(TracerTest, RunReportHasTheVersionedSchemaShape) {
     EXPECT_EQ(depth, 0);
 }
 
-// The pre-unification options alias must keep compiling (with a warning)
-// for one release, and must be the same type as its replacement.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-static_assert(std::is_same_v<nektar::NsOptions, nektar::SerialNsOptions>,
-              "deprecated alias must stay a thin alias");
-TEST(SolverOptionsCompat, DeprecatedAliasConstructsTheSerialSolver) {
-    nektar::NsOptions opts;
+// The unified options name (the deprecated NsOptions alias is gone).
+TEST(SolverOptionsCompat, SerialOptionsConstructDirectly) {
+    nektar::SerialNsOptions opts;
     opts.dt = 5e-4;
     opts.viscosity = 0.02;
     EXPECT_EQ(opts.time_order, 2);
-    const SerialNsOptions& base = opts; // usable wherever the new name is
+    const SerialNsOptions& base = opts;
     EXPECT_EQ(base.dt, 5e-4);
 }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 } // namespace
