@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "machine/accelerator_model.hpp"
 #include "machine/machine_model.hpp"
 #include "netsim/netmodel.hpp"
 #include "perf/stage_stats.hpp"
@@ -95,6 +96,35 @@ struct Platform {
 [[nodiscard]] inline double recovered_seconds(double rho, double overlapped_price,
                                               double cpu_poll_fraction) {
     return rho * overlapped_price * (1.0 - cpu_poll_fraction);
+}
+
+/// GPU-era projection of one rank's instrumented step onto an accelerator
+/// (machine/accelerator_model.hpp).  Three numbers per device, all seconds
+/// per time step:
+///   device   — every stage priced on the device roofline, fields in HBM
+///   resident — device + two host<->device field crossings per step (the
+///              IO/boundary slice a resident port still ships)
+///   staged   — device + two crossings per *stage* (the naive per-kernel
+///              offload; the host link becomes 1999's Fast Ethernet)
+struct AccelProjection {
+    double device = 0.0;
+    double resident = 0.0;
+    double staged = 0.0;
+};
+
+[[nodiscard]] inline AccelProjection project_accelerated(
+    const perf::StageBreakdown& bd, const machine::AcceleratorModel& acc,
+    const std::array<perf::StageShape, perf::kNumStages + 1>& shapes,
+    std::size_t field_bytes) {
+    const auto comp = compute_stage_seconds(bd, acc.device, shapes);
+    AccelProjection t;
+    for (std::size_t s = 1; s <= perf::kNumStages; ++s) t.device += comp[s];
+    const double steps = bd.steps > 0 ? static_cast<double>(bd.steps) : 1.0;
+    t.device /= steps;
+    const double xfer = acc.transfer_seconds(field_bytes);
+    t.resident = t.device + 2.0 * xfer;
+    t.staged = t.device + 2.0 * static_cast<double>(perf::kNumStages) * xfer;
+    return t;
 }
 
 struct CpuWall {

@@ -1,15 +1,22 @@
-/// Hot-path microbenchmark of the batched elemental operator engine:
-/// per-element dgemv loops versus the grouped dgemm batch for the
-/// modal->quad transform, the weak inner product, and the modal gradient.
-/// Writes machine-readable results to BENCH_hotpath.json (CI uploads it as
-/// an artifact; --smoke shrinks the sweep for the per-commit job).
+/// Hot-path microbenchmark of the elemental operator engines: per-element
+/// dgemv loops versus the grouped dense dgemm batch versus the
+/// sum-factorised tensor-contraction backend, for the modal->quad
+/// transform, the weak inner product, and the modal gradient.  The sweep
+/// runs orders 4-12 and reports the crossover order — the smallest order
+/// from which sum factorisation stays ahead of the dense batch — in the
+/// RunReport (top-level "crossover_order").  Writes machine-readable
+/// results to BENCH_hotpath.json (CI uploads it as an artifact and gates
+/// both engines against committed baselines; --smoke shrinks the sweep
+/// for the per-commit job).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "compute/backend.hpp"
 #include "mesh/generators.hpp"
 #include "nektar/discretization.hpp"
 #include "parallel/thread_pool.hpp"
@@ -19,14 +26,19 @@ namespace {
 struct CaseResult {
     std::size_t order = 0, elements = 0, planes = 0;
     double per_elem_ms[3] = {};  // to_quad, weak_inner, grad
-    double batched_ms[3] = {};
+    double batched_ms[3] = {};   // dense batched engine (reference)
+    double sumfact_ms[3] = {};   // sum-factorised engine
     [[nodiscard]] double per_elem_total() const {
         return per_elem_ms[0] + per_elem_ms[1] + per_elem_ms[2];
     }
     [[nodiscard]] double batched_total() const {
         return batched_ms[0] + batched_ms[1] + batched_ms[2];
     }
+    [[nodiscard]] double sumfact_total() const {
+        return sumfact_ms[0] + sumfact_ms[1] + sumfact_ms[2];
+    }
     [[nodiscard]] double speedup() const { return per_elem_total() / batched_total(); }
+    [[nodiscard]] double sumfact_speedup() const { return batched_total() / sumfact_total(); }
 };
 
 CaseResult run_case(std::size_t order, std::size_t nside, std::size_t planes,
@@ -44,7 +56,7 @@ CaseResult run_case(std::size_t order, std::size_t nside, std::size_t planes,
     for (std::size_t i = 0; i < quad.size(); ++i)
         quad[i] = 0.5 + static_cast<double>(i % 13) * 0.125;
 
-    CaseResult r{order, disc->num_elements(), planes, {}, {}};
+    CaseResult r{order, disc->num_elements(), planes, {}, {}, {}};
     const std::size_t ne = disc->num_elements();
 
     const auto per_plane = [&](auto&& body) {
@@ -86,17 +98,27 @@ CaseResult run_case(std::size_t order, std::size_t nside, std::size_t planes,
         },
         min_seconds);
 
-    // Batched engine (the default path of the solvers).
-    r.batched_ms[0] = 1e3 * benchutil::time_per_call(
-        [&] { disc->to_quad_planes(modal, quad, planes); }, min_seconds);
-    r.batched_ms[1] = 1e3 * benchutil::time_per_call(
-        [&] {
-            std::fill(rhs.begin(), rhs.end(), 0.0);
-            disc->weak_inner_planes(quad, rhs, planes);
-        },
-        min_seconds);
-    r.batched_ms[2] = 1e3 * benchutil::time_per_call(
-        [&] { disc->grad_from_modal_planes(modal, dx, dy, planes); }, min_seconds);
+    // Both batched engines, pinned explicitly so the committed baselines stay
+    // comparable whatever $REPRO_BACKEND the job exports.
+    struct EngineTimes {
+        compute::BackendKind kind;
+        double* ms;
+    };
+    const EngineTimes engines[2] = {{compute::BackendKind::Dense, r.batched_ms},
+                                    {compute::BackendKind::SumFactor, r.sumfact_ms}};
+    for (const EngineTimes& eng : engines) {
+        const compute::BackendKind k = eng.kind;
+        eng.ms[0] = 1e3 * benchutil::time_per_call(
+            [&] { disc->to_quad_planes(modal, quad, planes, k); }, min_seconds);
+        eng.ms[1] = 1e3 * benchutil::time_per_call(
+            [&] {
+                std::fill(rhs.begin(), rhs.end(), 0.0);
+                disc->weak_inner_planes(quad, rhs, planes, k);
+            },
+            min_seconds);
+        eng.ms[2] = 1e3 * benchutil::time_per_call(
+            [&] { disc->grad_from_modal_planes(modal, dx, dy, planes, k); }, min_seconds);
+    }
     return r;
 }
 
@@ -109,9 +131,33 @@ perf::Case to_case(const CaseResult& r) {
     for (int k = 0; k < 3; ++k) {
         c.values[std::string("per_element_ms.") + kKernels[k]] = r.per_elem_ms[k];
         c.values[std::string("batched_ms.") + kKernels[k]] = r.batched_ms[k];
+        c.values[std::string("sumfact_ms.") + kKernels[k]] = r.sumfact_ms[k];
     }
     c.values["speedup"] = r.speedup();
+    c.values["sumfact_speedup"] = r.sumfact_speedup();
     return c;
+}
+
+/// Smallest order from which the sum-factorised totals stay at or below the
+/// dense batched totals for every measured order above it (totals summed
+/// over the mesh-size/plane cases of each order).  -1 when sumfact never
+/// takes the lead.  "Stays ahead" rather than "first win" so a noisy win at
+/// low order does not masquerade as the asymptotic crossover.
+double crossover_order(const std::vector<CaseResult>& results) {
+    std::map<std::size_t, double> dense, sumfact;
+    for (const CaseResult& r : results) {
+        dense[r.order] += r.batched_total();
+        sumfact[r.order] += r.sumfact_total();
+    }
+    double crossover = -1.0;
+    for (const auto& [order, d] : dense) {
+        if (sumfact[order] <= d) {
+            if (crossover < 0.0) crossover = static_cast<double>(order);
+        } else {
+            crossover = -1.0;
+        }
+    }
+    return crossover;
 }
 
 } // namespace
@@ -123,16 +169,20 @@ int main(int argc, char** argv) {
     // smoke default so microsecond kernels average out scheduler noise.
     const double min_seconds =
         cli.min_seconds > 0.0 ? cli.min_seconds : (smoke ? 0.002 : 0.05);
-    const std::vector<std::size_t> orders = smoke ? std::vector<std::size_t>{4, 8}
-                                                  : std::vector<std::size_t>{4, 6, 8};
+    // Orders 4-12: the dense batch wins at low order (one big dgemm, no
+    // staging overhead), sum factorisation wins once O(P^3) beats O(P^4).
+    const std::vector<std::size_t> orders = smoke
+                                                ? std::vector<std::size_t>{4, 8, 12}
+                                                : std::vector<std::size_t>{4, 6, 8, 10, 12};
     const std::vector<std::size_t> sides = smoke ? std::vector<std::size_t>{8}
                                                  : std::vector<std::size_t>{8, 16};
     const std::vector<std::size_t> planes = smoke ? std::vector<std::size_t>{1, 4}
                                                   : std::vector<std::size_t>{1, 16};
 
-    std::printf("Batched elemental engine hot path (per-element dgemv vs grouped dgemm)\n");
+    std::printf("Elemental engine hot path (per-element dgemv vs dense batch vs sumfact)\n");
     std::printf("threads = %u\n\n", parallel::num_threads());
-    benchutil::Table table({"order", "elems", "planes", "perElem ms", "batched ms", "speedup"});
+    benchutil::Table table({"order", "elems", "planes", "perElem ms", "dense ms",
+                            "sumfact ms", "sf speedup"});
     table.print_header();
 
     std::vector<CaseResult> results;
@@ -145,11 +195,22 @@ int main(int argc, char** argv) {
                                  std::to_string(r.planes),
                                  benchutil::fmt(r.per_elem_total(), "%.3f"),
                                  benchutil::fmt(r.batched_total(), "%.3f"),
-                                 benchutil::fmt(r.speedup(), "%.2f")});
+                                 benchutil::fmt(r.sumfact_total(), "%.3f"),
+                                 benchutil::fmt(r.sumfact_speedup(), "%.2f")});
             }
         }
     }
+    const double crossover = crossover_order(results);
+    if (crossover >= 0.0)
+        std::printf("\nsum-factorisation crossover: order >= %.0f (sumfact ahead of the "
+                    "dense batch from there on)\n",
+                    crossover);
+    else
+        std::printf("\nsum-factorisation crossover: none within this sweep\n");
+
     perf::RunReport rep = perf::report("bench_hotpath");
+    rep.backend = "dense+sumfact"; // both engines measured side by side
+    rep.crossover_order = crossover;
     rep.meta["threads"] = std::to_string(parallel::num_threads());
     for (const CaseResult& r : results) rep.cases.push_back(to_case(r));
     cli.finish(std::move(rep), "BENCH_hotpath.json");

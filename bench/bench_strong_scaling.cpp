@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "machine/accelerator_model.hpp"
 #include "machine/machine_model.hpp"
 #include "nektar/fourier_transpose.hpp"
 #include "nektar/pencil_transpose.hpp"
@@ -241,6 +242,32 @@ int main(int argc, char** argv) {
     }
     std::printf("\n(cells are slab/pencil predicted wall seconds per step; the pencil\n"
                 "overtakes the slab where the P-wide alltoall's latency term dominates)\n");
+
+    // GPU-era projection: the same per-rank z-line FFT work priced on
+    // accelerator rooflines (machine/accelerator_model.hpp).  A host-staged
+    // transpose ships the rank's whole slab (nq*tp/P doubles) across the
+    // host link twice per round trip, so at scale the PCIe-class link — not
+    // the device — bounds the step, the 1999 Ethernet story replayed.
+    std::printf("\nGPU-era projection (per-rank compute s/step on the device; 'staged'\n"
+                "adds two host-link crossings of the rank's slab per round trip)\n\n");
+    benchutil::Table at({"P", "accelerator", "device", "staged"}, 14);
+    at.print_header();
+    for (const int nprocs : cli.rank_sweep(default_sweep)) {
+        const std::size_t slab_bytes =
+            nq * tp / static_cast<std::size_t>(nprocs) * sizeof(double);
+        for (const auto& acc : machine::accelerator_roster()) {
+            const double dev = compute_seconds_per_step(acc.device, nq, tp, nprocs);
+            const double staged = dev + 2.0 * acc.transfer_seconds(slab_bytes);
+            at.print_row({std::to_string(nprocs), acc.name, benchutil::fmt(dev, "%.3g"),
+                          benchutil::fmt(staged, "%.3g")});
+            perf::Case kase;
+            kase.labels["accelerator"] = acc.name;
+            kase.values["nprocs"] = static_cast<double>(nprocs);
+            kase.values["device_seconds_per_step"] = dev;
+            kase.values["staged_seconds_per_step"] = staged;
+            rep.cases.push_back(std::move(kase));
+        }
+    }
     cli.finish(std::move(rep));
     return crossover_ok ? 0 : 1;
 }

@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
 """Perf-regression gate for bench_hotpath.
 
-Compares a freshly measured BENCH_hotpath.json against the committed baseline
-(bench/BENCH_hotpath_baseline.json) and fails when any kernel of any case got
-more than --threshold slower.
+Compares a freshly measured BENCH_hotpath.json against one or more committed
+baselines and fails when any gated kernel of any case got more than
+--threshold slower.  Two baselines are committed:
+
+  bench/BENCH_hotpath_baseline.json  — the dense batched engine (gate its
+                                       "batched_ms" metric group)
+  bench/BENCH_sumfact_baseline.json  — the sum-factorised engine (gate its
+                                       "sumfact_ms" metric group)
 
 Both files are RunReports (see bench/run_report_schema.json): the sweep lives
 in the top-level "cases" array as flat objects whose kernel timings use
-dotted keys ("batched_ms.to_quad", "per_element_ms.grad", ...).
+dotted keys ("batched_ms.to_quad", "sumfact_ms.grad", ...).  --baseline and
+--metric-group repeat in lockstep: the i-th baseline is gated on the i-th
+group (a single --metric-group applies to every baseline; the default is
+"batched_ms").
 
 CI machines are not the baseline machine, so raw milliseconds are not
 comparable across runs.  The gate therefore self-normalises: for every
 (order, elements, planes) case and kernel it forms
 
-    batched_ms_current / batched_ms_baseline
+    current_ms / baseline_ms
 
 and divides out the *median* of those ratios across the whole sweep.  A
 uniformly faster or slower host moves every ratio together and cancels in the
@@ -24,13 +32,15 @@ a failure.
 Single smoke runs are noisy at microsecond kernel sizes, so --current may be
 given several times: the gate takes the elementwise minimum over the runs
 (minima are far more stable than means under scheduler noise).  The committed
-baseline should be produced the same way.
+baselines should be produced the same way.
 
 Usage:
   compare_bench.py --baseline bench/BENCH_hotpath_baseline.json \
+                   --baseline bench/BENCH_sumfact_baseline.json \
+                   --metric-group batched_ms --metric-group sumfact_ms \
                    --current run1.json --current run2.json [--threshold 0.15]
   compare_bench.py --update --baseline ... --current ...   # re-baseline
-  compare_bench.py --self-test --baseline ...              # gate sanity check
+  compare_bench.py --self-test --baseline ... [--baseline ...]  # gate check
 
 Re-baselining (after an intentional perf change): run the Release
 bench_hotpath locally or grab the BENCH_hotpath.json artifact from a green
@@ -50,6 +60,8 @@ import statistics
 import sys
 
 KERNELS = ("to_quad", "weak_inner", "grad")
+# Every timing group a sweep may carry; elementwise_min folds all of them.
+ALL_GROUPS = ("per_element_ms", "batched_ms", "sumfact_ms")
 
 
 def case_key(case: dict) -> tuple:
@@ -67,14 +79,16 @@ def elementwise_min(runs: list[dict]) -> dict:
                              f"({sorted(set(cases) ^ run_keys)})")
         for c in run["cases"]:
             dst = cases[case_key(c)]
-            for group in ("per_element_ms", "batched_ms"):
+            for group in ALL_GROUPS:
                 for k in KERNELS:
                     key = f"{group}.{k}"
-                    dst[key] = min(dst[key], c[key])
+                    if key in dst and key in c:
+                        dst[key] = min(dst[key], c[key])
     return merged
 
 
-def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+def compare(baseline: dict, current: dict, threshold: float,
+            group: str = "batched_ms") -> list[str]:
     base_cases = {case_key(c): c for c in baseline["cases"]}
     cur_cases = {case_key(c): c for c in current["cases"]}
     failures = []
@@ -86,10 +100,17 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     entries = []  # (key, kernel, current/baseline ratio)
     for key in shared:
         for k in KERNELS:
-            base_ms = base_cases[key][f"batched_ms.{k}"]
+            metric = f"{group}.{k}"
+            if metric not in base_cases[key]:
+                raise SystemExit(f"baseline case {key} has no \"{metric}\" — wrong "
+                                 f"--metric-group for this baseline?")
+            base_ms = base_cases[key][metric]
             if base_ms <= 0.0:
-                raise SystemExit(f"corrupt baseline: batched_ms.{k} = {base_ms}")
-            entries.append((key, k, cur_cases[key][f"batched_ms.{k}"] / base_ms))
+                raise SystemExit(f"corrupt baseline: {metric} = {base_ms}")
+            if metric not in cur_cases[key]:
+                failures.append(f"case {key}: current run has no \"{metric}\"")
+                continue
+            entries.append((key, k, cur_cases[key][metric] / base_ms))
     if not entries:
         return failures
 
@@ -101,41 +122,71 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
         slowdown = r / scale - 1.0
         if slowdown > threshold:
             failures.append(
-                f"case (order={key[0]}, elems={key[1]}, planes={key[2]}) kernel {k}: "
-                f"{slowdown:+.0%} vs the run median (limit {threshold:+.0%}; "
-                f"raw ratio {r:.3f}, median {scale:.3f})")
+                f"case (order={key[0]}, elems={key[1]}, planes={key[2]}) kernel "
+                f"{group}.{k}: {slowdown:+.0%} vs the run median (limit "
+                f"{threshold:+.0%}; raw ratio {r:.3f}, median {scale:.3f})")
     return failures
 
 
-def self_test(baseline_path: str, threshold: float) -> int:
-    with open(baseline_path) as f:
-        baseline = json.load(f)
-    # Identical data must pass.
-    if compare(baseline, baseline, threshold):
-        print("self-test FAILED: baseline does not compare clean against itself")
-        return 1
-    # A 1.3x slowdown injected into one batched kernel must be caught.
-    perturbed = copy.deepcopy(baseline)
-    perturbed["cases"][0]["batched_ms.weak_inner"] *= 1.30
-    failures = compare(baseline, perturbed, threshold)
-    if not failures:
-        print("self-test FAILED: injected 30% slowdown was not flagged")
-        return 1
-    # A dropped case must be caught too.
-    truncated = copy.deepcopy(baseline)
-    truncated["cases"] = truncated["cases"][1:]
-    if not compare(baseline, truncated, threshold):
-        print("self-test FAILED: missing case was not flagged")
-        return 1
-    print(f"self-test OK: clean pass, injected regression and missing case both "
-          f"flagged at threshold {threshold:.0%}")
+def pair_groups(baselines: list[str], groups: list[str]) -> list[str]:
+    """The metric group gated for each baseline (see module docstring)."""
+    if not groups:
+        return ["batched_ms"] * len(baselines)
+    if len(groups) == 1:
+        return groups * len(baselines)
+    if len(groups) != len(baselines):
+        raise SystemExit(f"{len(baselines)} --baseline but {len(groups)} "
+                         "--metric-group: give one per baseline (or one total)")
+    return groups
+
+
+def self_test(baseline_paths: list[str], groups: list[str], threshold: float) -> int:
+    groups = pair_groups(baseline_paths, groups)
+    for path, group in zip(baseline_paths, groups):
+        with open(path) as f:
+            baseline = json.load(f)
+        label = f"{path} [{group}]"
+        # Identical data must pass.
+        if compare(baseline, baseline, threshold, group):
+            print(f"self-test FAILED: {label} does not compare clean against itself")
+            return 1
+        # A 1.3x slowdown injected into one gated kernel must be caught.
+        perturbed = copy.deepcopy(baseline)
+        perturbed["cases"][0][f"{group}.weak_inner"] *= 1.30
+        if not compare(baseline, perturbed, threshold, group):
+            print(f"self-test FAILED: injected 30% slowdown in {label} not flagged")
+            return 1
+        # A dropped case must be caught too.
+        truncated = copy.deepcopy(baseline)
+        truncated["cases"] = truncated["cases"][1:]
+        if not compare(baseline, truncated, threshold, group):
+            print(f"self-test FAILED: missing case in {label} was not flagged")
+            return 1
+        # A current run without the gated metric group must be caught (guards
+        # against a sweep that silently stops measuring one engine).
+        stripped = copy.deepcopy(baseline)
+        for c in stripped["cases"]:
+            for k in KERNELS:
+                c.pop(f"{group}.{k}", None)
+        if not compare(baseline, stripped, threshold, group):
+            print(f"self-test FAILED: missing metric group in {label} not flagged")
+            return 1
+        print(f"self-test: {label} — clean pass, injected regression, missing "
+              "case and missing metric group all flagged")
+    print(f"self-test OK over {len(baseline_paths)} baseline(s) at threshold "
+          f"{threshold:.0%}")
     return 0
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--baseline", action="append", required=True,
+                    help="committed baseline JSON (repeat to gate several)")
+    ap.add_argument("--metric-group", action="append", default=[],
+                    choices=["per_element_ms", "batched_ms", "sumfact_ms"],
+                    help="dotted-key prefix gated for the matching --baseline "
+                         "(default batched_ms)")
     ap.add_argument("--current", action="append",
                     help="freshly measured JSON (repeat for min-of-N)")
     ap.add_argument("--threshold", type=float, default=0.15,
@@ -147,7 +198,7 @@ def main() -> int:
     args = ap.parse_args()
 
     if args.self_test:
-        return self_test(args.baseline, args.threshold)
+        return self_test(args.baseline, args.metric_group, args.threshold)
     if not args.current:
         ap.error("--current is required unless --self-test")
     runs = []
@@ -157,26 +208,36 @@ def main() -> int:
     current = elementwise_min(runs)
 
     if args.update:
+        if len(args.baseline) != 1:
+            ap.error("--update takes exactly one --baseline")
         if len(runs) == 1:
-            shutil.copyfile(args.current[0], args.baseline)
+            shutil.copyfile(args.current[0], args.baseline[0])
         else:
-            with open(args.baseline, "w") as f:
+            with open(args.baseline[0], "w") as f:
                 json.dump(current, f, indent=2)
                 f.write("\n")
         print(f"baseline updated from {len(runs)} run(s)")
         return 0
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    failures = compare(baseline, current, args.threshold)
-    if failures:
-        print(f"perf regression gate FAILED ({len(failures)} finding(s)):")
-        for msg in failures:
-            print(f"  - {msg}")
+    groups = pair_groups(args.baseline, args.metric_group)
+    failed = 0
+    for path, group in zip(args.baseline, groups):
+        with open(path) as f:
+            baseline = json.load(f)
+        failures = compare(baseline, current, args.threshold, group)
+        if failures:
+            failed += 1
+            print(f"perf regression gate FAILED for {path} [{group}] "
+                  f"({len(failures)} finding(s)):")
+            for msg in failures:
+                print(f"  - {msg}")
+        else:
+            print(f"perf gate OK for {path} [{group}]: "
+                  f"{len(baseline['cases'])} baseline case(s) within "
+                  f"{args.threshold:.0%}")
+    if failed:
         print("\nIf the slowdown is intentional, re-baseline (see --help).")
         return 1
-    print(f"perf gate OK: {len(current['cases'])} case(s) within "
-          f"{args.threshold:.0%} of baseline")
     return 0
 
 

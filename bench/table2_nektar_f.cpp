@@ -126,10 +126,13 @@ int main(int argc, char** argv) {
 
     perf::RunReport rep = perf::report("table2_nektar_f");
     perf::StageBreakdown last_bd;
+    std::size_t last_field_bytes = 0, last_solver_bytes = 0;
     bool traced = false; // --trace records the first (smallest-P) run only
     for (int nprocs : cli.rank_sweep({2, 4, 8, 16, 32, 64})) {
         const bool trace_this = cli.trace && !traced;
         const RunData data = run_fourier(nprocs, /*overlap=*/false, trace_this);
+        last_field_bytes = data.field_bytes;
+        last_solver_bytes = data.solver_bytes;
         // Stop recording after the dedicated traced run so the Perfetto file
         // holds exactly one clean sweep (the comm-layer spans are gated only
         // by the global tracer, not per-run).
@@ -168,6 +171,32 @@ int main(int argc, char** argv) {
     }
     std::printf("\n(values are predicted 1999-machine seconds for the reduced workload;\n"
                 "compare trends across P and platforms with the paper's Table 2)\n");
+
+    // GPU-era projection: the same instrumented per-rank step, priced on
+    // accelerator-class rooflines (device HBM as memory, a priced PCIe-class
+    // host link).  The staged column is the 1999 lesson replayed: a solver
+    // that crosses the link every kernel loses to the link, not the device.
+    std::printf("\nGPU-era projection (per-rank seconds/step on accelerator rooflines;\n"
+                "device = fields resident in HBM, resident = +2 field crossings/step,\n"
+                "staged = +2 crossings per stage over the host link)\n\n");
+    {
+        const auto shapes = app_model::solver_shapes(last_field_bytes, last_solver_bytes);
+        benchutil::Table at({"accelerator", "device", "resident", "staged"}, 14);
+        at.print_header();
+        for (const auto& acc : machine::accelerator_roster()) {
+            const auto proj =
+                app_model::project_accelerated(last_bd, acc, shapes, last_field_bytes);
+            at.print_row({acc.name, benchutil::fmt(proj.device, "%.3g"),
+                          benchutil::fmt(proj.resident, "%.3g"),
+                          benchutil::fmt(proj.staged, "%.3g")});
+            perf::Case kase;
+            kase.labels["accelerator"] = acc.name;
+            kase.values["device_seconds_per_step"] = proj.device;
+            kase.values["resident_seconds_per_step"] = proj.resident;
+            kase.values["staged_seconds_per_step"] = proj.staged;
+            rep.cases.push_back(std::move(kase));
+        }
+    }
 
     // Overlap ablation: the pipelined transpose (isend/irecv slices of the
     // alltoall overlapped against the z-line FFT work) against the blocking

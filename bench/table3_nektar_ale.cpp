@@ -122,6 +122,7 @@ int main(int argc, char** argv) {
 
     perf::RunReport rep = perf::report("table3_nektar_ale");
     perf::StageBreakdown last_bd;
+    std::size_t last_field_bytes = 0, last_solver_bytes = 0;
     bool traced = false; // --trace records the first (smallest-P) run only
     for (int nprocs : cli.rank_sweep({4, 8, 16, 32})) {
         const auto part = partition::partition_graph(g, nprocs);
@@ -132,6 +133,8 @@ int main(int argc, char** argv) {
         if (trace_this) obs::tracer().disable();
         traced = true;
         last_bd = run.bds[0];
+        last_field_bytes = run.field_bytes;
+        last_solver_bytes = run.solver_bytes;
         const auto shapes = app_model::solver_shapes(run.field_bytes, run.solver_bytes);
         std::vector<std::string> row = {std::to_string(nprocs)};
         for (const auto& pl : selected) {
@@ -165,6 +168,30 @@ int main(int argc, char** argv) {
     }
     std::printf("\n(reduced mesh; compare the scaling trend and platform ordering with\n"
                 "the paper's Table 3, where timings drop with P at fixed dof count)\n");
+
+    // GPU-era projection of the last sweep's rank-0 step (see table2 for the
+    // column semantics); the ALE step's PCG-heavy stages are latency-bound,
+    // exactly where the device roofline gains the least.
+    std::printf("\nGPU-era projection (rank-0 seconds/step on accelerator rooflines;\n"
+                "device / +2 field crossings per step / +2 crossings per stage)\n\n");
+    {
+        const auto shapes = app_model::solver_shapes(last_field_bytes, last_solver_bytes);
+        benchutil::Table at({"accelerator", "device", "resident", "staged"}, 14);
+        at.print_header();
+        for (const auto& acc : machine::accelerator_roster()) {
+            const auto proj =
+                app_model::project_accelerated(last_bd, acc, shapes, last_field_bytes);
+            at.print_row({acc.name, benchutil::fmt(proj.device, "%.3g"),
+                          benchutil::fmt(proj.resident, "%.3g"),
+                          benchutil::fmt(proj.staged, "%.3g")});
+            perf::Case kase;
+            kase.labels["accelerator"] = acc.name;
+            kase.values["device_seconds_per_step"] = proj.device;
+            kase.values["resident_seconds_per_step"] = proj.resident;
+            kase.values["staged_seconds_per_step"] = proj.staged;
+            rep.cases.push_back(std::move(kase));
+        }
+    }
 
     // Overlap ablation: the gather-scatter pairwise stage over posted
     // irecvs (per-neighbour packing overlapped with transfers in flight)

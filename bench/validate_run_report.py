@@ -7,8 +7,16 @@ type lists), required, properties, additionalProperties (false or a schema),
 items, const, minimum, minLength.  Fail loudly on any schema keyword outside
 that subset rather than silently skipping it.
 
+Unknown keys (a key the schema's additionalProperties: false would reject)
+are *warnings* by default and failures only under --strict: reports are an
+additive contract, so a newer binary emitting an extra field must not break
+an older checkout's gate, while CI — whose schema and binaries move together
+— runs --strict and catches schema drift immediately.  Wrong types, missing
+required keys and constraint violations are always failures.
+
 Usage:
   validate_run_report.py --schema bench/run_report_schema.json report.json ...
+  validate_run_report.py --schema bench/run_report_schema.json --strict ...
   validate_run_report.py --schema bench/run_report_schema.json --self-test
 """
 
@@ -38,7 +46,12 @@ def check_type(value, expected: str) -> bool:
     return isinstance(value, TYPES[expected])
 
 
-def validate(value, schema: dict, path: str, errors: list[str]) -> None:
+def validate(value, schema: dict, path: str, errors: list[str],
+             warnings: list[str] | None = None) -> None:
+    """Appends constraint violations to `errors` and unknown keys to
+    `warnings` (pass warnings=errors to make unknown keys fatal)."""
+    if warnings is None:
+        warnings = errors
     unknown = set(schema) - HANDLED
     if unknown:
         raise SystemExit(f"schema uses unsupported keywords at {path or '$'}: "
@@ -68,31 +81,34 @@ def validate(value, schema: dict, path: str, errors: list[str]) -> None:
         extra = schema.get("additionalProperties")
         for key, sub in value.items():
             if key in props:
-                validate(sub, props[key], f"{path}.{key}", errors)
+                validate(sub, props[key], f"{path}.{key}", errors, warnings)
             elif extra is False:
-                errors.append(f"{path or '$'}: unexpected key \"{key}\"")
+                warnings.append(f"{path or '$'}: unknown key \"{key}\"")
             elif isinstance(extra, dict):
-                validate(sub, extra, f"{path}.{key}", errors)
+                validate(sub, extra, f"{path}.{key}", errors, warnings)
 
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
-            validate(item, schema["items"], f"{path}[{i}]", errors)
+            validate(item, schema["items"], f"{path}[{i}]", errors, warnings)
 
 
-def validate_file(path: str, schema: dict) -> list[str]:
+def validate_file(path: str, schema: dict) -> tuple[list[str], list[str]]:
     with open(path) as f:
         try:
             doc = json.load(f)
         except json.JSONDecodeError as e:
-            return [f"not valid JSON: {e}"]
+            return [f"not valid JSON: {e}"], []
     errors: list[str] = []
-    validate(doc, schema, "", errors)
-    return errors
+    warnings: list[str] = []
+    validate(doc, schema, "", errors, warnings)
+    return errors, warnings
 
 
 GOOD = {
     "schema_version": 1,
     "bench": "self_test",
+    "backend": "dense+sumfact",
+    "crossover_order": 8,
     "meta": {"threads": "1", "smoke": "1", "trace": "0"},
     "steps": 2,
     "stages": [{"stage": 1, "name": "transform", "group": "a", "flops": 10.0,
@@ -107,29 +123,48 @@ GOOD = {
 
 def self_test(schema: dict) -> int:
     errors: list[str] = []
-    validate(GOOD, schema, "", errors)
-    if errors:
+    warnings: list[str] = []
+    validate(GOOD, schema, "", errors, warnings)
+    if errors or warnings:
         print("self-test FAILED: known-good report rejected:")
-        for e in errors:
+        for e in errors + warnings:
             print(f"  - {e}")
         return 1
     broken = [
         ("missing bench", lambda d: d.pop("bench")),
         ("wrong schema_version", lambda d: d.update(schema_version=99)),
+        ("non-string backend", lambda d: d.update(backend=2)),
+        ("negative crossover_order", lambda d: d.update(crossover_order=-1)),
         ("non-string meta value", lambda d: d["meta"].update(threads=1)),
         ("negative stage seconds", lambda d: d["stages"][0].update(host_seconds=-1.0)),
-        ("stray stage key", lambda d: d["stages"][0].update(extra=1)),
         ("non-scalar case value", lambda d: d["cases"][0].update(bad=[1, 2])),
     ]
     for label, mutate in broken:
         doc = copy.deepcopy(GOOD)
         mutate(doc)
         errs: list[str] = []
-        validate(doc, schema, "", errs)
+        warns: list[str] = []
+        validate(doc, schema, "", errs, warns)
         if not errs:
             print(f"self-test FAILED: mutation \"{label}\" was not flagged")
             return 1
-    print(f"self-test OK: good report accepted, {len(broken)} mutations all flagged")
+    # Unknown keys: warning by default, error only when the caller folds
+    # warnings into errors (--strict).
+    extra = copy.deepcopy(GOOD)
+    extra["future_field"] = "hello"
+    errs, warns = [], []
+    validate(extra, schema, "", errs, warns)
+    if errs or not warns:
+        print("self-test FAILED: unknown top-level key should warn, not error "
+              f"(errors={errs}, warnings={warns})")
+        return 1
+    errs = []
+    validate(extra, schema, "", errs, errs)  # --strict folds the lists
+    if not errs:
+        print("self-test FAILED: unknown key not fatal under strict mode")
+        return 1
+    print(f"self-test OK: good report accepted, {len(broken)} mutations all "
+          "flagged, unknown key warns by default and fails under --strict")
     return 0
 
 
@@ -137,6 +172,8 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--schema", required=True, help="path to run_report_schema.json")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat unknown keys as failures (CI default)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the validator flags known-bad reports")
     ap.add_argument("reports", nargs="*", help="RunReport JSON files to validate")
@@ -152,14 +189,18 @@ def main() -> int:
 
     failed = 0
     for path in args.reports:
-        errors = validate_file(path, schema)
+        errors, warnings = validate_file(path, schema)
+        if args.strict:
+            errors, warnings = errors + warnings, []
         if errors:
             failed += 1
             print(f"{path}: INVALID ({len(errors)} error(s))")
             for e in errors:
                 print(f"  - {e}")
         else:
-            print(f"{path}: OK")
+            print(f"{path}: OK" + (f" ({len(warnings)} warning(s))" if warnings else ""))
+        for w in warnings:
+            print(f"  warning: {w}")
     return 1 if failed else 0
 
 

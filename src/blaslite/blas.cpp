@@ -364,6 +364,41 @@ void dgemm_batch_same_a(double alpha, const double* a, std::size_t lda, std::siz
     }
 }
 
+void dgemm_batch_same_b(double alpha, std::span<const GemmBatchItem> items, std::size_t lda,
+                        const double* b, std::size_t ldb, std::size_t ldc, std::size_t m,
+                        std::size_t n, std::size_t k, double beta) noexcept {
+    if (items.empty() || n == 0) return;
+    // Same charging contract as dgemm_batch_same_a: the op stream matches the
+    // equivalent loop of dgemm_cm calls.
+    for (std::size_t i = 0; i < items.size(); ++i)
+        detail::charge(2 * m * n * k + m * n, (m * k + k * n + m * n) * kDouble,
+                       m * n * kDouble);
+    if (m == 0) return;
+    // Row-major transposed views: C'_i(n x m) = B'(n x k, ld = ldb) A'_i(k x m,
+    // ld = lda).  The shared B' is the unpacked left factor of every product;
+    // each item's A'_i packs into kNR-wide panels exactly as a standalone
+    // dgemm call would.
+    if (k == 0 || m < kNR) {
+        for (const GemmBatchItem& it : items)
+            dgemm_small(alpha, b, ldb, it.b, lda, beta, it.c, ldc, n, m, k);
+        return;
+    }
+    const std::size_t npanels = (m + kNR - 1) / kNR;
+    const auto run_item = [&](const GemmBatchItem& it) {
+        parallel::Scratch ap(npanels * kNR * k);
+        pack_b_panels(it.b, lda, k, m, ap.data());
+        kernel_rows(alpha, b, ldb, ap.data(), beta, it.c, ldc, n, m, k);
+    };
+    const std::size_t total_flops = 2 * m * n * k * items.size();
+    if (items.size() > 1 && parallel::num_threads() > 1 && total_flops >= kParallelFlops) {
+        parallel::pool().parallel_for(items.size(), [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) run_item(items[i]);
+        });
+    } else {
+        for (const GemmBatchItem& it : items) run_item(it);
+    }
+}
+
 void dgemm_square(double alpha, const double* a, const double* b, double beta, double* c,
                   std::size_t n) noexcept {
     dgemm(alpha, a, n, b, n, beta, c, n, n, n, n);

@@ -70,8 +70,9 @@ void dgemm_cm(double alpha, const double* a, std::size_t lda, const double* b,
               std::size_t ldb, double beta, double* c, std::size_t ldc, std::size_t m,
               std::size_t n, std::size_t k) noexcept;
 
-/// One batch item of dgemm_batch_same_a: a right-hand-side panel and its
-/// output panel (both column-major).
+/// One batch item of the batched GEMMs: a per-item input panel and its
+/// output panel (both column-major).  `b` is the right operand for
+/// dgemm_batch_same_a and the left operand for dgemm_batch_same_b.
 struct GemmBatchItem {
     const double* b = nullptr;
     double* c = nullptr;
@@ -89,6 +90,21 @@ struct GemmBatchItem {
 void dgemm_batch_same_a(double alpha, const double* a, std::size_t lda, std::size_t m,
                         std::size_t k, std::span<const GemmBatchItem> items, std::size_t n,
                         std::size_t ldb, std::size_t ldc, double beta) noexcept;
+
+/// Batched column-major GEMM sharing the RIGHT operand:
+///   C_i <- alpha * A_i * B + beta * C_i     for every item i,
+/// with every A_i m-by-k (item.b, lda), B k-by-n (ldb >= k) and C_i m-by-n
+/// (item.c, ldc).  This is the second contraction stage of sum-factorised
+/// operator evaluation: each element's intermediate panel multiplies the
+/// shared transposed 1-D basis from the right.  The shared operand needs no
+/// packing (it is the row-major left factor of every item's transposed-view
+/// product); items split across the thread pool, each packing its own panel
+/// into thread-local scratch (bitwise deterministic — items are
+/// independent).  Counters are charged exactly as the equivalent sequence of
+/// dgemm_cm calls.
+void dgemm_batch_same_b(double alpha, std::span<const GemmBatchItem> items, std::size_t lda,
+                        const double* b, std::size_t ldb, std::size_t ldc, std::size_t m,
+                        std::size_t n, std::size_t k, double beta) noexcept;
 
 /// Infinity norm of x - y; handy for tests.
 [[nodiscard]] double max_abs_diff(std::span<const double> x, std::span<const double> y) noexcept;

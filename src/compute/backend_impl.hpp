@@ -1,0 +1,103 @@
+#pragma once
+
+#include <vector>
+
+#include "compute/backend.hpp"
+#include "la/dense.hpp"
+
+/// \file backend_impl.hpp
+/// The two concrete compute backends.  Most callers only need the Backend
+/// interface (backend.hpp) through nektar::Discretization; this header
+/// exists for make_backend() and for tests that pin implementation
+/// properties (operation counts, plan coverage).
+namespace nektar {
+struct ElemGroup;
+}
+
+namespace compute {
+
+/// The reference engine: batched dense elemental operators.  A flat field
+/// restricted to a group of same-size element blocks is a column-major
+/// panel, and the whole-group transform is one dgemm against the shared
+/// basis matrix (O(P^4) work per quad element at order P).
+class DenseBackend : public Backend {
+public:
+    explicit DenseBackend(const nektar::Discretization& disc);
+
+    [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::Dense; }
+
+    void to_quad_planes(std::span<const double> modal, std::span<double> quad,
+                        std::size_t nplanes) const override;
+    void weak_inner_planes(std::span<const double> quad, std::span<double> rhs,
+                           std::size_t nplanes) const override;
+    void grad_from_modal_planes(std::span<const double> modal, std::span<double> dudx,
+                                std::span<double> dudy, std::size_t nplanes) const override;
+
+protected:
+    // Per-group stages, reused by SumFactorBackend for groups without a
+    // tensor factorisation (triangles).
+    void group_to_quad(const nektar::ElemGroup& g, std::span<const double> modal,
+                       std::span<double> quad, std::size_t nplanes) const;
+    void group_weak_inner(const nektar::ElemGroup& g, std::span<const double> quad,
+                          std::span<double> rhs, std::size_t nplanes) const;
+    void group_grad_from_modal(const nektar::ElemGroup& g, std::span<const double> modal,
+                               std::span<double> dudx, std::span<double> dudy,
+                               std::size_t nplanes) const;
+};
+
+/// Sum-factorised engine: on tensor-product (quad) groups the 2-D operator
+/// B2 (x) B1 is applied as two staged 1-D contractions,
+///
+///     T_e = B1 * U_e           (one dgemm over all elements' columns)
+///     Q_e = T_e * B2^T         (dgemm_batch_same_b, shared right operand)
+///
+/// after permuting each element's boundary-first coefficients into a
+/// lexicographic nm1d x nm1d tensor — O(P^3) work per element instead of the
+/// dense path's O(P^4).  Groups without a TensorBasis fall back to the dense
+/// per-group path (mixed meshes stay correct on either backend).
+class SumFactorBackend final : public DenseBackend {
+public:
+    explicit SumFactorBackend(const nektar::Discretization& disc);
+
+    [[nodiscard]] BackendKind kind() const noexcept override { return BackendKind::SumFactor; }
+
+    void to_quad_planes(std::span<const double> modal, std::span<double> quad,
+                        std::size_t nplanes) const override;
+    void weak_inner_planes(std::span<const double> quad, std::span<double> rhs,
+                           std::size_t nplanes) const override;
+    void grad_from_modal_planes(std::span<const double> modal, std::span<double> dudx,
+                                std::span<double> dudy, std::size_t nplanes) const override;
+
+    /// Number of element groups running the sum-factorised path (the rest
+    /// fall back to dense); exposed for tests.
+    [[nodiscard]] std::size_t num_factorised_groups() const noexcept;
+
+private:
+    /// Per-group contraction plan (nq1d == 0 marks a dense-fallback group).
+    struct Plan {
+        std::size_t nq1d = 0, nm1d = 0;
+        /// Column-major 1-D operators: value/derivative tables as
+        /// nq1d-by-nm1d column-major buffers (DenseMatrix::transposed() of
+        /// the row-major TensorBasis tables).
+        la::DenseMatrix b1_cm, d1_cm;
+        /// Row-major copies (= the transposed operators viewed column-major:
+        /// B1^T as an nm1d-by-nq1d column-major buffer).
+        la::DenseMatrix b1_rm, d1_rm;
+        /// perm[m] = q*nm1d + p: boundary-first mode m -> lexicographic
+        /// column-major index of the coefficient tensor.
+        std::vector<std::size_t> perm;
+    };
+    std::vector<Plan> plans_; ///< parallel to disc_->groups()
+
+    void group_to_quad_sf(const nektar::ElemGroup& g, const Plan& pl,
+                          std::span<const double> modal, std::span<double> quad,
+                          std::size_t nplanes) const;
+    void group_weak_inner_sf(const nektar::ElemGroup& g, const Plan& pl,
+                             std::span<const double> quad, std::span<double> rhs,
+                             std::size_t nplanes) const;
+    void group_grad_sf(const nektar::ElemGroup& g, const Plan& pl,
+                       std::span<const double> modal, std::span<double> dudx,
+                       std::span<double> dudy, std::size_t nplanes) const;
+};
+
+} // namespace compute

@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <vector>
+
+#include "blaslite/blas.hpp"
+#include "compute/backend_impl.hpp"
+#include "nektar/discretization.hpp"
+#include "parallel/scratch.hpp"
+
+namespace compute {
+
+namespace {
+
+/// Gathers per-element modal blocks of one plane into a packed column-major
+/// panel (one element per column).
+void pack_cols(std::span<const double> field, const std::vector<std::size_t>& off,
+               const std::vector<std::size_t>& elems, std::size_t plane_off,
+               std::size_t width, double* dst) {
+    for (std::size_t j = 0; j < elems.size(); ++j) {
+        const double* src = field.data() + plane_off + off[elems[j]];
+        std::copy(src, src + width, dst + j * width);
+    }
+}
+
+/// Scatters a packed column-major panel back into per-element blocks.
+void unpack_cols(const double* src, const std::vector<std::size_t>& off,
+                 const std::vector<std::size_t>& elems, std::size_t plane_off,
+                 std::size_t width, std::span<double> field) {
+    for (std::size_t j = 0; j < elems.size(); ++j) {
+        double* dst = field.data() + plane_off + off[elems[j]];
+        std::copy(src + j * width, src + (j + 1) * width, dst);
+    }
+}
+
+} // namespace
+
+DenseBackend::DenseBackend(const nektar::Discretization& disc) : Backend(disc) {}
+
+void DenseBackend::to_quad_planes(std::span<const double> modal, std::span<double> quad,
+                                  std::size_t nplanes) const {
+    for (const nektar::ElemGroup& g : disc_->groups())
+        group_to_quad(g, modal, quad, nplanes);
+}
+
+void DenseBackend::group_to_quad(const nektar::ElemGroup& g, std::span<const double> modal,
+                                 std::span<double> quad, std::size_t nplanes) const {
+    const nektar::Discretization& d = *disc_;
+    const std::size_t nm = g.exp->num_modes();
+    const std::size_t nq = g.exp->num_quad();
+    const std::size_t cnt = g.elems.size();
+    if (d.single_group()) {
+        // Whole mesh, planes back to back: one dgemm over every column.
+        blaslite::dgemm_cm(1.0, g.basis_cm.data(), nq, modal.data(), nm, 0.0, quad.data(),
+                           nq, nq, cnt * nplanes, nm);
+    } else if (g.contiguous) {
+        std::vector<blaslite::GemmBatchItem> items(nplanes);
+        for (std::size_t p = 0; p < nplanes; ++p)
+            items[p] = {modal.data() + p * d.modal_size() + g.modal_begin,
+                        quad.data() + p * d.quad_size() + g.quad_begin};
+        blaslite::dgemm_batch_same_a(1.0, g.basis_cm.data(), nq, nq, nm, items, cnt, nm, nq,
+                                     0.0);
+    } else {
+        parallel::Scratch mp(nm * cnt * nplanes), qp(nq * cnt * nplanes);
+        for (std::size_t p = 0; p < nplanes; ++p)
+            pack_cols(modal, d.modal_offsets(), g.elems, p * d.modal_size(), nm,
+                      mp.data() + p * nm * cnt);
+        blaslite::dgemm_cm(1.0, g.basis_cm.data(), nq, mp.data(), nm, 0.0, qp.data(), nq, nq,
+                           cnt * nplanes, nm);
+        for (std::size_t p = 0; p < nplanes; ++p)
+            unpack_cols(qp.data() + p * nq * cnt, d.quad_offsets(), g.elems,
+                        p * d.quad_size(), nq, quad);
+    }
+}
+
+void DenseBackend::weak_inner_planes(std::span<const double> quad, std::span<double> rhs,
+                                     std::size_t nplanes) const {
+    for (const nektar::ElemGroup& g : disc_->groups())
+        group_weak_inner(g, quad, rhs, nplanes);
+}
+
+void DenseBackend::group_weak_inner(const nektar::ElemGroup& g, std::span<const double> quad,
+                                    std::span<double> rhs, std::size_t nplanes) const {
+    const nektar::Discretization& d = *disc_;
+    const std::size_t nm = g.exp->num_modes();
+    const std::size_t nq = g.exp->num_quad();
+    const std::size_t cnt = g.elems.size();
+    // The column-major transpose of the shared basis is its row-major
+    // buffer itself: B^T (nm x nq column-major, lda = nm).
+    const double* bt_cm = g.exp->basis().data();
+    // Quadrature weights fold into the input panel while packing.
+    parallel::Scratch wq(nq * cnt * nplanes);
+    for (std::size_t p = 0; p < nplanes; ++p) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+            const std::size_t e = g.elems[j];
+            const double* src = quad.data() + p * d.quad_size() + d.quad_offsets()[e];
+            const std::vector<double>& wj = d.ops(e).geometry().wj;
+            double* dst = wq.data() + (p * cnt + j) * nq;
+            for (std::size_t q = 0; q < nq; ++q) dst[q] = wj[q] * src[q];
+        }
+    }
+    if (d.single_group()) {
+        blaslite::dgemm_cm(1.0, bt_cm, nm, wq.data(), nq, 1.0, rhs.data(), nm, nm,
+                           cnt * nplanes, nq);
+    } else if (g.contiguous) {
+        std::vector<blaslite::GemmBatchItem> items(nplanes);
+        for (std::size_t p = 0; p < nplanes; ++p)
+            items[p] = {wq.data() + p * nq * cnt,
+                        rhs.data() + p * d.modal_size() + g.modal_begin};
+        blaslite::dgemm_batch_same_a(1.0, bt_cm, nm, nm, nq, items, cnt, nq, nm, 1.0);
+    } else {
+        parallel::Scratch rp(nm * cnt * nplanes);
+        blaslite::dgemm_cm(1.0, bt_cm, nm, wq.data(), nq, 0.0, rp.data(), nm, nm,
+                           cnt * nplanes, nq);
+        for (std::size_t p = 0; p < nplanes; ++p) {
+            for (std::size_t j = 0; j < cnt; ++j) {
+                double* dst =
+                    rhs.data() + p * d.modal_size() + d.modal_offsets()[g.elems[j]];
+                const double* src = rp.data() + (p * cnt + j) * nm;
+                for (std::size_t i = 0; i < nm; ++i) dst[i] += src[i];
+            }
+        }
+    }
+}
+
+void DenseBackend::grad_from_modal_planes(std::span<const double> modal,
+                                          std::span<double> dudx, std::span<double> dudy,
+                                          std::size_t nplanes) const {
+    for (const nektar::ElemGroup& g : disc_->groups())
+        group_grad_from_modal(g, modal, dudx, dudy, nplanes);
+}
+
+void DenseBackend::group_grad_from_modal(const nektar::ElemGroup& g,
+                                         std::span<const double> modal,
+                                         std::span<double> dudx, std::span<double> dudy,
+                                         std::size_t nplanes) const {
+    const nektar::Discretization& d = *disc_;
+    const std::size_t nm = g.exp->num_modes();
+    const std::size_t nq = g.exp->num_quad();
+    const std::size_t cnt = g.elems.size();
+    parallel::Scratch d1(nq * cnt * nplanes), d2(nq * cnt * nplanes);
+    const auto apply = [&](const la::DenseMatrix& op_cm, double* out) {
+        if (g.contiguous) {
+            std::vector<blaslite::GemmBatchItem> items(nplanes);
+            for (std::size_t p = 0; p < nplanes; ++p)
+                items[p] = {modal.data() + p * d.modal_size() + g.modal_begin,
+                            out + p * nq * cnt};
+            blaslite::dgemm_batch_same_a(1.0, op_cm.data(), nq, nq, nm, items, cnt, nm, nq,
+                                         0.0);
+        } else {
+            parallel::Scratch mp(nm * cnt * nplanes);
+            for (std::size_t p = 0; p < nplanes; ++p)
+                pack_cols(modal, d.modal_offsets(), g.elems, p * d.modal_size(), nm,
+                          mp.data() + p * nm * cnt);
+            blaslite::dgemm_cm(1.0, op_cm.data(), nq, mp.data(), nm, 0.0, out, nq, nq,
+                               cnt * nplanes, nm);
+        }
+    };
+    apply(g.d1_cm, d1.data());
+    apply(g.d2_cm, d2.data());
+    // Chain rule with per-element geometry factors while scattering back.
+    for (std::size_t p = 0; p < nplanes; ++p) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+            const std::size_t e = g.elems[j];
+            const nektar::ElemGeometry& geo = d.ops(e).geometry();
+            const double* c1 = d1.data() + (p * cnt + j) * nq;
+            const double* c2 = d2.data() + (p * cnt + j) * nq;
+            double* dx = dudx.data() + p * d.quad_size() + d.quad_offsets()[e];
+            double* dy = dudy.data() + p * d.quad_size() + d.quad_offsets()[e];
+            for (std::size_t q = 0; q < nq; ++q) {
+                dx[q] = geo.rx[q] * c1[q] + geo.sx[q] * c2[q];
+                dy[q] = geo.ry[q] * c1[q] + geo.sy[q] * c2[q];
+            }
+        }
+    }
+}
+
+} // namespace compute

@@ -1,0 +1,212 @@
+#include <vector>
+
+#include "blaslite/blas.hpp"
+#include "compute/backend_impl.hpp"
+#include "nektar/discretization.hpp"
+#include "parallel/scratch.hpp"
+#include "spectral/expansion.hpp"
+
+/// \file sumfact_backend.cpp
+/// Sum-factorised evaluation of the tensor-product elemental operators.
+///
+/// A quad mode is phi_p(xi1) * phi_q(xi2), so with the boundary-first
+/// coefficients permuted into a lexicographic nm1d x nm1d tensor U the 2-D
+/// transforms factor into staged 1-D contractions:
+///
+///     to_quad     Q  = B1 U B1^T
+///     weak_inner  R  = B1^T diag(wj) F B1     (accumulated through the perm)
+///     grad        E1 = D1 U B1^T,  E2 = B1 U D1^T,  then the chain rule
+///
+/// Stage one runs as a single dgemm over every element's columns side by
+/// side; stage two is a dgemm_batch_same_b whose per-item outputs land
+/// straight in the per-element field blocks, so no unpack pass is needed
+/// even for non-contiguous groups.  Cost per element drops from the dense
+/// engine's 2*nq*nm (O(P^4)) to 2*n1*m1*(m1+n1) + 2*n1^2*m1 (O(P^3)).
+namespace compute {
+
+SumFactorBackend::SumFactorBackend(const nektar::Discretization& disc) : DenseBackend(disc) {
+    const auto& groups = disc.groups();
+    plans_.resize(groups.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const spectral::TensorBasis* tb = groups[gi].exp->tensor_basis();
+        if (tb == nullptr) continue; // dense fallback (triangles)
+        Plan& pl = plans_[gi];
+        pl.nq1d = tb->nq1d;
+        pl.nm1d = tb->nm1d;
+        pl.b1_cm = tb->b1.transposed();
+        pl.d1_cm = tb->d1.transposed();
+        pl.b1_rm = tb->b1;
+        pl.d1_rm = tb->d1;
+        pl.perm.resize(tb->pq.size());
+        for (std::size_t m = 0; m < tb->pq.size(); ++m)
+            pl.perm[m] = tb->pq[m][1] * pl.nm1d + tb->pq[m][0];
+    }
+}
+
+std::size_t SumFactorBackend::num_factorised_groups() const noexcept {
+    std::size_t n = 0;
+    for (const Plan& pl : plans_)
+        if (pl.nq1d != 0) ++n;
+    return n;
+}
+
+void SumFactorBackend::to_quad_planes(std::span<const double> modal, std::span<double> quad,
+                                      std::size_t nplanes) const {
+    const auto& groups = disc_->groups();
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        if (plans_[gi].nq1d != 0)
+            group_to_quad_sf(groups[gi], plans_[gi], modal, quad, nplanes);
+        else
+            group_to_quad(groups[gi], modal, quad, nplanes);
+    }
+}
+
+void SumFactorBackend::weak_inner_planes(std::span<const double> quad, std::span<double> rhs,
+                                         std::size_t nplanes) const {
+    const auto& groups = disc_->groups();
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        if (plans_[gi].nq1d != 0)
+            group_weak_inner_sf(groups[gi], plans_[gi], quad, rhs, nplanes);
+        else
+            group_weak_inner(groups[gi], quad, rhs, nplanes);
+    }
+}
+
+void SumFactorBackend::grad_from_modal_planes(std::span<const double> modal,
+                                              std::span<double> dudx, std::span<double> dudy,
+                                              std::size_t nplanes) const {
+    const auto& groups = disc_->groups();
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        if (plans_[gi].nq1d != 0)
+            group_grad_sf(groups[gi], plans_[gi], modal, dudx, dudy, nplanes);
+        else
+            group_grad_from_modal(groups[gi], modal, dudx, dudy, nplanes);
+    }
+}
+
+namespace {
+
+/// Gathers per-element modal blocks into lexicographic coefficient tensors
+/// (column-major nm1d x nm1d, one tensor per element and plane).
+void gather_tensors(std::span<const double> modal, const nektar::Discretization& d,
+                    const nektar::ElemGroup& g, const std::vector<std::size_t>& perm,
+                    std::size_t nplanes, double* up) {
+    const std::size_t nm = perm.size();
+    const std::size_t cnt = g.elems.size();
+    for (std::size_t p = 0; p < nplanes; ++p) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+            const double* src =
+                modal.data() + p * d.modal_size() + d.modal_offsets()[g.elems[j]];
+            double* dst = up + (p * cnt + j) * nm;
+            for (std::size_t m = 0; m < nm; ++m) dst[perm[m]] = src[m];
+        }
+    }
+}
+
+} // namespace
+
+void SumFactorBackend::group_to_quad_sf(const nektar::ElemGroup& g, const Plan& pl,
+                                        std::span<const double> modal, std::span<double> quad,
+                                        std::size_t nplanes) const {
+    const nektar::Discretization& d = *disc_;
+    const std::size_t n1 = pl.nq1d, m1 = pl.nm1d;
+    const std::size_t nm = m1 * m1;
+    const std::size_t cnt = g.elems.size();
+    const std::size_t nitems = cnt * nplanes;
+    parallel::Scratch up(nm * nitems), tp(n1 * m1 * nitems);
+    gather_tensors(modal, d, g, pl.perm, nplanes, up.data());
+    // Stage one: T = B1 * U over every tensor's columns at once.
+    blaslite::dgemm_cm(1.0, pl.b1_cm.data(), n1, up.data(), m1, 0.0, tp.data(), n1, n1,
+                       m1 * nitems, m1);
+    // Stage two: Q_e = T_e * B1^T, landing in the per-element quad blocks.
+    std::vector<blaslite::GemmBatchItem> items(nitems);
+    for (std::size_t p = 0; p < nplanes; ++p)
+        for (std::size_t j = 0; j < cnt; ++j)
+            items[p * cnt + j] = {tp.data() + (p * cnt + j) * n1 * m1,
+                                  quad.data() + p * d.quad_size() +
+                                      d.quad_offsets()[g.elems[j]]};
+    blaslite::dgemm_batch_same_b(1.0, items, n1, pl.b1_rm.data(), m1, n1, n1, n1, m1, 0.0);
+}
+
+void SumFactorBackend::group_weak_inner_sf(const nektar::ElemGroup& g, const Plan& pl,
+                                           std::span<const double> quad, std::span<double> rhs,
+                                           std::size_t nplanes) const {
+    const nektar::Discretization& d = *disc_;
+    const std::size_t n1 = pl.nq1d, m1 = pl.nm1d;
+    const std::size_t nm = m1 * m1, nq = n1 * n1;
+    const std::size_t cnt = g.elems.size();
+    const std::size_t nitems = cnt * nplanes;
+    parallel::Scratch wp(nq * nitems), tp(m1 * n1 * nitems), rp(nm * nitems);
+    // Quadrature weights fold into the input panel while packing.
+    for (std::size_t p = 0; p < nplanes; ++p) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+            const std::size_t e = g.elems[j];
+            const double* src = quad.data() + p * d.quad_size() + d.quad_offsets()[e];
+            const std::vector<double>& wj = d.ops(e).geometry().wj;
+            double* dst = wp.data() + (p * cnt + j) * nq;
+            for (std::size_t q = 0; q < nq; ++q) dst[q] = wj[q] * src[q];
+        }
+    }
+    // Stage one: T = B1^T * W over every element's columns at once.
+    blaslite::dgemm_cm(1.0, pl.b1_rm.data(), m1, wp.data(), n1, 0.0, tp.data(), m1, m1,
+                       n1 * nitems, n1);
+    // Stage two: R_e = T_e * B1 into per-element result tensors.
+    std::vector<blaslite::GemmBatchItem> items(nitems);
+    for (std::size_t i = 0; i < nitems; ++i)
+        items[i] = {tp.data() + i * m1 * n1, rp.data() + i * nm};
+    blaslite::dgemm_batch_same_b(1.0, items, m1, pl.b1_cm.data(), n1, m1, m1, m1, n1, 0.0);
+    // Accumulate back through the boundary-first permutation.
+    for (std::size_t p = 0; p < nplanes; ++p) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+            double* dst = rhs.data() + p * d.modal_size() + d.modal_offsets()[g.elems[j]];
+            const double* src = rp.data() + (p * cnt + j) * nm;
+            for (std::size_t m = 0; m < nm; ++m) dst[m] += src[pl.perm[m]];
+        }
+    }
+}
+
+void SumFactorBackend::group_grad_sf(const nektar::ElemGroup& g, const Plan& pl,
+                                     std::span<const double> modal, std::span<double> dudx,
+                                     std::span<double> dudy, std::size_t nplanes) const {
+    const nektar::Discretization& d = *disc_;
+    const std::size_t n1 = pl.nq1d, m1 = pl.nm1d;
+    const std::size_t nm = m1 * m1, nq = n1 * n1;
+    const std::size_t cnt = g.elems.size();
+    const std::size_t nitems = cnt * nplanes;
+    parallel::Scratch up(nm * nitems), t1(n1 * m1 * nitems), t2(n1 * m1 * nitems);
+    gather_tensors(modal, d, g, pl.perm, nplanes, up.data());
+    // Stage one, sharing the gathered tensors: T1 = D1 * U, T2 = B1 * U.
+    blaslite::dgemm_cm(1.0, pl.d1_cm.data(), n1, up.data(), m1, 0.0, t1.data(), n1, n1,
+                       m1 * nitems, m1);
+    blaslite::dgemm_cm(1.0, pl.b1_cm.data(), n1, up.data(), m1, 0.0, t2.data(), n1, n1,
+                       m1 * nitems, m1);
+    // Stage two: E1 = T1 * B1^T and E2 = T2 * D1^T, written straight into the
+    // output blocks, then combined in place by the chain rule.
+    std::vector<blaslite::GemmBatchItem> items(nitems);
+    const auto stage_two = [&](parallel::Scratch& t, const la::DenseMatrix& op_rm,
+                               std::span<double> out) {
+        for (std::size_t p = 0; p < nplanes; ++p)
+            for (std::size_t j = 0; j < cnt; ++j)
+                items[p * cnt + j] = {t.data() + (p * cnt + j) * n1 * m1,
+                                      out.data() + p * d.quad_size() +
+                                          d.quad_offsets()[g.elems[j]]};
+        blaslite::dgemm_batch_same_b(1.0, items, n1, op_rm.data(), m1, n1, n1, n1, m1, 0.0);
+    };
+    stage_two(t1, pl.b1_rm, dudx);
+    stage_two(t2, pl.d1_rm, dudy);
+    for (std::size_t p = 0; p < nplanes; ++p) {
+        for (std::size_t j = 0; j < cnt; ++j) {
+            const std::size_t e = g.elems[j];
+            const nektar::ElemGeometry& geo = d.ops(e).geometry();
+            double* dx = dudx.data() + p * d.quad_size() + d.quad_offsets()[e];
+            double* dy = dudy.data() + p * d.quad_size() + d.quad_offsets()[e];
+            for (std::size_t q = 0; q < nq; ++q) {
+                const double e1 = dx[q], e2 = dy[q];
+                dx[q] = geo.rx[q] * e1 + geo.sx[q] * e2;
+                dy[q] = geo.ry[q] * e1 + geo.sy[q] * e2;
+            }
+        }
+    }
+}
+
+} // namespace compute

@@ -5,13 +5,12 @@
 #include <cmath>
 #include <map>
 
-#include "blaslite/blas.hpp"
-#include "parallel/scratch.hpp"
+#include "compute/backend.hpp"
 
 namespace nektar {
 
 Discretization::Discretization(std::shared_ptr<const mesh::Mesh> m, std::size_t order,
-                               bool renumber)
+                               bool renumber, compute::BackendKind backend)
     : mesh_(std::move(m)), order_(order), dofmap_(*mesh_, order, renumber) {
     const std::size_t ne = mesh_->num_elements();
     ops_.reserve(ne);
@@ -63,199 +62,75 @@ Discretization::Discretization(std::shared_ptr<const mesh::Mesh> m, std::size_t 
         }
     }
     single_group_ = groups_.size() == 1 && groups_.front().contiguous;
+
+    // Both engines are built eagerly: the sum-factor plans are a handful of
+    // small 1-D matrices per group, cheap enough for the ALE per-step
+    // rebuilds, and an already-built pair makes per-call kind dispatch free.
+    backend_ = compute::resolve(backend, compute::default_backend());
+    dense_ = compute::make_backend(compute::BackendKind::Dense, *this);
+    sumfact_ = compute::make_backend(compute::BackendKind::SumFactor, *this);
 }
 
-namespace {
-
-/// Gathers per-element modal blocks of one plane into a packed column-major
-/// panel (one element per column).
-void pack_cols(std::span<const double> field, const std::vector<std::size_t>& off,
-               const std::vector<std::size_t>& elems, std::size_t plane_off,
-               std::size_t width, double* dst) {
-    for (std::size_t j = 0; j < elems.size(); ++j) {
-        const double* src = field.data() + plane_off + off[elems[j]];
-        std::copy(src, src + width, dst + j * width);
-    }
+const compute::Backend& Discretization::engine(compute::BackendKind kind) const noexcept {
+    const compute::BackendKind k = compute::resolve(kind, backend_);
+    return k == compute::BackendKind::SumFactor ? *sumfact_ : *dense_;
 }
 
-/// Scatters a packed column-major panel back into per-element blocks.
-void unpack_cols(const double* src, const std::vector<std::size_t>& off,
-                 const std::vector<std::size_t>& elems, std::size_t plane_off,
-                 std::size_t width, std::span<double> field) {
-    for (std::size_t j = 0; j < elems.size(); ++j) {
-        double* dst = field.data() + plane_off + off[elems[j]];
-        std::copy(src + j * width, src + (j + 1) * width, dst);
-    }
-}
-
-} // namespace
-
-void Discretization::to_quad(std::span<const double> modal, std::span<double> quad) const {
-    to_quad_planes(modal, quad, 1);
+void Discretization::to_quad(std::span<const double> modal, std::span<double> quad,
+                             compute::BackendKind kind) const {
+    to_quad_planes(modal, quad, 1, kind);
 }
 
 void Discretization::to_quad_planes(std::span<const double> modal, std::span<double> quad,
-                                    std::size_t nplanes) const {
+                                    std::size_t nplanes, compute::BackendKind kind) const {
     assert(modal.size() == modal_size_ * nplanes && quad.size() == quad_size_ * nplanes);
-    for (const ElemGroup& g : groups_) {
-        const std::size_t nm = g.exp->num_modes();
-        const std::size_t nq = g.exp->num_quad();
-        const std::size_t cnt = g.elems.size();
-        if (single_group_) {
-            // Whole mesh, planes back to back: one dgemm over every column.
-            blaslite::dgemm_cm(1.0, g.basis_cm.data(), nq, modal.data(), nm, 0.0,
-                               quad.data(), nq, nq, cnt * nplanes, nm);
-        } else if (g.contiguous) {
-            std::vector<blaslite::GemmBatchItem> items(nplanes);
-            for (std::size_t p = 0; p < nplanes; ++p)
-                items[p] = {modal.data() + p * modal_size_ + g.modal_begin,
-                            quad.data() + p * quad_size_ + g.quad_begin};
-            blaslite::dgemm_batch_same_a(1.0, g.basis_cm.data(), nq, nq, nm, items, cnt, nm,
-                                         nq, 0.0);
-        } else {
-            parallel::Scratch mp(nm * cnt * nplanes), qp(nq * cnt * nplanes);
-            for (std::size_t p = 0; p < nplanes; ++p)
-                pack_cols(modal, modal_off_, g.elems, p * modal_size_, nm,
-                          mp.data() + p * nm * cnt);
-            blaslite::dgemm_cm(1.0, g.basis_cm.data(), nq, mp.data(), nm, 0.0, qp.data(), nq,
-                               nq, cnt * nplanes, nm);
-            for (std::size_t p = 0; p < nplanes; ++p)
-                unpack_cols(qp.data() + p * nq * cnt, quad_off_, g.elems, p * quad_size_, nq,
-                            quad);
-        }
-    }
+    engine(kind).to_quad_planes(modal, quad, nplanes);
 }
 
-void Discretization::weak_inner(std::span<const double> quad, std::span<double> rhs) const {
-    weak_inner_planes(quad, rhs, 1);
+void Discretization::weak_inner(std::span<const double> quad, std::span<double> rhs,
+                                compute::BackendKind kind) const {
+    weak_inner_planes(quad, rhs, 1, kind);
 }
 
 void Discretization::weak_inner_planes(std::span<const double> quad, std::span<double> rhs,
-                                       std::size_t nplanes) const {
+                                       std::size_t nplanes, compute::BackendKind kind) const {
     assert(quad.size() == quad_size_ * nplanes && rhs.size() == modal_size_ * nplanes);
-    for (const ElemGroup& g : groups_) {
-        const std::size_t nm = g.exp->num_modes();
-        const std::size_t nq = g.exp->num_quad();
-        const std::size_t cnt = g.elems.size();
-        // The column-major transpose of the shared basis is its row-major
-        // buffer itself: B^T (nm x nq column-major, lda = nm).
-        const double* bt_cm = g.exp->basis().data();
-        // Quadrature weights fold into the input panel while packing.
-        parallel::Scratch wq(nq * cnt * nplanes);
-        for (std::size_t p = 0; p < nplanes; ++p) {
-            for (std::size_t j = 0; j < cnt; ++j) {
-                const std::size_t e = g.elems[j];
-                const double* src = quad.data() + p * quad_size_ + quad_off_[e];
-                const std::vector<double>& wj = ops_[e].geometry().wj;
-                double* dst = wq.data() + (p * cnt + j) * nq;
-                for (std::size_t q = 0; q < nq; ++q) dst[q] = wj[q] * src[q];
-            }
-        }
-        if (single_group_) {
-            blaslite::dgemm_cm(1.0, bt_cm, nm, wq.data(), nq, 1.0, rhs.data(), nm, nm,
-                               cnt * nplanes, nq);
-        } else if (g.contiguous) {
-            std::vector<blaslite::GemmBatchItem> items(nplanes);
-            for (std::size_t p = 0; p < nplanes; ++p)
-                items[p] = {wq.data() + p * nq * cnt,
-                            rhs.data() + p * modal_size_ + g.modal_begin};
-            blaslite::dgemm_batch_same_a(1.0, bt_cm, nm, nm, nq, items, cnt, nq, nm, 1.0);
-        } else {
-            parallel::Scratch rp(nm * cnt * nplanes);
-            blaslite::dgemm_cm(1.0, bt_cm, nm, wq.data(), nq, 0.0, rp.data(), nm, nm,
-                               cnt * nplanes, nq);
-            for (std::size_t p = 0; p < nplanes; ++p) {
-                for (std::size_t j = 0; j < cnt; ++j) {
-                    double* dst = rhs.data() + p * modal_size_ + modal_off_[g.elems[j]];
-                    const double* src = rp.data() + (p * cnt + j) * nm;
-                    for (std::size_t i = 0; i < nm; ++i) dst[i] += src[i];
-                }
-            }
-        }
-    }
+    engine(kind).weak_inner_planes(quad, rhs, nplanes);
 }
 
-void Discretization::project(std::span<const double> quad, std::span<double> modal) const {
-    project_planes(quad, modal, 1);
+void Discretization::project(std::span<const double> quad, std::span<double> modal,
+                             compute::BackendKind kind) const {
+    project_planes(quad, modal, 1, kind);
 }
 
 void Discretization::project_planes(std::span<const double> quad, std::span<double> modal,
-                                    std::size_t nplanes) const {
+                                    std::size_t nplanes, compute::BackendKind kind) const {
     assert(quad.size() == quad_size_ * nplanes && modal.size() == modal_size_ * nplanes);
-    std::fill(modal.begin(), modal.end(), 0.0);
-    weak_inner_planes(quad, modal, nplanes);
-    // Mass solves: runs of congruent elements share one Cholesky factor, so a
-    // whole run of columns goes through la::cholesky_solve_cols at once.
-    for (const ElemGroup& g : groups_) {
-        const std::size_t nm = g.exp->num_modes();
-        for (std::size_t p = 0; p < nplanes; ++p) {
-            double* base = modal.data() + p * modal_size_;
-            for (const ElemGroup::MatrixRun& run : g.runs) {
-                const std::size_t first = g.elems[run.first];
-                if (g.contiguous) {
-                    la::cholesky_solve_cols(run.mats->mass_chol, base + modal_off_[first],
-                                            nm, run.count);
-                } else {
-                    for (std::size_t j = 0; j < run.count; ++j)
-                        la::cholesky_solve(
-                            run.mats->mass_chol,
-                            std::span<double>(base + modal_off_[g.elems[run.first + j]], nm));
-                }
-            }
-        }
-    }
+    engine(kind).project_planes(quad, modal, nplanes);
 }
 
 void Discretization::grad_from_modal(std::span<const double> modal, std::span<double> dudx,
-                                     std::span<double> dudy) const {
-    grad_from_modal_planes(modal, dudx, dudy, 1);
+                                     std::span<double> dudy, compute::BackendKind kind) const {
+    grad_from_modal_planes(modal, dudx, dudy, 1, kind);
 }
 
 void Discretization::grad_from_modal_planes(std::span<const double> modal,
                                             std::span<double> dudx, std::span<double> dudy,
-                                            std::size_t nplanes) const {
+                                            std::size_t nplanes,
+                                            compute::BackendKind kind) const {
     assert(modal.size() == modal_size_ * nplanes);
     assert(dudx.size() == quad_size_ * nplanes && dudy.size() == quad_size_ * nplanes);
-    for (const ElemGroup& g : groups_) {
-        const std::size_t nm = g.exp->num_modes();
-        const std::size_t nq = g.exp->num_quad();
-        const std::size_t cnt = g.elems.size();
-        parallel::Scratch d1(nq * cnt * nplanes), d2(nq * cnt * nplanes);
-        const auto apply = [&](const la::DenseMatrix& op_cm, double* out) {
-            if (g.contiguous) {
-                std::vector<blaslite::GemmBatchItem> items(nplanes);
-                for (std::size_t p = 0; p < nplanes; ++p)
-                    items[p] = {modal.data() + p * modal_size_ + g.modal_begin,
-                                out + p * nq * cnt};
-                blaslite::dgemm_batch_same_a(1.0, op_cm.data(), nq, nq, nm, items, cnt, nm,
-                                             nq, 0.0);
-            } else {
-                parallel::Scratch mp(nm * cnt * nplanes);
-                for (std::size_t p = 0; p < nplanes; ++p)
-                    pack_cols(modal, modal_off_, g.elems, p * modal_size_, nm,
-                              mp.data() + p * nm * cnt);
-                blaslite::dgemm_cm(1.0, op_cm.data(), nq, mp.data(), nm, 0.0, out, nq, nq,
-                                   cnt * nplanes, nm);
-            }
-        };
-        apply(g.d1_cm, d1.data());
-        apply(g.d2_cm, d2.data());
-        // Chain rule with per-element geometry factors while scattering back.
-        for (std::size_t p = 0; p < nplanes; ++p) {
-            for (std::size_t j = 0; j < cnt; ++j) {
-                const std::size_t e = g.elems[j];
-                const ElemGeometry& geo = ops_[e].geometry();
-                const double* c1 = d1.data() + (p * cnt + j) * nq;
-                const double* c2 = d2.data() + (p * cnt + j) * nq;
-                double* dx = dudx.data() + p * quad_size_ + quad_off_[e];
-                double* dy = dudy.data() + p * quad_size_ + quad_off_[e];
-                for (std::size_t q = 0; q < nq; ++q) {
-                    dx[q] = geo.rx[q] * c1[q] + geo.sx[q] * c2[q];
-                    dy[q] = geo.ry[q] * c1[q] + geo.sy[q] * c2[q];
-                }
-            }
-        }
-    }
+    engine(kind).grad_from_modal_planes(modal, dudx, dudy, nplanes);
+}
+
+void Discretization::convect_planes(std::span<const double> au, std::span<const double> av,
+                                    std::span<const double> u, std::span<const double> v,
+                                    std::span<double> nu, std::span<double> nv,
+                                    std::size_t nplanes, compute::BackendKind kind) const {
+    assert(au.size() == quad_size_ * nplanes && av.size() == quad_size_ * nplanes);
+    assert(u.size() == quad_size_ * nplanes && v.size() == quad_size_ * nplanes);
+    assert(nu.size() == quad_size_ * nplanes && nv.size() == quad_size_ * nplanes);
+    engine(kind).convect_planes(au, av, u, v, nu, nv, nplanes);
 }
 
 void Discretization::eval_at_quad(const std::function<double(double, double)>& f,

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "compute/backend.hpp"
 #include "mesh/mesh.hpp"
 #include "nektar/dofmap.hpp"
 #include "nektar/element_ops.hpp"
@@ -24,6 +25,15 @@
 /// flop rate at these sizes).  Non-contiguous groups gather/scatter through
 /// thread-local scratch panels.  The `_planes` variants fuse all local
 /// Fourier planes of a 3-D field into the batch dimension.
+///
+/// The transforms themselves are evaluated by a pluggable compute::Backend
+/// (compute/backend.hpp): the batched dense engine is the reference
+/// DenseBackend, and SumFactorBackend applies the same operators as staged
+/// 1-D tensor contractions (O(P^3) instead of O(P^4) per quad element).
+/// Every transform takes an optional BackendKind; Auto uses the
+/// discretization default (constructor argument, itself defaulting to
+/// $REPRO_BACKEND).  Both engines are built once at construction, so a
+/// caller-chosen kind is a per-call dispatch, not a rebuild.
 namespace nektar {
 
 /// One group of elements sharing an expansion (and hence basis matrices).
@@ -50,7 +60,11 @@ struct ElemGroup {
 class Discretization {
 public:
     Discretization(std::shared_ptr<const mesh::Mesh> m, std::size_t order,
-                   bool renumber = true);
+                   bool renumber = true,
+                   compute::BackendKind backend = compute::BackendKind::Auto);
+    // The compute engines hold a back-pointer to this object.
+    Discretization(const Discretization&) = delete;
+    Discretization& operator=(const Discretization&) = delete;
 
     [[nodiscard]] const mesh::Mesh& mesh() const noexcept { return *mesh_; }
     [[nodiscard]] std::size_t order() const noexcept { return order_; }
@@ -82,28 +96,60 @@ public:
 
     /// Element groups of the batched engine (one per distinct expansion).
     [[nodiscard]] const std::vector<ElemGroup>& groups() const noexcept { return groups_; }
+    /// True when one contiguous group covers the mesh (whole-field panels).
+    [[nodiscard]] bool single_group() const noexcept { return single_group_; }
+    /// Per-element flat offsets (indexable by the group element lists).
+    [[nodiscard]] const std::vector<std::size_t>& modal_offsets() const noexcept {
+        return modal_off_;
+    }
+    [[nodiscard]] const std::vector<std::size_t>& quad_offsets() const noexcept {
+        return quad_off_;
+    }
 
-    /// Whole-field transforms (batched per element group).
-    void to_quad(std::span<const double> modal, std::span<double> quad) const;
-    void project(std::span<const double> quad, std::span<double> modal) const;
+    /// The default backend kind transforms run under when passed Auto.
+    [[nodiscard]] compute::BackendKind backend() const noexcept { return backend_; }
+    /// The engine for `kind` (Auto = the discretization default).
+    [[nodiscard]] const compute::Backend& engine(
+        compute::BackendKind kind = compute::BackendKind::Auto) const noexcept;
+
+    /// Whole-field transforms (batched per element group, evaluated by the
+    /// selected compute backend).
+    void to_quad(std::span<const double> modal, std::span<double> quad,
+                 compute::BackendKind kind = compute::BackendKind::Auto) const;
+    void project(std::span<const double> quad, std::span<double> modal,
+                 compute::BackendKind kind = compute::BackendKind::Auto) const;
     /// rhs += weak inner product (f, phi_i) for every element, batched.
-    void weak_inner(std::span<const double> quad, std::span<double> rhs) const;
+    void weak_inner(std::span<const double> quad, std::span<double> rhs,
+                    compute::BackendKind kind = compute::BackendKind::Auto) const;
     /// Physical-space gradient of a modal field at the quadrature points.
     void grad_from_modal(std::span<const double> modal, std::span<double> dudx,
-                         std::span<double> dudy) const;
+                         std::span<double> dudy,
+                         compute::BackendKind kind = compute::BackendKind::Auto) const;
 
     /// Multi-plane variants: `nplanes` whole fields stored back to back
     /// (plane p at offset p*modal_size() / p*quad_size()).  All planes join
     /// the batch dimension — on a single-group mesh each transform is one
     /// dgemm over every element of every plane.
     void to_quad_planes(std::span<const double> modal, std::span<double> quad,
-                        std::size_t nplanes) const;
+                        std::size_t nplanes,
+                        compute::BackendKind kind = compute::BackendKind::Auto) const;
     void project_planes(std::span<const double> quad, std::span<double> modal,
-                        std::size_t nplanes) const;
+                        std::size_t nplanes,
+                        compute::BackendKind kind = compute::BackendKind::Auto) const;
     void weak_inner_planes(std::span<const double> quad, std::span<double> rhs,
-                           std::size_t nplanes) const;
+                           std::size_t nplanes,
+                           compute::BackendKind kind = compute::BackendKind::Auto) const;
     void grad_from_modal_planes(std::span<const double> modal, std::span<double> dudx,
-                                std::span<double> dudy, std::size_t nplanes) const;
+                                std::span<double> dudy, std::size_t nplanes,
+                                compute::BackendKind kind = compute::BackendKind::Auto) const;
+
+    /// Fused nonlinear convective term (see compute::Backend::convect_planes):
+    ///   nu = -(au du/dx + av du/dy),  nv = -(au dv/dx + av dv/dy),
+    /// all fields at the quadrature points, batched over element groups.
+    void convect_planes(std::span<const double> au, std::span<const double> av,
+                        std::span<const double> u, std::span<const double> v,
+                        std::span<double> nu, std::span<double> nv, std::size_t nplanes,
+                        compute::BackendKind kind = compute::BackendKind::Auto) const;
 
     /// Evaluates a function at every quadrature point.
     void eval_at_quad(const std::function<double(double, double)>& f,
@@ -131,6 +177,8 @@ private:
     std::size_t modal_size_ = 0, quad_size_ = 0;
     std::vector<ElemGroup> groups_;
     bool single_group_ = false; ///< one contiguous group covers the mesh
+    compute::BackendKind backend_ = compute::BackendKind::Dense; ///< resolved default
+    std::unique_ptr<compute::Backend> dense_, sumfact_;
 };
 
 } // namespace nektar

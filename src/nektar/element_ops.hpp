@@ -118,6 +118,13 @@ public:
     void grad_collocation(std::span<const double> quad, std::span<double> dudx,
                           std::span<double> dudy) const;
 
+    /// Collocation machinery behind grad_collocation, exposed so the batched
+    /// compute backends can fuse the derivative across a whole element group:
+    /// 1-D points per direction (0 on triangles) and the 1-D GLL
+    /// differentiation matrix (nq1d x nq1d row-major).
+    [[nodiscard]] std::size_t colloc_nq1d() const noexcept { return nq1d_; }
+    [[nodiscard]] const la::DenseMatrix& colloc_diff_1d() const noexcept { return d1d_; }
+
     /// L2 projection of quadrature values onto the modal basis
     /// (solves M u = B^T W f with the factored elemental mass matrix).
     void project(std::span<const double> quad, std::span<double> modal) const;

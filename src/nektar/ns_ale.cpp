@@ -90,7 +90,9 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
     SubMesh sub = build_submesh(full_mesh, part, rank);
     if (sub.elements.empty()) throw std::invalid_argument("AleNS2d: rank owns no elements");
     local_mesh_ = sub.mesh;
-    disc_ = std::make_shared<Discretization>(local_mesh_, order_, /*renumber=*/false);
+    backend_ = compute::resolve(opts_.backend, compute::default_backend());
+    disc_ = std::make_shared<Discretization>(local_mesh_, order_, /*renumber=*/false,
+                                             backend_);
 
     // Global dof ids for gather-scatter: derived from a dof map of the full
     // mesh (identical on every rank).
@@ -156,12 +158,16 @@ AleNS2d::AleNS2d(const mesh::Mesh& full_mesh, std::size_t order, AleOptions opts
 }
 
 void AleNS2d::rebuild_discretization() {
-    disc_ = std::make_shared<Discretization>(local_mesh_, order_, /*renumber=*/false);
+    // The per-step rebuild keeps the same compute backend: a Discretization
+    // built with backend_ resolves Auto call sites to it.
+    disc_ = std::make_shared<Discretization>(local_mesh_, order_, /*renumber=*/false,
+                                             backend_);
 }
 
 std::uint64_t AleNS2d::options_fingerprint() const {
     ckpt::Fingerprint fp;
     fp.add("AleNS2d")
+        .add(compute::to_string(backend_))
         .add(opts_.dt)
         .add(opts_.viscosity)
         .add(static_cast<std::uint64_t>(opts_.time_order))
@@ -425,24 +431,13 @@ void AleNS2d::stage_nonlinear(const StepContext&, std::vector<std::vector<double
 
 void AleNS2d::nonlinear(std::vector<std::vector<double>>& nl) const {
     const std::size_t nq = disc_->quad_size();
-    auto& nu_new = nl[0];
-    auto& nv_new = nl[1];
-    std::vector<double> dx(nq), dy(nq), vrel(nq);
+    // Advecting velocity is (u, v - w_mesh); the differentiated fields stay
+    // (u, v).  Derivatives, chain rule, products and sign run fused in
+    // compute::Backend::convect_planes.  The discretization was built with
+    // backend_, so Auto resolves to it.
+    std::vector<double> vrel(nq);
     for (std::size_t i = 0; i < nq; ++i) vrel[i] = vq_[i] - wq_[i];
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(uq_), e),
-                                       disc_->quad_block(std::span<double>(dx), e),
-                                       disc_->quad_block(std::span<double>(dy), e));
-    blaslite::dvmul(uq_, dx, nu_new);
-    blaslite::dvvtvp(vrel, dy, nu_new);
-    blaslite::dscal(-1.0, nu_new);
-    for (std::size_t e = 0; e < disc_->num_elements(); ++e)
-        disc_->ops(e).grad_collocation(disc_->quad_block(std::span<const double>(vq_), e),
-                                       disc_->quad_block(std::span<double>(dx), e),
-                                       disc_->quad_block(std::span<double>(dy), e));
-    blaslite::dvmul(uq_, dx, nv_new);
-    blaslite::dvvtvp(vrel, dy, nv_new);
-    blaslite::dscal(-1.0, nv_new);
+    disc_->convect_planes(uq_, vrel, uq_, vq_, nl[0], nl[1], 1);
 }
 
 // Stage 4: pressure RHS.

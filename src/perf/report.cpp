@@ -77,7 +77,18 @@ std::string RunReport::to_json() const {
     out += "\"schema_version\":" + std::to_string(kSchemaVersion) + ",\n";
     out += "\"bench\":\"";
     esc(out, bench);
-    out += "\",\n\"meta\":{";
+    out += "\",\n";
+    if (!backend.empty()) {
+        out += "\"backend\":\"";
+        esc(out, backend);
+        out += "\",\n";
+    }
+    if (crossover_order >= 0.0) {
+        out += "\"crossover_order\":";
+        num(out, crossover_order);
+        out += ",\n";
+    }
+    out += "\"meta\":{";
     {
         bool first = true;
         for (const auto& [k, v] : meta) kv_str(out, k.c_str(), v, first);

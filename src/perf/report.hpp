@@ -46,6 +46,14 @@ struct RunReport {
     static constexpr int kSchemaVersion = 1;
 
     std::string bench;                       ///< benchmark id, e.g. "table2_nektar_f"
+    /// Compute backend the run exercised ("dense", "sumfact", or
+    /// "dense+sumfact" for side-by-side sweeps).  Optional: omitted from the
+    /// JSON when empty, so pre-backend reports stay byte-identical.
+    std::string backend;
+    /// Smallest polynomial order at which the sum-factorised path beats the
+    /// dense batched path (bench_hotpath's dense-vs-sumfact sweep).  Optional:
+    /// emitted only when >= 0; -1 means "not measured / no crossover".
+    double crossover_order = -1.0;
     std::map<std::string, std::string> meta; ///< machine/net/ranks/seed/threads/...
     int steps = 0;                           ///< solver time steps covered (0 = n/a)
     std::vector<StageRow> stages;            ///< empty for kernel micro-benches

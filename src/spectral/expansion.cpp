@@ -50,6 +50,21 @@ QuadExpansion::QuadExpansion(std::size_t order, std::size_t nq1d)
 
     const std::size_t nm = pq.size();
     const std::size_t nq = nq1d * nq1d;
+
+    // 1-D factorisation for sum-factorised operator evaluation.
+    tb_.nq1d = nq1d;
+    tb_.nm1d = P + 1;
+    tb_.b1 = la::DenseMatrix(nq1d, P + 1);
+    tb_.d1 = la::DenseMatrix(nq1d, P + 1);
+    tb_.pq = pq;
+    tb_.w1d = rule.weights;
+    for (std::size_t qi = 0; qi < nq1d; ++qi) {
+        for (std::size_t p = 0; p <= P; ++p) {
+            tb_.b1(qi, p) = modal_basis(p, P, rule.points[qi]);
+            tb_.d1(qi, p) = modal_basis_derivative(p, P, rule.points[qi]);
+        }
+    }
+
     basis_ = la::DenseMatrix(nq, nm);
     dxi1_ = la::DenseMatrix(nq, nm);
     dxi2_ = la::DenseMatrix(nq, nm);

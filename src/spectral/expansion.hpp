@@ -22,6 +22,22 @@ namespace spectral {
 
 enum class Shape { Quad, Triangle };
 
+/// The 1-D factorisation of a tensor-product expansion: everything a
+/// sum-factorised operator evaluation needs.  Mode m of the 2-D basis is
+/// psi_{pq[m][0]}(xi1) * psi_{pq[m][1]}(xi2), and the quadrature grid is the
+/// tensor square of one 1-D rule (point q = qj*nq1d + qi, xi1 fast).
+struct TensorBasis {
+    std::size_t nq1d = 0; ///< quadrature points per direction
+    std::size_t nm1d = 0; ///< 1-D modes (order + 1)
+    /// b1(qi, p) = psi_p(z_qi) and d1(qi, p) = psi_p'(z_qi): nq1d-by-nm1d
+    /// row-major, the same storage convention as basis()/dbasis_dxi1().
+    la::DenseMatrix b1, d1;
+    /// Boundary-first mode -> lexicographic tensor indices (p, q).
+    std::vector<std::array<std::size_t, 2>> pq;
+    /// 1-D quadrature weights (2-D weight = w1d[qi] * w1d[qj]).
+    std::vector<double> w1d;
+};
+
 class Expansion {
 public:
     virtual ~Expansion() = default;
@@ -53,6 +69,11 @@ public:
     /// Local vertex pair (a, b) giving edge e's intrinsic direction (modes
     /// increase from a to b).
     [[nodiscard]] std::array<std::size_t, 2> edge_vertices(std::size_t e) const noexcept;
+
+    /// The 1-D factorisation when the basis is a tensor product (quads);
+    /// nullptr otherwise.  The triangle's collapsed-coordinate factors vary
+    /// per mode family, so it stays on the dense path.
+    [[nodiscard]] virtual const TensorBasis* tensor_basis() const noexcept { return nullptr; }
 
     /// basis()(q, m): value of mode m at quadrature point q.
     [[nodiscard]] const la::DenseMatrix& basis() const noexcept { return basis_; }
@@ -91,12 +112,15 @@ public:
     /// enough for exact mass matrices on affine elements).
     explicit QuadExpansion(std::size_t order, std::size_t nq1d = 0);
 
+    [[nodiscard]] const TensorBasis* tensor_basis() const noexcept override { return &tb_; }
+
     [[nodiscard]] double eval_mode(std::size_t m, double x1, double x2) const override;
     [[nodiscard]] std::array<double, 2> eval_mode_deriv(std::size_t m, double x1,
                                                         double x2) const override;
 
 private:
     std::vector<std::array<std::size_t, 2>> pq_; ///< tensor (p, q) per mode
+    TensorBasis tb_;                             ///< 1-D factorisation of the basis
 };
 
 namespace detail {
