@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
     const benchutil::Cli cli = benchutil::Cli::parse("ablation_alltoall_algo", argc, argv);
-    const int nprocs = cli.ranks > 0 ? cli.ranks : 16;
+    const int nprocs = cli.request.ranks > 0 ? cli.request.ranks : 16;
     std::printf("Ablation: MPI_Alltoall schedule, pairwise vs Bruck, P = %d\n\n", nprocs);
     perf::RunReport rep = perf::report("ablation_alltoall_algo");
     rep.meta["nprocs"] = std::to_string(nprocs);

@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "app_model.hpp"
+#include "lab/pricing.hpp"
 #include "bench_util.hpp"
 #include "ckpt/recovery.hpp"
 #include "mesh/generators.hpp"
@@ -193,14 +193,14 @@ RecoveryRun run_recoverable(int nprocs, const netsim::NetworkModel& net, int cad
 
 int main(int argc, char** argv) {
     const benchutil::Cli cli = benchutil::Cli::parse("ablation_fault_tolerance", argc, argv);
-    const int nprocs = cli.ranks > 0 ? cli.ranks : 8;
+    const int nprocs = cli.request.ranks > 0 ? cli.request.ranks : 8;
     if (nprocs < 2) {
         std::fprintf(stderr, "%s: --ranks must be >= 2 (got %d)\n", argv[0], nprocs);
         return 2;
     }
     // The paper's year as the default seed; any fixed seed keeps runs
     // reproducible.
-    const unsigned long seed = cli.seed != 0 ? cli.seed : 1999;
+    const unsigned long seed = cli.request.seed != 0 ? cli.request.seed : 1999;
     const std::vector<std::string> networks = {"RoadRunner eth.", "RoadRunner myr.", "T3E"};
     const std::vector<double> loss_rates = {0.0, 0.001, 0.01, 0.05};
     const std::vector<double> straggler_factors = {2.0, 4.0};
@@ -250,7 +250,7 @@ int main(int argc, char** argv) {
     // recovered state must stay byte-identical to the failure-free run.
     const netsim::NetworkModel recovery_base =
         with_faults(netsim::by_name("RoadRunner myr."), seed, 0.01, 1.0);
-    const std::vector<int> cadences = cli.smoke ? std::vector<int>{2}
+    const std::vector<int> cadences = cli.request.smoke ? std::vector<int>{2}
                                                 : std::vector<int>{1, 2, 4};
     const int nsteps = 8;
     const int kill_rank = nprocs - 1;

@@ -164,7 +164,7 @@ double crossover_order(const std::vector<CaseResult>& results) {
 
 int main(int argc, char** argv) {
     const benchutil::Cli cli = benchutil::Cli::parse("bench_hotpath", argc, argv);
-    const bool smoke = cli.smoke;
+    const bool smoke = cli.request.smoke;
     // Timing window per measurement; the CI perf gate raises it above the
     // smoke default so microsecond kernels average out scheduler noise.
     const double min_seconds =

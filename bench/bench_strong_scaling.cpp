@@ -151,11 +151,11 @@ int main(int argc, char** argv) {
     const benchutil::Cli cli = benchutil::Cli::parse("bench_strong_scaling", argc, argv);
     // Smoke keeps the same shape (TP divisible by every P, NQ < TP) at a
     // fraction of the footprint; CI runs it on every merge.
-    const std::size_t nq = cli.smoke ? 256 : 2048;
-    const std::size_t tp = cli.smoke ? 512 : 4096;
-    const int steps = cli.smoke ? 1 : 2;
+    const std::size_t nq = cli.request.smoke ? 256 : 2048;
+    const std::size_t tp = cli.request.smoke ? 512 : 4096;
+    const int steps = cli.request.smoke ? 1 : 2;
     const std::vector<int> default_sweep =
-        cli.smoke ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024, 4096};
+        cli.request.smoke ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024, 4096};
 
     std::printf("Strong scaling beyond Table 2: fixed %zu points x %zu planes, P = 64..4096.\n",
                 nq, tp);

@@ -63,6 +63,22 @@ KERNELS = ("to_quad", "weak_inner", "grad")
 # Every timing group a sweep may carry; elementwise_min folds all of them.
 ALL_GROUPS = ("per_element_ms", "batched_ms", "sumfact_ms")
 
+# RunReport schema versions this gate understands.  v2 added the request
+# echo and cache blocks; the gated "cases" layout is unchanged, so both
+# versions compare against each other during a re-baseline transition.
+SUPPORTED_SCHEMAS = (1, 2)
+
+
+def load_report(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    version = doc.get("schema_version")
+    if version not in SUPPORTED_SCHEMAS:
+        raise SystemExit(f"{path}: RunReport schema_version {version!r} not in "
+                         f"{SUPPORTED_SCHEMAS} — regenerate the file or update "
+                         "compare_bench.py")
+    return doc
+
 
 def case_key(case: dict) -> tuple:
     return (int(case["order"]), int(case["elements"]), int(case["planes"]))
@@ -143,8 +159,7 @@ def pair_groups(baselines: list[str], groups: list[str]) -> list[str]:
 def self_test(baseline_paths: list[str], groups: list[str], threshold: float) -> int:
     groups = pair_groups(baseline_paths, groups)
     for path, group in zip(baseline_paths, groups):
-        with open(path) as f:
-            baseline = json.load(f)
+        baseline = load_report(path)
         label = f"{path} [{group}]"
         # Identical data must pass.
         if compare(baseline, baseline, threshold, group):
@@ -201,10 +216,7 @@ def main() -> int:
         return self_test(args.baseline, args.metric_group, args.threshold)
     if not args.current:
         ap.error("--current is required unless --self-test")
-    runs = []
-    for path in args.current:
-        with open(path) as f:
-            runs.append(json.load(f))
+    runs = [load_report(path) for path in args.current]
     current = elementwise_min(runs)
 
     if args.update:
@@ -222,8 +234,7 @@ def main() -> int:
     groups = pair_groups(args.baseline, args.metric_group)
     failed = 0
     for path, group in zip(args.baseline, groups):
-        with open(path) as f:
-            baseline = json.load(f)
+        baseline = load_report(path)
         failures = compare(baseline, current, args.threshold, group)
         if failures:
             failed += 1

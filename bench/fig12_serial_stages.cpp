@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "app_model.hpp"
+#include "lab/pricing.hpp"
 #include "bench_util.hpp"
 #include "mesh/generators.hpp"
 #include "nektar/ns_serial.hpp"

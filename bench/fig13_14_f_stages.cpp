@@ -9,14 +9,14 @@
 #include <cstdio>
 #include <memory>
 
-#include "app_model.hpp"
+#include "lab/pricing.hpp"
 #include "bench_util.hpp"
 #include "mesh/generators.hpp"
 #include "nektar/ns_fourier.hpp"
 
 int main(int argc, char** argv) {
     const benchutil::Cli cli = benchutil::Cli::parse("fig13_14_f_stages", argc, argv);
-    const int nprocs = cli.ranks > 0 ? cli.ranks : 4;
+    const int nprocs = cli.request.ranks > 0 ? cli.request.ranks : 4;
     mesh::BluffBodyParams p;
     p.n_upstream = 4;
     p.n_wake = 6;

@@ -9,7 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "app_model.hpp"
+#include "lab/pricing.hpp"
 #include "bench_util.hpp"
 #include "mesh/generators.hpp"
 #include "nektar/ns_ale.hpp"

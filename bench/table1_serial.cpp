@@ -8,7 +8,7 @@
 #include <map>
 #include <memory>
 
-#include "app_model.hpp"
+#include "lab/pricing.hpp"
 #include "bench_util.hpp"
 #include "mesh/generators.hpp"
 #include "nektar/ns_serial.hpp"

@@ -92,6 +92,42 @@ def validate(value, schema: dict, path: str, errors: list[str],
             validate(item, schema["items"], f"{path}[{i}]", errors, warnings)
 
 
+def case_identity(case: dict) -> tuple:
+    """A case's identity: its string-valued entries (labels) plus its
+    exact-integer numeric entries (sweep coordinates like nprocs or stage).
+    Measured floats are excluded — they are results, not coordinates."""
+    ident = []
+    for key in sorted(case):
+        value = case[key]
+        if isinstance(value, str):
+            ident.append((key, value))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and float(value).is_integer():
+            ident.append((key, int(value)))
+    return tuple(ident)
+
+
+def check_duplicate_cases(doc, warnings: list[str]) -> None:
+    """Two cases with the same identity silently shadow each other in every
+    consumer that keys cases by labels (compare_bench.py's dict comprehension
+    is last-wins) — warn, and fail under --strict."""
+    cases = doc.get("cases") if isinstance(doc, dict) else None
+    if not isinstance(cases, list):
+        return
+    seen: dict = {}
+    for i, case in enumerate(cases):
+        if not isinstance(case, dict):
+            continue
+        ident = case_identity(case)
+        if not ident:
+            continue
+        if ident in seen:
+            warnings.append(f".cases[{i}]: duplicate case (same labels and integer "
+                            f"coordinates as .cases[{seen[ident]}]: {dict(ident)})")
+        else:
+            seen[ident] = i
+
+
 def validate_file(path: str, schema: dict) -> tuple[list[str], list[str]]:
     with open(path) as f:
         try:
@@ -101,14 +137,20 @@ def validate_file(path: str, schema: dict) -> tuple[list[str], list[str]]:
     errors: list[str] = []
     warnings: list[str] = []
     validate(doc, schema, "", errors, warnings)
+    check_duplicate_cases(doc, warnings)
     return errors, warnings
 
 
 GOOD = {
-    "schema_version": 1,
+    "schema_version": 2,
     "bench": "self_test",
     "backend": "dense+sumfact",
     "crossover_order": 8,
+    "request": {"bench": "self_test", "fidelity": "model", "machine": "NCSA",
+                "net": "NCSA", "ranks": 8, "schema": 1, "seed": 0, "smoke": False,
+                "backend": "", "fault": "", "solver": "", "transpose": "",
+                "dof_per_rank": 461000.0, "steps": 0},
+    "cache": {"hit": False, "store_key": "00f1e2d3c4b5a697"},
     "meta": {"threads": "1", "smoke": "1", "trace": "0"},
     "steps": 2,
     "stages": [{"stage": 1, "name": "transform", "group": "a", "flops": 10.0,
@@ -135,6 +177,10 @@ def self_test(schema: dict) -> int:
         ("wrong schema_version", lambda d: d.update(schema_version=99)),
         ("non-string backend", lambda d: d.update(backend=2)),
         ("negative crossover_order", lambda d: d.update(crossover_order=-1)),
+        ("missing request block", lambda d: d.pop("request")),
+        ("wrong request schema", lambda d: d["request"].update(schema=7)),
+        ("missing cache block", lambda d: d.pop("cache")),
+        ("non-boolean cache hit", lambda d: d["cache"].update(hit="yes")),
         ("non-string meta value", lambda d: d["meta"].update(threads=1)),
         ("negative stage seconds", lambda d: d["stages"][0].update(host_seconds=-1.0)),
         ("non-scalar case value", lambda d: d["cases"][0].update(bad=[1, 2])),
@@ -163,8 +209,29 @@ def self_test(schema: dict) -> int:
     if not errs:
         print("self-test FAILED: unknown key not fatal under strict mode")
         return 1
+    # Duplicate cases: same labels + integer coordinates twice.  Warning by
+    # default (the lists differ), fatal under --strict (they are folded).
+    dup = copy.deepcopy(GOOD)
+    dup["cases"] = [{"platform": "NCSA", "nprocs": 4, "wall_s": 4.96},
+                    {"platform": "NCSA", "nprocs": 8, "wall_s": 5.10},
+                    {"platform": "NCSA", "nprocs": 4, "wall_s": 9.99}]
+    errs, warns = [], []
+    validate(dup, schema, "", errs, warns)
+    check_duplicate_cases(dup, warns)
+    if errs or len(warns) != 1:
+        print("self-test FAILED: duplicate case should warn exactly once "
+              f"(errors={errs}, warnings={warns})")
+        return 1
+    distinct = copy.deepcopy(dup)
+    distinct["cases"][2]["nprocs"] = 16
+    warns = []
+    check_duplicate_cases(distinct, warns)
+    if warns:
+        print(f"self-test FAILED: distinct cases flagged as duplicates: {warns}")
+        return 1
     print(f"self-test OK: good report accepted, {len(broken)} mutations all "
-          "flagged, unknown key warns by default and fails under --strict")
+          "flagged, unknown key warns by default and fails under --strict, "
+          "duplicate cases detected")
     return 0
 
 

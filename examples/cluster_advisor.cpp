@@ -1,114 +1,127 @@
 /// "Fact or fiction?" — the paper's question, answered quantitatively.
-/// Given a DNS problem size and processor count, predicts time per step on
-/// every (machine, network) platform in the models and ranks them with a
-/// cost-effectiveness note, reproducing the paper's conclusions: ethernet
-/// PCs win on cost up to ~4 processors, Myrinet PCs stay competitive to ~64,
-/// vendor supercomputers win outright.
-#include <algorithm>
+/// Given a DNS problem size and processor count, asks the cluster lab for
+/// every candidate platform and ranks them with a cost-effectiveness note,
+/// reproducing the paper's conclusions: ethernet PCs win on cost up to ~4
+/// processors, Myrinet PCs stay competitive to ~64, vendor supercomputers
+/// win outright.
+///
+/// Since the scenario-service PR this is a lab *client*: each platform row
+/// is one canonical lab::ScenarioRequest answered by the service — from a
+/// local RunReport store (--store; microseconds once warm) or a running
+/// lab_daemon (--connect <socket>).  The platform presets and their fault
+/// profiles live in lab/fault_profiles.hpp, shared with every other client.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "machine/machine_model.hpp"
-#include "netsim/netmodel.hpp"
+#include <unistd.h>
+
+#include "lab/fault_profiles.hpp"
+#include "lab/json.hpp"
+#include "lab/service.hpp"
+#include "lab/wire.hpp"
 
 namespace {
 
-struct PlatformSpec {
-    const char* label;
-    const char* machine;
-    const char* network;
-    double cost_per_proc_kusd; ///< rough 1999 acquisition cost per processor
-    netsim::FaultModel fault;  ///< the interconnect's characteristic unreliability
+struct Row {
+    std::string label;
+    double cost_per_proc_kusd = 0.0;
+    double wall = 0.0;
+    double inflation = 1.0;
+    double query_us = 0.0;
+    bool cache_hit = false;
 };
 
-/// Characteristic fault profiles: commodity TCP-over-ethernet retransmits
-/// and jitters (the shared Muses segment worst of all), Myrinet's user-level
-/// stack is clean but its PC hosts still straggle, and the vendor fabrics
-/// with dedicated OS images barely misbehave.
-netsim::FaultModel fault_profile(double loss, double timeout_us, double jitter_us,
-                                 double strag_frac, double strag_factor) {
-    netsim::FaultModel f;
-    f.seed = 1999;
-    f.loss_probability = loss;
-    f.retransmit_timeout_us = timeout_us;
-    f.latency_jitter_us = jitter_us;
-    f.straggler_fraction = strag_frac;
-    f.straggler_factor = strag_factor;
-    return f;
-}
-
-const std::vector<PlatformSpec>& platforms() {
-    static const std::vector<PlatformSpec> p = {
-        {"PC cluster, Fast Ethernet (Muses)", "Muses", "Muses, LAM", 2.5,
-         fault_profile(0.02, 800.0, 150.0, 0.25, 1.5)},
-        {"PC cluster, Myrinet (RoadRunner)", "RoadRunner", "RoadRunner myr.", 4.5,
-         fault_profile(0.002, 120.0, 15.0, 0.12, 1.3)},
-        {"IBM SP2 Silver", "SP2-Silver", "SP2-Silver internode", 40.0,
-         fault_profile(0.0005, 60.0, 5.0, 0.02, 1.1)},
-        {"SGI Origin 2000 (NCSA)", "NCSA", "NCSA", 60.0,
-         fault_profile(0.0002, 30.0, 2.0, 0.02, 1.1)},
-        {"Cray T3E-900", "T3E", "T3E", 80.0,
-         fault_profile(0.0001, 25.0, 1.0, 0.01, 1.05)},
-    };
-    return p;
+double case_value(const lab::Json& report, const char* key) {
+    const auto& cases = report.at("cases").as_array();
+    if (cases.empty()) throw lab::ParseError("report has no cases");
+    return cases.front().at(key).as_number();
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    // Problem description: dof per processor and processors (NekTar-F-style
-    // weak scaling, the paper's Table 2 configuration).
-    const double dof_per_proc = argc > 1 ? std::atof(argv[1]) : 461000.0;
-    const int nprocs = argc > 2 ? std::atoi(argv[2]) : 8;
-
-    std::printf("DNS platform advisor: %.0f dof/processor on %d processors\n\n",
-                dof_per_proc, nprocs);
-    std::printf("%-38s %10s %10s %12s %14s\n", "platform", "s/step", "rel. speed",
-                "reliability", "k$/(steps/s)");
-    std::printf("%-38s %10s %10s %12s %14s\n", "--------", "------", "----------",
-                "-----------", "-----------");
-
-    // Cost model per step (per processor): ~60 flops and ~48 bytes of
-    // latency-bound solver traffic per dof (calibrated on the Table 1 runs),
-    // plus the Alltoall transposes of the nonlinear step.  Communication is
-    // further inflated by the interconnect's characteristic fault profile
-    // (retransmits, jitter, stragglers) via its expected inflation factor.
-    double best = 1e30;
-    std::vector<double> secs, inflations;
-    for (const auto& pl : platforms()) {
-        const auto& m = machine::by_name(pl.machine);
-        const auto& net = netsim::by_name(pl.network);
-        machine::KernelShape solver;
-        solver.flops = 60.0 * dof_per_proc;
-        solver.bytes = 48.0 * dof_per_proc;
-        solver.working_set = 1u << 30;
-        solver.compute_efficiency = 0.6;
-        solver.latency_bound = true;
-        const double compute = machine::predict_seconds(m, solver);
-        // Alltoall volume per step: ~6 transposes of the per-proc field.
-        const double msg = dof_per_proc * 8.0 / nprocs;
-        const double comm =
-            6.0 * net.alltoall_seconds(nprocs, static_cast<std::size_t>(msg));
-        const double inflation = pl.fault.expected_inflation(comm);
-        const double total = compute + comm * inflation;
-        secs.push_back(total);
-        inflations.push_back(inflation);
-        best = std::min(best, total);
+    double dof_per_proc = 461000.0; // NekTar-F weak scaling, Table 2 class
+    int nprocs = 8;
+    std::string store_dir, socket_path;
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) store_dir = argv[++i];
+        else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc)
+            socket_path = argv[++i];
+        else positional.push_back(argv[i]);
     }
-    for (std::size_t i = 0; i < platforms().size(); ++i) {
-        const auto& pl = platforms()[i];
-        const double cost_eff = pl.cost_per_proc_kusd * nprocs * secs[i];
+    if (!positional.empty()) dof_per_proc = std::atof(positional[0]);
+    if (positional.size() > 1) nprocs = std::atoi(positional[1]);
+
+    std::printf("DNS platform advisor: %.0f dof/processor on %d processors\n", dof_per_proc,
+                nprocs);
+    std::printf("(answers served by the cluster lab%s)\n\n",
+                !socket_path.empty() ? " daemon"
+                                     : (!store_dir.empty() ? " store" : ", in-process"));
+
+    lab::Service service(store_dir);
+    const int fd = socket_path.empty() ? -1 : lab::wire::connect_unix(socket_path);
+
+    std::vector<Row> rows;
+    double best = 1e30;
+    for (const auto& platform : lab::advisor_platforms()) {
+        lab::ScenarioRequest req;
+        req.machine = platform.machine;
+        req.net = platform.network;
+        req.fault = platform.fault == "clean" ? "" : platform.fault;
+        req.ranks = nprocs;
+        req.dof_per_rank = dof_per_proc;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string reply =
+            fd >= 0 ? lab::wire::request(fd, req.canonical_json())
+                    : lab::wire::response_payload(service.answer(req));
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+        const lab::Json report = lab::Json::parse(reply);
+        if (const lab::Json* err = report.find("error")) {
+            std::fprintf(stderr, "lab error for %s: %s\n", platform.label.c_str(),
+                         err->as_string().c_str());
+            return 1;
+        }
+        Row row;
+        row.label = platform.label;
+        row.cost_per_proc_kusd = platform.cost_per_proc_kusd;
+        row.wall = case_value(report, "wall_seconds_per_step");
+        row.inflation = case_value(report, "fault_inflation");
+        row.query_us = us;
+        row.cache_hit = report.at("cache").at("hit").as_bool();
+        best = std::min(best, row.wall);
+        rows.push_back(std::move(row));
+    }
+    if (fd >= 0) ::close(fd);
+
+    std::printf("%-38s %10s %10s %12s %14s %10s\n", "platform", "s/step", "rel. speed",
+                "reliability", "k$/(steps/s)", "query");
+    std::printf("%-38s %10s %10s %12s %14s %10s\n", "--------", "------", "----------",
+                "-----------", "-----------", "-----");
+    for (const Row& row : rows) {
+        const double cost_eff = row.cost_per_proc_kusd * nprocs * row.wall;
+        char query[32];
+        std::snprintf(query, sizeof(query), "%.0fus%s", row.query_us,
+                      row.cache_hit ? "*" : "");
         // Reliability = fraction of communication wall time that is useful
         // transfer rather than fault overhead (1.00 = perfect network).
-        std::printf("%-38s %10.3f %9.2fx %11.0f%% %14.1f\n", pl.label, secs[i],
-                    secs[i] / best, 100.0 / inflations[i], cost_eff);
+        std::printf("%-38s %10.3f %9.2fx %11.0f%% %14.1f %10s\n", row.label.c_str(),
+                    row.wall, row.wall / best, 100.0 / row.inflation, cost_eff, query);
     }
     std::printf("\nLower k$/(steps/s) = more science per dollar; reliability is the\n"
                 "share of comm time doing useful transfer under the interconnect's\n"
                 "characteristic fault profile.  At small P the ethernet PC cluster\n"
                 "is the value pick despite its retransmits; Myrinet carries PC\n"
                 "clusters to medium scale; absolute speed still belongs to the T3E —\n"
-                "the paper's 1999 verdict, reproduced from the models.\n");
+                "the paper's 1999 verdict, reproduced from the models.\n"
+                "('*' = answered from the RunReport store without recomputation)\n");
     return 0;
 }

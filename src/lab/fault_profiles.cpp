@@ -1,0 +1,73 @@
+#include "lab/fault_profiles.hpp"
+
+#include "lab/json.hpp"
+
+namespace lab {
+
+namespace {
+
+netsim::FaultModel profile(double loss, double timeout_us, double jitter_us,
+                           double strag_frac, double strag_factor) {
+    netsim::FaultModel f;
+    f.seed = 1999; // the calibrated default; ScenarioRequest::seed overrides
+    f.loss_probability = loss;
+    f.retransmit_timeout_us = timeout_us;
+    f.latency_jitter_us = jitter_us;
+    f.straggler_fraction = strag_frac;
+    f.straggler_factor = strag_factor;
+    return f;
+}
+
+} // namespace
+
+const std::vector<FaultProfile>& fault_roster() {
+    static const std::vector<FaultProfile> r = {
+        {"clean", "perfect network (no perturbation)", netsim::FaultModel{}},
+        {"commodity-eth",
+         "shared Fast Ethernet segment: TCP retransmits, collision jitter, slow PCs",
+         profile(0.02, 800.0, 150.0, 0.25, 1.5)},
+        {"myrinet", "user-level GM stack: clean wire, straggling PC hosts",
+         profile(0.002, 120.0, 15.0, 0.12, 1.3)},
+        {"vendor-sp2", "IBM SP2 switch with shared-node OS jitter",
+         profile(0.0005, 60.0, 5.0, 0.02, 1.1)},
+        {"vendor-origin", "SGI Origin interconnect, dedicated OS image",
+         profile(0.0002, 30.0, 2.0, 0.02, 1.1)},
+        {"vendor-t3e", "Cray T3E torus, microkernel nodes",
+         profile(0.0001, 25.0, 1.0, 0.01, 1.05)},
+    };
+    return r;
+}
+
+netsim::FaultModel fault_by_name(const std::string& name, std::uint64_t seed) {
+    netsim::FaultModel out;
+    bool found = name.empty();
+    if (!found) {
+        for (const auto& p : fault_roster()) {
+            if (p.name == name) {
+                out = p.model;
+                found = true;
+                break;
+            }
+        }
+    }
+    if (!found) {
+        std::string known;
+        for (const auto& p : fault_roster()) known += " \"" + p.name + "\"";
+        throw ParseError("unknown fault profile \"" + name + "\" (known:" + known + ")");
+    }
+    if (seed != 0) out.seed = seed;
+    return out;
+}
+
+const std::vector<PlatformPreset>& advisor_platforms() {
+    static const std::vector<PlatformPreset> p = {
+        {"PC cluster, Fast Ethernet (Muses)", "Muses", "Muses, LAM", "commodity-eth", 2.5},
+        {"PC cluster, Myrinet (RoadRunner)", "RoadRunner", "RoadRunner myr.", "myrinet", 4.5},
+        {"IBM SP2 Silver", "SP2-Silver", "SP2-Silver internode", "vendor-sp2", 40.0},
+        {"SGI Origin 2000 (NCSA)", "NCSA", "NCSA", "vendor-origin", 60.0},
+        {"Cray T3E-900", "T3E", "T3E", "vendor-t3e", 80.0},
+    };
+    return p;
+}
+
+} // namespace lab

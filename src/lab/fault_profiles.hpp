@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/faultmodel.hpp"
+
+/// \file fault_profiles.hpp
+/// Named interconnect fault profiles for ScenarioRequests.
+///
+/// A request names its unreliability assumption instead of carrying raw
+/// FaultModel numbers: the name is part of the canonical encoding (and so of
+/// the store key), while the calibration below can evolve with the models.
+/// The profiles reproduce the cluster-advisor characterisation: commodity
+/// TCP-over-ethernet retransmits and jitters (the shared Muses segment worst
+/// of all), Myrinet's user-level stack is clean but its PC hosts straggle,
+/// and the vendor fabrics with dedicated OS images barely misbehave.
+namespace lab {
+
+struct FaultProfile {
+    std::string name;        ///< ScenarioRequest::fault key
+    std::string description; ///< one-line characterisation
+    netsim::FaultModel model;
+};
+
+/// All named profiles, sorted by name.  "clean" (and the empty string) is
+/// the perfect network.
+[[nodiscard]] const std::vector<FaultProfile>& fault_roster();
+
+/// Profile lookup; "" means "clean".  Throws lab::ParseError (via a
+/// std::runtime_error subclass) for unknown names.  When `seed` is nonzero
+/// it replaces the profile's calibrated default seed, so requests can sweep
+/// fault realisations without new profiles.
+[[nodiscard]] netsim::FaultModel fault_by_name(const std::string& name,
+                                               std::uint64_t seed = 0);
+
+/// The advisor's five candidate platforms: a label, the machine/net model
+/// keys, the characteristic fault profile and a rough 1999 acquisition cost
+/// per processor — the cluster_advisor client builds its ScenarioRequests
+/// from these.
+struct PlatformPreset {
+    std::string label;
+    std::string machine;
+    std::string network;
+    std::string fault;         ///< fault_by_name key
+    double cost_per_proc_kusd; ///< rough 1999 acquisition cost per processor
+};
+
+[[nodiscard]] const std::vector<PlatformPreset>& advisor_platforms();
+
+} // namespace lab

@@ -11,8 +11,11 @@
 #include "perf/stage_stats.hpp"
 #include "simmpi/simmpi.hpp"
 
-/// \file app_model.hpp
+/// \file pricing.hpp
 /// Pricing of an instrumented solver run on the paper's machines.
+/// (Formerly bench/app_model.hpp; now part of the lab library so the
+/// scenario evaluator's "measured" fidelity and the table/figure benches
+/// price probe runs through the same helpers.)
 ///
 /// The solvers execute for real on this host and record, per stage, the
 /// flops/bytes their kernels moved plus every communication event.  These
@@ -156,3 +159,8 @@ struct CpuWall {
 }
 
 } // namespace app_model
+
+namespace lab {
+/// The lab-native spelling; `app_model` remains for the existing benches.
+namespace pricing = ::app_model;
+} // namespace lab

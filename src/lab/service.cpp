@@ -1,0 +1,106 @@
+#include "lab/service.hpp"
+
+#include <exception>
+
+#include "lab/json.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lab {
+
+std::string set_cache_hit(std::string report_json, bool hit) {
+    static const std::string tag = "\"cache\":{\"hit\":";
+    const auto pos = report_json.find(tag);
+    if (pos == std::string::npos) return report_json;
+    const auto vstart = pos + tag.size();
+    const bool cur = report_json.compare(vstart, 4, "true") == 0;
+    report_json.replace(vstart, cur ? 4 : 5, hit ? "true" : "false");
+    return report_json;
+}
+
+std::string mask_cache_hit(std::string report_json) {
+    return set_cache_hit(std::move(report_json), false);
+}
+
+Service::Service(std::string store_dir) : store_(std::move(store_dir)) {}
+
+Answer Service::answer(const ScenarioRequest& req) {
+    Answer out;
+    try {
+        req.validate();
+        out.key = req.store_key();
+    } catch (const std::exception& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        out.error = e.what();
+        return out;
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
+
+    for (;;) {
+        if (auto cached = store_.get(out.key)) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            out.cache_hit = true;
+            out.report_json = set_cache_hit(std::move(*cached), true);
+            return out;
+        }
+        // Singleflight: first thread in evaluates, the rest wait for its
+        // store entry and take the hit path above.
+        std::unique_lock<std::mutex> lock(flight_mu_);
+        if (inflight_.count(out.key) != 0) {
+            flight_cv_.wait(lock, [&] { return inflight_.count(out.key) == 0; });
+            continue; // the winner's put() (or failure) happened; re-check
+        }
+        if (store_.contains(out.key)) continue; // won the race too late
+        inflight_.insert(out.key);
+        break;
+    }
+
+    try {
+        const perf::RunReport rep = eval_.evaluate(req);
+        store_.put(out.key, rep.to_canonical_json());
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        out.cache_hit = false;
+        out.report_json = *store_.get(out.key);
+    } catch (const std::exception& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        queries_.fetch_sub(1, std::memory_order_relaxed); // didn't serve it
+        out.error = e.what();
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight_mu_);
+        inflight_.erase(out.key);
+    }
+    flight_cv_.notify_all();
+    return out;
+}
+
+Answer Service::answer_json(const std::string& request_json) {
+    ScenarioRequest req;
+    try {
+        req = ScenarioRequest::parse(request_json);
+    } catch (const std::exception& e) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        Answer out;
+        out.error = e.what();
+        return out;
+    }
+    return answer(req);
+}
+
+std::vector<Answer> Service::answer_all(const std::vector<ScenarioRequest>& reqs) {
+    std::vector<Answer> out(reqs.size());
+    parallel::pool().parallel_for(reqs.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = answer(reqs[i]);
+    });
+    return out;
+}
+
+Service::Stats Service::stats() const {
+    Stats s;
+    s.queries = queries_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace lab

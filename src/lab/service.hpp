@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lab/evaluator.hpp"
+#include "lab/scenario.hpp"
+#include "lab/store.hpp"
+
+/// \file service.hpp
+/// The cluster-lab scenario service: answer() maps a ScenarioRequest to its
+/// canonical RunReport bytes, memoised in a RunReportStore.
+///
+/// Serving contract:
+///   * The store holds to_canonical_json() bytes with the cache block
+///     reading `"hit":false` — the value is a pure function of the request,
+///     never of how it was served.  On a hit the service string-patches the
+///     hit bit to true in the returned copy, so clients can see how they
+///     were answered while mask_cache_hit() restores byte identity.
+///   * Concurrent identical requests are single-flighted: one evaluates,
+///     the rest wait on the store entry.  Distinct requests evaluate in
+///     parallel (probe runs serialise internally; the analytic model path
+///     is lock-free).
+///   * Malformed or un-honourable requests never throw out of answer():
+///     the Answer carries the error text, which the wire layer forwards.
+namespace lab {
+
+/// Rewrites the report's `"cache":{"hit":...}` bit in place (no reparse, so
+/// the rest of the canonical bytes stay untouched).
+[[nodiscard]] std::string set_cache_hit(std::string report_json, bool hit);
+
+/// Normalises the hit bit to false: served-from-store and freshly-computed
+/// copies of the same report compare byte-identical under this mask.
+[[nodiscard]] std::string mask_cache_hit(std::string report_json);
+
+struct Answer {
+    std::string key;         ///< the request's store key ("" when parse failed)
+    std::string report_json; ///< canonical RunReport bytes ("" on error)
+    bool cache_hit = false;  ///< served from the store
+    std::string error;       ///< nonempty iff the request could not be answered
+};
+
+class Service {
+public:
+    /// `store_dir` = "" keeps results memory-only for this service's
+    /// lifetime; otherwise answers persist (and pre-existing entries are
+    /// served) from `<store_dir>/<key>.json`.
+    explicit Service(std::string store_dir = "");
+
+    /// Answers one request, evaluating on a miss.
+    [[nodiscard]] Answer answer(const ScenarioRequest& req);
+
+    /// Parses request JSON then answers; parse failures come back as error
+    /// Answers (the daemon's per-connection entry point).
+    [[nodiscard]] Answer answer_json(const std::string& request_json);
+
+    /// Answers a batch over the deterministic thread pool (parallel::pool());
+    /// results are positionally aligned with `reqs`.
+    [[nodiscard]] std::vector<Answer> answer_all(const std::vector<ScenarioRequest>& reqs);
+
+    struct Stats {
+        std::uint64_t queries = 0; ///< answer() calls that parsed
+        std::uint64_t hits = 0;    ///< served from the store
+        std::uint64_t misses = 0;  ///< evaluated (includes singleflight winners)
+        std::uint64_t errors = 0;  ///< answered with an error
+        [[nodiscard]] double hit_rate() const {
+            const std::uint64_t served = hits + misses;
+            return served == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(served);
+        }
+    };
+    [[nodiscard]] Stats stats() const;
+
+    [[nodiscard]] RunReportStore& store() noexcept { return store_; }
+    [[nodiscard]] Evaluator& evaluator() noexcept { return eval_; }
+
+private:
+    RunReportStore store_;
+    Evaluator eval_;
+
+    std::mutex flight_mu_;
+    std::condition_variable flight_cv_;
+    std::set<std::string> inflight_;
+
+    std::atomic<std::uint64_t> queries_{0}, hits_{0}, misses_{0}, errors_{0};
+};
+
+} // namespace lab

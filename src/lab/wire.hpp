@@ -1,0 +1,59 @@
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+#include "lab/service.hpp"
+
+/// \file wire.hpp
+/// The daemon/client wire protocol: length-prefixed JSON frames over an
+/// AF_UNIX stream socket.
+///
+/// Frame layout: the 4-byte magic "RPL1", a u32 little-endian payload
+/// length, then the payload bytes.  Requests are ScenarioRequest JSON;
+/// responses are either the canonical RunReport bytes or an
+/// `{"error":"..."}` object.  A connection carries any number of
+/// request/response pairs in order; EOF from the client ends it.  The
+/// framing is deliberately dumb — the interesting contract (canonical
+/// requests, byte-deterministic answers) lives entirely in the payloads,
+/// so the socketpair tests exercise the real serving path hermetically.
+namespace lab::wire {
+
+inline constexpr char kMagic[4] = {'R', 'P', 'L', '1'};
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame; returns false on a broken peer.
+bool send_frame(int fd, const std::string& payload);
+
+/// Reads one frame; nullopt on EOF.  Throws std::runtime_error on a
+/// corrupt header (bad magic / oversized length) — the peer is not
+/// speaking the protocol and the connection is unrecoverable.
+[[nodiscard]] std::optional<std::string> recv_frame(int fd);
+
+/// Binds + listens on a unix socket path (unlinking any stale file).
+/// Returns the listening fd; throws std::runtime_error on failure.
+[[nodiscard]] int listen_unix(const std::string& path);
+
+/// Connects to a daemon's socket path; throws std::runtime_error.
+[[nodiscard]] int connect_unix(const std::string& path);
+
+/// Serves one established connection until EOF: for every request frame,
+/// answers through `svc` and writes the report (or error JSON) back.
+/// This is the per-connection body of serve() and the hermetic test entry.
+void handle_connection(int fd, Service& svc);
+
+/// Accept loop: every connection gets a thread running handle_connection.
+/// Polls `stop` between accepts (~5 Hz) and returns once it is set;
+/// in-flight connection threads are joined before returning.
+void serve(int listen_fd, Service& svc, const std::atomic<bool>& stop);
+
+/// Client round trip: frames `request_json`, awaits the response frame.
+/// Throws std::runtime_error if the daemon hangs up mid-exchange.
+[[nodiscard]] std::string request(int fd, const std::string& request_json);
+
+/// Renders an Answer as a response payload: the report bytes on success,
+/// an {"error":"..."} object otherwise.
+[[nodiscard]] std::string response_payload(const Answer& answer);
+
+} // namespace lab::wire

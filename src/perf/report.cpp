@@ -88,6 +88,15 @@ std::string RunReport::to_json() const {
         num(out, crossover_order);
         out += ",\n";
     }
+    // Schema v2: the canonical ScenarioRequest echo ({} when the report was
+    // not built from one) and the store/cache provenance.
+    out += "\"request\":";
+    out += request_json.empty() ? "{}" : request_json;
+    out += ",\n\"cache\":{\"hit\":";
+    out += cache_hit ? "true" : "false";
+    out += ",\"store_key\":\"";
+    esc(out, store_key);
+    out += "\"},\n";
     out += "\"meta\":{";
     {
         bool first = true;
@@ -155,6 +164,7 @@ std::string RunReport::to_json() const {
 
 std::string RunReport::to_canonical_json() const {
     RunReport masked = *this;
+    masked.cache_hit = false; // serving provenance, not run content
     for (StageRow& r : masked.stages) r.host_seconds = 0.0;
     const auto mask = [](std::map<std::string, double>& m) {
         for (auto& [k, v] : m)
@@ -173,10 +183,11 @@ void RunReport::write_json(const std::string& path) const {
     std::fclose(f);
 }
 
-RunReport report(std::string bench, const StageBreakdown* bd, const simmpi::RankReport* rank) {
+RunReport report(std::string bench, const StageBreakdown* bd, const simmpi::RankReport* rank,
+                 bool with_global_metrics) {
     RunReport rep;
     rep.bench = std::move(bench);
-    rep.metrics = obs::metrics().snapshot();
+    if (with_global_metrics) rep.metrics = obs::metrics().snapshot();
 
     if (bd != nullptr) {
         StageBreakdown folded = *bd;

@@ -43,9 +43,17 @@ struct Case {
 };
 
 struct RunReport {
-    static constexpr int kSchemaVersion = 1;
+    static constexpr int kSchemaVersion = 2;
 
     std::string bench;                       ///< benchmark id, e.g. "table2_nektar_f"
+    /// Canonical lab::ScenarioRequest JSON describing the run this report
+    /// answers (schema v2's `request` block).  Empty = no request attached;
+    /// serialised as `{}` so the block is always present.  Kept as
+    /// pre-rendered bytes rather than a typed member because perf sits
+    /// below the lab library in the dependency order.
+    std::string request_json;
+    bool cache_hit = false;   ///< schema v2 `cache.hit`: served from the store
+    std::string store_key;    ///< schema v2 `cache.store_key` ("" = not stored)
     /// Compute backend the run exercised ("dense", "sumfact", or
     /// "dense+sumfact" for side-by-side sweeps).  Optional: omitted from the
     /// JSON when empty, so pre-backend reports stay byte-identical.
@@ -63,11 +71,13 @@ struct RunReport {
     [[nodiscard]] std::string to_json() const;
     void write_json(const std::string& path) const;
 
-    /// to_json() with every host-measured time zeroed: the per-stage
-    /// host_seconds column and any metric key naming host_seconds.  The
-    /// result is bit-deterministic for deterministic runs, so the restart
-    /// and repro tests compare it byte-for-byte (bench/check_determinism.py
-    /// applies the same masking to report files).
+    /// to_json() with every host-measured time zeroed — the per-stage
+    /// host_seconds column and any metric key naming host_seconds — and the
+    /// cache hit bit forced to false (how a report was served is not part
+    /// of what it says).  The result is bit-deterministic for deterministic
+    /// runs, so the restart and repro tests compare it byte-for-byte
+    /// (bench/check_determinism.py applies the same masking to report
+    /// files) and the lab's RunReport store persists exactly these bytes.
     [[nodiscard]] std::string to_canonical_json() const;
 };
 
@@ -78,8 +88,11 @@ struct RunReport {
 /// When `rank` is also given, its fault and overlap logs are folded on top
 /// first (pass rank = nullptr if the breakdown already absorbed them via
 /// add_comm_faults/add_comm_overlap).  The global obs::metrics() snapshot
-/// is always included.
+/// is included unless `with_global_metrics` is false — the cluster lab's
+/// evaluator opts out because that registry accumulates across requests
+/// and a stored report must be a pure function of its request.
 [[nodiscard]] RunReport report(std::string bench, const StageBreakdown* bd = nullptr,
-                               const simmpi::RankReport* rank = nullptr);
+                               const simmpi::RankReport* rank = nullptr,
+                               bool with_global_metrics = true);
 
 } // namespace perf

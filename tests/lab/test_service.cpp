@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lab/service.hpp"
+
+// The scenario service: memoisation, cache-hit byte identity (the store is a
+// pure function of the request), singleflight under concurrency, and error
+// answers that never throw.
+namespace {
+
+namespace fs = std::filesystem;
+
+lab::ScenarioRequest model_request(int ranks, std::uint64_t seed) {
+    lab::ScenarioRequest req;
+    req.machine = "RoadRunner";
+    req.net = "RoadRunner eth.";
+    req.fault = "commodity-eth";
+    req.ranks = ranks;
+    req.seed = seed;
+    req.dof_per_rank = 120000.0;
+    return req;
+}
+
+TEST(Service, MissThenHitWithByteIdenticalAnswers) {
+    lab::Service service;
+    const auto req = model_request(8, 1999);
+
+    const lab::Answer cold = service.answer(req);
+    ASSERT_TRUE(cold.error.empty()) << cold.error;
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_EQ(cold.key, req.store_key());
+
+    const lab::Answer warm = service.answer(req);
+    ASSERT_TRUE(warm.error.empty());
+    EXPECT_TRUE(warm.cache_hit);
+    // The hit is flagged in the served copy but masks away to the stored
+    // canonical bytes: how a request was served never changes its answer.
+    EXPECT_NE(cold.report_json, warm.report_json);
+    EXPECT_EQ(lab::mask_cache_hit(cold.report_json), lab::mask_cache_hit(warm.report_json));
+    EXPECT_NE(warm.report_json.find("\"cache\":{\"hit\":true"), std::string::npos);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.queries, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(Service, FaultSeedsAreDistinctScenariosButStayDeterministic) {
+    lab::Service a, b;
+    const auto seed1 = model_request(8, 1);
+    const auto seed2 = model_request(8, 2);
+    EXPECT_NE(seed1.store_key(), seed2.store_key());
+
+    // Two independent services answer the same seeded request with the same
+    // canonical bytes — the byte-determinism the store relies on.
+    const std::string from_a = lab::mask_cache_hit(a.answer(seed1).report_json);
+    const std::string from_b = lab::mask_cache_hit(b.answer(seed1).report_json);
+    EXPECT_EQ(from_a, from_b);
+    EXPECT_NE(from_a, lab::mask_cache_hit(b.answer(seed2).report_json));
+}
+
+TEST(Service, SingleflightEvaluatesEachScenarioOnce) {
+    lab::Service service;
+    const auto req = model_request(16, 7);
+    constexpr int kThreads = 8;
+    std::vector<std::string> replies(kThreads);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t)
+            threads.emplace_back(
+                [&, t] { replies[t] = lab::mask_cache_hit(service.answer(req).report_json); });
+        for (auto& th : threads) th.join();
+    }
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(replies[0], replies[t]);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.queries, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(stats.misses, 1u) << "singleflight must evaluate exactly once";
+    EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+    EXPECT_EQ(service.store().size(), 1u);
+}
+
+TEST(Service, AnswerAllAlignsWithItsInputs) {
+    lab::Service service;
+    std::vector<lab::ScenarioRequest> reqs;
+    for (int i = 0; i < 6; ++i) reqs.push_back(model_request(2 << (i % 3), 1999));
+    const auto answers = service.answer_all(reqs);
+    ASSERT_EQ(answers.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(answers[i].error.empty()) << answers[i].error;
+        EXPECT_EQ(answers[i].key, reqs[i].store_key());
+    }
+    EXPECT_EQ(service.store().size(), 3u); // 3 distinct rank counts
+}
+
+TEST(Service, BadRequestsComeBackAsErrorAnswersNotThrows) {
+    lab::Service service;
+    const lab::Answer parse_fail = service.answer_json("{\"ranks\":");
+    EXPECT_FALSE(parse_fail.error.empty());
+    EXPECT_TRUE(parse_fail.report_json.empty());
+
+    lab::ScenarioRequest unknown_machine;
+    unknown_machine.machine = "cray-ymp";
+    const lab::Answer eval_fail = service.answer(unknown_machine);
+    EXPECT_FALSE(eval_fail.error.empty());
+    EXPECT_EQ(service.stats().errors, 2u);
+
+    // The service still answers good requests afterwards (no stuck flights).
+    EXPECT_TRUE(service.answer(model_request(4, 3)).error.empty());
+}
+
+TEST(Service, PersistentStoreServesAcrossServiceInstances) {
+    const std::string dir =
+        (fs::temp_directory_path() / "lab_service_test_store").string();
+    fs::remove_all(dir);
+    const auto req = model_request(32, 11);
+    std::string cold_bytes;
+    {
+        lab::Service first(dir);
+        cold_bytes = lab::mask_cache_hit(first.answer(req).report_json);
+    }
+    lab::Service second(dir);
+    const lab::Answer served = second.answer(req);
+    EXPECT_TRUE(served.cache_hit) << "disk entry should be a hit in a fresh service";
+    EXPECT_EQ(lab::mask_cache_hit(served.report_json), cold_bytes);
+    fs::remove_all(dir);
+}
+
+} // namespace

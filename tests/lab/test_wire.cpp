@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "lab/service.hpp"
+#include "lab/wire.hpp"
+
+// The framed unix-socket protocol, exercised over socketpair() so no
+// filesystem socket paths are involved.
+namespace {
+
+struct SocketPair {
+    int a = -1, b = -1;
+    SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+    ~SocketPair() {
+        if (a >= 0) ::close(a);
+        if (b >= 0) ::close(b);
+    }
+    int fds[2] = {-1, -1};
+    int client() { return a = fds[0]; }
+    int server() { return b = fds[1]; }
+};
+
+TEST(Wire, FrameRoundTripIncludingEmptyAndBinaryPayloads) {
+    SocketPair sp;
+    const std::string payloads[] = {std::string(""), std::string("{\"ranks\":4}"),
+                                    std::string("\x00\x01\xff payload", 11),
+                                    std::string(1 << 16, 'x')};
+    for (const std::string& payload : payloads) {
+        ASSERT_TRUE(lab::wire::send_frame(sp.client(), payload));
+        const auto got = lab::wire::recv_frame(sp.server());
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, payload);
+    }
+}
+
+TEST(Wire, CleanEofBetweenFramesIsNullopt) {
+    SocketPair sp;
+    ::close(sp.client());
+    sp.a = -1;
+    EXPECT_FALSE(lab::wire::recv_frame(sp.server()).has_value());
+}
+
+TEST(Wire, BadMagicAndTruncationAreProtocolErrors) {
+    {
+        SocketPair sp;
+        ASSERT_EQ(::write(sp.client(), "HTTP/1.1 200 OK\r\n", 17), 17);
+        EXPECT_THROW((void)lab::wire::recv_frame(sp.server()), std::runtime_error);
+    }
+    {
+        SocketPair sp;
+        ASSERT_EQ(::write(sp.client(), "RPL", 3), 3); // header cut short
+        ::close(sp.client());
+        sp.a = -1;
+        EXPECT_THROW((void)lab::wire::recv_frame(sp.server()), std::runtime_error);
+    }
+    {
+        SocketPair sp;
+        // Valid header promising 100 bytes, connection dies after 4.
+        char header[8] = {'R', 'P', 'L', '1', 100, 0, 0, 0};
+        ASSERT_EQ(::write(sp.client(), header, 8), 8);
+        ASSERT_EQ(::write(sp.client(), "body", 4), 4);
+        ::close(sp.client());
+        sp.a = -1;
+        EXPECT_THROW((void)lab::wire::recv_frame(sp.server()), std::runtime_error);
+    }
+}
+
+TEST(Wire, OversizedFrameIsRejectedBeforeAllocation) {
+    SocketPair sp;
+    char header[8];
+    std::memcpy(header, lab::wire::kMagic, 4);
+    const std::uint32_t n = lab::wire::kMaxFrameBytes + 1;
+    header[4] = static_cast<char>(n & 0xff);
+    header[5] = static_cast<char>((n >> 8) & 0xff);
+    header[6] = static_cast<char>((n >> 16) & 0xff);
+    header[7] = static_cast<char>((n >> 24) & 0xff);
+    ASSERT_EQ(::write(sp.client(), header, 8), 8);
+    EXPECT_THROW((void)lab::wire::recv_frame(sp.server()), std::runtime_error);
+}
+
+TEST(Wire, ServiceConversationOverASocket) {
+    SocketPair sp;
+    lab::Service service;
+    std::thread server([&] { lab::wire::handle_connection(sp.server(), service); });
+
+    lab::ScenarioRequest req;
+    req.machine = "RoadRunner";
+    req.net = "RoadRunner myr.";
+    req.ranks = 4;
+    req.dof_per_rank = 50000.0;
+
+    const std::string cold = lab::wire::request(sp.client(), req.canonical_json());
+    EXPECT_NE(cold.find("\"schema_version\":2"), std::string::npos);
+    EXPECT_NE(cold.find("\"cache\":{\"hit\":false"), std::string::npos);
+
+    const std::string warm = lab::wire::request(sp.client(), req.canonical_json());
+    EXPECT_NE(warm.find("\"cache\":{\"hit\":true"), std::string::npos);
+    EXPECT_EQ(lab::mask_cache_hit(cold), lab::mask_cache_hit(warm));
+
+    // Malformed requests come back as error frames, not dropped connections.
+    const std::string err = lab::wire::request(sp.client(), "{\"machine\":");
+    EXPECT_NE(err.find("\"error\""), std::string::npos);
+
+    ::close(sp.client());
+    sp.a = -1;
+    server.join();
+}
+
+} // namespace

@@ -344,7 +344,8 @@ TEST_F(TracerTest, RunReportHasTheVersionedSchemaShape) {
     EXPECT_EQ(rep.steps, 2);
 
     const std::string json = rep.to_json();
-    for (const char* key : {"\"schema_version\":1", "\"bench\":\"test_tracer\"", "\"meta\":",
+    for (const char* key : {"\"schema_version\":2", "\"bench\":\"test_tracer\"", "\"meta\":",
+                            "\"request\":{}", "\"cache\":{\"hit\":false,\"store_key\":\"\"}",
                             "\"steps\":2", "\"stages\":[", "\"metrics\":", "\"counters\":",
                             "\"gauges\":", "\"histograms\":", "\"cases\":[",
                             "\"platform\":\"unit\"", "\"wall_seconds\":1.5"})
